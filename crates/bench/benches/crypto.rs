@@ -1,0 +1,35 @@
+//! Criterion: throughput of the from-scratch crypto substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use erebor_crypto::{aead, ed25519, sha256, x25519};
+
+fn bench_crypto(c: &mut Criterion) {
+    let data = vec![0xa5u8; 16 * 1024];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("sha256_16k", |b| b.iter(|| sha256::sha256(&data)));
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    g.bench_function("chacha20poly1305_seal_16k", |b| {
+        b.iter(|| aead::seal(&key, &nonce, b"", &data));
+    });
+    g.finish();
+
+    c.bench_function("x25519_shared_secret", |b| {
+        let private = [9u8; 32];
+        let public = x25519::public_key(&[5u8; 32]);
+        b.iter(|| x25519::shared_secret(&private, &public));
+    });
+
+    let sk = ed25519::SigningKey::from_seed([1u8; 32]);
+    let msg = b"attestation report body";
+    let sig = sk.sign(msg);
+    c.bench_function("ed25519_sign", |b| b.iter(|| sk.sign(msg)));
+    c.bench_function("ed25519_verify", |b| {
+        let vk = sk.verifying_key();
+        b.iter(|| vk.verify(msg, &sig).expect("valid"));
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

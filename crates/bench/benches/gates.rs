@@ -1,0 +1,53 @@
+//! Criterion: real-time performance of the simulated privilege machinery
+//! (EMC gates, syscall path, interrupt interposition).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erebor::{Mode, Platform};
+use erebor_core::emc::EmcRequest;
+use erebor_libos::api::Sys;
+
+fn bench_gates(c: &mut Criterion) {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    c.bench_function("emc_nop_roundtrip", |b| {
+        b.iter(|| {
+            p.cvm
+                .monitor
+                .emc(&mut p.cvm.machine, &mut p.cvm.tdx, 0, EmcRequest::Nop)
+                .expect("emc")
+        });
+    });
+
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    p.cvm.monitor.cfg.timer_quantum_cycles = u64::MAX / 4;
+    let pid = p.spawn_native().expect("spawn");
+    c.bench_function("interposed_syscall_getpid", |b| {
+        b.iter(|| {
+            p.proc(pid)
+                .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
+                .expect("sys")
+        });
+    });
+
+    let mut p = Platform::boot(Mode::Native).expect("boot");
+    p.cvm.monitor.cfg.timer_quantum_cycles = u64::MAX / 4;
+    let pid = p.spawn_native().expect("spawn");
+    c.bench_function("native_syscall_getpid", |b| {
+        b.iter(|| {
+            p.proc(pid)
+                .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
+                .expect("sys")
+        });
+    });
+}
+
+fn bench_boot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("boot");
+    group.sample_size(10);
+    group.bench_function("full_boot", |b| {
+        b.iter(|| Platform::boot(Mode::Full).expect("boot"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gates, bench_boot);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: the simulated MMU paths (checked mapping, permission walks).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erebor::{Mode, Platform};
+use erebor_hw::fault::AccessKind;
+use erebor_hw::VirtAddr;
+use erebor_libos::api::Sys;
+
+fn bench_paging(c: &mut Criterion) {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    p.cvm.monitor.cfg.timer_quantum_cycles = u64::MAX / 4;
+    p.reclaim_period_ticks = 0;
+    let pid = p.spawn_native().expect("spawn");
+    let va = p
+        .proc(pid)
+        .syscall(erebor_kernel::syscall::nr::MMAP, [0, 4096, 3, 0, 0, 0])
+        .expect("mmap");
+    p.proc(pid).touch(va, true).expect("touch");
+
+    c.bench_function("mmu_probe_mapped_page", |b| {
+        b.iter(|| {
+            p.cvm
+                .machine
+                .probe(0, VirtAddr(va), AccessKind::Read)
+                .expect("probe")
+        });
+    });
+
+    // A fixed address so the page-table pages are reused across the hot
+    // loop (criterion runs millions of iterations).
+    let fixed = 0x7a00_0000_0000u64;
+    c.bench_function("mmap_fault_unmap_cycle", |b| {
+        b.iter(|| {
+            let a = p
+                .proc(pid)
+                .syscall(erebor_kernel::syscall::nr::MMAP, [fixed, 4096, 3, 0, 0, 0])
+                .expect("mmap");
+            p.proc(pid).touch(a, true).expect("touch");
+            p.proc(pid)
+                .syscall(erebor_kernel::syscall::nr::MUNMAP, [a, 4096, 0, 0, 0, 0])
+                .expect("munmap");
+        });
+    });
+}
+
+criterion_group!(benches, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion: full request round trips through the simulated platform —
+//! the harness's own performance (not the paper's cycle model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use erebor::{Mode, Platform};
+use erebor_workloads::hello::HelloWorld;
+
+fn bench_requests(c: &mut Criterion) {
+    let mut g = c.benchmark_group("request_roundtrip");
+    g.sample_size(20);
+    for mode in [Mode::Native, Mode::Full] {
+        let mut p = Platform::boot(mode).expect("boot");
+        let (mut svc, mut client, native_pid) = if mode == Mode::Full {
+            let svc = p
+                .deploy(Box::new(HelloWorld { len: 8 }), 4096)
+                .expect("deploy");
+            let client = p.connect_client(&svc, [1; 32]).expect("attest");
+            (Some(svc), Some(client), None)
+        } else {
+            (None, None, Some(p.spawn_native().expect("spawn")))
+        };
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| match (&mut svc, &mut client) {
+                (Some(svc), Some(client)) => p.serve_request(svc, client, b"req").expect("serve"),
+                _ => {
+                    use erebor_libos::api::Sys;
+                    let pid = native_pid.expect("native task");
+                    let v = p
+                        .proc(pid)
+                        .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
+                        .expect("sys");
+                    vec![v as u8]
+                }
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("attestation");
+    g.sample_size(20);
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let svc = p
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy");
+    g.bench_function("handshake_and_verify", |b| {
+        let mut seed = [0u8; 32];
+        b.iter(|| {
+            seed[0] = seed[0].wrapping_add(1);
+            p.connect_client(&svc, seed).expect("attest")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_requests);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion: the monitor's byte-level kernel verification (§5.1) — the
+//! boot-time cost of the drop-in design.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use erebor_hw::image::Image;
+use erebor_hw::insn;
+use erebor_hw::layout::KERNEL_BASE;
+
+fn bench_scan(c: &mut Criterion) {
+    for size_kb in [64usize, 512, 4096] {
+        let img = Image::builder("k")
+            .benign_text(".text", KERNEL_BASE, size_kb * 1024, 9)
+            .build();
+        let bytes = img.sections[0].bytes.clone();
+        let mut g = c.benchmark_group("kernel_scan");
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function(format!("scan_{size_kb}k"), |b| {
+            b.iter(|| insn::scan(&bytes).len());
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

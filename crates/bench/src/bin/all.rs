@@ -1,0 +1,23 @@
+//! Runs every table/figure regeneration in sequence (EXPERIMENTS.md input).
+
+fn main() {
+    for bin in [
+        "table3",
+        "table4",
+        "fig8",
+        "fig9",
+        "table6",
+        "fig10",
+        "memsave",
+        "ablations",
+    ] {
+        println!("==================== {bin} ====================");
+        let status = std::process::Command::new(
+            std::env::current_exe().unwrap().parent().unwrap().join(bin),
+        )
+        .status()
+        .expect("run sibling binary");
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+}

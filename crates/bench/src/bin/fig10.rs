@@ -1,0 +1,42 @@
+//! Regenerates Fig. 10: background server relative throughput.
+
+fn main() {
+    let rows = erebor_bench::fig10::run();
+    println!("Fig. 10: relative throughput of background programs (Erebor / native)");
+    println!("{:<9} {:>10} {:>10}", "server", "size", "relative");
+    let mut sums: std::collections::BTreeMap<&str, (f64, usize)> = Default::default();
+    for r in &rows {
+        println!(
+            "{:<9} {:>10} {:>9.3}",
+            r.server,
+            human(r.size),
+            r.relative()
+        );
+        let e = sums.entry(r.server).or_insert((0.0, 0));
+        e.0 += r.relative();
+        e.1 += 1;
+    }
+    for (s, (sum, n)) in sums {
+        println!("{s}: mean relative throughput {:.3}", sum / n as f64);
+    }
+    println!("\nthroughput relative to native (50 cols = 1.0):");
+    for r in &rows {
+        let bars = "█".repeat((r.relative() * 50.0).round() as usize);
+        println!(
+            "  {:<8}{:>6} {bars} {:.2}",
+            r.server,
+            human(r.size),
+            r.relative()
+        );
+    }
+    println!("\npaper: OpenSSH mean -8.2% (max -18% small files), Nginx mean -5.1% (max -17.6%),");
+    println!("       <5% reduction for large files");
+}
+
+fn human(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{}MB", b >> 20)
+    } else {
+        format!("{}KB", b >> 10)
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 8: LMBench latency ratios, Erebor vs native.
+
+fn main() {
+    let rows = erebor_bench::fig8::run(512);
+    println!("Fig. 8: LMBench system benchmarks (cycles/op; bar = Erebor/native)");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "bench", "native", "erebor", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>7.2}x",
+            r.name,
+            r.native,
+            r.erebor,
+            r.ratio()
+        );
+    }
+    println!("\nlatency ratio (one █ ≈ 0.25x):");
+    for r in &rows {
+        let bars = "█".repeat((r.ratio() * 4.0).round() as usize);
+        println!("  {:<12} {bars} {:.2}x", r.name, r.ratio());
+    }
+    println!("\npaper: ratios 1.0–3.8x; pagefault highest (3.8x), fork also high");
+}

@@ -1,0 +1,31 @@
+//! Regenerates Fig. 9: real-world workload overhead across configurations.
+
+use erebor::Mode;
+
+fn main() {
+    let rows = erebor_bench::fig9::run();
+    println!("Fig. 9: normalized runtime (native = 1.00)");
+    print!("{:<12}", "workload");
+    for m in Mode::ALL {
+        print!(" {:>11}", m.label());
+    }
+    println!();
+    for r in &rows {
+        print!("{:<12}", r.workload);
+        for i in 0..5 {
+            print!(" {:>11.4}", 1.0 + r.overhead(i));
+        }
+        println!();
+    }
+    let geo = erebor_bench::fig9::geomean_full_overhead(&rows);
+    println!(
+        "\ngeomean full-system overhead: {:.1}%  (paper: 8.1%, range 4.5–13.2%)",
+        geo * 100.0
+    );
+    println!("\nfull-system overhead (one ░ ≈ 0.25%):");
+    for r in &rows {
+        let pct = r.overhead(4) * 100.0;
+        let bars = "░".repeat((pct * 4.0).round() as usize);
+        println!("  {:<12} {bars} {pct:.1}%", r.workload);
+    }
+}

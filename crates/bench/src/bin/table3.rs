@@ -1,0 +1,20 @@
+//! Regenerates Table 3: privilege-transition round-trip costs.
+
+fn main() {
+    let rows = erebor_bench::table3::run();
+    let emc = rows
+        .iter()
+        .find(|r| r.name == "EMC")
+        .map_or(1, |r| r.cycles);
+    println!("Table 3: privilege-transition costs (CPU cycles, round trip)");
+    println!("{:<10} {:>8} {:>8}", "call", "#cycle", "×EMC");
+    for r in &rows {
+        println!(
+            "{:<10} {:>8} {:>7.2}x",
+            r.name,
+            r.cycles,
+            r.cycles as f64 / emc as f64
+        );
+    }
+    println!("\npaper:      EMC 1224 (1x), SYSCALL 684 (0.56x), TDCALL 5276 (4.31x), VMCALL 4031 (3.29x)");
+}

@@ -1,0 +1,21 @@
+//! Regenerates Table 4: privileged-operation costs, native vs Erebor.
+
+fn main() {
+    let rows = erebor_bench::table4::run();
+    println!("Table 4: OS privileged-instruction overheads (CPU cycles)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>8}",
+        "op", "native", "erebor", "times"
+    );
+    for r in &rows {
+        println!(
+            "{:<6} {:>10} {:>10} {:>7.2}x",
+            r.op,
+            r.native,
+            r.erebor,
+            r.times()
+        );
+    }
+    println!("\npaper: MMU 23→1345 (58.5x), CR 294→1593 (5.4x), IDT 260→1369 (5.3x),");
+    println!("       MSR 364→1613 (4.4x), SMAP 62→1291 (20.8x), GHCI 126806→128081 (1.01x)");
+}

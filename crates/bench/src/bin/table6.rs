@@ -1,0 +1,36 @@
+//! Regenerates Table 6: program execution statistics under Erebor.
+
+fn main() {
+    let rows = erebor_bench::table6::run();
+    println!("Table 6: program execution statistics (rates per simulated second)");
+    println!(
+        "{:<12} {:>7} {:>8} {:>7} {:>8} {:>9} {:>8} {:>8} {:>8} {:>8}",
+        "program",
+        "#PF/s",
+        "#Timer/s",
+        "#VE/s",
+        "total/s",
+        "EMC/s",
+        "time(s)",
+        "conf MB",
+        "com MB",
+        "init ovh"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>7.0} {:>8.0} {:>7.0} {:>8.0} {:>9.0} {:>8.2} {:>8} {:>8} {:>7.1}%",
+            r.workload,
+            r.pf_rate,
+            r.timer_rate,
+            r.ve_rate,
+            r.total_rate(),
+            r.emc_rate,
+            r.time,
+            r.conf_mb,
+            r.com_mb,
+            r.init_overhead * 100.0
+        );
+    }
+    println!("\npaper (llama row): #PF 1.8k, #Timer 0.9k, #VE 1.7k, total 4.4k, EMC 46.9k,");
+    println!("                   time 52.85s, conf 501MB, com 4096MB, init +52.7%");
+}

@@ -1,0 +1,239 @@
+//! EMC entry/exit gates and the interrupt gate (§5.3, Fig. 5).
+//!
+//! The entry gate is the *only* `endbr64` landing pad in the monitor, so
+//! CET-IBT forces every indirect transfer into the monitor through it. The
+//! gate grants the core read-write access to monitor memory by writing
+//! `IA32_PKRS`, switches to a protected per-core stack, and records the
+//! in-EMC state that the interrupt gate consults: if the OS (or the host)
+//! preempts an EMC, the `#INT` gate saves and *revokes* the elevated PKRS
+//! before the kernel's handler runs, and restores it on return.
+
+use crate::policy;
+use erebor_hw::cpu::Machine;
+use erebor_hw::fault::Fault;
+use erebor_hw::regs::Msr;
+use erebor_hw::VirtAddr;
+
+/// Per-core gate state plus the gate addresses inside the monitor image.
+#[derive(Debug)]
+pub struct EmcGate {
+    /// The `endbr64`-tagged entry address (the only legal indirect target
+    /// in the monitor).
+    pub entry: VirtAddr,
+    /// Per-core secure stack tops.
+    pub secure_stacks: Vec<VirtAddr>,
+    in_emc: Vec<bool>,
+    saved_pkrs: Vec<Option<u64>>,
+}
+
+impl EmcGate {
+    /// Create gate state for `cores` logical cores.
+    #[must_use]
+    pub fn new(entry: VirtAddr, secure_stacks: Vec<VirtAddr>) -> EmcGate {
+        let cores = secure_stacks.len();
+        EmcGate {
+            entry,
+            secure_stacks,
+            in_emc: vec![false; cores],
+            saved_pkrs: vec![None; cores],
+        }
+    }
+
+    /// Whether core `cpu` is currently inside an EMC.
+    #[must_use]
+    pub fn in_emc(&self, cpu: usize) -> bool {
+        self.in_emc[cpu]
+    }
+
+    /// The entry gate (Fig. 5a): indirect branch (IBT-checked), scratch
+    /// spills, PKRS grant, stack switch.
+    ///
+    /// # Errors
+    /// `#CP` if the caller aims anywhere but the landing pad; fetch faults;
+    /// `#GP`/`#UD` if somehow reached from an illegitimate context.
+    pub fn enter(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        // ① Indirect call to the gate: hardware IBT check; on success the
+        // core's code domain becomes Monitor.
+        machine.indirect_branch(cpu, self.entry)?;
+        let c = &machine.costs;
+        // Scratch register spills + fills (3 each way), stack switch, and
+        // the serializing-write pipeline overhead.
+        machine
+            .cycles
+            .charge(6 * c.mem_op + c.stack_switch + 2 * c.alu + c.gate_overhead);
+        // Grant monitor memory access for this core only.
+        let _old = machine.rdmsr(cpu, Msr::Pkrs)?;
+        machine.wrmsr(cpu, Msr::Pkrs, policy::monitor_mode_pkrs().0)?;
+        self.in_emc[cpu] = true;
+        Ok(())
+    }
+
+    /// The exit gate (Fig. 5b): revoke monitor access, restore scratch,
+    /// return to the kernel at `return_to`.
+    ///
+    /// # Errors
+    /// Propagates register/branch faults.
+    pub fn exit(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        return_to: VirtAddr,
+    ) -> Result<(), Fault> {
+        let c = &machine.costs;
+        machine
+            .cycles
+            .charge(6 * c.mem_op + c.stack_switch + 2 * c.alu + c.call_ret + c.gate_overhead);
+        // The exit gate reads then rewrites PKRS (Fig. 5b lines 9-12).
+        let _cur = machine.rdmsr(cpu, Msr::Pkrs)?;
+        machine.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0)?;
+        self.in_emc[cpu] = false;
+        machine.direct_branch(cpu, return_to)?;
+        Ok(())
+    }
+
+    /// The `#INT` gate, interrupt-entry half (Fig. 5c-right ⓐ): if this
+    /// core is inside an EMC, save the elevated PKRS onto the secure stack
+    /// and revoke it before the OS handler runs.
+    ///
+    /// Must be invoked by the platform's interrupt interposer *before*
+    /// transferring to any kernel handler. Idempotent outside EMCs.
+    ///
+    /// # Errors
+    /// Propagates MSR faults.
+    pub fn interrupt_entry(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        // Register save/restore cost of the gate.
+        machine.cycles.charge(16 * machine.costs.mem_op);
+        if self.in_emc[cpu] && self.saved_pkrs[cpu].is_none() {
+            let cur = machine.rdmsr(cpu, Msr::Pkrs)?;
+            self.saved_pkrs[cpu] = Some(cur);
+            machine.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0)?;
+        }
+        Ok(())
+    }
+
+    /// The `#INT` gate, interrupt-return half (Fig. 5c-right ⓑ): restore
+    /// the saved PKRS when returning into a preempted EMC.
+    ///
+    /// # Errors
+    /// Propagates MSR faults.
+    pub fn interrupt_return(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        machine.cycles.charge(16 * machine.costs.mem_op);
+        if let Some(saved) = self.saved_pkrs[cpu].take() {
+            machine.wrmsr(cpu, Msr::Pkrs, saved)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erebor_hw::cpu::Domain;
+    use erebor_hw::layout;
+    use erebor_hw::paging::{map_raw, Pte, PteFlags};
+    use erebor_hw::regs::{s_cet, Cr0, Cr4};
+
+    fn setup() -> (Machine, EmcGate) {
+        let mut m = Machine::new(2, 32 * 1024 * 1024);
+        let root = m.mem.alloc_frame().unwrap();
+        let mon_code = m.mem.alloc_frame().unwrap();
+        map_raw(
+            &mut m.mem,
+            root,
+            layout::MONITOR_BASE,
+            Pte::encode(mon_code, PteFlags::kernel_rx(crate::policy::PK_MONITOR)),
+            erebor_hw::paging::intermediate_for(PteFlags::kernel_rx(0)),
+        )
+        .unwrap();
+        let kern_code = m.mem.alloc_frame().unwrap();
+        map_raw(
+            &mut m.mem,
+            root,
+            layout::KERNEL_BASE,
+            Pte::encode(kern_code, PteFlags::kernel_rx(crate::policy::PK_KTEXT)),
+            erebor_hw::paging::intermediate_for(PteFlags::kernel_rx(0)),
+        )
+        .unwrap();
+        for c in &mut m.cpus {
+            c.cr3 = root;
+            c.cr0 = Cr0(Cr0::WP | Cr0::PG);
+            c.cr4 = Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS | Cr4::CET);
+            c.domain = Domain::Kernel;
+        }
+        m.allow_sensitive(Domain::Monitor);
+        // Enable IBT (normally done by boot through monitor wrmsr).
+        m.cpus[0].domain = Domain::Monitor;
+        m.wrmsr(0, Msr::SCet, s_cet::ENDBR_EN).unwrap();
+        m.wrmsr(0, Msr::Pkrs, crate::policy::normal_mode_pkrs().0)
+            .unwrap();
+        m.cpus[0].domain = Domain::Kernel;
+        let entry = layout::MONITOR_BASE;
+        m.endbr.add(entry);
+        let gate = EmcGate::new(entry, vec![VirtAddr(layout::MONITOR_BASE.0 + 0x10000); 2]);
+        (m, gate)
+    }
+
+    #[test]
+    fn enter_exit_roundtrip_costs_near_paper() {
+        let (mut m, mut gate) = setup();
+        let before = m.cycles.total();
+        gate.enter(&mut m, 0).unwrap();
+        assert!(gate.in_emc(0));
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+        assert!(!gate.in_emc(0));
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        let cost = m.cycles.total() - before;
+        // Paper Table 3: empty EMC ≈ 1224 cycles.
+        assert!((900..=1600).contains(&cost), "EMC roundtrip cost {cost}");
+    }
+
+    #[test]
+    fn jump_past_entry_pad_is_cp_fault() {
+        let (mut m, gate) = setup();
+        let err = m.indirect_branch(0, gate.entry.add(0x40)).unwrap_err();
+        assert!(matches!(err, Fault::ControlProtection(_)));
+    }
+
+    #[test]
+    fn interrupt_during_emc_revokes_monitor_access() {
+        let (mut m, mut gate) = setup();
+        gate.enter(&mut m, 0).unwrap();
+        gate.interrupt_entry(&mut m, 0).unwrap();
+        // The kernel handler now runs with the normal-mode PKRS: monitor
+        // memory is inaccessible.
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        gate.interrupt_return(&mut m, 0).unwrap();
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+    }
+
+    #[test]
+    fn interrupt_outside_emc_is_inert() {
+        let (mut m, mut gate) = setup();
+        gate.interrupt_entry(&mut m, 0).unwrap();
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        gate.interrupt_return(&mut m, 0).unwrap();
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+    }
+
+    #[test]
+    fn nested_interrupts_keep_first_saved_pkrs() {
+        let (mut m, mut gate) = setup();
+        gate.enter(&mut m, 0).unwrap();
+        gate.interrupt_entry(&mut m, 0).unwrap();
+        gate.interrupt_entry(&mut m, 0).unwrap(); // nested
+        gate.interrupt_return(&mut m, 0).unwrap();
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+    }
+
+    #[test]
+    fn per_core_emc_state() {
+        let (mut m, mut gate) = setup();
+        gate.enter(&mut m, 0).unwrap();
+        assert!(gate.in_emc(0));
+        assert!(!gate.in_emc(1));
+        assert_eq!(m.cpus[1].msr(Msr::Pkrs), 0, "core 1 PKRS untouched");
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+    }
+}

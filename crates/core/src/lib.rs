@@ -1,0 +1,51 @@
+//! # erebor-core — EREBOR-MONITOR and EREBOR-SANDBOX
+//!
+//! The paper's primary contribution: a security monitor for confidential
+//! virtual machines built from *intra-kernel privilege isolation* (§5),
+//! plus the sandboxed-container enforcement it enables (§6).
+//!
+//! The monitor virtualizes the hardware kernel privilege into a
+//! *privileged* mode (the monitor itself) and a *normal* mode (the
+//! deprivileged guest kernel), using only guest-controlled hardware:
+//!
+//! * **Boot & verification** ([`boot`], [`scan`]) — two-stage verified boot:
+//!   firmware + monitor are measured into the attestation digest first; the
+//!   kernel image is byte-scanned for sensitive instructions (Table 2)
+//!   before it is ever mapped executable.
+//! * **Privilege enforcement** ([`gate`], [`emc`], [`policy`],
+//!   [`mmu_guard`]) — Erebor-Monitor-Calls bounded by entry/exit gates
+//!   (PKS permission switch + secure stacks + CET-guarded single entry),
+//!   Nested-Kernel-style page-table write protection, W⊕X, SMEP/SMAP
+//!   pinning, and GHCI monopolisation.
+//! * **Sandboxing** ([`sandbox`]) — confined/common memory with a
+//!   single-mapping policy, exit interposition (kill on syscall/#VE after
+//!   data install, register scrub at interrupts, cpuid caching, UINTR
+//!   disable), and teardown zeroisation.
+//! * **Data shepherding** ([`channel`]) — attestation-rooted key exchange
+//!   and AEAD records relayed through an untrusted proxy, with fixed-length
+//!   output padding.
+//! * **Ablation switches** ([`config`]) — Native / LibOS-only / +MMU /
+//!   +Exit / Full, driving the paper's Fig. 9 breakdown.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boot;
+pub mod channel;
+pub mod config;
+pub mod emc;
+pub mod gate;
+pub mod mmu_guard;
+pub mod monitor;
+pub mod policy;
+pub mod rng;
+pub mod sandbox;
+pub mod scan;
+pub mod stats;
+
+pub use boot::{boot_stage1, BootConfig, BootError, Cvm};
+pub use config::{ExecConfig, Mode};
+pub use emc::{EmcError, EmcRequest, EmcResponse};
+pub use monitor::Monitor;
+pub use sandbox::{ExitCause, ExitDecision, SandboxId, SandboxState};
+pub use stats::MonitorStats;

@@ -1,0 +1,1594 @@
+//! EREBOR-MONITOR: the privileged-mode security monitor (§5–§6).
+//!
+//! The monitor owns every sensitive interface of Table 2 on behalf of the
+//! deprivileged kernel: the MMU (through [`crate::mmu_guard`]), control and
+//! model-specific registers, the IDT, `stac`-based user copies, and GHCI.
+//! It also owns the sandbox lifecycle and exit interposition of §6.
+
+use crate::config::ExecConfig;
+use crate::emc::{CopyDir, EmcError, EmcRequest, EmcResponse};
+use crate::gate::EmcGate;
+use crate::mmu_guard::{self, MapError};
+use crate::policy::{FrameKind, FrameTable, PK_IDT};
+use crate::rng::DetRng;
+use crate::sandbox::{CommonRegion, ExitDecision, Sandbox, SandboxId, SandboxState};
+use crate::scan;
+use crate::stats::MonitorStats;
+use erebor_hw::cpu::Machine;
+use erebor_hw::fault::{Fault, VeReason};
+use erebor_hw::idt;
+use erebor_hw::image::{Image, SectionKind};
+use erebor_hw::layout::{self, direct_map};
+use erebor_hw::paging::{self, Pte, PteFlags};
+use erebor_hw::phys::Region;
+use erebor_hw::regs::{Cr0, Cr4, GprContext, Msr};
+use erebor_hw::{Frame, VirtAddr, PAGE_SIZE};
+use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, VmcallOp};
+use erebor_tdx::TdxModule;
+use std::collections::BTreeMap;
+
+/// The reserved file descriptor of the monitor I/O channel (§6.3).
+pub const EREBOR_IO_FD: u64 = 1023;
+/// `ioctl` request: receive client input into a sandbox buffer.
+pub const IOCTL_INPUT: u64 = 0x4500;
+/// `ioctl` request: submit output data for padding, sealing and return.
+pub const IOCTL_OUTPUT: u64 = 0x4501;
+
+/// Linux syscall numbers the interposer must recognise.
+pub const SYS_IOCTL: u64 = 16;
+
+/// Saved CPU state for a monitor-internal privilege raise: monitor code
+/// executing outside the EMC gate (interposers, container lifecycle) must
+/// run in ring 0, monitor domain, with monitor PKRS — and restore the
+/// caller's state afterwards.
+pub(crate) struct PrivGuard {
+    domain: erebor_hw::cpu::Domain,
+    mode: erebor_hw::cpu::CpuMode,
+    pkrs: u64,
+}
+
+impl PrivGuard {
+    /// Raise to monitor privileges on `cpu`.
+    pub(crate) fn enter(machine: &mut Machine, cpu: usize) -> Result<PrivGuard, Fault> {
+        let g = PrivGuard {
+            domain: machine.cpus[cpu].domain,
+            mode: machine.cpus[cpu].mode,
+            pkrs: machine.cpus[cpu].msr(Msr::Pkrs),
+        };
+        machine.cpus[cpu].domain = erebor_hw::cpu::Domain::Monitor;
+        machine.cpus[cpu].mode = erebor_hw::CpuMode::Supervisor;
+        machine.wrmsr(cpu, Msr::Pkrs, crate::policy::monitor_mode_pkrs().0)?;
+        Ok(g)
+    }
+
+    /// Restore the saved state.
+    pub(crate) fn exit(self, machine: &mut Machine, cpu: usize) {
+        machine.wrmsr(cpu, Msr::Pkrs, self.pkrs).ok();
+        machine.cpus[cpu].domain = self.domain;
+        machine.cpus[cpu].mode = self.mode;
+    }
+}
+
+/// The security monitor.
+pub struct Monitor {
+    /// Active configuration (ablation switches).
+    pub cfg: ExecConfig,
+    /// Event counters.
+    pub stats: MonitorStats,
+    /// The physical frame table (ground truth for mapping policy).
+    pub frames: FrameTable,
+    /// EMC gate state.
+    pub gate: EmcGate,
+    /// Deterministic randomness for channel keys.
+    pub rng: DetRng,
+    /// The kernel's (initial) address-space root.
+    pub kernel_root: Frame,
+    /// Monitor VA loaded into `IA32_LSTAR` (syscall interposer).
+    pub syscall_interposer: VirtAddr,
+    /// Monitor VA installed in every hardware IDT vector.
+    pub interrupt_interposer: VirtAddr,
+    /// Hardware IDT base (monitor-owned page).
+    pub idt_base: VirtAddr,
+    /// All live sandboxes.
+    pub sandboxes: BTreeMap<u32, Sandbox>,
+    /// All common regions.
+    pub common_regions: BTreeMap<u32, CommonRegion>,
+    kernel_text: Option<(VirtAddr, Vec<Frame>)>,
+    kernel_syscall_entry: Option<VirtAddr>,
+    vec_handlers: Vec<Option<VirtAddr>>,
+    address_spaces: BTreeMap<u64, u32>,
+    cma: Region,
+    device: Region,
+    cpuid_cache: BTreeMap<u32, [u32; 4]>,
+    kernel_return: VirtAddr,
+    next_sandbox: u32,
+    next_region: u32,
+}
+
+impl Monitor {
+    /// Assemble the monitor. Called by [`crate::boot::boot_stage1`] after
+    /// the monitor image is measured and mapped.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        cfg: ExecConfig,
+        frames: FrameTable,
+        gate: EmcGate,
+        rng_seed: [u8; 32],
+        kernel_root: Frame,
+        idt_base: VirtAddr,
+        cma: Region,
+        device: Region,
+    ) -> Monitor {
+        Monitor {
+            cfg,
+            stats: MonitorStats::default(),
+            frames,
+            gate,
+            rng: DetRng::new(rng_seed),
+            kernel_root,
+            syscall_interposer: VirtAddr(layout::MONITOR_BASE.0 + 0x100),
+            interrupt_interposer: VirtAddr(layout::MONITOR_BASE.0 + 0x200),
+            idt_base,
+            sandboxes: BTreeMap::new(),
+            common_regions: BTreeMap::new(),
+            kernel_text: None,
+            kernel_syscall_entry: None,
+            vec_handlers: vec![None; 256],
+            address_spaces: BTreeMap::new(),
+            cma,
+            device,
+            cpuid_cache: BTreeMap::new(),
+            kernel_return: layout::KERNEL_BASE,
+            next_sandbox: 1,
+            next_region: 1,
+        }
+    }
+
+    /// The kernel handler registered for `vec`, if any.
+    #[must_use]
+    pub fn kernel_vector_handler(&self, vec: u8) -> Option<VirtAddr> {
+        self.vec_handlers[vec as usize]
+    }
+
+    /// The kernel's recorded syscall entry (forward target).
+    #[must_use]
+    pub fn kernel_syscall_entry(&self) -> Option<VirtAddr> {
+        self.kernel_syscall_entry
+    }
+
+    /// Whether `root` is a monitor-registered address space.
+    #[must_use]
+    pub fn address_space_registered(&self, root: Frame) -> bool {
+        root == self.kernel_root || self.address_spaces.contains_key(&root.0)
+    }
+
+    // ==================================================================
+    // Stage-two boot: kernel verification and loading (§5.1)
+    // ==================================================================
+
+    /// Scan-verify and load the kernel image: text mapped RX under
+    /// [`crate::policy::PK_KTEXT`], data RW/NX, all at the image's VAs.
+    ///
+    /// # Errors
+    /// [`LoadError::Rejected`] when the byte scan finds sensitive
+    /// instructions; mapping errors otherwise.
+    pub fn load_kernel(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        image: &Image,
+    ) -> Result<VirtAddr, LoadError> {
+        scan::verify_image(image).map_err(LoadError::Rejected)?;
+        let mut text_frames = Vec::new();
+        let mut text_base = layout::KERNEL_BASE;
+        for section in &image.sections {
+            if layout::is_user(section.va) || layout::is_monitor(section.va) {
+                return Err(LoadError::BadLayout("kernel section outside kernel half"));
+            }
+            let (kind, flags) = match section.kind {
+                SectionKind::Text => (
+                    FrameKind::KernelCode,
+                    PteFlags::kernel_rx(crate::policy::PK_KTEXT),
+                ),
+                SectionKind::Rodata => (FrameKind::KernelData, PteFlags::kernel_ro(0)),
+                SectionKind::Data => (FrameKind::KernelData, PteFlags::kernel_rw(0)),
+            };
+            let pages = section.bytes.len().div_ceil(PAGE_SIZE);
+            for p in 0..pages {
+                let frame = machine.mem.alloc_frame().map_err(|_| LoadError::NoMemory)?;
+                self.frames
+                    .set_kind(frame, kind)
+                    .map_err(|_| LoadError::NoMemory)?;
+                mmu_guard::retag_direct_map(machine, cpu, self.kernel_root, frame, kind)
+                    .map_err(LoadError::Fault)?;
+                let start = p * PAGE_SIZE;
+                let end = (start + PAGE_SIZE).min(section.bytes.len());
+                // Populate through the (monitor-privileged) direct map.
+                machine
+                    .write(cpu, direct_map(frame.base()), &section.bytes[start..end])
+                    .map_err(LoadError::Fault)?;
+                let va = section.va.add(start as u64);
+                mmu_guard::checked_map(
+                    machine,
+                    cpu,
+                    &mut self.frames,
+                    self.kernel_root,
+                    self.kernel_root,
+                    va,
+                    Pte::encode(frame, flags),
+                )
+                .map_err(LoadError::Map)?;
+                if section.kind == SectionKind::Text {
+                    text_frames.push(frame);
+                }
+            }
+            if section.kind == SectionKind::Text {
+                text_base = section.va;
+            }
+        }
+        machine.endbr.add_image(image);
+        self.kernel_text = Some((text_base, text_frames));
+        self.kernel_return = VirtAddr(image.entry);
+        Ok(VirtAddr(image.entry))
+    }
+
+    fn kernel_text_contains(&self, va: VirtAddr) -> bool {
+        match &self.kernel_text {
+            Some((base, frames)) => {
+                va.0 >= base.0 && va.0 < base.0 + (frames.len() * PAGE_SIZE) as u64
+            }
+            // Before the kernel is loaded, accept kernel-half addresses
+            // (used by unit tests that skip stage two).
+            None => !layout::is_user(va) && !layout::is_monitor(va),
+        }
+    }
+
+    // ==================================================================
+    // The EMC dispatcher (§5.3)
+    // ==================================================================
+
+    /// Execute an EMC: entry gate, policy-checked dispatch, exit gate.
+    ///
+    /// # Errors
+    /// [`EmcError`] on gate faults or policy denial.
+    pub fn emc(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        req: EmcRequest,
+    ) -> Result<EmcResponse, EmcError> {
+        if !self.cfg.emc_delegation() {
+            return Err(EmcError::Denied("no monitor in this configuration"));
+        }
+        let return_to = self.kernel_return;
+        self.gate.enter(machine, cpu).map_err(EmcError::Fault)?;
+        self.stats.emc_calls += 1;
+        let res = self.dispatch(machine, tdx, cpu, req);
+        if res.is_err() {
+            self.stats.emc_denied += 1;
+        }
+        self.gate
+            .exit(machine, cpu, return_to)
+            .map_err(EmcError::Fault)?;
+        res
+    }
+
+    fn dispatch(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        req: EmcRequest,
+    ) -> Result<EmcResponse, EmcError> {
+        match req {
+            EmcRequest::Nop => Ok(EmcResponse::Ok),
+            EmcRequest::CreateAddressSpace { asid } => {
+                let root = self.create_address_space(machine, cpu, asid)?;
+                Ok(EmcResponse::Root(root))
+            }
+            EmcRequest::SwitchAddressSpace { root } => {
+                if !self.address_space_registered(root) {
+                    return Err(EmcError::Denied("unregistered address-space root"));
+                }
+                self.stats.cr_writes += 1;
+                machine.write_cr3(cpu, root)?;
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::MapUserPage {
+                root,
+                va,
+                frame,
+                writable,
+                executable,
+            } => {
+                let f = self.map_user_page(machine, cpu, root, va, frame, writable, executable)?;
+                Ok(EmcResponse::Mapped(f))
+            }
+            EmcRequest::MapUserRange {
+                root,
+                va,
+                pages,
+                writable,
+            } => {
+                if !self.cfg.batched_mmu {
+                    return Err(EmcError::Denied("batched MMU updates disabled"));
+                }
+                let mut first = None;
+                for p in 0..pages {
+                    let f = self.map_user_page(
+                        machine,
+                        cpu,
+                        root,
+                        va.add(p * PAGE_SIZE as u64),
+                        None,
+                        writable,
+                        false,
+                    )?;
+                    first.get_or_insert(f);
+                }
+                Ok(EmcResponse::Mapped(first.unwrap_or(Frame(0))))
+            }
+            EmcRequest::UnmapUserPage { root, va } => {
+                self.unmap_user_page(machine, cpu, root, va)?;
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::ProtectUserPage { root, va, writable } => {
+                if !self.address_space_registered(root) {
+                    return Err(EmcError::Denied("unregistered address-space root"));
+                }
+                let old = mmu_guard::checked_update_leaf(machine, cpu, root, va, |pte| {
+                    if writable {
+                        Pte::encode(
+                            pte.frame(),
+                            PteFlags {
+                                writable: true,
+                                ..pte.flags()
+                            },
+                        )
+                    } else {
+                        pte.read_only()
+                    }
+                })
+                .map_err(map_err)?;
+                match self.frames.kind(old.frame()) {
+                    FrameKind::UserAnon { .. } => {
+                        self.stats.pte_updates += 1;
+                        Ok(EmcResponse::Ok)
+                    }
+                    _ => {
+                        // Roll back: only plain user memory is kernel-adjustable.
+                        mmu_guard::checked_update_leaf(machine, cpu, root, va, |_| old)
+                            .map_err(map_err)?;
+                        Err(EmcError::Denied("protection change on non-user frame"))
+                    }
+                }
+            }
+            EmcRequest::WriteCr { which, value } => {
+                self.stats.cr_writes += 1;
+                match which {
+                    0 => {
+                        let required = Cr0::WP | Cr0::PG;
+                        if value & required != required {
+                            return Err(EmcError::Denied("CR0.WP/PG are pinned"));
+                        }
+                        machine.write_cr0(cpu, value)?;
+                    }
+                    4 => {
+                        let required = Cr4::SMEP | Cr4::SMAP | Cr4::PKS | Cr4::CET;
+                        if value & required != required {
+                            return Err(EmcError::Denied("CR4 protection bits are pinned"));
+                        }
+                        machine.write_cr4(cpu, value)?;
+                    }
+                    _ => return Err(EmcError::BadRequest("only CR0/CR4 are delegated")),
+                }
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::WrMsr { msr, value } => {
+                self.stats.msr_writes += 1;
+                match msr {
+                    Msr::Pkrs | Msr::SCet | Msr::Pl0Ssp => {
+                        Err(EmcError::Denied("monitor-private MSR"))
+                    }
+                    Msr::Lstar => {
+                        let target = VirtAddr(value);
+                        if !self.kernel_text_contains(target) {
+                            return Err(EmcError::Denied("LSTAR outside kernel text"));
+                        }
+                        self.kernel_syscall_entry = Some(target);
+                        // With exit protection, the hardware register keeps
+                        // pointing at the monitor's interposer; the ablation
+                        // without it installs the kernel entry directly.
+                        let hw_target = if self.cfg.exit_protection() {
+                            self.syscall_interposer.0
+                        } else {
+                            target.0
+                        };
+                        machine.wrmsr(cpu, Msr::Lstar, hw_target)?;
+                        Ok(EmcResponse::Ok)
+                    }
+                    _ => {
+                        machine.wrmsr(cpu, msr, value)?;
+                        Ok(EmcResponse::Ok)
+                    }
+                }
+            }
+            EmcRequest::SetVectorHandler { vec, handler } => {
+                if !self.kernel_text_contains(handler) {
+                    return Err(EmcError::Denied("vector handler outside kernel text"));
+                }
+                self.stats.idt_writes += 1;
+                self.vec_handlers[vec as usize] = Some(handler);
+                // With exit protection the hardware IDT entry points at the
+                // interposer; otherwise at the kernel handler directly.
+                let hw_target = if self.cfg.exit_protection() {
+                    self.interrupt_interposer
+                } else {
+                    handler
+                };
+                self.write_idt_entry(machine, cpu, vec, hw_target)?;
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::UserCopy {
+                dir,
+                root,
+                user_va,
+                bytes,
+            } => self.user_copy(machine, cpu, root, user_va, dir, bytes),
+            EmcRequest::ConvertShared { frame, shared } => {
+                self.convert_shared(machine, tdx, cpu, frame, shared)
+            }
+            EmcRequest::TextPoke { offset, bytes } => self.text_poke(machine, cpu, offset, &bytes),
+            EmcRequest::LoadKernelModule { code, va } => {
+                self.load_kernel_module(machine, cpu, &code, va)
+            }
+            EmcRequest::DeclareConfined {
+                sandbox,
+                va,
+                pages,
+                executable,
+            } => {
+                self.declare_confined(machine, cpu, SandboxId(sandbox), va, pages, executable)?;
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::AttachCommon {
+                sandbox,
+                region,
+                va,
+            } => {
+                self.attach_common(machine, cpu, SandboxId(sandbox), region, va)?;
+                Ok(EmcResponse::Ok)
+            }
+            EmcRequest::CreateCommon {
+                pages,
+                logical_bytes,
+            } => {
+                let id = self.create_common(machine, pages, logical_bytes)?;
+                Ok(EmcResponse::Region(id))
+            }
+            EmcRequest::AttestReport { report_data } => {
+                self.stats.ghci_ops += 1;
+                match tdcall(tdx, machine, cpu, TdcallLeaf::TdReport { report_data }) {
+                    Ok(TdcallResult::Report(r)) => Ok(EmcResponse::Report(r)),
+                    Ok(_) => Err(EmcError::BadRequest("unexpected tdcall result")),
+                    Err(f) => Err(EmcError::Fault(f)),
+                }
+            }
+            EmcRequest::CpuidEmulate { leaf } => {
+                let value = match self.cpuid_cache.get(&leaf) {
+                    Some(v) => {
+                        self.stats.cpuid_cached += 1;
+                        *v
+                    }
+                    None => {
+                        self.stats.ghci_ops += 1;
+                        let v = match tdcall(
+                            tdx,
+                            machine,
+                            cpu,
+                            TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf }),
+                        ) {
+                            Ok(TdcallResult::Cpuid(v)) => v,
+                            _ => [0; 4],
+                        };
+                        self.cpuid_cache.insert(leaf, v);
+                        v
+                    }
+                };
+                Ok(EmcResponse::Cpuid(value))
+            }
+        }
+    }
+
+    fn create_address_space(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        asid: u32,
+    ) -> Result<Frame, EmcError> {
+        let root = machine.mem.alloc_frame().map_err(|_| EmcError::NoMemory)?;
+        self.frames
+            .set_kind(root, FrameKind::Ptp)
+            .map_err(|_| EmcError::Denied("root frame conflict"))?;
+        mmu_guard::retag_direct_map(machine, cpu, self.kernel_root, root, FrameKind::Ptp)?;
+        // Link the shared kernel half (PML4 entries 256..512).
+        for idx in 256..512usize {
+            let src = erebor_hw::PhysAddr(self.kernel_root.base().0 + (idx * 8) as u64);
+            let dst = erebor_hw::PhysAddr(root.base().0 + (idx * 8) as u64);
+            let v = machine.mem.read_u64(src).map_err(|_| EmcError::NoMemory)?;
+            if v != 0 {
+                machine.write_u64(cpu, direct_map(dst), v)?;
+            }
+        }
+        self.address_spaces.insert(root.0, asid);
+        Ok(root)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn map_user_page(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        root: Frame,
+        va: VirtAddr,
+        frame: Option<Frame>,
+        writable: bool,
+        executable: bool,
+    ) -> Result<Frame, EmcError> {
+        if !self.address_space_registered(root) {
+            return Err(EmcError::Denied("unregistered address-space root"));
+        }
+        if self.sandbox_by_root(root).is_some() && self.cfg.mmu_protection() {
+            return Err(EmcError::Denied("kernel may not map into a sandbox"));
+        }
+        if !layout::is_user(va) || va.page_offset() != 0 {
+            return Err(EmcError::BadRequest("unaligned or non-user VA"));
+        }
+        if writable && executable {
+            return Err(EmcError::Denied("W^X: writable+executable refused"));
+        }
+        let asid = self.address_spaces.get(&root.0).copied().unwrap_or(0);
+        let f = match frame {
+            None => {
+                let f = machine.mem.alloc_frame().map_err(|_| EmcError::NoMemory)?;
+                self.frames
+                    .set_kind(f, FrameKind::UserAnon { asid })
+                    .map_err(|_| EmcError::Denied("frame kind conflict"))?;
+                f
+            }
+            Some(f) => match self.frames.kind(f) {
+                FrameKind::UserAnon { asid: owner } if owner == asid => f,
+                FrameKind::SharedDevice => f,
+                _ => return Err(EmcError::Denied("frame not mappable by the kernel")),
+            },
+        };
+        let flags = if executable {
+            PteFlags::user_rx()
+        } else if writable {
+            PteFlags::user_rw()
+        } else {
+            PteFlags::user_ro()
+        };
+        mmu_guard::checked_map(
+            machine,
+            cpu,
+            &mut self.frames,
+            self.kernel_root,
+            root,
+            va,
+            Pte::encode(f, flags),
+        )
+        .map_err(map_err)?;
+        self.frames.inc_map(f);
+        self.stats.pte_updates += 1;
+        Ok(f)
+    }
+
+    fn unmap_user_page(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        root: Frame,
+        va: VirtAddr,
+    ) -> Result<(), EmcError> {
+        if !self.address_space_registered(root) {
+            return Err(EmcError::Denied("unregistered address-space root"));
+        }
+        let leaf = paging::lookup_raw(&machine.mem, root, va)
+            .map_err(|_| EmcError::BadRequest("walk left DRAM"))?
+            .ok_or(EmcError::BadRequest("not mapped"))?;
+        let f = leaf.frame();
+        match self.frames.kind(f) {
+            FrameKind::UserAnon { .. } | FrameKind::SharedDevice => {}
+            _ => return Err(EmcError::Denied("kernel may not unmap this frame")),
+        }
+        mmu_guard::checked_update_leaf(machine, cpu, root, va, |_| Pte::empty())
+            .map_err(map_err)?;
+        self.frames.dec_map(f);
+        self.stats.pte_updates += 1;
+        if self.frames.mapcount(f) == 0 && matches!(self.frames.kind(f), FrameKind::UserAnon { .. })
+        {
+            machine.mem.free_frame(f).ok();
+            self.frames.release(f).ok();
+        }
+        Ok(())
+    }
+
+    fn user_copy(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        root: Frame,
+        user_va: VirtAddr,
+        dir: CopyDir,
+        bytes: Vec<u8>,
+    ) -> Result<EmcResponse, EmcError> {
+        if !self.address_space_registered(root) {
+            return Err(EmcError::Denied("unregistered address-space root"));
+        }
+        // Refuse copies that touch sandbox confined memory: the kernel must
+        // never read or corrupt client data through the user-copy service
+        // (C6/C7). The check covers the whole byte range.
+        if self.cfg.mmu_protection() {
+            let mut off = 0u64;
+            while off < bytes.len() as u64 + 1 {
+                let page = user_va.add(off).page_base();
+                if let Ok(Some(leaf)) = paging::lookup_raw(&machine.mem, root, page) {
+                    if matches!(self.frames.kind(leaf.frame()), FrameKind::Confined { .. }) {
+                        return Err(EmcError::Denied("user copy into confined memory"));
+                    }
+                }
+                off += PAGE_SIZE as u64;
+            }
+        }
+        self.stats.user_copies += 1;
+        let saved_root = machine.cpus[cpu].cr3;
+        let switch = saved_root != root;
+        if switch {
+            machine.write_cr3(cpu, root)?;
+        }
+        machine.stac(cpu)?;
+        let result = match dir {
+            CopyDir::ToUser => machine
+                .write(cpu, user_va, &bytes)
+                .map(|()| EmcResponse::Ok),
+            CopyDir::FromUser => {
+                let mut buf = bytes;
+                machine
+                    .read(cpu, user_va, &mut buf)
+                    .map(|()| EmcResponse::Data(buf))
+            }
+        };
+        machine.clac(cpu)?;
+        if switch {
+            machine.write_cr3(cpu, saved_root)?;
+        }
+        result.map_err(EmcError::Fault)
+    }
+
+    fn convert_shared(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        frame: Frame,
+        shared: bool,
+    ) -> Result<EmcResponse, EmcError> {
+        if !self.device.contains(frame) {
+            return Err(EmcError::Denied("conversion outside the device window"));
+        }
+        self.stats.ghci_ops += 1;
+        if shared {
+            self.frames
+                .set_kind(frame, FrameKind::SharedDevice)
+                .map_err(|_| EmcError::Denied("frame kind conflict"))?;
+        }
+        tdcall(tdx, machine, cpu, TdcallLeaf::MapGpa { frame, shared }).map_err(EmcError::Fault)?;
+        if !shared {
+            self.frames.release(frame).ok();
+        }
+        Ok(EmcResponse::Ok)
+    }
+
+    fn text_poke(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        offset: u64,
+        bytes: &[u8],
+    ) -> Result<EmcResponse, EmcError> {
+        let (base, frames) = self
+            .kernel_text
+            .as_ref()
+            .ok_or(EmcError::BadRequest("kernel not loaded"))?;
+        let text_len = (frames.len() * PAGE_SIZE) as u64;
+        let end = offset
+            .checked_add(bytes.len() as u64)
+            .ok_or(EmcError::BadRequest("patch overflow"))?;
+        if end > text_len {
+            return Err(EmcError::BadRequest("patch outside kernel text"));
+        }
+        let base = *base;
+        // Read surrounding bytes for straddle-safe verification.
+        let ctx_lo = offset.saturating_sub(3);
+        let mut before = vec![0u8; (offset - ctx_lo) as usize];
+        machine
+            .read(cpu, base.add(ctx_lo), &mut before)
+            .map_err(EmcError::Fault)?;
+        let ctx_hi = (end + 3).min(text_len);
+        let mut after = vec![0u8; (ctx_hi - end) as usize];
+        machine
+            .read(cpu, base.add(end), &mut after)
+            .map_err(EmcError::Fault)?;
+        scan::verify_text_patch(&before, bytes, &after)
+            .map_err(|_| EmcError::Denied("text patch contains sensitive instructions"))?;
+        // Write through the (monitor-writable) direct-map alias.
+        let frame_idx = (offset / PAGE_SIZE as u64) as usize;
+        let in_page = (offset % PAGE_SIZE as u64) as usize;
+        if in_page + bytes.len() > PAGE_SIZE {
+            return Err(EmcError::BadRequest("patch crosses a page boundary"));
+        }
+        let pa = erebor_hw::PhysAddr(
+            self.kernel_text.as_ref().expect("checked").1[frame_idx]
+                .base()
+                .0
+                + in_page as u64,
+        );
+        machine
+            .write(cpu, direct_map(pa), bytes)
+            .map_err(EmcError::Fault)?;
+        Ok(EmcResponse::Ok)
+    }
+
+    /// Dynamic kernel code loading (modules, eBPF): scan the bytes like a
+    /// kernel image, then map them RX under the kernel-text key. Any
+    /// sensitive instruction — including ones assembled against the bytes
+    /// already at the boundary — is refused (§5.2 "the kernel requests the
+    /// monitor to scan and verify the code before loading it").
+    fn load_kernel_module(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        code: &[u8],
+        va: VirtAddr,
+    ) -> Result<EmcResponse, EmcError> {
+        if layout::is_user(va) || layout::is_monitor(va) || va.page_offset() != 0 {
+            return Err(EmcError::BadRequest(
+                "module must load page-aligned in the kernel half",
+            ));
+        }
+        if code.is_empty() {
+            return Err(EmcError::BadRequest("empty module"));
+        }
+        if scan::verify_text_patch(&[], code, &[]).is_err() {
+            return Err(EmcError::Denied("module contains sensitive instructions"));
+        }
+        let pages = code.len().div_ceil(PAGE_SIZE);
+        for p in 0..pages {
+            let frame = machine.mem.alloc_frame().map_err(|_| EmcError::NoMemory)?;
+            self.frames
+                .set_kind(frame, FrameKind::KernelCode)
+                .map_err(|_| EmcError::Denied("frame kind conflict"))?;
+            mmu_guard::retag_direct_map(
+                machine,
+                cpu,
+                self.kernel_root,
+                frame,
+                FrameKind::KernelCode,
+            )?;
+            let start = p * PAGE_SIZE;
+            let end = (start + PAGE_SIZE).min(code.len());
+            machine
+                .write(cpu, direct_map(frame.base()), &code[start..end])
+                .map_err(EmcError::Fault)?;
+            mmu_guard::checked_map(
+                machine,
+                cpu,
+                &mut self.frames,
+                self.kernel_root,
+                self.kernel_root,
+                va.add(start as u64),
+                Pte::encode(frame, PteFlags::kernel_rx(crate::policy::PK_KTEXT)),
+            )
+            .map_err(map_err)?;
+        }
+        self.stats.pte_updates += pages as u64;
+        Ok(EmcResponse::Ok)
+    }
+
+    /// Write a hardware IDT entry through the checked (PK_IDT-guarded)
+    /// path. Used at boot and by [`EmcRequest::SetVectorHandler`].
+    ///
+    /// # Errors
+    /// Checked-write faults.
+    pub fn write_idt_entry(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        vec: u8,
+        handler: VirtAddr,
+    ) -> Result<(), Fault> {
+        let va = self.idt_base.add(u64::from(vec) * idt::ENTRY_SIZE);
+        machine.write_u64(cpu, va, handler.0)?;
+        let _ = PK_IDT; // the IDT page carries PK_IDT; the write above enforces it
+        Ok(())
+    }
+
+    // ==================================================================
+    // Sandbox lifecycle (§6.1)
+    // ==================================================================
+
+    /// Create a sandbox: a fresh address space plus monitor bookkeeping.
+    ///
+    /// # Errors
+    /// Allocation or mapping failures.
+    pub fn create_sandbox(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        budget_pages: u64,
+    ) -> Result<SandboxId, EmcError> {
+        let id = SandboxId(self.next_sandbox);
+        self.next_sandbox += 1;
+        // Container creation is monitor code: raise privileges for the
+        // page-table work (same pattern as the interposers).
+        let guard = PrivGuard::enter(machine, cpu).map_err(EmcError::Fault)?;
+        let root = self.create_address_space(machine, cpu, 0x8000_0000 | id.0);
+        guard.exit(machine, cpu);
+        let root = root?;
+        self.sandboxes
+            .insert(id.0, Sandbox::new(id, root, budget_pages));
+        Ok(id)
+    }
+
+    /// The sandbox owning `root`, if any.
+    #[must_use]
+    pub fn sandbox_by_root(&self, root: Frame) -> Option<SandboxId> {
+        self.sandboxes
+            .values()
+            .find(|s| s.root == root && s.state != SandboxState::Dead)
+            .map(|s| s.id)
+    }
+
+    fn declare_confined(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        va: VirtAddr,
+        pages: u64,
+        executable: bool,
+    ) -> Result<(), EmcError> {
+        let sandbox = self
+            .sandboxes
+            .get_mut(&id.0)
+            .ok_or(EmcError::BadRequest("no such sandbox"))?;
+        if sandbox.state != SandboxState::Setup {
+            return Err(EmcError::Denied("confined declaration after data install"));
+        }
+        if sandbox.confined_pages() + pages > sandbox.budget_pages {
+            return Err(EmcError::Denied("confined memory budget exceeded"));
+        }
+        if !layout::is_user(va) || va.page_offset() != 0 {
+            return Err(EmcError::BadRequest("unaligned or non-user VA"));
+        }
+        let root = sandbox.root;
+        for p in 0..pages {
+            let frame = machine
+                .mem
+                .alloc_frame_in(self.cma)
+                .map_err(|_| EmcError::NoMemory)?;
+            // Single-mapping policy: the frame must be fresh.
+            if self.frames.mapcount(frame) != 0 {
+                return Err(EmcError::Denied("confined frame already mapped"));
+            }
+            self.frames
+                .set_kind(frame, FrameKind::Confined { sandbox: id.0 })
+                .map_err(|_| EmcError::Denied("frame kind conflict"))?;
+            // Remove the kernel's direct-map view of the frame: retag to
+            // the monitor key (the "not even the kernel" rule, §6.1).
+            mmu_guard::retag_direct_map(machine, cpu, self.kernel_root, frame, FrameKind::Monitor)?;
+            let page_va = va.add(p * PAGE_SIZE as u64);
+            let flags = if executable {
+                PteFlags::user_rx()
+            } else {
+                PteFlags::user_rw()
+            };
+            mmu_guard::checked_map(
+                machine,
+                cpu,
+                &mut self.frames,
+                self.kernel_root,
+                root,
+                page_va,
+                Pte::encode(frame, flags),
+            )
+            .map_err(map_err)?;
+            self.frames.inc_map(frame);
+            // Pre-allocation of pinned confined memory triggers a page
+            // fault per page whose handling runs at EMC-mediated cost —
+            // the paper's one-time initialization overhead (§9.2,
+            // Table 6 "Init. Overhead").
+            machine
+                .cycles
+                .charge(machine.costs.pf_fixed + machine.costs.rdmsr + 2 * machine.costs.wrmsr);
+            let sandbox = self.sandboxes.get_mut(&id.0).expect("sandbox exists");
+            sandbox.confined.push((page_va, frame));
+            sandbox.logical_confined_bytes += PAGE_SIZE as u64;
+        }
+        self.stats.pte_updates += pages;
+        Ok(())
+    }
+
+    fn create_common(
+        &mut self,
+        machine: &mut Machine,
+        pages: u64,
+        logical_bytes: u64,
+    ) -> Result<u32, EmcError> {
+        let id = self.next_region;
+        self.next_region += 1;
+        let mut frames = Vec::with_capacity(pages as usize);
+        for _ in 0..pages {
+            let f = machine.mem.alloc_frame().map_err(|_| EmcError::NoMemory)?;
+            self.frames
+                .set_kind(f, FrameKind::Common { region: id })
+                .map_err(|_| EmcError::Denied("frame kind conflict"))?;
+            frames.push(f);
+        }
+        self.common_regions.insert(
+            id,
+            CommonRegion {
+                id,
+                frames,
+                sealed: false,
+                logical_bytes,
+                attached: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    fn attach_common(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        region_id: u32,
+        va: VirtAddr,
+    ) -> Result<(), EmcError> {
+        let _ = (machine, cpu);
+        if !self.common_regions.contains_key(&region_id) {
+            return Err(EmcError::BadRequest("no such common region"));
+        }
+        {
+            let sandbox = self
+                .sandboxes
+                .get_mut(&id.0)
+                .ok_or(EmcError::BadRequest("no such sandbox"))?;
+            if sandbox.state != SandboxState::Setup {
+                return Err(EmcError::Denied("attach after data install"));
+            }
+        }
+        // Common pages are *not* pinned and not eagerly mapped (§6.1): the
+        // monitor materializes them on demand at sandbox #PF exits, which
+        // is where the paper's runtime page-fault rates come from.
+        self.common_regions
+            .get_mut(&region_id)
+            .expect("checked")
+            .attached
+            .push((id, va));
+        self.sandboxes
+            .get_mut(&id.0)
+            .expect("checked")
+            .attached_common
+            .push((region_id, va));
+        Ok(())
+    }
+
+    /// Sandbox `#PF` exit interposer: demand-map attached common pages;
+    /// anything else after data install is a policy violation (confined
+    /// memory is pinned, so a fault there cannot be benign).
+    pub fn on_page_fault(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        va: VirtAddr,
+        write: bool,
+    ) -> ExitDecision {
+        self.charge_interpose(machine);
+        self.stats.sandbox_pf_exits += 1;
+        let Some(sandbox) = self.sandboxes.get(&id.0) else {
+            return ExitDecision::Killed {
+                reason: "no such sandbox",
+            };
+        };
+        let root = sandbox.root;
+        let state = sandbox.state;
+        // Locate the attached common region containing the fault address.
+        let hit = sandbox
+            .attached_common
+            .iter()
+            .copied()
+            .find_map(|(rid, base)| {
+                let region = self.common_regions.get(&rid)?;
+                let size = (region.frames.len() * PAGE_SIZE) as u64;
+                (va.0 >= base.0 && va.0 < base.0 + size).then_some((rid, base))
+            });
+        let Some((rid, base)) = hit else {
+            if state == SandboxState::DataLoaded {
+                self.kill_sandbox(machine, id, "stray page fault after data install");
+                return ExitDecision::Killed {
+                    reason: "stray page fault after data install",
+                };
+            }
+            // During setup, confined declarations handle memory; a stray
+            // fault forwards to the kernel like any process fault.
+            return match self.vec_handlers[idt::vector::PF as usize] {
+                Some(handler) => ExitDecision::ForwardToKernel { handler },
+                None => ExitDecision::Killed {
+                    reason: "no #PF handler",
+                },
+            };
+        };
+        let region = self.common_regions.get(&rid).expect("hit checked");
+        let sealed = region.sealed;
+        if sealed && write {
+            self.kill_sandbox(machine, id, "write to sealed common memory");
+            return ExitDecision::Killed {
+                reason: "write to sealed common memory",
+            };
+        }
+        let page = va.page_base();
+        let idx = ((page.0 - base.0) / PAGE_SIZE as u64) as usize;
+        let frame = region.frames[idx];
+        let flags = if sealed {
+            PteFlags::user_ro()
+        } else {
+            PteFlags::user_rw()
+        };
+        // Materialize the mapping with monitor privileges (the interposer
+        // raises PKRS exactly like the EMC gate).
+        let Ok(guard) = PrivGuard::enter(machine, cpu) else {
+            return ExitDecision::Killed {
+                reason: "interposer privilege fault",
+            };
+        };
+        let res = mmu_guard::checked_map(
+            machine,
+            cpu,
+            &mut self.frames,
+            self.kernel_root,
+            root,
+            page,
+            Pte::encode(frame, flags),
+        );
+        guard.exit(machine, cpu);
+        match res {
+            Ok(()) => {
+                self.frames.inc_map(frame);
+                self.stats.pte_updates += 1;
+                machine.cycles.charge(machine.costs.pf_fixed);
+                if let Some(s) = self.sandboxes.get_mut(&id.0) {
+                    s.common_mapped.push((rid, page));
+                }
+                ExitDecision::Handled { rax: 0 }
+            }
+            Err(_) => {
+                self.kill_sandbox(machine, id, "common mapping failed");
+                ExitDecision::Killed {
+                    reason: "common mapping failed",
+                }
+            }
+        }
+    }
+
+    /// Seal a common region: every mapping in every sandbox becomes
+    /// read-only, forever (done automatically when the first attached
+    /// sandbox receives client data, §6.1).
+    ///
+    /// # Errors
+    /// Checked-write faults.
+    pub fn seal_common(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        region_id: u32,
+    ) -> Result<(), EmcError> {
+        let region = self
+            .common_regions
+            .get_mut(&region_id)
+            .ok_or(EmcError::BadRequest("no such common region"))?;
+        if region.sealed {
+            return Ok(());
+        }
+        region.sealed = true;
+        // Revoke write access on every mapping materialized so far; future
+        // demand-mappings observe `sealed` and come up read-only.
+        let attachments = region.attached.clone();
+        for (sid, _base) in attachments {
+            let (root, pages) = {
+                let s = self
+                    .sandboxes
+                    .get(&sid.0)
+                    .ok_or(EmcError::BadRequest("attached sandbox vanished"))?;
+                let pages: Vec<VirtAddr> = s
+                    .common_mapped
+                    .iter()
+                    .filter(|(r, _)| *r == region_id)
+                    .map(|(_, va)| *va)
+                    .collect();
+                (s.root, pages)
+            };
+            let guard = PrivGuard::enter(machine, cpu).map_err(EmcError::Fault)?;
+            let mut seal_res = Ok(());
+            for page in pages {
+                if let Err(e) =
+                    mmu_guard::checked_update_leaf(machine, cpu, root, page, Pte::read_only)
+                {
+                    seal_res = Err(map_err(e));
+                    break;
+                }
+                self.stats.pte_updates += 1;
+            }
+            guard.exit(machine, cpu);
+            seal_res?;
+        }
+        Ok(())
+    }
+
+    /// Memory-pressure reclaim: common pages are *not* pinned (§6.1), so
+    /// the kernel's reclaim may evict them; the monitor revokes the oldest
+    /// materialized common mappings (up to `max_pages`), forcing re-faults.
+    /// Returns the number of pages reclaimed.
+    pub fn reclaim_common(&mut self, machine: &mut Machine, cpu: usize, max_pages: u64) -> u64 {
+        let ids: Vec<u32> = self.sandboxes.keys().copied().collect();
+        let mut reclaimed = 0u64;
+        for id in ids {
+            if reclaimed >= max_pages {
+                break;
+            }
+            let (root, victims) = {
+                let Some(s) = self.sandboxes.get_mut(&id) else {
+                    continue;
+                };
+                if s.state == SandboxState::Dead || s.common_mapped.is_empty() {
+                    continue;
+                }
+                let take = ((max_pages - reclaimed) as usize).min(s.common_mapped.len());
+                let victims: Vec<(u32, VirtAddr)> = s.common_mapped.drain(..take).collect();
+                (s.root, victims)
+            };
+            let Ok(guard) = PrivGuard::enter(machine, cpu) else {
+                return reclaimed;
+            };
+            for (rid, page) in victims {
+                if mmu_guard::checked_update_leaf(machine, cpu, root, page, |_| Pte::empty())
+                    .is_ok()
+                {
+                    if let Some(region) = self.common_regions.get(&rid) {
+                        let idx = region
+                            .attached
+                            .iter()
+                            .find(|(sid, _)| sid.0 == id)
+                            .map(|(_, base)| ((page.0 - base.0) / PAGE_SIZE as u64) as usize);
+                        if let Some(idx) = idx {
+                            if let Some(f) = region.frames.get(idx) {
+                                self.frames.dec_map(*f);
+                            }
+                        }
+                    }
+                    reclaimed += 1;
+                    self.stats.pte_updates += 1;
+                }
+            }
+            guard.exit(machine, cpu);
+        }
+        reclaimed
+    }
+
+    /// Kill a sandbox: unmap and scrub every confined frame, release them,
+    /// mark dead (§6.3 cleanup). Unmapping *before* freeing is essential:
+    /// a stale PTE in the dead container's page table must never alias a
+    /// frame later granted to another tenant.
+    pub fn kill_sandbox(&mut self, machine: &mut Machine, id: SandboxId, reason: &'static str) {
+        self.stats.sandboxes_killed += 1;
+        let Some(sandbox) = self.sandboxes.get_mut(&id.0) else {
+            return;
+        };
+        sandbox.state = SandboxState::Dead;
+        sandbox.kill_reason = Some(reason);
+        sandbox.pending_input.clear();
+        sandbox.session = None;
+        let root = sandbox.root;
+        let confined: Vec<(VirtAddr, Frame)> = sandbox.confined.drain(..).collect();
+        let commons: Vec<(u32, VirtAddr)> = sandbox.common_mapped.drain(..).collect();
+        let Ok(guard) = PrivGuard::enter(machine, 0) else {
+            return;
+        };
+        for (va, frame) in confined {
+            mmu_guard::checked_update_leaf(machine, 0, root, va, |_| Pte::empty()).ok();
+            self.frames.dec_map(frame);
+            machine.mem.zero_frame(frame).ok();
+            machine.mem.free_frame(frame).ok();
+            self.frames.release(frame).ok();
+        }
+        for (rid, page) in commons {
+            mmu_guard::checked_update_leaf(machine, 0, root, page, |_| Pte::empty()).ok();
+            if let Some(region) = self.common_regions.get(&rid) {
+                if let Some((_, base)) = region.attached.iter().find(|(sid, _)| sid.0 == id.0) {
+                    let idx = ((page.0 - base.0) / PAGE_SIZE as u64) as usize;
+                    if let Some(f) = region.frames.get(idx) {
+                        self.frames.dec_map(*f);
+                    }
+                }
+            }
+        }
+        guard.exit(machine, 0);
+    }
+
+    // ==================================================================
+    // Exit interposition (§6.2, Fig. 7)
+    // ==================================================================
+
+    /// Cost of the monitor's interposer prologue/epilogue (PKRS grant and
+    /// revoke around handler work).
+    fn charge_interpose(&self, machine: &mut Machine) {
+        let c = &machine.costs;
+        machine.cycles.charge(c.rdmsr + 2 * c.wrmsr + 8 * c.mem_op);
+    }
+
+    /// The syscall interposer: every `syscall` lands here first (the
+    /// hardware `IA32_LSTAR` points into the monitor).
+    ///
+    /// Reads the syscall number and arguments from the trapping context.
+    pub fn on_syscall(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+    ) -> ExitDecision {
+        self.charge_interpose(machine);
+        let ctx = machine.cpus[cpu].ctx;
+        let nr = ctx.gpr[0]; // rax
+        let fd = ctx.gpr[7]; // rdi
+        if let Some(id) = sandbox {
+            let state = self.sandboxes.get(&id.0).map(|s| s.state);
+            if state == Some(SandboxState::DataLoaded) {
+                // The monitor I/O channel is always monitor-handled (§6.3).
+                if nr == SYS_IOCTL && fd == EREBOR_IO_FD {
+                    self.stats.sandbox_syscall_exits += 1;
+                    return self.handle_io_ioctl(machine, tdx, cpu, id);
+                }
+                // Any other software-controlled exit is fatal — when exit
+                // protection is enforced (§6.2).
+                if self.cfg.exit_protection() {
+                    self.kill_sandbox(machine, id, "syscall after data install");
+                    return ExitDecision::Killed {
+                        reason: "syscall after data install",
+                    };
+                }
+            }
+        }
+        match self.kernel_syscall_entry {
+            Some(entry) => ExitDecision::ForwardToKernel { handler: entry },
+            None => ExitDecision::Killed {
+                reason: "no kernel syscall entry registered",
+            },
+        }
+    }
+
+    /// The interrupt/exception interposer (hardware IDT target).
+    ///
+    /// For sandboxes, saves and scrubs the register context before the
+    /// kernel handler runs; also services the `#INT` gate for preempted
+    /// EMCs.
+    pub fn on_interrupt(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+        vec: u8,
+        interrupted: GprContext,
+    ) -> ExitDecision {
+        self.charge_interpose(machine);
+        let _ = self.gate.interrupt_entry(machine, cpu);
+        if let Some(id) = sandbox {
+            if self.cfg.exit_protection() {
+                match vec {
+                    idt::vector::TIMER => self.stats.sandbox_timer_exits += 1,
+                    idt::vector::PF => self.stats.sandbox_pf_exits += 1,
+                    idt::vector::DEVICE => {}
+                    _ => {}
+                }
+                if let Some(s) = self.sandboxes.get_mut(&id.0) {
+                    // Save then mask the sandbox context: the kernel's
+                    // handler sees zeros (§6.2 ②). Full-state protection
+                    // costs an xsave-class operation.
+                    machine.cycles.charge(machine.costs.ctx_protect);
+                    s.saved_ctx = Some(interrupted);
+                    machine.cpus[cpu].ctx.scrub();
+                }
+            }
+        }
+        match self.vec_handlers[vec as usize] {
+            Some(handler) => ExitDecision::ForwardToKernel { handler },
+            None => ExitDecision::Killed {
+                reason: "unregistered vector",
+            },
+        }
+    }
+
+    /// Return from an interposed interrupt back into the sandbox: restore
+    /// the protected context and the `#INT` gate state.
+    ///
+    /// # Errors
+    /// MSR faults from the gate restore.
+    pub fn resume_sandbox(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+    ) -> Result<(), Fault> {
+        self.gate.interrupt_return(machine, cpu)?;
+        if let Some(s) = self.sandboxes.get_mut(&id.0) {
+            if let Some(ctx) = s.saved_ctx.take() {
+                machine.cycles.charge(machine.costs.ctx_protect);
+                machine.cpus[cpu].ctx = ctx;
+            }
+        }
+        Ok(())
+    }
+
+    /// `#VE` interposer: hypercall-class events from a sandbox.
+    ///
+    /// `cpuid` is emulated from the monitor's cache (one host round trip
+    /// ever, §6.2 ④); anything else after data install kills the sandbox.
+    pub fn on_ve(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+        reason: VeReason,
+        cpuid_leaf: u32,
+    ) -> ExitDecision {
+        self.charge_interpose(machine);
+        if let Some(id) = sandbox {
+            if self.cfg.exit_protection()
+                && self.sandboxes.get(&id.0).map(|s| s.state) == Some(SandboxState::DataLoaded)
+            {
+                self.stats.sandbox_ve_exits += 1;
+                if reason == VeReason::Cpuid {
+                    let value = match self.cpuid_cache.get(&cpuid_leaf) {
+                        Some(v) => {
+                            self.stats.cpuid_cached += 1;
+                            *v
+                        }
+                        None => {
+                            let res = tdcall(
+                                tdx,
+                                machine,
+                                cpu,
+                                TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf: cpuid_leaf }),
+                            );
+                            let v = match res {
+                                Ok(TdcallResult::Cpuid(v)) => v,
+                                _ => [0; 4],
+                            };
+                            self.cpuid_cache.insert(cpuid_leaf, v);
+                            v
+                        }
+                    };
+                    machine.cpus[cpu].ctx.gpr[0] = u64::from(value[0]);
+                    machine.cpus[cpu].ctx.gpr[3] = u64::from(value[1]);
+                    return ExitDecision::Handled {
+                        rax: u64::from(value[0]),
+                    };
+                }
+                self.kill_sandbox(machine, id, "VM exit after data install");
+                return ExitDecision::Killed {
+                    reason: "VM exit after data install",
+                };
+            }
+        }
+        match self.vec_handlers[idt::vector::VE as usize] {
+            Some(handler) => ExitDecision::ForwardToKernel { handler },
+            None => ExitDecision::Killed {
+                reason: "no #VE handler",
+            },
+        }
+    }
+
+    /// The sandbox data channel (§6.3), entered either from the syscall
+    /// interposer (exit protection on) or from the kernel's `/dev/erebor`
+    /// driver (ablation configs without exit interposition).
+    pub fn sandbox_io(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        id: SandboxId,
+    ) -> ExitDecision {
+        self.handle_io_ioctl(machine, tdx, cpu, id)
+    }
+
+    fn handle_io_ioctl(
+        &mut self,
+        machine: &mut Machine,
+        _tdx: &mut TdxModule,
+        cpu: usize,
+        id: SandboxId,
+    ) -> ExitDecision {
+        let ctx = machine.cpus[cpu].ctx;
+        let op = ctx.gpr[6]; // rsi
+        let buf = VirtAddr(ctx.gpr[2]); // rdx
+        let len = ctx.gpr[10] as usize; // r10
+        match op {
+            IOCTL_INPUT => match self.deliver_input(machine, cpu, id, buf, len) {
+                Ok(n) => ExitDecision::Handled { rax: n as u64 },
+                Err(reason) => {
+                    self.kill_sandbox(machine, id, reason);
+                    ExitDecision::Killed { reason }
+                }
+            },
+            IOCTL_OUTPUT => match self.collect_output(machine, cpu, id, buf, len) {
+                Ok(()) => ExitDecision::Handled { rax: 0 },
+                Err(reason) => {
+                    self.kill_sandbox(machine, id, reason);
+                    ExitDecision::Killed { reason }
+                }
+            },
+            _ => {
+                self.kill_sandbox(machine, id, "unknown erebor ioctl");
+                ExitDecision::Killed {
+                    reason: "unknown erebor ioctl",
+                }
+            }
+        }
+    }
+
+    /// Copy staged client input into sandbox confined memory (monitor
+    /// `stac`-guarded copy with the sandbox's CR3).
+    fn deliver_input(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        buf: VirtAddr,
+        len: usize,
+    ) -> Result<usize, &'static str> {
+        let (root, data) = {
+            let s = self.sandboxes.get_mut(&id.0).ok_or("no such sandbox")?;
+            let data = s.pending_input.pop_front().ok_or("no pending input")?;
+            (s.root, data)
+        };
+        if data.len() > len {
+            return Err("input buffer too small");
+        }
+        // The destination must be confined memory, over the whole range.
+        {
+            let s = self.sandboxes.get(&id.0).ok_or("no such sandbox")?;
+            let end = buf.add(data.len().max(1) as u64 - 1);
+            let mut page = buf.page_base();
+            while page.0 <= end.0 {
+                if !s.owns_va(page) {
+                    return Err("input buffer not confined");
+                }
+                page = page.add(PAGE_SIZE as u64);
+            }
+        }
+        let guard = PrivGuard::enter(machine, cpu).map_err(|_| "privilege raise failed")?;
+        let saved_root = machine.cpus[cpu].cr3;
+        let res = machine
+            .write_cr3(cpu, root)
+            .and_then(|()| machine.stac(cpu))
+            .and_then(|()| machine.write(cpu, buf, &data));
+        machine.clac(cpu).ok();
+        machine.write_cr3(cpu, saved_root).ok();
+        guard.exit(machine, cpu);
+        res.map_err(|_| "confined write failed")?;
+        Ok(data.len())
+    }
+
+    /// Read sandbox output, pad to the configured quantum, seal it on the
+    /// client session, and queue it for the untrusted proxy (§6.3).
+    fn collect_output(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        buf: VirtAddr,
+        len: usize,
+    ) -> Result<(), &'static str> {
+        let sandbox = self.sandboxes.get(&id.0).ok_or("no such sandbox")?;
+        let root = sandbox.root;
+        // The output buffer must lie in the sandbox's own confined memory:
+        // the monitor must never be tricked into sealing other memory into
+        // the client channel.
+        let end = buf.add(len.max(1) as u64 - 1);
+        let mut page = buf.page_base();
+        while page.0 <= end.0 {
+            if !sandbox.owns_va(page) {
+                return Err("output buffer not confined");
+            }
+            page = page.add(PAGE_SIZE as u64);
+        }
+        let guard = PrivGuard::enter(machine, cpu).map_err(|_| "privilege raise failed")?;
+        let saved_root = machine.cpus[cpu].cr3;
+        let mut data = vec![0u8; len];
+        let res = machine
+            .write_cr3(cpu, root)
+            .and_then(|()| machine.stac(cpu))
+            .and_then(|()| machine.read(cpu, buf, &mut data));
+        machine.clac(cpu).ok();
+        machine.write_cr3(cpu, saved_root).ok();
+        guard.exit(machine, cpu);
+        res.map_err(|_| "output read failed")?;
+        // Fixed-length padding: a 4-byte true length prefix, then data,
+        // padded to the quantum.
+        let quantum = self.cfg.output_pad_quantum.max(1);
+        let mut framed = Vec::with_capacity(4 + data.len());
+        framed.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&data);
+        let padded_len = framed.len().div_ceil(quantum) * quantum;
+        framed.resize(padded_len, 0);
+        let s = self.sandboxes.get_mut(&id.0).ok_or("no such sandbox")?;
+        let session = s.session.as_mut().ok_or("no client session")?;
+        let record = session.send(&framed).map_err(|_| "channel exhausted")?;
+        s.outbox.push_back(record);
+        Ok(())
+    }
+}
+
+impl core::fmt::Debug for Monitor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("mode", &self.cfg.mode)
+            .field("sandboxes", &self.sandboxes.len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+fn map_err(e: MapError) -> EmcError {
+    match e {
+        MapError::NoMemory => EmcError::NoMemory,
+        MapError::FrameConflict => EmcError::Denied("frame kind conflict"),
+        MapError::NotMapped => EmcError::BadRequest("address not mapped"),
+        MapError::Fault(f) => EmcError::Fault(f),
+    }
+}
+
+/// Kernel-load failure (stage-two boot).
+#[derive(Debug)]
+pub enum LoadError {
+    /// The byte scan found sensitive instructions.
+    Rejected(scan::ScanRejection),
+    /// Sections at illegal addresses.
+    BadLayout(&'static str),
+    /// Out of memory.
+    NoMemory,
+    /// Hardware fault while loading.
+    Fault(Fault),
+    /// Mapping failure.
+    Map(MapError),
+}
+
+impl core::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LoadError::Rejected(r) => write!(f, "{r}"),
+            LoadError::BadLayout(why) => write!(f, "bad kernel layout: {why}"),
+            LoadError::NoMemory => write!(f, "out of memory loading kernel"),
+            LoadError::Fault(e) => write!(f, "fault loading kernel: {e}"),
+            LoadError::Map(e) => write!(f, "mapping failure loading kernel: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}

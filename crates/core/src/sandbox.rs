@@ -1,0 +1,185 @@
+//! EREBOR-SANDBOX types and lifecycle (§6).
+//!
+//! A sandbox is a dedicated address space processing one client's data.
+//! Its memory is *confined* (exclusively owned, pinned, single-mapped) or
+//! *common* (read-only shared instances such as models and databases).
+//! After client data is installed, every software-controlled exit is fatal
+//! except the monitor's own I/O channel; asynchronous exits are interposed
+//! and the register state scrubbed (Fig. 7).
+
+use erebor_crypto::kx::SecureChannel;
+use erebor_hw::fault::VeReason;
+use erebor_hw::regs::GprContext;
+use erebor_hw::{Frame, VirtAddr};
+use std::collections::VecDeque;
+
+/// Identifier of a sandbox container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SandboxId(pub u32);
+
+/// Lifecycle state of a sandbox (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SandboxState {
+    /// Initializing: LibOS may declare memory, preload files, write common
+    /// regions; syscalls still forward to the kernel.
+    Setup,
+    /// Client data installed: all software-controlled exits are fatal
+    /// except the monitor I/O channel.
+    DataLoaded,
+    /// Killed or torn down; memory scrubbed.
+    Dead,
+}
+
+/// A shared common region (model weights, databases, shared libraries).
+#[derive(Debug)]
+pub struct CommonRegion {
+    /// Region id.
+    pub id: u32,
+    /// Backing frames.
+    pub frames: Vec<Frame>,
+    /// Once sealed, all mappings are read-only forever.
+    pub sealed: bool,
+    /// Declared logical size (for Table 6 reporting; the simulation backs
+    /// a scaled-down physical window).
+    pub logical_bytes: u64,
+    /// Sandboxes the region is mapped into, with their base VAs.
+    pub attached: Vec<(SandboxId, VirtAddr)>,
+}
+
+/// Monitor-side bookkeeping for one sandbox.
+pub struct Sandbox {
+    /// Identifier.
+    pub id: SandboxId,
+    /// The sandbox's page-table root.
+    pub root: Frame,
+    /// Lifecycle state.
+    pub state: SandboxState,
+    /// Confined mappings `(va, frame)`, pinned for the sandbox lifetime.
+    pub confined: Vec<(VirtAddr, Frame)>,
+    /// Hard limit on confined pages (set by the service provider, §6.1).
+    pub budget_pages: u64,
+    /// Declared logical confined bytes (Table 6 "Conf." column).
+    pub logical_confined_bytes: u64,
+    /// Attached common regions and their base VAs.
+    pub attached_common: Vec<(u32, VirtAddr)>,
+    /// Common pages materialized so far (demand-mapped on #PF exits).
+    pub common_mapped: Vec<(u32, VirtAddr)>,
+    /// Context saved (then scrubbed) at asynchronous exits.
+    pub saved_ctx: Option<GprContext>,
+    /// Why the sandbox was killed, if it was.
+    pub kill_reason: Option<&'static str>,
+    /// Plaintext client input staged in monitor memory, awaiting the
+    /// LibOS's INPUT ioctl.
+    pub pending_input: VecDeque<Vec<u8>>,
+    /// The monitor's end of the client secure channel.
+    pub session: Option<SecureChannel>,
+    /// Sealed output records awaiting proxy pickup.
+    pub outbox: VecDeque<Vec<u8>>,
+}
+
+impl Sandbox {
+    /// A fresh sandbox in [`SandboxState::Setup`].
+    #[must_use]
+    pub fn new(id: SandboxId, root: Frame, budget_pages: u64) -> Sandbox {
+        Sandbox {
+            id,
+            root,
+            state: SandboxState::Setup,
+            confined: Vec::new(),
+            budget_pages,
+            logical_confined_bytes: 0,
+            attached_common: Vec::new(),
+            common_mapped: Vec::new(),
+            saved_ctx: None,
+            kill_reason: None,
+            pending_input: VecDeque::new(),
+            session: None,
+            outbox: VecDeque::new(),
+        }
+    }
+
+    /// Pages of confined memory currently declared.
+    #[must_use]
+    pub fn confined_pages(&self) -> u64 {
+        self.confined.len() as u64
+    }
+
+    /// Whether the given user VA falls in a confined mapping.
+    #[must_use]
+    pub fn owns_va(&self, va: VirtAddr) -> bool {
+        let page = va.page_base();
+        self.confined.iter().any(|(base, _)| *base == page)
+    }
+}
+
+impl core::fmt::Debug for Sandbox {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sandbox")
+            .field("id", &self.id)
+            .field("state", &self.state)
+            .field("confined_pages", &self.confined.len())
+            .field("kill_reason", &self.kill_reason)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why the sandbox exited to ring 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitCause {
+    /// `syscall` instruction with this number.
+    Syscall {
+        /// Syscall number (rax).
+        nr: u64,
+    },
+    /// Virtualization exception (attempted hypercall-class event).
+    Ve(VeReason),
+    /// APIC timer interrupt (scheduler tick).
+    Timer,
+    /// External device interrupt.
+    Device,
+    /// A hardware exception with this vector (e.g. #UD, divide error).
+    Exception(u8),
+}
+
+/// The monitor's disposition of an interposed exit (Fig. 7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitDecision {
+    /// Protected state saved; continue into this kernel handler with a
+    /// scrubbed context.
+    ForwardToKernel {
+        /// Kernel handler address.
+        handler: VirtAddr,
+    },
+    /// The monitor fully handled the exit (I/O channel, cached cpuid);
+    /// resume the sandbox with this syscall return value in `rax`.
+    Handled {
+        /// Value placed in `rax` on resume.
+        rax: u64,
+    },
+    /// Policy violation: the sandbox was killed and scrubbed.
+    Killed {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sandbox_new_defaults() {
+        let s = Sandbox::new(SandboxId(3), Frame(100), 64);
+        assert_eq!(s.state, SandboxState::Setup);
+        assert_eq!(s.confined_pages(), 0);
+        assert!(s.kill_reason.is_none());
+    }
+
+    #[test]
+    fn owns_va_matches_page() {
+        let mut s = Sandbox::new(SandboxId(1), Frame(1), 4);
+        s.confined.push((VirtAddr(0x40_0000), Frame(9)));
+        assert!(s.owns_va(VirtAddr(0x40_0123)));
+        assert!(!s.owns_va(VirtAddr(0x41_0000)));
+    }
+}

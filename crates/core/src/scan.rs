@@ -1,0 +1,136 @@
+//! Kernel image verification (§5.1 stage two).
+//!
+//! The monitor byte-scans every executable section of the kernel image for
+//! sensitive-instruction encodings before mapping any of it executable.
+//! Data sections may contain arbitrary bytes — W⊕X and NX make them
+//! unexecutable.
+
+use erebor_hw::image::Image;
+use erebor_hw::insn::Finding;
+
+/// Verification failure: sensitive instructions found in executable
+/// sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanRejection {
+    /// `(section, finding)` pairs, in scan order.
+    pub findings: Vec<(String, Finding)>,
+}
+
+impl core::fmt::Display for ScanRejection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "kernel image rejected: {} sensitive instruction(s), first {:?} in {} at +{:#x}",
+            self.findings.len(),
+            self.findings[0].1.class,
+            self.findings[0].0,
+            self.findings[0].1.offset
+        )
+    }
+}
+
+impl std::error::Error for ScanRejection {}
+
+/// Verify a kernel image (or a text patch in context): executable sections
+/// must contain no sensitive-instruction byte sequences.
+///
+/// # Errors
+/// [`ScanRejection`] listing every finding.
+pub fn verify_image(image: &Image) -> Result<(), ScanRejection> {
+    let findings = image.scan_sensitive();
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(ScanRejection { findings })
+    }
+}
+
+/// Verify a raw text patch (the `text_poke` path, §7). The patch is
+/// checked both alone and against the bytes that will precede/follow it,
+/// so an instruction cannot be assembled across the patch boundary.
+///
+/// # Errors
+/// [`ScanRejection`] if the patched window would contain a sensitive
+/// instruction.
+pub fn verify_text_patch(before: &[u8], patch: &[u8], after: &[u8]) -> Result<(), ScanRejection> {
+    // Window: up to 3 trailing bytes of `before` + patch + 3 leading bytes
+    // of `after` (the longest sensitive encoding is 4 bytes).
+    let b = &before[before.len().saturating_sub(3)..];
+    let a = &after[..after.len().min(3)];
+    let mut window = Vec::with_capacity(b.len() + patch.len() + a.len());
+    window.extend_from_slice(b);
+    window.extend_from_slice(patch);
+    window.extend_from_slice(a);
+    let findings = erebor_hw::insn::scan(&window);
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(ScanRejection {
+            findings: findings
+                .into_iter()
+                .map(|f| (".text-patch".to_string(), f))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erebor_hw::image::SectionKind;
+    use erebor_hw::insn::{encode, SensitiveClass};
+    use erebor_hw::VirtAddr;
+
+    #[test]
+    fn benign_image_passes() {
+        let img = Image::builder("kernel")
+            .benign_text(".text", VirtAddr(0xffff_8000_0000_0000), 128 * 1024, 7)
+            .section(
+                ".data",
+                VirtAddr(0xffff_8000_0100_0000),
+                SectionKind::Data,
+                encode(SensitiveClass::Wrmsr), // data may contain the bytes
+            )
+            .build();
+        verify_image(&img).unwrap();
+    }
+
+    #[test]
+    fn image_with_hidden_tdcall_rejected() {
+        let mut text = vec![0x90u8; 4096];
+        text.splice(1000..1000, encode(SensitiveClass::Tdcall));
+        let img = Image::builder("kernel")
+            .section(
+                ".text",
+                VirtAddr(0xffff_8000_0000_0000),
+                SectionKind::Text,
+                text,
+            )
+            .build();
+        let err = verify_image(&img).unwrap_err();
+        assert!(err
+            .findings
+            .iter()
+            .any(|(_, f)| f.class == SensitiveClass::Tdcall));
+        assert!(err.to_string().contains("rejected"));
+    }
+
+    #[test]
+    fn text_patch_straddling_attack_rejected() {
+        // before ends with 0x0f; patch starts with 0x30 → together: wrmsr.
+        let before = [0x90, 0x90, 0x0f];
+        let patch = [0x30, 0x90];
+        let err = verify_text_patch(&before, &patch, &[]).unwrap_err();
+        assert_eq!(err.findings[0].1.class, SensitiveClass::Wrmsr);
+        // The same patch with a clean prefix is fine.
+        verify_text_patch(&[0x90, 0x90, 0x90], &patch, &[]).unwrap();
+    }
+
+    #[test]
+    fn text_patch_suffix_straddle_rejected() {
+        // patch ends with 66 0f 01; after begins with cc → tdcall.
+        let patch = [0x90, 0x66, 0x0f, 0x01];
+        let after = [0xcc, 0x90];
+        assert!(verify_text_patch(&[], &patch, &after).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for monitor policy structures: the frame table,
+//! the kernel-image verifier, and the gate state machine.
+
+use erebor_core::policy::{normal_mode_pkrs, FrameKind, FrameTable};
+use erebor_core::scan;
+use erebor_hw::image::{Image, SectionKind};
+use erebor_hw::insn::{self, SensitiveClass};
+use erebor_hw::layout::KERNEL_BASE;
+use erebor_hw::Frame;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    prop_oneof![
+        Just(FrameKind::KernelData),
+        Just(FrameKind::Ptp),
+        Just(FrameKind::Monitor),
+        Just(FrameKind::Idt),
+        Just(FrameKind::KernelCode),
+        (0u32..4).prop_map(|s| FrameKind::Confined { sandbox: s }),
+        (0u32..4).prop_map(|r| FrameKind::Common { region: r }),
+        (0u32..4).prop_map(|a| FrameKind::UserAnon { asid: a }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn frame_table_trusted_kinds_are_sticky(
+        first in arb_kind(),
+        second in arb_kind(),
+    ) {
+        let mut t = FrameTable::new(4);
+        t.set_kind(Frame(0), first).unwrap();
+        let trusted = matches!(
+            first,
+            FrameKind::Ptp
+                | FrameKind::Monitor
+                | FrameKind::Idt
+                | FrameKind::KernelCode
+                | FrameKind::Confined { .. }
+                | FrameKind::Common { .. }
+        );
+        let res = t.set_kind(Frame(0), second);
+        if trusted && second != first {
+            prop_assert!(res.is_err(), "{first:?} silently became {second:?}");
+            prop_assert_eq!(t.kind(Frame(0)), first);
+        } else {
+            prop_assert!(res.is_ok());
+        }
+        // Release always resets.
+        t.release(Frame(0)).unwrap();
+        prop_assert_eq!(t.kind(Frame(0)), FrameKind::Unused);
+    }
+
+    #[test]
+    fn mapcount_never_underflows(ops in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let mut t = FrameTable::new(2);
+        let mut model: i64 = 0;
+        for inc in ops {
+            if inc {
+                t.inc_map(Frame(1));
+                model += 1;
+            } else {
+                t.dec_map(Frame(1));
+                model = (model - 1).max(0);
+            }
+            prop_assert_eq!(i64::from(t.mapcount(Frame(1))), model);
+        }
+    }
+
+    #[test]
+    fn verifier_accepts_iff_scanner_clean(
+        bytes in proptest::collection::vec(any::<u8>(), 16..2048),
+    ) {
+        let img = Image::builder("k")
+            .section(".text", KERNEL_BASE, SectionKind::Text, bytes.clone())
+            .entry(KERNEL_BASE)
+            .build();
+        let clean = insn::scan(&bytes).is_empty();
+        prop_assert_eq!(scan::verify_image(&img).is_ok(), clean);
+    }
+
+    #[test]
+    fn patch_verifier_catches_all_straddles(
+        prefix_len in 0usize..4,
+        class_idx in 0usize..5,
+        cut in 1usize..3,
+    ) {
+        // Split a sensitive encoding across the patch boundary: any split
+        // must be rejected in context.
+        let class = SensitiveClass::ALL[class_idx];
+        let enc = insn::encode(class);
+        prop_assume!(cut < enc.len());
+        let mut before = vec![0x90u8; prefix_len];
+        before.extend_from_slice(&enc[..cut]);
+        let patch = enc[cut..].to_vec();
+        prop_assert!(
+            scan::verify_text_patch(&before, &patch, &[]).is_err(),
+            "{class:?} split at {cut} slipped through"
+        );
+        // The same patch with a NOP-padded prefix may pass only if it is
+        // itself clean.
+        let alone_ok = insn::scan(&patch).is_empty();
+        prop_assert_eq!(
+            scan::verify_text_patch(&[0x90; 4], &patch, &[0x90; 4]).is_ok(),
+            alone_ok
+        );
+    }
+
+    #[test]
+    fn normal_pkrs_blocks_every_trusted_key(key_extra in 6u8..16) {
+        // Keys 1..6 are the monitor's; anything the monitor hands the
+        // kernel (key 0 and unassigned keys) stays accessible.
+        let p = normal_mode_pkrs();
+        prop_assert!(p.access_disabled(erebor_core::policy::PK_MONITOR));
+        prop_assert!(p.write_disabled(erebor_core::policy::PK_PTP));
+        prop_assert!(p.write_disabled(erebor_core::policy::PK_KTEXT));
+        prop_assert!(p.write_disabled(erebor_core::policy::PK_IDT));
+        prop_assert!(!p.access_disabled(0));
+        prop_assert!(!p.access_disabled(key_extra) && !p.write_disabled(key_extra));
+    }
+}

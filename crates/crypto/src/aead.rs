@@ -1,0 +1,154 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8) — the record protection for the
+//! client ↔ monitor channel.
+
+use crate::chacha20;
+use crate::ct;
+use crate::poly1305::poly1305;
+
+/// AEAD failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// Authentication tag mismatch: the ciphertext or AAD was tampered with.
+    TagMismatch,
+    /// Ciphertext shorter than a tag.
+    Truncated,
+}
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AeadError::TagMismatch => write!(f, "AEAD tag mismatch"),
+            AeadError::Truncated => write!(f, "AEAD ciphertext truncated"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; 32], nonce: &[u8; 12]) -> [u8; 32] {
+    let block = chacha20::block(key, nonce, 0);
+    let mut k = [0u8; 32];
+    k.copy_from_slice(&block[..32]);
+    k
+}
+
+fn mac_data(aad: &[u8], ct: &[u8]) -> Vec<u8> {
+    let mut m = Vec::with_capacity(aad.len() + ct.len() + 32);
+    m.extend_from_slice(aad);
+    m.extend_from_slice(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    m.extend_from_slice(ct);
+    m.extend_from_slice(&[0u8; 16][..(16 - ct.len() % 16) % 16]);
+    m.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+    m.extend_from_slice(&(ct.len() as u64).to_le_bytes());
+    m
+}
+
+/// Encrypt-and-authenticate `plaintext` with additional data `aad`.
+/// Returns ciphertext ‖ 16-byte tag.
+#[must_use]
+pub fn seal(key: &[u8; 32], nonce: &[u8; 12], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut ct = plaintext.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut ct);
+    let tag = poly1305(&poly_key(key, nonce), &mac_data(aad, &ct));
+    ct.extend_from_slice(&tag);
+    ct
+}
+
+/// Verify-and-decrypt `sealed` (ciphertext ‖ tag) with additional data
+/// `aad`.
+///
+/// # Errors
+/// [`AeadError`] if the record is truncated or fails authentication.
+pub fn open(
+    key: &[u8; 32],
+    nonce: &[u8; 12],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < 16 {
+        return Err(AeadError::Truncated);
+    }
+    let (ct, tag) = sealed.split_at(sealed.len() - 16);
+    let expect = poly1305(&poly_key(key, nonce), &mac_data(aad, ct));
+    if !ct::eq(&expect, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    let mut pt = ct.to_vec();
+    chacha20::xor_stream(key, nonce, 1, &mut pt);
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: [u8; 32] =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = unhex("070000004041424344454647").try_into().unwrap();
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let pt = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let sealed = seal(&key, &nonce, &aad, pt);
+        let expect_ct = unhex(
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6
+             3dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b36
+             92ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc
+             3ff4def08e4b7a9de576d26586cec64b6116",
+        );
+        let expect_tag = unhex("1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(&sealed[..pt.len()], &expect_ct[..]);
+        assert_eq!(&sealed[pt.len()..], &expect_tag[..]);
+        assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), pt.to_vec());
+    }
+
+    #[test]
+    fn tamper_detected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = seal(&key, &nonce, b"hdr", b"secret payload");
+        sealed[3] ^= 1;
+        assert_eq!(
+            open(&key, &nonce, b"hdr", &sealed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    #[test]
+    fn aad_binding() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"session-1", b"data");
+        assert!(open(&key, &nonce, b"session-2", &sealed).is_err());
+        assert!(open(&key, &nonce, b"session-1", &sealed).is_ok());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        assert_eq!(
+            open(&[0; 32], &[0; 12], b"", &[0u8; 10]),
+            Err(AeadError::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = [9u8; 32];
+        let nonce = [8u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"");
+        assert_eq!(sealed.len(), 16);
+        assert_eq!(open(&key, &nonce, b"", &sealed).unwrap(), Vec::<u8>::new());
+    }
+}

@@ -1,0 +1,46 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality. Returns `false` for length mismatch
+/// (length is not secret in any of our protocols).
+#[must_use]
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional swap of two u64 values when `swap` is 1.
+pub fn cswap_u64(swap: u64, a: &mut u64, b: &mut u64) {
+    debug_assert!(swap <= 1);
+    let mask = swap.wrapping_neg();
+    let t = mask & (*a ^ *b);
+    *a ^= t;
+    *b ^= t;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"abcd"));
+        assert!(eq(b"", b""));
+    }
+
+    #[test]
+    fn cswap_behaviour() {
+        let (mut a, mut b) = (1u64, 2u64);
+        cswap_u64(0, &mut a, &mut b);
+        assert_eq!((a, b), (1, 2));
+        cswap_u64(1, &mut a, &mut b);
+        assert_eq!((a, b), (2, 1));
+    }
+}

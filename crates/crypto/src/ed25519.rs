@@ -1,0 +1,650 @@
+//! Ed25519 signatures (RFC 8032) — used by the simulated TDX hardware root
+//! to sign attestation quotes.
+//!
+//! Reuses the GF(2²⁵⁵ − 19) field arithmetic from [`crate::x25519`]. Curve
+//! constants (`d`, `√−1`, the base point) are *derived* at first use from
+//! their defining equations rather than transcribed, and the whole module is
+//! validated against the RFC 8032 test vectors.
+
+use crate::sha512::sha512;
+use crate::x25519::Fe;
+use std::sync::OnceLock;
+
+// --- curve constants (computed once) ------------------------------------
+
+fn fe_small(v: u64) -> Fe {
+    Fe([v, 0, 0, 0, 0])
+}
+
+/// d = −121665 / 121666 (the Edwards curve constant).
+fn d() -> Fe {
+    static D: OnceLock<Fe> = OnceLock::new();
+    *D.get_or_init(|| {
+        Fe::ZERO
+            .sub(fe_small(121_665))
+            .mul(fe_small(121_666).invert())
+    })
+}
+
+/// √−1 = 2^((p−1)/4).
+fn sqrt_m1() -> Fe {
+    static S: OnceLock<Fe> = OnceLock::new();
+    *S.get_or_init(|| {
+        // (p-1)/4 = 2^253 - 5, little-endian bytes fb ff .. ff 1f.
+        let mut e = [0xffu8; 32];
+        e[0] = 0xfb;
+        e[31] = 0x1f;
+        fe_small(2).pow_le(&e)
+    })
+}
+
+// --- points in extended coordinates --------------------------------------
+
+/// A curve point in extended twisted-Edwards coordinates (X:Y:Z:T) with
+/// x = X/Z, y = Y/Z, T = XY/Z.
+#[derive(Debug, Clone, Copy)]
+pub struct Point {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+    t: Fe,
+}
+
+/// Point decompression failure (not a valid curve point encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidPoint;
+
+impl core::fmt::Display for InvalidPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid ed25519 point encoding")
+    }
+}
+
+impl std::error::Error for InvalidPoint {}
+
+fn fe_is_negative(f: Fe) -> bool {
+    f.to_bytes()[0] & 1 == 1
+}
+
+impl Point {
+    /// The identity element.
+    #[must_use]
+    pub fn identity() -> Point {
+        Point {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+            t: Fe::ZERO,
+        }
+    }
+
+    /// The standard base point B (y = 4/5, x positive).
+    #[must_use]
+    pub fn base() -> Point {
+        static B: OnceLock<Point> = OnceLock::new();
+        *B.get_or_init(|| {
+            let y = fe_small(4).mul(fe_small(5).invert());
+            let mut enc = y.to_bytes();
+            enc[31] &= 0x7f; // sign bit 0
+            Point::decompress(&enc).expect("base point must decompress")
+        })
+    }
+
+    /// Unified point addition (complete formulas for a = −1 twisted
+    /// Edwards).
+    #[must_use]
+    pub fn add(&self, o: &Point) -> Point {
+        let d2 = d().add(d());
+        let a = self.y.sub(self.x).mul(o.y.sub(o.x));
+        let b = self.y.add(self.x).mul(o.y.add(o.x));
+        let c = self.t.mul(d2).mul(o.t);
+        let dd = self.z.add(self.z).mul(o.z);
+        let e = b.sub(a);
+        let f = dd.sub(c);
+        let g = dd.add(c);
+        let h = b.add(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
+    /// Point doubling.
+    #[must_use]
+    pub fn double(&self) -> Point {
+        self.add(self)
+    }
+
+    /// Scalar multiplication by a little-endian 256-bit scalar.
+    #[must_use]
+    pub fn mul_scalar(&self, k: &[u8; 32]) -> Point {
+        let mut acc = Point::identity();
+        for i in (0..256).rev() {
+            acc = acc.double();
+            if (k[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.add(self);
+            }
+        }
+        acc
+    }
+
+    /// Compress to the 32-byte encoding (y with the sign of x in bit 255).
+    #[must_use]
+    pub fn compress(&self) -> [u8; 32] {
+        let zi = self.z.invert();
+        let x = self.x.mul(zi);
+        let y = self.y.mul(zi);
+        let mut out = y.to_bytes();
+        if fe_is_negative(x) {
+            out[31] |= 0x80;
+        }
+        out
+    }
+
+    /// Decompress a 32-byte encoding.
+    ///
+    /// # Errors
+    /// [`InvalidPoint`] if the encoding is not on the curve.
+    pub fn decompress(enc: &[u8; 32]) -> Result<Point, InvalidPoint> {
+        let sign = enc[31] >> 7;
+        let mut ybytes = *enc;
+        ybytes[31] &= 0x7f;
+        let y = Fe::from_bytes(&ybytes);
+        // x^2 = (y^2 - 1) / (d y^2 + 1)
+        let y2 = y.square();
+        let u = y2.sub(Fe::ONE);
+        let v = d().mul(y2).add(Fe::ONE);
+        // candidate root: x = u v^3 (u v^7)^((p-5)/8)
+        let v3 = v.square().mul(v);
+        let v7 = v3.square().mul(v);
+        let mut e = [0xffu8; 32];
+        e[0] = 0xfd;
+        e[31] = 0x0f; // (p-5)/8 = 2^252 - 3
+        let mut x = u.mul(v3).mul(u.mul(v7).pow_le(&e));
+        let vx2 = v.mul(x.square());
+        if vx2.sub(u).is_zero() {
+            // x is the root
+        } else if vx2.add(u).is_zero() {
+            x = x.mul(sqrt_m1());
+        } else {
+            return Err(InvalidPoint);
+        }
+        if x.is_zero() && sign == 1 {
+            return Err(InvalidPoint);
+        }
+        if u8::from(fe_is_negative(x)) != sign {
+            x = Fe::ZERO.sub(x);
+        }
+        Ok(Point {
+            x,
+            y,
+            z: Fe::ONE,
+            t: x.mul(y),
+        })
+    }
+}
+
+// --- scalar arithmetic mod L ---------------------------------------------
+
+/// L = 2²⁵² + 27742317777372353535851937790883648493, the group order.
+const L: [u64; 4] = [
+    0x5812_631a_5cf5_d3ed,
+    0x14de_f9de_a2f7_9cd6,
+    0,
+    0x1000_0000_0000_0000,
+];
+
+fn ge_512(a: &[u64; 8], b: &[u64; 8]) -> bool {
+    for i in (0..8).rev() {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub_512(a: &mut [u64; 8], b: &[u64; 8]) {
+    let mut borrow = 0u64;
+    for i in 0..8 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = u64::from(b1) + u64::from(b2);
+    }
+    debug_assert_eq!(borrow, 0);
+}
+
+fn shl_512(a: &[u64; 8], bits: usize) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    let limb = bits / 64;
+    let off = bits % 64;
+    for i in (0..8).rev() {
+        if i >= limb {
+            let mut v = a[i - limb] << off;
+            if off > 0 && i > limb {
+                v |= a[i - limb - 1] >> (64 - off);
+            }
+            out[i] = v;
+        }
+    }
+    out
+}
+
+/// Reduce a 512-bit little-endian value mod L (shift-subtract long
+/// division; L is public so variable time is acceptable here).
+fn mod_l_512(x: &[u64; 8]) -> [u64; 4] {
+    let mut acc = *x;
+    let l8 = [L[0], L[1], L[2], L[3], 0, 0, 0, 0];
+    for shift in (0..=259usize).rev() {
+        let shifted = shl_512(&l8, shift);
+        // Skip shifts that overflowed to zero (L<<shift >= 2^512).
+        if shifted.iter().all(|&w| w == 0) {
+            continue;
+        }
+        // Only subtract when no bits were shifted out the top.
+        if shift <= 512 - 253 && ge_512(&acc, &shifted) {
+            sub_512(&mut acc, &shifted);
+        }
+    }
+    [acc[0], acc[1], acc[2], acc[3]]
+}
+
+/// Reduce a 64-byte hash output mod L.
+#[must_use]
+pub fn reduce_wide(bytes: &[u8; 64]) -> [u8; 32] {
+    let mut limbs = [0u64; 8];
+    for i in 0..8 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[8 * i..8 * i + 8]);
+        limbs[i] = u64::from_le_bytes(b);
+    }
+    scalar_to_bytes(&mod_l_512(&limbs))
+}
+
+fn scalar_from_bytes(b: &[u8; 32]) -> [u64; 4] {
+    core::array::from_fn(|i| {
+        let mut v = [0u8; 8];
+        v.copy_from_slice(&b[8 * i..8 * i + 8]);
+        u64::from_le_bytes(v)
+    })
+}
+
+fn scalar_to_bytes(s: &[u64; 4]) -> [u8; 32] {
+    let mut out = [0u8; 32];
+    for (i, w) in s.iter().enumerate() {
+        out[8 * i..8 * i + 8].copy_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// (a·b + c) mod L over 32-byte little-endian scalars.
+#[must_use]
+pub fn mul_add(a: &[u8; 32], b: &[u8; 32], c: &[u8; 32]) -> [u8; 32] {
+    let a = scalar_from_bytes(a);
+    let b = scalar_from_bytes(b);
+    let c = scalar_from_bytes(c);
+    let mut wide = [0u64; 8];
+    // Schoolbook multiply with 128-bit partials.
+    for i in 0..4 {
+        let mut carry: u128 = 0;
+        for j in 0..4 {
+            let cur = u128::from(wide[i + j]) + u128::from(a[i]) * u128::from(b[j]) + carry;
+            wide[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        wide[i + 4] = wide[i + 4].wrapping_add(carry as u64);
+    }
+    // Add c.
+    let mut carry: u128 = 0;
+    for i in 0..8 {
+        let add = if i < 4 { u128::from(c[i]) } else { 0 };
+        let cur = u128::from(wide[i]) + add + carry;
+        wide[i] = cur as u64;
+        carry = cur >> 64;
+    }
+    scalar_to_bytes(&mod_l_512(&wide))
+}
+
+/// Whether a 32-byte scalar is fully reduced (< L), required of `S` in a
+/// signature to prevent malleability.
+#[must_use]
+pub fn is_canonical_scalar(s: &[u8; 32]) -> bool {
+    let v = scalar_from_bytes(s);
+    for i in (0..4).rev() {
+        if v[i] != L[i] {
+            return v[i] < L[i];
+        }
+    }
+    false
+}
+
+// --- keys and signatures ---------------------------------------------------
+
+/// Signature verification failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidSignature;
+
+impl core::fmt::Display for InvalidSignature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid ed25519 signature")
+    }
+}
+
+impl std::error::Error for InvalidSignature {}
+
+/// An Ed25519 signing key (32-byte seed).
+#[derive(Clone)]
+pub struct SigningKey {
+    seed: [u8; 32],
+    scalar: [u8; 32],
+    prefix: [u8; 32],
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Derive the full key from a 32-byte seed.
+    #[must_use]
+    pub fn from_seed(seed: [u8; 32]) -> SigningKey {
+        let h = sha512(&seed);
+        let mut scalar = [0u8; 32];
+        scalar.copy_from_slice(&h[..32]);
+        scalar[0] &= 248;
+        scalar[31] &= 127;
+        scalar[31] |= 64;
+        let mut prefix = [0u8; 32];
+        prefix.copy_from_slice(&h[32..]);
+        let public = Point::base().mul_scalar(&scalar).compress();
+        SigningKey {
+            seed,
+            scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// The seed this key was derived from.
+    #[must_use]
+    pub fn seed(&self) -> [u8; 32] {
+        self.seed
+    }
+
+    /// The corresponding verifying key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { bytes: self.public }
+    }
+
+    /// Sign `msg`, producing the 64-byte signature R ‖ S.
+    #[must_use]
+    pub fn sign(&self, msg: &[u8]) -> [u8; 64] {
+        let mut rh = crate::sha512::Sha512::new();
+        rh.update(&self.prefix);
+        rh.update(msg);
+        let r = reduce_wide(&rh.finalize());
+        let big_r = Point::base().mul_scalar(&r).compress();
+        let mut kh = crate::sha512::Sha512::new();
+        kh.update(&big_r);
+        kh.update(&self.public);
+        kh.update(msg);
+        let k = reduce_wide(&kh.finalize());
+        let s = mul_add(&k, &self.scalar, &r);
+        let mut sig = [0u8; 64];
+        sig[..32].copy_from_slice(&big_r);
+        sig[32..].copy_from_slice(&s);
+        sig
+    }
+}
+
+impl core::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Never print key material.
+        f.debug_struct("SigningKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An Ed25519 verifying (public) key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyingKey {
+    bytes: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Wrap a 32-byte compressed public key.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> VerifyingKey {
+        VerifyingKey { bytes }
+    }
+
+    /// The compressed encoding.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        self.bytes
+    }
+
+    /// Verify `sig` over `msg`.
+    ///
+    /// # Errors
+    /// [`InvalidSignature`] on any failure (bad encodings, non-canonical S,
+    /// equation mismatch).
+    pub fn verify(&self, msg: &[u8], sig: &[u8; 64]) -> Result<(), InvalidSignature> {
+        let mut r_enc = [0u8; 32];
+        r_enc.copy_from_slice(&sig[..32]);
+        let mut s = [0u8; 32];
+        s.copy_from_slice(&sig[32..]);
+        if !is_canonical_scalar(&s) {
+            return Err(InvalidSignature);
+        }
+        let a = Point::decompress(&self.bytes).map_err(|_| InvalidSignature)?;
+        let r = Point::decompress(&r_enc).map_err(|_| InvalidSignature)?;
+        let mut kh = crate::sha512::Sha512::new();
+        kh.update(&r_enc);
+        kh.update(&self.bytes);
+        kh.update(msg);
+        let k = reduce_wide(&kh.finalize());
+        // Check [S]B == R + [k]A.
+        let lhs = Point::base().mul_scalar(&s).compress();
+        let rhs = r.add(&a.mul_scalar(&k)).compress();
+        if crate::ct::eq(&lhs, &rhs) {
+            Ok(())
+        } else {
+            Err(InvalidSignature)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..64)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    fn unhex64(s: &str) -> [u8; 64] {
+        let v: Vec<u8> = (0..128)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    // RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test1() {
+        let sk = SigningKey::from_seed(unhex32(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            sk.verifying_key().to_bytes(),
+            unhex32("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            sig.to_vec(),
+            unhex64(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e065224901555fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+            .to_vec()
+        );
+        sk.verifying_key().verify(b"", &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 2 (one-byte message 0x72).
+    #[test]
+    fn rfc8032_test2() {
+        let sk = SigningKey::from_seed(unhex32(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            sk.verifying_key().to_bytes(),
+            unhex32("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let sig = sk.sign(&[0x72]);
+        assert_eq!(
+            sig.to_vec(),
+            unhex64(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+            .to_vec()
+        );
+        sk.verifying_key().verify(&[0x72], &sig).unwrap();
+    }
+
+    // RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test3() {
+        let sk = SigningKey::from_seed(unhex32(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        let msg = [0xaf, 0x82];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.to_vec(),
+            unhex64(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+            .to_vec()
+        );
+        sk.verifying_key().verify(&msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_message_and_tampered_sig() {
+        let sk = SigningKey::from_seed([7u8; 32]);
+        let vk = sk.verifying_key();
+        let sig = sk.sign(b"attested report data");
+        vk.verify(b"attested report data", &sig).unwrap();
+        assert!(vk.verify(b"attested report datA", &sig).is_err());
+        let mut bad = sig;
+        bad[0] ^= 1;
+        assert!(vk.verify(b"attested report data", &bad).is_err());
+        let mut bad_s = sig;
+        bad_s[40] ^= 1;
+        assert!(vk.verify(b"attested report data", &bad_s).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_key() {
+        let sk1 = SigningKey::from_seed([1u8; 32]);
+        let sk2 = SigningKey::from_seed([2u8; 32]);
+        let sig = sk1.sign(b"m");
+        assert!(sk2.verifying_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn rejects_non_canonical_s() {
+        let sk = SigningKey::from_seed([3u8; 32]);
+        let sig = sk.sign(b"m");
+        let mut malleable = sig;
+        // Add L to S: the classic malleability vector.
+        let s = scalar_from_bytes(&malleable[32..].try_into().unwrap());
+        let mut carry = 0u128;
+        let mut s_plus_l = [0u64; 4];
+        for i in 0..4 {
+            let cur = u128::from(s[i]) + u128::from(L[i]) + carry;
+            s_plus_l[i] = cur as u64;
+            carry = cur >> 64;
+        }
+        malleable[32..].copy_from_slice(&scalar_to_bytes(&s_plus_l));
+        assert!(sk.verifying_key().verify(b"m", &malleable).is_err());
+    }
+
+    #[test]
+    fn scalar_reduce_wide_matches_identities() {
+        // reduce(L padded to 64 bytes) == 0
+        let mut l_bytes = [0u8; 64];
+        l_bytes[..32].copy_from_slice(&scalar_to_bytes(&L));
+        assert_eq!(reduce_wide(&l_bytes), [0u8; 32]);
+        // reduce(1) == 1
+        let mut one = [0u8; 64];
+        one[0] = 1;
+        let mut expect = [0u8; 32];
+        expect[0] = 1;
+        assert_eq!(reduce_wide(&one), expect);
+    }
+
+    #[test]
+    fn mul_add_matches_small_numbers() {
+        // 3*4 + 5 = 17
+        let n = |v: u8| {
+            let mut b = [0u8; 32];
+            b[0] = v;
+            b
+        };
+        assert_eq!(mul_add(&n(3), &n(4), &n(5)), n(17));
+    }
+
+    #[test]
+    fn point_identities() {
+        let b = Point::base();
+        let id = Point::identity();
+        assert_eq!(b.add(&id).compress(), b.compress());
+        assert_eq!(b.double().compress(), b.add(&b).compress());
+        // 2B + B == 3B
+        let mut three = [0u8; 32];
+        three[0] = 3;
+        assert_eq!(
+            b.double().add(&b).compress(),
+            b.mul_scalar(&three).compress()
+        );
+    }
+
+    #[test]
+    fn decompress_compress_roundtrip() {
+        let b = Point::base();
+        let enc = b.compress();
+        let p = Point::decompress(&enc).unwrap();
+        assert_eq!(p.compress(), enc);
+    }
+
+    #[test]
+    fn decompress_rejects_non_points() {
+        // x = 0 (identity's y = 1) with the sign bit set is invalid.
+        let mut enc = [0u8; 32];
+        enc[0] = 1;
+        enc[31] |= 0x80;
+        assert!(Point::decompress(&enc).is_err());
+        // Some y must yield a non-square x^2; find the first and assert the
+        // decoder rejects it (about half of all y values qualify).
+        let mut rejected = 0;
+        for y in 2u8..40 {
+            let mut e = [0u8; 32];
+            e[0] = y;
+            if Point::decompress(&e).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(
+            rejected > 5,
+            "non-square y² candidates must be rejected (got {rejected})"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! HKDF-SHA256 (RFC 5869) — the channel key schedule.
+
+use crate::hmac::hmac_sha256;
+
+/// HKDF-Extract: derive a pseudorandom key from input keying material.
+#[must_use]
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: derive `out.len()` bytes (≤ 255·32) of output keying
+/// material bound to `info`.
+///
+/// # Panics
+/// Panics if more than 8160 bytes are requested (RFC 5869 limit).
+pub fn expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF-Expand output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut done = 0usize;
+    let mut counter = 1u8;
+    while done < out.len() {
+        let mut msg = Vec::with_capacity(t.len() + info.len() + 1);
+        msg.extend_from_slice(&t);
+        msg.extend_from_slice(info);
+        msg.push(counter);
+        let block = hmac_sha256(prk, &msg);
+        let take = (out.len() - done).min(32);
+        out[done..done + take].copy_from_slice(&block[..take]);
+        t = block.to_vec();
+        done += take;
+        counter = counter.checked_add(1).expect("HKDF counter overflow");
+    }
+}
+
+/// Extract-then-expand convenience.
+#[must_use]
+pub fn derive<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = extract(salt, ikm);
+    let mut out = [0u8; N];
+    expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3() {
+        let ikm = [0x0b; 22];
+        let mut okm = [0u8; 42];
+        let prk = extract(&[], &ikm);
+        expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn derive_convenience_matches_steps() {
+        let okm: [u8; 64] = derive(b"salt", b"ikm", b"info");
+        let prk = extract(b"salt", b"ikm");
+        let mut manual = [0u8; 64];
+        expand(&prk, b"info", &mut manual);
+        assert_eq!(okm, manual);
+    }
+}

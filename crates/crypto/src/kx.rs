@@ -1,0 +1,255 @@
+//! The attested authenticated key exchange (§6.3) and the resulting
+//! bidirectional secure channel.
+//!
+//! Protocol (one round trip, TLS-1.3-flavoured):
+//!
+//! 1. Client → monitor: ephemeral X25519 public key `C`.
+//! 2. Monitor → client: ephemeral public key `M` plus an attestation quote
+//!    whose `report_data` binds `SHA-256("erebor-kx" ‖ C ‖ M)`. Quote
+//!    generation and verification live in `erebor-tdx` / `erebor-core`;
+//!    this module provides the binding hash and the key schedule.
+//! 3. Both sides derive `SessionKeys` from the X25519 shared secret and the
+//!    transcript; all records are ChaCha20-Poly1305 with direction-split
+//!    keys and counter nonces.
+
+use crate::aead::{self, AeadError};
+use crate::hkdf;
+use crate::sha256::Sha256;
+
+/// Direction-split session keys derived from the key exchange.
+#[derive(Clone)]
+pub struct SessionKeys {
+    /// Client-to-server record key.
+    pub c2s: [u8; 32],
+    /// Server-to-client record key.
+    pub s2c: [u8; 32],
+}
+
+impl core::fmt::Debug for SessionKeys {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("SessionKeys {{ .. }}")
+    }
+}
+
+/// The transcript binding hash placed in the quote's `report_data`.
+#[must_use]
+pub fn binding_hash(client_pub: &[u8; 32], monitor_pub: &[u8; 32]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"erebor-kx-v1");
+    h.update(client_pub);
+    h.update(monitor_pub);
+    h.finalize()
+}
+
+/// Derive direction-split session keys from the X25519 shared secret and
+/// the two ephemeral public keys.
+#[must_use]
+pub fn derive_session_keys(
+    shared: &[u8; 32],
+    client_pub: &[u8; 32],
+    monitor_pub: &[u8; 32],
+) -> SessionKeys {
+    let transcript = binding_hash(client_pub, monitor_pub);
+    let okm: [u8; 64] = hkdf::derive(&transcript, shared, b"erebor session keys");
+    let mut c2s = [0u8; 32];
+    let mut s2c = [0u8; 32];
+    c2s.copy_from_slice(&okm[..32]);
+    s2c.copy_from_slice(&okm[32..]);
+    SessionKeys { c2s, s2c }
+}
+
+/// Which end of the channel this instance is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// The remote client.
+    Client,
+    /// The Erebor monitor.
+    Monitor,
+}
+
+/// A bidirectional AEAD channel with per-direction record counters.
+///
+/// Nonces are the 64-bit record counter in the low bytes; a counter reuse
+/// is impossible by construction (the counter is strictly increasing and
+/// `send`/`recv` fail once exhausted).
+pub struct SecureChannel {
+    keys: SessionKeys,
+    role: Role,
+    send_ctr: u64,
+    recv_ctr: u64,
+}
+
+/// Channel receive failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The record failed authentication (tampering or reordering).
+    Aead(AeadError),
+    /// Record counter exhausted.
+    CounterExhausted,
+}
+
+impl core::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ChannelError::Aead(e) => write!(f, "channel record rejected: {e}"),
+            ChannelError::CounterExhausted => write!(f, "channel record counter exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+fn nonce_for(ctr: u64) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[..8].copy_from_slice(&ctr.to_le_bytes());
+    n
+}
+
+impl SecureChannel {
+    /// Create one end of the channel.
+    #[must_use]
+    pub fn new(keys: SessionKeys, role: Role) -> SecureChannel {
+        SecureChannel {
+            keys,
+            role,
+            send_ctr: 0,
+            recv_ctr: 0,
+        }
+    }
+
+    fn send_key(&self) -> &[u8; 32] {
+        match self.role {
+            Role::Client => &self.keys.c2s,
+            Role::Monitor => &self.keys.s2c,
+        }
+    }
+
+    fn recv_key(&self) -> &[u8; 32] {
+        match self.role {
+            Role::Client => &self.keys.s2c,
+            Role::Monitor => &self.keys.c2s,
+        }
+    }
+
+    /// Seal `plaintext` into the next outbound record.
+    ///
+    /// # Errors
+    /// [`ChannelError::CounterExhausted`] after 2⁶⁴−1 records.
+    pub fn send(&mut self, plaintext: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let ctr = self.send_ctr;
+        self.send_ctr = ctr.checked_add(1).ok_or(ChannelError::CounterExhausted)?;
+        let aad = ctr.to_le_bytes();
+        Ok(aead::seal(
+            self.send_key(),
+            &nonce_for(ctr),
+            &aad,
+            plaintext,
+        ))
+    }
+
+    /// Open the next inbound record. Records must arrive in order; a
+    /// replayed or reordered record fails authentication because the
+    /// counter is bound as AAD and nonce.
+    ///
+    /// # Errors
+    /// [`ChannelError`] on tampering, replay, or counter exhaustion.
+    pub fn recv(&mut self, record: &[u8]) -> Result<Vec<u8>, ChannelError> {
+        let ctr = self.recv_ctr;
+        let aad = ctr.to_le_bytes();
+        let pt = aead::open(self.recv_key(), &nonce_for(ctr), &aad, record)
+            .map_err(ChannelError::Aead)?;
+        self.recv_ctr = ctr.checked_add(1).ok_or(ChannelError::CounterExhausted)?;
+        Ok(pt)
+    }
+
+    /// Number of records sent so far.
+    #[must_use]
+    pub fn records_sent(&self) -> u64 {
+        self.send_ctr
+    }
+}
+
+impl core::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SecureChannel")
+            .field("role", &self.role)
+            .field("send_ctr", &self.send_ctr)
+            .field("recv_ctr", &self.recv_ctr)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::x25519;
+
+    fn handshake() -> (SecureChannel, SecureChannel) {
+        let c_priv = [11u8; 32];
+        let m_priv = [22u8; 32];
+        let c_pub = x25519::public_key(&c_priv);
+        let m_pub = x25519::public_key(&m_priv);
+        let c_shared = x25519::shared_secret(&c_priv, &m_pub);
+        let m_shared = x25519::shared_secret(&m_priv, &c_pub);
+        assert_eq!(c_shared, m_shared);
+        let ck = derive_session_keys(&c_shared, &c_pub, &m_pub);
+        let mk = derive_session_keys(&m_shared, &c_pub, &m_pub);
+        (
+            SecureChannel::new(ck, Role::Client),
+            SecureChannel::new(mk, Role::Monitor),
+        )
+    }
+
+    #[test]
+    fn bidirectional_roundtrip() {
+        let (mut client, mut monitor) = handshake();
+        let r1 = client.send(b"the prompt").unwrap();
+        assert_eq!(monitor.recv(&r1).unwrap(), b"the prompt");
+        let r2 = monitor.send(b"the result").unwrap();
+        assert_eq!(client.recv(&r2).unwrap(), b"the result");
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut client, mut monitor) = handshake();
+        let r1 = client.send(b"msg-0").unwrap();
+        monitor.recv(&r1).unwrap();
+        assert!(monitor.recv(&r1).is_err(), "replayed record must fail");
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut client, mut monitor) = handshake();
+        let r0 = client.send(b"msg-0").unwrap();
+        let r1 = client.send(b"msg-1").unwrap();
+        assert!(monitor.recv(&r1).is_err(), "out-of-order record must fail");
+        monitor.recv(&r0).unwrap();
+        monitor.recv(&r1).unwrap();
+    }
+
+    #[test]
+    fn directions_use_distinct_keys() {
+        let (mut client, mut monitor) = handshake();
+        let from_client = client.send(b"x").unwrap();
+        let from_monitor = monitor.send(b"x").unwrap();
+        assert_ne!(from_client, from_monitor);
+    }
+
+    #[test]
+    fn ciphertext_hides_plaintext() {
+        let (mut client, _monitor) = handshake();
+        let record = client.send(b"super secret healthcare data").unwrap();
+        // The proxy sees this record; the plaintext must not appear in it.
+        let needle = b"healthcare";
+        assert!(!record.windows(needle.len()).any(|w| w == needle));
+    }
+
+    #[test]
+    fn binding_hash_depends_on_both_keys() {
+        let a = binding_hash(&[1; 32], &[2; 32]);
+        let b = binding_hash(&[1; 32], &[3; 32]);
+        let c = binding_hash(&[4; 32], &[2; 32]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

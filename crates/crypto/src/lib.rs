@@ -1,0 +1,40 @@
+//! # erebor-crypto — the cryptographic substrate
+//!
+//! From-scratch implementations of the primitives Erebor's end-to-end data
+//! shepherding (§6.3) relies on:
+//!
+//! * [`mod@sha256`] / [`mod@sha512`] — FIPS 180-4 hashes
+//! * [`hmac`] / [`hkdf`] — RFC 2104 / RFC 5869 (TDREPORT binding, KDF)
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — RFC 8439 AEAD (session records)
+//! * [`x25519`] — RFC 7748 Diffie-Hellman (client ↔ monitor key exchange)
+//! * [`ed25519`] — RFC 8032 signatures (the simulated CPU attestation root)
+//! * [`kx`] — the attested authenticated key exchange built from the above
+//!
+//! Everything is implemented in-repo so the *trusted* path of the
+//! reproduction has no external dependency, and each primitive is checked
+//! against its RFC test vectors. The implementations favour clarity over
+//! constant-time rigor where the distinction does not affect the modelled
+//! threat (the paper places micro-architectural side channels out of scope,
+//! §3.2); secret-dependent *branches* on key material are still avoided in
+//! the ladder and verifier via constant-time selects and [`ct::eq`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod ct;
+pub mod ed25519;
+pub mod hkdf;
+pub mod hmac;
+pub mod kx;
+pub mod poly1305;
+pub mod sha256;
+pub mod sha512;
+pub mod x25519;
+
+pub use aead::{open, seal, AeadError};
+pub use ed25519::{SigningKey, VerifyingKey};
+pub use kx::{SecureChannel, SessionKeys};
+pub use sha256::sha256;
+pub use sha512::sha512;

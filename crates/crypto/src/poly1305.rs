@@ -1,0 +1,217 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! Implemented with five 26-bit limbs and 64-bit intermediate products —
+//! the classic "donna" representation, chosen for clarity and easy overflow
+//! reasoning.
+
+/// Compute the 16-byte Poly1305 tag of `msg` under the 32-byte one-time
+/// `key` (r ‖ s).
+#[must_use]
+pub fn poly1305(key: &[u8; 32], msg: &[u8]) -> [u8; 16] {
+    // Clamp r per RFC 8439.
+    let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+    let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+    let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+    let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+    let r0 = u64::from(t0) & 0x3ff_ffff;
+    let r1 = u64::from((t0 >> 26) | (t1 << 6)) & 0x3ff_ff03;
+    let r2 = u64::from((t1 >> 20) | (t2 << 12)) & 0x3ff_c0ff;
+    let r3 = u64::from((t2 >> 14) | (t3 << 18)) & 0x3f0_3fff;
+    let r4 = u64::from(t3 >> 8) & 0x00f_ffff;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0: u64 = 0;
+    let mut h1: u64 = 0;
+    let mut h2: u64 = 0;
+    let mut h3: u64 = 0;
+    let mut h4: u64 = 0;
+
+    let mut rest = msg;
+    while !rest.is_empty() {
+        let take = rest.len().min(16);
+        let mut block = [0u8; 17];
+        block[..take].copy_from_slice(&rest[..take]);
+        block[take] = 1; // the 2^(8*len) pad bit
+        rest = &rest[take..];
+
+        let b0 = u64::from(u32::from_le_bytes([block[0], block[1], block[2], block[3]]));
+        let b1 = u64::from(u32::from_le_bytes([block[4], block[5], block[6], block[7]]));
+        let b2 = u64::from(u32::from_le_bytes([
+            block[8], block[9], block[10], block[11],
+        ]));
+        let b3 = u64::from(u32::from_le_bytes([
+            block[12], block[13], block[14], block[15],
+        ]));
+        let b4 = u64::from(block[16]);
+
+        h0 += b0 & 0x3ff_ffff;
+        h1 += ((b0 >> 26) | (b1 << 6)) & 0x3ff_ffff;
+        h2 += ((b1 >> 20) | (b2 << 12)) & 0x3ff_ffff;
+        h3 += ((b2 >> 14) | (b3 << 18)) & 0x3ff_ffff;
+        h4 += (b3 >> 8) | (b4 << 24);
+
+        // h *= r (mod 2^130 - 5), using 128-bit products.
+        let d0 = u128::from(h0) * u128::from(r0)
+            + u128::from(h1) * u128::from(s4)
+            + u128::from(h2) * u128::from(s3)
+            + u128::from(h3) * u128::from(s2)
+            + u128::from(h4) * u128::from(s1);
+        let d1 = u128::from(h0) * u128::from(r1)
+            + u128::from(h1) * u128::from(r0)
+            + u128::from(h2) * u128::from(s4)
+            + u128::from(h3) * u128::from(s3)
+            + u128::from(h4) * u128::from(s2);
+        let d2 = u128::from(h0) * u128::from(r2)
+            + u128::from(h1) * u128::from(r1)
+            + u128::from(h2) * u128::from(r0)
+            + u128::from(h3) * u128::from(s4)
+            + u128::from(h4) * u128::from(s3);
+        let d3 = u128::from(h0) * u128::from(r3)
+            + u128::from(h1) * u128::from(r2)
+            + u128::from(h2) * u128::from(r1)
+            + u128::from(h3) * u128::from(r0)
+            + u128::from(h4) * u128::from(s4);
+        let d4 = u128::from(h0) * u128::from(r4)
+            + u128::from(h1) * u128::from(r3)
+            + u128::from(h2) * u128::from(r2)
+            + u128::from(h3) * u128::from(r1)
+            + u128::from(h4) * u128::from(r0);
+
+        // Carry propagation.
+        let mut c: u128;
+        c = d0 >> 26;
+        h0 = (d0 as u64) & 0x3ff_ffff;
+        let d1 = d1 + c;
+        c = d1 >> 26;
+        h1 = (d1 as u64) & 0x3ff_ffff;
+        let d2 = d2 + c;
+        c = d2 >> 26;
+        h2 = (d2 as u64) & 0x3ff_ffff;
+        let d3 = d3 + c;
+        c = d3 >> 26;
+        h3 = (d3 as u64) & 0x3ff_ffff;
+        let d4 = d4 + c;
+        c = d4 >> 26;
+        h4 = (d4 as u64) & 0x3ff_ffff;
+        h0 += (c as u64) * 5;
+        h1 += h0 >> 26;
+        h0 &= 0x3ff_ffff;
+    }
+
+    // Final reduction mod 2^130 - 5.
+    let mut c = h1 >> 26;
+    h1 &= 0x3ff_ffff;
+    h2 += c;
+    c = h2 >> 26;
+    h2 &= 0x3ff_ffff;
+    h3 += c;
+    c = h3 >> 26;
+    h3 &= 0x3ff_ffff;
+    h4 += c;
+    c = h4 >> 26;
+    h4 &= 0x3ff_ffff;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ff_ffff;
+    h1 += c;
+
+    // Compute h + -p and constant-time select.
+    let mut g0 = h0.wrapping_add(5);
+    c = g0 >> 26;
+    g0 &= 0x3ff_ffff;
+    let mut g1 = h1.wrapping_add(c);
+    c = g1 >> 26;
+    g1 &= 0x3ff_ffff;
+    let mut g2 = h2.wrapping_add(c);
+    c = g2 >> 26;
+    g2 &= 0x3ff_ffff;
+    let mut g3 = h3.wrapping_add(c);
+    c = g3 >> 26;
+    g3 &= 0x3ff_ffff;
+    let g4 = h4.wrapping_add(c).wrapping_sub(1 << 26);
+
+    let mask = (g4 >> 63).wrapping_sub(1); // all-ones if h >= p
+    h0 = (h0 & !mask) | (g0 & mask);
+    h1 = (h1 & !mask) | (g1 & mask);
+    h2 = (h2 & !mask) | (g2 & mask);
+    h3 = (h3 & !mask) | (g3 & mask);
+    h4 = (h4 & !mask) | (g4 & 0x3ff_ffff & mask);
+
+    // Serialize h to 128 bits and add s.
+    let f0 = (h0 | (h1 << 26)) as u128;
+    let f1 = ((h1 >> 6) | (h2 << 20)) as u128;
+    let f2 = ((h2 >> 12) | (h3 << 14)) as u128;
+    let f3 = ((h3 >> 18) | (h4 << 8)) as u128;
+    let h128 = (f0 & 0xffff_ffff)
+        | ((f1 & 0xffff_ffff) << 32)
+        | ((f2 & 0xffff_ffff) << 64)
+        | ((f3 & 0xffff_ffff) << 96);
+    let s = u128::from_le_bytes([
+        key[16], key[17], key[18], key[19], key[20], key[21], key[22], key[23], key[24], key[25],
+        key[26], key[27], key[28], key[29], key[30], key[31],
+    ]);
+    h128.wrapping_add(s).to_le_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_tag_vector() {
+        let key: [u8; 32] =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .unwrap();
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            poly1305(&key, msg).to_vec(),
+            unhex("a8061dc1305136c6c22b8baf0c0127a9")
+        );
+    }
+
+    // RFC 8439 appendix A.3 vector #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_msg() {
+        assert_eq!(poly1305(&[0u8; 32], &[0u8; 64]), [0u8; 16]);
+    }
+
+    // RFC 8439 appendix A.3 vector #3: r with all clamp bits.
+    #[test]
+    fn appendix_a3_vector2() {
+        let mut key = [0u8; 32];
+        let text = b"Any submission to the IETF intended by the Contributor for publi\
+cation as all or part of an IETF Internet-Draft or RFC and any statement made within the cont\
+ext of an IETF activity is considered an \"IETF Contribution\". Such statements include oral \
+statements in IETF sessions, as well as written and electronic communications made at any tim\
+e or place, which are addressed to";
+        // Vector 2: r = 0, s = 36e5f6b5c5e06070f0efca96227a863e → tag = s.
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        assert_eq!(
+            poly1305(&key, &text[..]).to_vec(),
+            unhex("36e5f6b5c5e06070f0efca96227a863e")
+        );
+    }
+
+    #[test]
+    fn partial_block_lengths() {
+        // Differing lengths must give differing tags (pad bit position).
+        let key = [9u8; 32];
+        let t1 = poly1305(&key, &[0u8; 15]);
+        let t2 = poly1305(&key, &[0u8; 16]);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,372 @@
+//! X25519 Diffie-Hellman (RFC 7748) and the underlying field arithmetic
+//! over GF(2²⁵⁵ − 19), shared with [`crate::ed25519`].
+//!
+//! Field elements use five 51-bit limbs with 128-bit intermediate products
+//! ("fe51"). The Montgomery ladder uses constant-time conditional swaps.
+
+use crate::ct::cswap_u64;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// A field element of GF(2²⁵⁵ − 19) in radix-2⁵¹ representation.
+///
+/// Methods use plain names (`add`/`sub`/`mul`) rather than operator traits
+/// to keep carry behaviour explicit at call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fe(pub(crate) [u64; 5]);
+
+#[allow(clippy::should_implement_trait)]
+impl Fe {
+    /// Zero.
+    pub const ZERO: Fe = Fe([0; 5]);
+    /// One.
+    pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    /// Parse 32 little-endian bytes (top bit masked off, per RFC 7748).
+    #[must_use]
+    pub fn from_bytes(b: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&b[i..i + 8]);
+            u64::from_le_bytes(v)
+        };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serialize to 32 little-endian bytes, fully reduced mod p.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.carry().0;
+        // Compute the quotient of (self + 19) / 2^255 to detect >= p.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        let mut carry = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += carry;
+        carry = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += carry;
+        carry = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += carry;
+        carry = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += carry;
+        l[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let words = [
+            l[0] | (l[1] << 51),
+            (l[1] >> 13) | (l[2] << 38),
+            (l[2] >> 26) | (l[3] << 25),
+            (l[3] >> 39) | (l[4] << 12),
+        ];
+        for (i, w) in words.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Weakly reduce limbs below 2⁵² (propagate carries once).
+    #[must_use]
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        c = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c;
+        c = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c;
+        c = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c;
+        c = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c;
+        c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c;
+        Fe(l)
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(self, o: Fe) -> Fe {
+        Fe([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+            self.0[4] + o.0[4],
+        ])
+        .carry()
+    }
+
+    /// Subtraction (adds 2p to keep limbs non-negative).
+    #[must_use]
+    pub fn sub(self, o: Fe) -> Fe {
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        Fe([
+            self.0[0] + TWO_P[0] - o.0[0],
+            self.0[1] + TWO_P[1] - o.0[1],
+            self.0[2] + TWO_P[2] - o.0[2],
+            self.0[3] + TWO_P[3] - o.0[3],
+            self.0[4] + TWO_P[4] - o.0[4],
+        ])
+        .carry()
+    }
+
+    /// Multiplication.
+    #[must_use]
+    pub fn mul(self, o: Fe) -> Fe {
+        let a = self.carry().0;
+        let b = o.carry().0;
+        let m = |x: u64, y: u64| u128::from(x) * u128::from(y);
+        let r0 =
+            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
+        let r1 =
+            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
+        let r2 =
+            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
+        Fe::reduce_wide([r0, r1, r2, r3, r4])
+    }
+
+    /// Squaring.
+    #[must_use]
+    pub fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn reduce_wide(r: [u128; 5]) -> Fe {
+        let mut l = [0u64; 5];
+        let mut c: u128 = 0;
+        for i in 0..5 {
+            let v = r[i] + c;
+            l[i] = (v as u64) & MASK51;
+            c = v >> 51;
+        }
+        let mut l0 = u128::from(l[0]) + 19 * c;
+        l[0] = (l0 as u64) & MASK51;
+        l0 >>= 51;
+        l[1] += l0 as u64;
+        Fe(l).carry()
+    }
+
+    /// Exponentiation by a little-endian 256-bit exponent (public exponent;
+    /// square-and-multiply).
+    #[must_use]
+    pub fn pow_le(self, e: &[u8; 32]) -> Fe {
+        let mut acc = Fe::ONE;
+        for i in (0..256).rev() {
+            acc = acc.square();
+            if (e[i / 8] >> (i % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Multiplicative inverse (x^(p−2)).
+    #[must_use]
+    pub fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21, little-endian bytes: eb ff .. ff 7f
+        let mut e = [0xffu8; 32];
+        e[0] = 0xeb;
+        e[31] = 0x7f;
+        self.pow_le(&e)
+    }
+
+    /// Whether the element is zero (after full reduction).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.to_bytes() == [0u8; 32]
+    }
+
+    /// Constant-time conditional swap.
+    pub fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+        for i in 0..5 {
+            cswap_u64(swap, &mut a.0[i], &mut b.0[i]);
+        }
+    }
+
+    /// Multiply by a small constant.
+    #[must_use]
+    pub fn mul_small(self, k: u64) -> Fe {
+        let a = self.carry().0;
+        let r: [u128; 5] = core::array::from_fn(|i| u128::from(a[i]) * u128::from(k));
+        Fe::reduce_wide(r)
+    }
+}
+
+/// Clamp an X25519 private scalar per RFC 7748 §5.
+#[must_use]
+pub fn clamp_scalar(mut k: [u8; 32]) -> [u8; 32] {
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// The X25519 function: scalar multiplication on the Montgomery curve.
+#[must_use]
+pub fn x25519(scalar: &[u8; 32], u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp_scalar(*scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap: u64 = 0;
+
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// The X25519 base point (u = 9).
+pub const BASE_POINT: [u8; 32] = {
+    let mut b = [0u8; 32];
+    b[0] = 9;
+    b
+};
+
+/// Derive the public key for a private scalar.
+#[must_use]
+pub fn public_key(private: &[u8; 32]) -> [u8; 32] {
+    x25519(private, &BASE_POINT)
+}
+
+/// Compute the shared secret between `private` and `their_public`.
+#[must_use]
+pub fn shared_secret(private: &[u8; 32], their_public: &[u8; 32]) -> [u8; 32] {
+    x25519(private, their_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let v: Vec<u8> = (0..64)
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect();
+        v.try_into().unwrap()
+    }
+
+    #[test]
+    fn fe_roundtrip() {
+        let b = unhex32("0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20");
+        assert_eq!(Fe::from_bytes(&b).to_bytes(), {
+            let mut e = b;
+            e[31] &= 0x7f;
+            e
+        });
+    }
+
+    #[test]
+    fn fe_arith_identities() {
+        let a = Fe::from_bytes(&unhex32(
+            "4701d08488451f545a409fb58ae3e58581ca40ac3f7f114698cd8deb2c4a9d37",
+        ));
+        assert_eq!(a.mul(a.invert()).to_bytes(), Fe::ONE.to_bytes());
+        assert_eq!(a.sub(a).to_bytes(), Fe::ZERO.to_bytes());
+        assert_eq!(a.add(Fe::ZERO).to_bytes(), a.to_bytes());
+        assert_eq!(a.mul(Fe::ONE).to_bytes(), a.to_bytes());
+        assert_eq!(a.square().to_bytes(), a.mul(a).to_bytes());
+    }
+
+    // RFC 7748 §5.2 vector 1.
+    #[test]
+    fn rfc7748_vector1() {
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            x25519(&scalar, &u),
+            unhex32("c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552")
+        );
+    }
+
+    // RFC 7748 §5.2 vector 2.
+    #[test]
+    fn rfc7748_vector2() {
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            x25519(&scalar, &u),
+            unhex32("95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957")
+        );
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman.
+    #[test]
+    fn rfc7748_dh() {
+        let a_priv = unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let b_priv = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let a_pub = public_key(&a_priv);
+        let b_pub = public_key(&b_priv);
+        assert_eq!(
+            a_pub,
+            unhex32("8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a")
+        );
+        assert_eq!(
+            b_pub,
+            unhex32("de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f")
+        );
+        let k1 = shared_secret(&a_priv, &b_pub);
+        let k2 = shared_secret(&b_priv, &a_pub);
+        assert_eq!(k1, k2);
+        assert_eq!(
+            k1,
+            unhex32("4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742")
+        );
+    }
+
+    #[test]
+    fn clamping_applied() {
+        let k = clamp_scalar([0xff; 32]);
+        assert_eq!(k[0] & 7, 0);
+        assert_eq!(k[31] & 0x80, 0);
+        assert_eq!(k[31] & 0x40, 0x40);
+    }
+}

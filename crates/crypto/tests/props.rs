@@ -1,0 +1,182 @@
+//! Property-based tests for the crypto substrate: round trips, incremental
+//! equivalence, algebraic identities, and channel ordering.
+
+use erebor_crypto::ed25519::{self, SigningKey};
+use erebor_crypto::kx::{derive_session_keys, Role, SecureChannel};
+use erebor_crypto::x25519::{self, Fe};
+use erebor_crypto::{aead, hkdf, sha256, sha512};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = (data.len() as f64 * split_frac) as usize;
+        let mut h = sha256::Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256::sha256(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        splits in proptest::collection::vec(0.0f64..1.0, 0..4),
+    ) {
+        let mut h = sha512::Sha512::new();
+        let mut idxs: Vec<usize> =
+            splits.iter().map(|f| (data.len() as f64 * f) as usize).collect();
+        idxs.sort_unstable();
+        let mut prev = 0;
+        for i in idxs {
+            h.update(&data[prev..i]);
+            prev = i;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize().to_vec(), sha512::sha512(&data).to_vec());
+    }
+
+    #[test]
+    fn aead_roundtrip_any_inputs(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        aad in proptest::collection::vec(any::<u8>(), 0..128),
+        pt in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let sealed = aead::seal(&key, &nonce, &aad, &pt);
+        prop_assert_eq!(sealed.len(), pt.len() + 16);
+        prop_assert_eq!(aead::open(&key, &nonce, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn aead_any_single_bitflip_rejected(
+        key in any::<[u8; 32]>(),
+        nonce in any::<[u8; 12]>(),
+        pt in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in any::<u16>(),
+    ) {
+        let mut sealed = aead::seal(&key, &nonce, b"aad", &pt);
+        let bit = (bit as usize) % (sealed.len() * 8);
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(aead::open(&key, &nonce, b"aad", &sealed).is_err());
+    }
+
+    #[test]
+    fn hkdf_prefix_consistency(
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        info in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // A longer expansion starts with the shorter one.
+        let prk = hkdf::extract(b"salt", &ikm);
+        let mut short = [0u8; 16];
+        let mut long = [0u8; 80];
+        hkdf::expand(&prk, &info, &mut short);
+        hkdf::expand(&prk, &info, &mut long);
+        prop_assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    fn fe_field_axioms(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let x = Fe::from_bytes(&a);
+        let y = Fe::from_bytes(&b);
+        // Commutativity.
+        prop_assert_eq!(x.add(y).to_bytes(), y.add(x).to_bytes());
+        prop_assert_eq!(x.mul(y).to_bytes(), y.mul(x).to_bytes());
+        // Distributivity: x(y + y) = xy + xy.
+        prop_assert_eq!(
+            x.mul(y.add(y)).to_bytes(),
+            x.mul(y).add(x.mul(y)).to_bytes()
+        );
+        // a - a = 0; a * 1 = a.
+        prop_assert_eq!(x.sub(x).to_bytes(), Fe::ZERO.to_bytes());
+        prop_assert_eq!(x.mul(Fe::ONE).to_bytes(), x.to_bytes());
+    }
+
+    #[test]
+    fn fe_inverse_identity(a in any::<[u8; 32]>()) {
+        let x = Fe::from_bytes(&a);
+        prop_assume!(!x.is_zero());
+        prop_assert_eq!(x.mul(x.invert()).to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn scalar_mul_add_is_associative_with_reduction(
+        a in any::<[u8; 16]>(),
+        b in any::<[u8; 16]>(),
+    ) {
+        // With small (definitely < L) scalars: (a*b + 0) computed via
+        // mul_add matches u128 arithmetic reduced trivially.
+        let mut a32 = [0u8; 32];
+        a32[..16].copy_from_slice(&a);
+        let mut b32 = [0u8; 32];
+        b32[..16].copy_from_slice(&b);
+        let zero = [0u8; 32];
+        let via_mod = ed25519::mul_add(&a32, &b32, &zero);
+        let ai = u128::from_le_bytes(a);
+        let bi = u128::from_le_bytes(b);
+        // a,b < 2^128 so a*b < 2^256; reduce through reduce_wide.
+        let prod = {
+            let lo = ai.wrapping_mul(bi);
+            let hi = u128_mulhi(ai, bi);
+            let mut bytes = [0u8; 64];
+            bytes[..16].copy_from_slice(&lo.to_le_bytes());
+            bytes[16..32].copy_from_slice(&hi.to_le_bytes());
+            ed25519::reduce_wide(&bytes)
+        };
+        prop_assert_eq!(via_mod, prod);
+    }
+}
+
+fn u128_mulhi(a: u128, b: u128) -> u128 {
+    let (a_lo, a_hi) = (a & u128::from(u64::MAX), a >> 64);
+    let (b_lo, b_hi) = (b & u128::from(u64::MAX), b >> 64);
+    let mid1 = a_lo * b_hi;
+    let mid2 = a_hi * b_lo;
+    let carry = ((a_lo * b_lo) >> 64).wrapping_add(mid1 & u128::from(u64::MAX))
+        + (mid2 & u128::from(u64::MAX));
+    a_hi * b_hi + (mid1 >> 64) + (mid2 >> 64) + (carry >> 64)
+}
+
+// X25519 / Ed25519 cases are expensive; run fewer of them.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn x25519_dh_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let pa = x25519::public_key(&a);
+        let pb = x25519::public_key(&b);
+        prop_assert_eq!(x25519::shared_secret(&a, &pb), x25519::shared_secret(&b, &pa));
+    }
+
+    #[test]
+    fn ed25519_sign_verify_any_message(
+        seed in any::<[u8; 32]>(),
+        msg in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let sk = SigningKey::from_seed(seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        // Appending a byte invalidates it.
+        let mut msg2 = msg.clone();
+        msg2.push(0x7e);
+        prop_assert!(sk.verifying_key().verify(&msg2, &sig).is_err());
+    }
+
+    #[test]
+    fn secure_channel_in_order_stream(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..16),
+        shared in any::<[u8; 32]>(),
+    ) {
+        let keys_c = derive_session_keys(&shared, &[1; 32], &[2; 32]);
+        let keys_m = derive_session_keys(&shared, &[1; 32], &[2; 32]);
+        let mut client = SecureChannel::new(keys_c, Role::Client);
+        let mut monitor = SecureChannel::new(keys_m, Role::Monitor);
+        for msg in &msgs {
+            let rec = client.send(msg).unwrap();
+            prop_assert_eq!(&monitor.recv(&rec).unwrap(), msg);
+        }
+        prop_assert_eq!(client.records_sent(), msgs.len() as u64);
+    }
+}

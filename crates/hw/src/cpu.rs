@@ -1,0 +1,789 @@
+//! The simulated CPU package: per-core register state plus the [`Machine`]
+//! that couples cores to DRAM and enforces every architectural check on
+//! every access and privileged operation.
+//!
+//! ## Execution model
+//!
+//! Software in this reproduction is Rust code, but every *architecturally
+//! visible* action — loads, stores, instruction fetches, privileged
+//! register writes, control transfers — must go through [`Machine`]
+//! methods, which enforce the same checks real hardware would. Two layers
+//! of enforcement matter for Erebor:
+//!
+//! 1. **Ring check**: privileged operations from [`CpuMode::User`] raise
+//!    `#GP`, as on hardware.
+//! 2. **Code-provenance check**: each core tracks the [`Domain`] its
+//!    current code region belongs to (derived from the address map). A
+//!    *sensitive instruction* (Table 2) executes only if the domain's
+//!    verified image actually contains that instruction class — the
+//!    monitor's boot-time byte scan (§5.1) guarantees the deprivileged
+//!    kernel's image contains none, so a kernel-domain attempt is `#UD`
+//!    ("the instruction is not there to execute"). Registration of a
+//!    domain as sensitive-capable is a boot-time act of the trusted
+//!    firmware/monitor only.
+
+use crate::cet::{EndbrRegistry, ShadowStack};
+use crate::cycles::{Costs, CycleCounter};
+use crate::fault::{AccessKind, CpReason, Fault};
+use crate::idt::Idtr;
+use crate::layout;
+use crate::mmu::{self, MmuEnv};
+use crate::phys::{Frame, PhysMemory};
+use crate::regs::{s_cet, Cr0, Cr4, GprContext, Msr, PkrsPerms, Rflags};
+use crate::VirtAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Hardware privilege mode (ring 3 vs ring 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpuMode {
+    /// Ring 3.
+    User,
+    /// Ring 0. Erebor further splits this into the monitor's *privileged*
+    /// and the kernel's *normal* virtual modes (§5) — a software construct
+    /// tracked via [`Domain`].
+    Supervisor,
+}
+
+/// Code-provenance domain of the currently executing region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Domain {
+    /// Trusted boot firmware (OVMF-like).
+    Firmware,
+    /// The Erebor monitor (virtual privileged mode).
+    Monitor,
+    /// The deprivileged guest kernel (virtual normal mode).
+    Kernel,
+    /// Userspace (native processes and sandboxes).
+    User,
+}
+
+/// Derive the domain that owns a code address, from the fixed layout.
+#[must_use]
+pub fn domain_of(va: VirtAddr) -> Domain {
+    if layout::is_monitor(va) {
+        Domain::Monitor
+    } else if layout::is_user(va) {
+        Domain::User
+    } else {
+        Domain::Kernel
+    }
+}
+
+/// Per-core register state.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Logical core id.
+    pub id: usize,
+    /// Current hardware privilege.
+    pub mode: CpuMode,
+    /// Current code-provenance domain.
+    pub domain: Domain,
+    /// General-purpose context.
+    pub ctx: GprContext,
+    /// CR0.
+    pub cr0: Cr0,
+    /// CR3 (page-table root frame).
+    pub cr3: Frame,
+    /// CR4.
+    pub cr4: Cr4,
+    /// IDTR, once `lidt` has executed.
+    pub idtr: Option<Idtr>,
+    msrs: BTreeMap<Msr, u64>,
+}
+
+impl Cpu {
+    /// A fresh core: supervisor mode in the firmware domain, paging off,
+    /// everything else zero.
+    #[must_use]
+    pub fn new(id: usize) -> Cpu {
+        Cpu {
+            id,
+            mode: CpuMode::Supervisor,
+            domain: Domain::Firmware,
+            ctx: GprContext::default(),
+            cr0: Cr0(0),
+            cr3: Frame(0),
+            cr4: Cr4(0),
+            idtr: None,
+            msrs: BTreeMap::new(),
+        }
+    }
+
+    /// Raw MSR value (0 if never written).
+    #[must_use]
+    pub fn msr(&self, msr: Msr) -> u64 {
+        self.msrs.get(&msr).copied().unwrap_or(0)
+    }
+
+    /// Decoded PKRS view.
+    #[must_use]
+    pub fn pkrs(&self) -> PkrsPerms {
+        PkrsPerms(self.msr(Msr::Pkrs))
+    }
+
+    /// RFLAGS view.
+    #[must_use]
+    pub fn rflags(&self) -> Rflags {
+        Rflags(self.ctx.rflags)
+    }
+
+    /// Whether CET indirect-branch tracking is active.
+    #[must_use]
+    pub fn ibt_enabled(&self) -> bool {
+        self.cr4.cet() && self.msr(Msr::SCet) & s_cet::ENDBR_EN != 0
+    }
+
+    /// Whether CET shadow stacks are active.
+    #[must_use]
+    pub fn sstk_enabled(&self) -> bool {
+        self.cr4.cet() && self.msr(Msr::SCet) & s_cet::SH_STK_EN != 0
+    }
+}
+
+/// The machine: DRAM, cores, cycle accounting, and the CET landing-pad
+/// registry.
+pub struct Machine {
+    /// Simulated DRAM.
+    pub mem: PhysMemory,
+    /// Logical cores.
+    pub cpus: Vec<Cpu>,
+    /// Micro-cost table.
+    pub costs: Costs,
+    /// Global cycle counter.
+    pub cycles: CycleCounter,
+    /// CET landing pads from loaded images.
+    pub endbr: EndbrRegistry,
+    /// Per-core supervisor shadow stacks (active when `IA32_S_CET.SH_STK_EN`
+    /// is set; the paper's prototype omits them, §7 — the simulator
+    /// supports both configurations).
+    pub sstk: Vec<ShadowStack>,
+    sensitive_domains: BTreeSet<Domain>,
+}
+
+impl Machine {
+    /// Build a machine with `cores` logical cores and `dram_bytes` of DRAM.
+    #[must_use]
+    pub fn new(cores: usize, dram_bytes: u64) -> Machine {
+        Machine {
+            mem: PhysMemory::new(dram_bytes),
+            cpus: (0..cores).map(Cpu::new).collect(),
+            costs: Costs::default(),
+            cycles: CycleCounter::new(),
+            endbr: EndbrRegistry::new(),
+            sstk: (0..cores)
+                .map(|i| {
+                    ShadowStack::new(VirtAddr(layout::MONITOR_SSTK_BASE.0 + ((i as u64) << 16)))
+                })
+                .collect(),
+            sensitive_domains: BTreeSet::new(),
+        }
+    }
+
+    /// Register `domain` as having a verified image that legitimately
+    /// contains sensitive instructions. Trusted boot code (firmware /
+    /// monitor loader) is the only legitimate caller; the deprivileged
+    /// kernel never reaches this in the platform's control flow, and a
+    /// kernel image that *does* contain sensitive bytes is rejected by the
+    /// monitor's scan before it ever runs.
+    pub fn allow_sensitive(&mut self, domain: Domain) {
+        self.sensitive_domains.insert(domain);
+    }
+
+    /// Whether `domain` may execute sensitive instructions.
+    #[must_use]
+    pub fn sensitive_allowed(&self, domain: Domain) -> bool {
+        self.sensitive_domains.contains(&domain)
+    }
+
+    fn env(&self, cpu: usize) -> MmuEnv {
+        let c = &self.cpus[cpu];
+        MmuEnv {
+            root: c.cr3,
+            cr0: c.cr0,
+            cr4: c.cr4,
+            mode: c.mode,
+            rflags: c.rflags(),
+            pkrs: c.pkrs(),
+        }
+    }
+
+    /// Guard for sensitive-instruction execution (see module docs).
+    fn sensitive_guard(&mut self, cpu: usize) -> Result<(), Fault> {
+        let c = &self.cpus[cpu];
+        if c.mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection(
+                "privileged instruction in user mode",
+            ));
+        }
+        if !self.sensitive_domains.contains(&c.domain) {
+            return Err(Fault::UndefinedInstruction(
+                "sensitive instruction absent from this domain's verified image",
+            ));
+        }
+        Ok(())
+    }
+
+    // ----- memory ------------------------------------------------------
+
+    fn charge_translation(&mut self) {
+        self.cycles.charge(4 * self.costs.walk_level);
+    }
+
+    /// Checked load of `buf.len()` bytes at `va` on core `cpu`.
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn read(&mut self, cpu: usize, va: VirtAddr, buf: &mut [u8]) -> Result<(), Fault> {
+        self.access(cpu, va, buf.len(), AccessKind::Read, |mem, pa, range| {
+            mem.read(pa, &mut buf[range])
+                .map_err(|_| Fault::Unrecoverable("read left DRAM"))
+        })
+    }
+
+    /// Checked store of `buf` at `va` on core `cpu`.
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn write(&mut self, cpu: usize, va: VirtAddr, buf: &[u8]) -> Result<(), Fault> {
+        self.access(cpu, va, buf.len(), AccessKind::Write, |mem, pa, range| {
+            mem.write(pa, &buf[range])
+                .map_err(|_| Fault::Unrecoverable("write left DRAM"))
+        })
+    }
+
+    fn access<F>(
+        &mut self,
+        cpu: usize,
+        va: VirtAddr,
+        len: usize,
+        kind: AccessKind,
+        mut op: F,
+    ) -> Result<(), Fault>
+    where
+        F: FnMut(&mut PhysMemory, crate::PhysAddr, std::ops::Range<usize>) -> Result<(), Fault>,
+    {
+        let env = self.env(cpu);
+        let mut done = 0usize;
+        while done < len {
+            let cur = va.add(done as u64);
+            let page_remain = (crate::PAGE_SIZE as u64 - cur.page_offset()) as usize;
+            let chunk = page_remain.min(len - done);
+            let t = mmu::translate(&mut self.mem, &env, cur, kind)?;
+            self.charge_translation();
+            self.cycles
+                .charge(self.costs.mem_op * (1 + chunk as u64 / 64));
+            op(&mut self.mem, t.pa, done..done + chunk)?;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Checked u64 load.
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn read_u64(&mut self, cpu: usize, va: VirtAddr) -> Result<u64, Fault> {
+        let mut b = [0u8; 8];
+        self.read(cpu, va, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Checked u64 store.
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn write_u64(&mut self, cpu: usize, va: VirtAddr, v: u64) -> Result<(), Fault> {
+        self.write(cpu, va, &v.to_le_bytes())
+    }
+
+    /// Permission-probe an access at `va` without transferring data (used
+    /// by the platform's demand-paging path to detect faults before
+    /// touching memory).
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn probe(&mut self, cpu: usize, va: VirtAddr, kind: AccessKind) -> Result<(), Fault> {
+        let env = self.env(cpu);
+        mmu::translate(&mut self.mem, &env, va, kind)?;
+        self.charge_translation();
+        Ok(())
+    }
+
+    /// Instruction-fetch permission probe at `va` (NX/SMEP and mapping
+    /// checks). Used when control is transferred into a region.
+    ///
+    /// # Errors
+    /// Any MMU permission fault.
+    pub fn fetch_check(&mut self, cpu: usize, va: VirtAddr) -> Result<(), Fault> {
+        let env = self.env(cpu);
+        mmu::translate(&mut self.mem, &env, va, AccessKind::Execute)?;
+        self.charge_translation();
+        Ok(())
+    }
+
+    // ----- privileged register writes (sensitive, Table 2) --------------
+
+    /// `mov %r, %cr0`.
+    ///
+    /// # Errors
+    /// `#GP` from user mode; `#UD` from a domain whose image lacks the
+    /// instruction.
+    pub fn write_cr0(&mut self, cpu: usize, v: u64) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.mov_cr);
+        self.cpus[cpu].cr0 = Cr0(v);
+        Ok(())
+    }
+
+    /// `mov %r, %cr3` — switches the page-table root.
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn write_cr3(&mut self, cpu: usize, root: Frame) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.mov_cr);
+        self.cpus[cpu].cr3 = root;
+        Ok(())
+    }
+
+    /// `mov %r, %cr4`.
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn write_cr4(&mut self, cpu: usize, v: u64) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.mov_cr);
+        self.cpus[cpu].cr4 = Cr4(v);
+        Ok(())
+    }
+
+    /// `wrmsr`.
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn wrmsr(&mut self, cpu: usize, msr: Msr, v: u64) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.wrmsr);
+        self.cpus[cpu].msrs.insert(msr, v);
+        Ok(())
+    }
+
+    /// `rdmsr` — privileged but *not* sensitive: any ring-0 code may read.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn rdmsr(&mut self, cpu: usize, msr: Msr) -> Result<u64, Fault> {
+        if self.cpus[cpu].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("rdmsr in user mode"));
+        }
+        self.cycles.charge(self.costs.rdmsr);
+        Ok(self.cpus[cpu].msr(msr))
+    }
+
+    /// `stac` — grants the kernel temporary access to user pages. Sensitive
+    /// (Table 2): only the monitor's user-copy emulation may raise AC.
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn stac(&mut self, cpu: usize) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.stac);
+        self.cpus[cpu].ctx.rflags |= Rflags::AC;
+        Ok(())
+    }
+
+    /// `clac` — *dropping* user access is never harmful, so any supervisor
+    /// code may execute it.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn clac(&mut self, cpu: usize) -> Result<(), Fault> {
+        if self.cpus[cpu].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("clac in user mode"));
+        }
+        self.cycles.charge(self.costs.stac);
+        self.cpus[cpu].ctx.rflags &= !Rflags::AC;
+        Ok(())
+    }
+
+    /// `lidt`.
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn lidt(&mut self, cpu: usize, base: VirtAddr) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)?;
+        self.cycles.charge(self.costs.lidt);
+        self.cpus[cpu].idtr = Some(Idtr { base });
+        Ok(())
+    }
+
+    /// The ring/domain guard for `tdcall`, exported for the TDX-module
+    /// simulator (the instruction itself is implemented in `erebor-tdx`).
+    ///
+    /// # Errors
+    /// As [`Machine::write_cr0`].
+    pub fn tdcall_guard(&mut self, cpu: usize) -> Result<(), Fault> {
+        self.sensitive_guard(cpu)
+    }
+
+    /// `senduipi` — send a user-mode interrupt (§3.2 AV3: a sandbox could
+    /// use user interrupts to signal attacker processes without a
+    /// privileged exit). Requires a *valid* user-interrupt target table;
+    /// the monitor clears `IA32_UINTR_TT.valid` before entering sandboxes
+    /// holding client data (§6.2 ④).
+    ///
+    /// # Errors
+    /// `#GP` when the target table is invalid or unconfigured.
+    pub fn senduipi(&mut self, cpu: usize) -> Result<(), Fault> {
+        self.cycles.charge(self.costs.alu + self.costs.mem_op);
+        if self.cpus[cpu].msr(Msr::UintrTt) & 1 == 0 {
+            return Err(Fault::GeneralProtection(
+                "user-interrupt target table invalid",
+            ));
+        }
+        Ok(())
+    }
+
+    // ----- control transfers --------------------------------------------
+
+    /// An indirect `call`/`jmp` to `target`, with the CET IBT check.
+    /// On success the core's domain follows the target's code region.
+    ///
+    /// # Errors
+    /// `#CP` if IBT is active and `target` is not an `endbr64` landing pad;
+    /// any fetch permission fault (NX, SMEP, unmapped).
+    pub fn indirect_branch(&mut self, cpu: usize, target: VirtAddr) -> Result<(), Fault> {
+        self.fetch_check(cpu, target)?;
+        if self.cpus[cpu].ibt_enabled() {
+            self.cycles.charge(self.costs.endbr_check);
+            if !self.endbr.is_target(target) {
+                return Err(Fault::ControlProtection(CpReason::MissingEndbranch));
+            }
+        }
+        self.cpus[cpu].domain = domain_of(target);
+        self.cpus[cpu].ctx.rip = target.0;
+        Ok(())
+    }
+
+    /// A direct `call`/`jmp` (target encoded in the verified image; no IBT
+    /// check applies). Still subject to fetch permissions.
+    ///
+    /// # Errors
+    /// Any fetch permission fault.
+    pub fn direct_branch(&mut self, cpu: usize, target: VirtAddr) -> Result<(), Fault> {
+        self.fetch_check(cpu, target)?;
+        self.cycles.charge(self.costs.call_ret);
+        self.cpus[cpu].domain = domain_of(target);
+        self.cpus[cpu].ctx.rip = target.0;
+        Ok(())
+    }
+
+    /// `syscall`: ring 3 → ring 0 transfer to `IA32_LSTAR`.
+    /// Returns the entry address the kernel (or monitor interposer) runs at.
+    ///
+    /// # Errors
+    /// `#UD` if called from supervisor mode (matches hardware: `syscall`
+    /// is a user-mode instruction in this model).
+    pub fn syscall(&mut self, cpu: usize) -> Result<VirtAddr, Fault> {
+        if self.cpus[cpu].mode != CpuMode::User {
+            return Err(Fault::UndefinedInstruction("syscall from supervisor mode"));
+        }
+        let target = VirtAddr(self.cpus[cpu].msr(Msr::Lstar));
+        self.cycles
+            .charge(self.costs.syscall_entry + self.costs.swapgs);
+        let rip = self.cpus[cpu].ctx.rip;
+        self.cpus[cpu].ctx.gpr[1] = rip; // rcx = return address
+        self.cpus[cpu].mode = CpuMode::Supervisor;
+        self.cpus[cpu].domain = domain_of(target);
+        self.cpus[cpu].ctx.rip = target.0;
+        Ok(target)
+    }
+
+    /// `sysret`: ring 0 → ring 3 return to the address in `rcx`.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn sysret(&mut self, cpu: usize) -> Result<(), Fault> {
+        if self.cpus[cpu].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("sysret in user mode"));
+        }
+        self.cycles
+            .charge(self.costs.sysret_exit + self.costs.swapgs);
+        let rcx = self.cpus[cpu].ctx.gpr[1];
+        self.cpus[cpu].mode = CpuMode::User;
+        self.cpus[cpu].domain = Domain::User;
+        self.cpus[cpu].ctx.rip = rcx;
+        Ok(())
+    }
+
+    /// Hardware interrupt/exception delivery on core `cpu`: reads the
+    /// handler from the in-memory IDT (physical access — delivery cannot be
+    /// blocked by mappings), saves the interrupted context, and switches to
+    /// supervisor mode at the handler. Returns `(handler, saved context)`.
+    ///
+    /// # Errors
+    /// [`Fault::Unrecoverable`] if no IDT is loaded or its page is unmapped
+    /// (triple-fault analogue).
+    pub fn deliver_interrupt(
+        &mut self,
+        cpu: usize,
+        vec: u8,
+    ) -> Result<(VirtAddr, GprContext), Fault> {
+        let idtr = self.cpus[cpu]
+            .idtr
+            .ok_or(Fault::Unrecoverable("no IDT loaded"))?;
+        let root = self.cpus[cpu].cr3;
+        let handler = crate::idt::read_entry(&mut self.mem, root, idtr, vec)?;
+        if handler.0 == 0 {
+            return Err(Fault::Unrecoverable("unhandled vector (empty IDT entry)"));
+        }
+        self.cycles.charge(self.costs.interrupt_delivery);
+        let saved = self.cpus[cpu].ctx;
+        if self.cpus[cpu].sstk_enabled() {
+            // Hardware pushes the interrupted rip onto the supervisor
+            // shadow stack (§2.2).
+            self.cycles.charge(self.costs.sstk_op);
+            self.sstk[cpu].push(VirtAddr(saved.rip));
+        }
+        self.cpus[cpu].mode = CpuMode::Supervisor;
+        self.cpus[cpu].domain = domain_of(handler);
+        self.cpus[cpu].ctx.rip = handler.0;
+        Ok((handler, saved))
+    }
+
+    /// `iret`: restore a saved context (and its privilege mode, derived
+    /// from the return address).
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn iret(&mut self, cpu: usize, saved: GprContext) -> Result<(), Fault> {
+        if self.cpus[cpu].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("iret in user mode"));
+        }
+        self.cycles.charge(self.costs.iret);
+        let target = VirtAddr(saved.rip);
+        if self.cpus[cpu].sstk_enabled() {
+            // `iret` verifies the return target against the shadow stack;
+            // a mismatch (ROP into the kernel) is #CP.
+            self.cycles.charge(self.costs.sstk_op);
+            self.sstk[cpu].pop(target)?;
+        }
+        self.cpus[cpu].ctx = saved;
+        self.cpus[cpu].mode = if layout::is_user(target) {
+            CpuMode::User
+        } else {
+            CpuMode::Supervisor
+        };
+        self.cpus[cpu].domain = domain_of(target);
+        Ok(())
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cpus.len())
+            .field("cycles", &self.cycles.total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paging::{map_raw, Pte, PteFlags};
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(2, 64 * 1024 * 1024);
+        let root = m.mem.alloc_frame().unwrap();
+        for c in &mut m.cpus {
+            c.cr3 = root;
+            c.cr0 = Cr0(Cr0::WP | Cr0::PG);
+            c.cr4 = Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS);
+            c.domain = Domain::Kernel;
+        }
+        m
+    }
+
+    fn map(m: &mut Machine, va: u64, flags: PteFlags) -> Frame {
+        let f = m.mem.alloc_frame().unwrap();
+        let root = m.cpus[0].cr3;
+        map_raw(
+            &mut m.mem,
+            root,
+            VirtAddr(va),
+            Pte::encode(f, flags),
+            crate::paging::intermediate_for(flags),
+        )
+        .unwrap();
+        f
+    }
+
+    #[test]
+    fn checked_rw_roundtrip_charges_cycles() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let before = m.cycles.total();
+        m.write(0, VirtAddr(0xffff_8000_0000_0100), b"hello")
+            .unwrap();
+        let mut b = [0u8; 5];
+        m.read(0, VirtAddr(0xffff_8000_0000_0100), &mut b).unwrap();
+        assert_eq!(&b, b"hello");
+        assert!(m.cycles.total() > before);
+    }
+
+    #[test]
+    fn cross_page_write_checks_both_pages() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        // Second page intentionally unmapped.
+        let err = m
+            .write(0, VirtAddr(0xffff_8000_0000_0ffc), &[0u8; 16])
+            .unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::NotPresent));
+    }
+
+    #[test]
+    fn sensitive_ops_denied_in_user_mode_with_gp() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Kernel);
+        m.cpus[0].mode = CpuMode::User;
+        assert!(matches!(
+            m.wrmsr(0, Msr::Lstar, 1),
+            Err(Fault::GeneralProtection(_))
+        ));
+        assert!(matches!(
+            m.write_cr3(0, Frame(0)),
+            Err(Fault::GeneralProtection(_))
+        ));
+        assert!(matches!(m.stac(0), Err(Fault::GeneralProtection(_))));
+        assert!(matches!(
+            m.tdcall_guard(0),
+            Err(Fault::GeneralProtection(_))
+        ));
+    }
+
+    #[test]
+    fn sensitive_ops_denied_in_unverified_domain_with_ud() {
+        let mut m = machine(); // kernel domain, not registered as sensitive
+        assert!(matches!(
+            m.wrmsr(0, Msr::Pkrs, 0),
+            Err(Fault::UndefinedInstruction(_))
+        ));
+        assert!(matches!(
+            m.lidt(0, VirtAddr(0x1000)),
+            Err(Fault::UndefinedInstruction(_))
+        ));
+        // rdmsr and clac remain available to the deprivileged kernel.
+        assert!(m.rdmsr(0, Msr::Pkrs).is_ok());
+        assert!(m.clac(0).is_ok());
+    }
+
+    #[test]
+    fn sensitive_ops_allowed_in_registered_domain() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        m.wrmsr(0, Msr::Pkrs, 0b1100).unwrap();
+        assert_eq!(m.cpus[0].msr(Msr::Pkrs), 0b1100);
+        m.stac(0).unwrap();
+        assert!(m.cpus[0].rflags().ac());
+        m.clac(0).unwrap();
+        assert!(!m.cpus[0].rflags().ac());
+    }
+
+    #[test]
+    fn pkrs_is_per_core() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        m.wrmsr(0, Msr::Pkrs, 0b11).unwrap();
+        assert_eq!(m.cpus[0].msr(Msr::Pkrs), 0b11);
+        assert_eq!(m.cpus[1].msr(Msr::Pkrs), 0, "core 1 unaffected");
+    }
+
+    #[test]
+    fn syscall_transfers_to_lstar() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        m.wrmsr(0, Msr::Lstar, layout::MONITOR_BASE.0).unwrap();
+        m.cpus[0].mode = CpuMode::User;
+        m.cpus[0].domain = Domain::User;
+        m.cpus[0].ctx.rip = 0x40_1000;
+        let entry = m.syscall(0).unwrap();
+        assert_eq!(entry, layout::MONITOR_BASE);
+        assert_eq!(m.cpus[0].mode, CpuMode::Supervisor);
+        assert_eq!(m.cpus[0].domain, Domain::Monitor);
+        assert_eq!(m.cpus[0].ctx.gpr[1], 0x40_1000, "rcx holds return rip");
+        m.sysret(0).unwrap();
+        assert_eq!(m.cpus[0].mode, CpuMode::User);
+        assert_eq!(m.cpus[0].ctx.rip, 0x40_1000);
+    }
+
+    #[test]
+    fn interrupt_delivery_reads_idt_and_saves_context() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        let base = 0xffff_8000_0010_0000u64;
+        map(&mut m, base, PteFlags::kernel_ro(0));
+        m.lidt(0, VirtAddr(base)).unwrap();
+        let root = m.cpus[0].cr3;
+        crate::idt::write_entry_raw(
+            &mut m.mem,
+            root,
+            Idtr {
+                base: VirtAddr(base),
+            },
+            crate::idt::vector::TIMER,
+            VirtAddr(0xffff_8000_0000_7000),
+        )
+        .unwrap();
+        m.cpus[0].ctx.gpr[0] = 0x4141;
+        m.cpus[0].ctx.rip = 0x40_2000;
+        let (handler, saved) = m.deliver_interrupt(0, crate::idt::vector::TIMER).unwrap();
+        assert_eq!(handler, VirtAddr(0xffff_8000_0000_7000));
+        assert_eq!(saved.gpr[0], 0x4141);
+        assert_eq!(m.cpus[0].domain, Domain::Kernel);
+        m.iret(0, saved).unwrap();
+        assert_eq!(m.cpus[0].ctx.rip, 0x40_2000);
+        assert_eq!(m.cpus[0].mode, CpuMode::User, "returned to a user rip");
+    }
+
+    #[test]
+    fn ibt_blocks_non_endbr_targets() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        m.write_cr4(0, Cr4::SMEP | Cr4::SMAP | Cr4::PKS | Cr4::CET)
+            .unwrap();
+        m.wrmsr(0, Msr::SCet, s_cet::ENDBR_EN).unwrap();
+        map(&mut m, layout::MONITOR_BASE.0, PteFlags::kernel_rx(0));
+        let pad = VirtAddr(layout::MONITOR_BASE.0 + 0x10);
+        m.endbr.add(pad);
+        m.indirect_branch(0, pad).unwrap();
+        let err = m.indirect_branch(0, pad.add(4)).unwrap_err();
+        assert_eq!(err, Fault::ControlProtection(CpReason::MissingEndbranch));
+    }
+
+    #[test]
+    fn indirect_branch_respects_nx_and_smep() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0)); // NX data
+        let err = m
+            .indirect_branch(0, VirtAddr(0xffff_8000_0000_0000))
+            .unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::NoExecute));
+        map(&mut m, 0x40_0000, PteFlags::user_rx());
+        let err = m.indirect_branch(0, VirtAddr(0x40_0000)).unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::Smep));
+    }
+
+    #[test]
+    fn domain_of_layout() {
+        assert_eq!(domain_of(layout::MONITOR_BASE), Domain::Monitor);
+        assert_eq!(domain_of(layout::KERNEL_BASE), Domain::Kernel);
+        assert_eq!(domain_of(VirtAddr(0x40_0000)), Domain::User);
+    }
+}

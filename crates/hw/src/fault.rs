@@ -1,0 +1,185 @@
+//! Hardware fault and exception types.
+//!
+//! All simulated hardware checks report failures through [`Fault`]. Faults
+//! carry enough structure for upper layers (monitor / kernel) to dispatch on
+//! vector and for tests to assert on the precise denial reason.
+
+use crate::VirtAddr;
+
+/// The kind of memory access that was attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl AccessKind {
+    /// Whether this access is a data access (read or write).
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        matches!(self, AccessKind::Read | AccessKind::Write)
+    }
+}
+
+/// The precise reason a page-level permission check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PfReason {
+    /// A page-table entry on the walk path was not present.
+    NotPresent,
+    /// Write to a non-writable mapping (leaf or intermediate `RW=0`).
+    NotWritable,
+    /// Instruction fetch from a no-execute mapping.
+    NoExecute,
+    /// User-mode access to a supervisor mapping.
+    UserAccessToSupervisor,
+    /// Supervisor instruction fetch from a user page while `CR4.SMEP` set.
+    Smep,
+    /// Supervisor data access to a user page while `CR4.SMAP` set and
+    /// `RFLAGS.AC` clear.
+    Smap,
+    /// Supervisor protection-key *access-disable* denial (PKS).
+    PksAccessDisabled,
+    /// Supervisor protection-key *write-disable* denial (PKS).
+    PksWriteDisabled,
+    /// Non-canonical virtual address.
+    NonCanonical,
+}
+
+/// A simulated hardware fault / exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `#PF` — page fault, with faulting address, access kind and reason.
+    PageFault {
+        /// Faulting virtual address.
+        va: VirtAddr,
+        /// The access that faulted.
+        access: AccessKind,
+        /// Why the hardware denied it.
+        reason: PfReason,
+    },
+    /// `#GP` — general protection fault (privileged operation from the wrong
+    /// mode, malformed descriptor, ...). Carries a static description.
+    GeneralProtection(&'static str),
+    /// `#CP` — control protection fault raised by CET (missing `endbr64` at
+    /// an indirect-branch target, or a shadow-stack return mismatch).
+    ControlProtection(CpReason),
+    /// `#UD` — invalid/undefined opcode. In this model it is raised when a
+    /// code domain attempts to execute an instruction its verified image
+    /// does not contain.
+    UndefinedInstruction(&'static str),
+    /// `#VE` — virtualization exception injected by the TDX module for
+    /// synchronous guest exits (see `erebor-tdx`).
+    VirtualizationException(VeReason),
+    /// `#DF`-like unrecoverable condition in the simulator.
+    Unrecoverable(&'static str),
+}
+
+/// Why CET raised `#CP`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CpReason {
+    /// Indirect branch landed on an instruction that is not `endbr64`.
+    MissingEndbranch,
+    /// `ret` target did not match the shadow-stack record.
+    ShadowStackMismatch,
+    /// Shadow-stack token was busy (already active on another core).
+    TokenBusy,
+}
+
+/// Why the TDX module injected `#VE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VeReason {
+    /// Guest executed `cpuid`; the host must emulate it.
+    Cpuid,
+    /// Guest accessed an MSR the host emulates.
+    MsrAccess,
+    /// Guest touched an un-accepted / host-managed GPA.
+    EptViolation,
+    /// Guest executed an I/O or MMIO instruction.
+    Mmio,
+    /// Guest executed `hlt`.
+    Halt,
+}
+
+impl Fault {
+    /// The interrupt vector this fault is delivered on (x86 numbering).
+    #[must_use]
+    pub fn vector(&self) -> u8 {
+        match self {
+            Fault::PageFault { .. } => 14,
+            Fault::GeneralProtection(_) => 13,
+            Fault::ControlProtection(_) => 21,
+            Fault::UndefinedInstruction(_) => 6,
+            Fault::VirtualizationException(_) => 20,
+            Fault::Unrecoverable(_) => 8,
+        }
+    }
+
+    /// Convenience: whether this is a page fault with the given reason.
+    #[must_use]
+    pub fn is_pf(&self, want: PfReason) -> bool {
+        matches!(self, Fault::PageFault { reason, .. } if *reason == want)
+    }
+}
+
+impl core::fmt::Display for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Fault::PageFault { va, access, reason } => {
+                write!(f, "#PF at {va} ({access:?}, {reason:?})")
+            }
+            Fault::GeneralProtection(why) => write!(f, "#GP: {why}"),
+            Fault::ControlProtection(r) => write!(f, "#CP: {r:?}"),
+            Fault::UndefinedInstruction(why) => write!(f, "#UD: {why}"),
+            Fault::VirtualizationException(r) => write!(f, "#VE: {r:?}"),
+            Fault::Unrecoverable(why) => write!(f, "unrecoverable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_vectors_match_x86() {
+        assert_eq!(
+            Fault::PageFault {
+                va: VirtAddr(0),
+                access: AccessKind::Read,
+                reason: PfReason::NotPresent
+            }
+            .vector(),
+            14
+        );
+        assert_eq!(Fault::GeneralProtection("x").vector(), 13);
+        assert_eq!(
+            Fault::ControlProtection(CpReason::MissingEndbranch).vector(),
+            21
+        );
+        assert_eq!(Fault::VirtualizationException(VeReason::Cpuid).vector(), 20);
+    }
+
+    #[test]
+    fn is_pf_matches_reason() {
+        let f = Fault::PageFault {
+            va: VirtAddr(0x1000),
+            access: AccessKind::Write,
+            reason: PfReason::PksWriteDisabled,
+        };
+        assert!(f.is_pf(PfReason::PksWriteDisabled));
+        assert!(!f.is_pf(PfReason::NotPresent));
+    }
+
+    #[test]
+    fn access_kind_data() {
+        assert!(AccessKind::Read.is_data());
+        assert!(AccessKind::Write.is_data());
+        assert!(!AccessKind::Execute.is_data());
+    }
+}

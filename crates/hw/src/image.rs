@@ -1,0 +1,235 @@
+//! Synthetic executable images.
+//!
+//! The simulated platform loads software from *images*: a minimal ELF-like
+//! container of named sections with virtual addresses and permissions. The
+//! kernel image the monitor verifies at boot (§5.1), the monitor's own
+//! measured image, and sandboxed program images all use this format.
+//!
+//! Section *bytes are real*: the monitor's verifier scans them with
+//! [`crate::insn::scan`], and CET landing pads are genuine `endbr64` byte
+//! sequences located by offset.
+
+use crate::insn;
+use crate::VirtAddr;
+
+/// Permissions requested for a section's mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SectionKind {
+    /// Executable code (mapped read-execute; W⊕X).
+    Text,
+    /// Read-only data.
+    Rodata,
+    /// Read-write data.
+    Data,
+}
+
+/// A named section of an image.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (".text", ".data", ...).
+    pub name: String,
+    /// Load virtual address.
+    pub va: VirtAddr,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+    /// Mapping permissions.
+    pub kind: SectionKind,
+}
+
+/// A loadable image: sections plus an entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Image {
+    /// Image name, for measurement logs.
+    pub name: String,
+    /// All sections.
+    pub sections: Vec<Section>,
+    /// Entry-point virtual address.
+    pub entry: u64,
+}
+
+impl Image {
+    /// Start building an image.
+    #[must_use]
+    pub fn builder(name: &str) -> ImageBuilder {
+        ImageBuilder {
+            image: Image {
+                name: name.to_string(),
+                ..Image::default()
+            },
+        }
+    }
+
+    /// All executable sections.
+    pub fn text_sections(&self) -> impl Iterator<Item = &Section> {
+        self.sections.iter().filter(|s| s.kind == SectionKind::Text)
+    }
+
+    /// Scan every executable section for sensitive instructions; returns
+    /// `(section name, finding)` pairs. Empty means the image is safe to run
+    /// deprivileged.
+    #[must_use]
+    pub fn scan_sensitive(&self) -> Vec<(String, insn::Finding)> {
+        let mut out = Vec::new();
+        for s in self.text_sections() {
+            for f in insn::scan(&s.bytes) {
+                out.push((s.name.clone(), f));
+            }
+        }
+        out
+    }
+
+    /// Virtual addresses of every `endbr64` landing pad in the image.
+    #[must_use]
+    pub fn endbr_targets(&self) -> Vec<VirtAddr> {
+        let mut out = Vec::new();
+        for s in self.text_sections() {
+            for off in 0..s.bytes.len() {
+                if insn::is_endbr_at(&s.bytes, off) {
+                    out.push(s.va.add(off as u64));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total image size in bytes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.sections.iter().map(|s| s.bytes.len()).sum()
+    }
+
+    /// A stable serialization of the image for measurement (hashed into the
+    /// attestation digest by the TDX module simulator).
+    #[must_use]
+    pub fn measurement_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size() + 64);
+        out.extend_from_slice(self.name.as_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        for s in &self.sections {
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.va.0.to_le_bytes());
+            out.extend_from_slice(&(s.bytes.len() as u64).to_le_bytes());
+            out.push(match s.kind {
+                SectionKind::Text => 1,
+                SectionKind::Rodata => 2,
+                SectionKind::Data => 3,
+            });
+            out.extend_from_slice(&s.bytes);
+        }
+        out
+    }
+}
+
+/// Builder for [`Image`].
+#[derive(Debug)]
+pub struct ImageBuilder {
+    image: Image,
+}
+
+impl ImageBuilder {
+    /// Add a section.
+    #[must_use]
+    pub fn section(mut self, name: &str, va: VirtAddr, kind: SectionKind, bytes: Vec<u8>) -> Self {
+        self.image.sections.push(Section {
+            name: name.to_string(),
+            va,
+            bytes,
+            kind,
+        });
+        self
+    }
+
+    /// Add an executable section of deterministic *benign* filler code of
+    /// `len` bytes (guaranteed free of sensitive instructions), derived
+    /// from `seed`.
+    #[must_use]
+    pub fn benign_text(self, name: &str, va: VirtAddr, len: usize, seed: u64) -> Self {
+        let mut bytes: Vec<u8> = (0..len)
+            .map(|i| {
+                let x = ((i as u64) ^ seed.rotate_left(17))
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(seed);
+                (x >> 32) as u8
+            })
+            .collect();
+        insn::neutralize(&mut bytes);
+        self.section(name, va, SectionKind::Text, bytes)
+    }
+
+    /// Set the entry point.
+    #[must_use]
+    pub fn entry(mut self, va: VirtAddr) -> Self {
+        self.image.entry = va.0;
+        self
+    }
+
+    /// Finish the image.
+    #[must_use]
+    pub fn build(self) -> Image {
+        self.image
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{encode, SensitiveClass, ENDBR64};
+
+    #[test]
+    fn benign_text_scans_clean() {
+        let img = Image::builder("k")
+            .benign_text(".text", VirtAddr(0x1000), 64 * 1024, 42)
+            .build();
+        assert!(img.scan_sensitive().is_empty());
+    }
+
+    #[test]
+    fn injected_wrmsr_is_found() {
+        let mut bytes = vec![0x90; 128];
+        bytes.splice(64..64, encode(SensitiveClass::Wrmsr));
+        let img = Image::builder("evil")
+            .section(".text", VirtAddr(0x1000), SectionKind::Text, bytes)
+            .build();
+        let findings = img.scan_sensitive();
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].1.class, SensitiveClass::Wrmsr);
+        assert_eq!(findings[0].1.offset, 64);
+    }
+
+    #[test]
+    fn sensitive_bytes_in_data_sections_are_not_code() {
+        // Data may legitimately contain sensitive byte patterns (W⊕X plus
+        // NX makes them unexecutable); the scanner only covers text.
+        let img = Image::builder("k")
+            .section(
+                ".data",
+                VirtAddr(0x2000),
+                SectionKind::Data,
+                encode(SensitiveClass::Tdcall),
+            )
+            .build();
+        assert!(img.scan_sensitive().is_empty());
+    }
+
+    #[test]
+    fn endbr_targets_located() {
+        let mut bytes = vec![0x90; 32];
+        bytes.extend(ENDBR64);
+        bytes.extend(vec![0x90; 8]);
+        let img = Image::builder("m")
+            .section(".text", VirtAddr(0x7000), SectionKind::Text, bytes)
+            .build();
+        assert_eq!(img.endbr_targets(), vec![VirtAddr(0x7020)]);
+    }
+
+    #[test]
+    fn measurement_changes_with_contents() {
+        let a = Image::builder("k")
+            .benign_text(".text", VirtAddr(0x1000), 256, 1)
+            .build();
+        let b = Image::builder("k")
+            .benign_text(".text", VirtAddr(0x1000), 256, 2)
+            .build();
+        assert_ne!(a.measurement_bytes(), b.measurement_bytes());
+    }
+}

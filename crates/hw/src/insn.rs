@@ -1,0 +1,226 @@
+//! Sensitive-instruction byte encodings (paper Table 2) and the byte-level
+//! scanner the monitor uses to verify kernel images (§5.1).
+//!
+//! The paper's insight is that, unlike classic SFI, Erebor does not need a
+//! full disassembler: it suffices to ensure that *no byte sequence* in the
+//! kernel's executable sections forms a sensitive instruction, scanning at
+//! every byte offset. We reproduce that with the real x86 encodings.
+
+/// The classes of sensitive privileged instructions from Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensitiveClass {
+    /// `mov %r, %crN` — MMU state and hardware protection toggles.
+    MovToCr,
+    /// `wrmsr` — PKS/CET/LSTAR/UINTR configuration.
+    Wrmsr,
+    /// `stac` — temporary SMAP override.
+    Stac,
+    /// `lidt` — interrupt descriptor table base.
+    Lidt,
+    /// `tdcall` — all GHCI traffic (memory conversion, vmcall, attestation).
+    Tdcall,
+}
+
+impl SensitiveClass {
+    /// All classes, in Table 2 order.
+    pub const ALL: [SensitiveClass; 5] = [
+        SensitiveClass::MovToCr,
+        SensitiveClass::Wrmsr,
+        SensitiveClass::Stac,
+        SensitiveClass::Lidt,
+        SensitiveClass::Tdcall,
+    ];
+}
+
+/// The `endbr64` encoding (CET indirect-branch landing pad).
+pub const ENDBR64: [u8; 4] = [0xf3, 0x0f, 0x1e, 0xfa];
+
+/// A sensitive-instruction occurrence found by the scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Finding {
+    /// Byte offset within the scanned section.
+    pub offset: usize,
+    /// Which class of sensitive instruction the bytes form.
+    pub class: SensitiveClass,
+}
+
+/// Produce a canonical encoding of a sensitive instruction, for building
+/// test images and the monitor's own (legitimately privileged) image.
+#[must_use]
+pub fn encode(class: SensitiveClass) -> Vec<u8> {
+    match class {
+        // mov cr3, rax
+        SensitiveClass::MovToCr => vec![0x0f, 0x22, 0xd8],
+        SensitiveClass::Wrmsr => vec![0x0f, 0x30],
+        SensitiveClass::Stac => vec![0x0f, 0x01, 0xcb],
+        // lidt [rax]
+        SensitiveClass::Lidt => vec![0x0f, 0x01, 0x18],
+        SensitiveClass::Tdcall => vec![0x66, 0x0f, 0x01, 0xcc],
+    }
+}
+
+/// Classify the byte sequence starting at `bytes[i]`, if it forms a
+/// sensitive instruction.
+///
+/// Conservative byte-level matching at *any* offset, exactly as §5.1
+/// prescribes; the scanner does not attempt instruction-boundary recovery.
+#[must_use]
+pub fn classify_at(bytes: &[u8], i: usize) -> Option<SensitiveClass> {
+    let b = &bytes[i..];
+    if b.len() >= 2 && b[0] == 0x0f {
+        match b[1] {
+            // mov %r, %crN (0F 22 /r)
+            0x22 => return Some(SensitiveClass::MovToCr),
+            // wrmsr (0F 30)
+            0x30 => return Some(SensitiveClass::Wrmsr),
+            0x01 if b.len() >= 3 => {
+                let modrm = b[2];
+                // stac (0F 01 CB)
+                if modrm == 0xcb {
+                    return Some(SensitiveClass::Stac);
+                }
+                // tdcall without mandatory prefix is still flagged,
+                // conservatively (0F 01 CC).
+                if modrm == 0xcc {
+                    return Some(SensitiveClass::Tdcall);
+                }
+                // lidt (0F 01 /3, memory operand: mod != 11)
+                if (modrm >> 6) != 0b11 && ((modrm >> 3) & 0b111) == 0b011 {
+                    return Some(SensitiveClass::Lidt);
+                }
+            }
+            _ => {}
+        }
+    }
+    // tdcall with its 66h prefix (66 0F 01 CC)
+    if b.len() >= 4 && b[0] == 0x66 && b[1] == 0x0f && b[2] == 0x01 && b[3] == 0xcc {
+        return Some(SensitiveClass::Tdcall);
+    }
+    None
+}
+
+/// Scan `bytes` at every offset and report all sensitive-instruction
+/// occurrences. An empty result means the section is safe to execute in the
+/// deprivileged kernel domain.
+#[must_use]
+pub fn scan(bytes: &[u8]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for i in 0..bytes.len() {
+        if let Some(class) = classify_at(bytes, i) {
+            findings.push(Finding { offset: i, class });
+        }
+    }
+    findings
+}
+
+/// Whether `va` within `bytes` (section base `base`) starts an `endbr64`.
+#[must_use]
+pub fn is_endbr_at(bytes: &[u8], offset: usize) -> bool {
+    bytes.len() >= offset + 4 && bytes[offset..offset + 4] == ENDBR64
+}
+
+/// Rewrite `bytes` in place until [`scan`] reports nothing, replacing the
+/// first byte of every finding with `0x90` (NOP). Used by test-image
+/// generators to produce *benign* filler code from random bytes.
+pub fn neutralize(bytes: &mut [u8]) {
+    loop {
+        let findings = scan(bytes);
+        if findings.is_empty() {
+            return;
+        }
+        for f in findings {
+            bytes[f.offset] = 0x90;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings_are_found() {
+        for class in SensitiveClass::ALL {
+            let enc = encode(class);
+            let findings = scan(&enc);
+            assert!(
+                findings.iter().any(|f| f.offset == 0 && f.class == class),
+                "{class:?} not found in its own encoding {enc:02x?}"
+            );
+        }
+    }
+
+    #[test]
+    fn findings_at_unaligned_offsets() {
+        // Hide a wrmsr after arbitrary prefix bytes — the byte-level scan
+        // must still see it (this is the paper's whole point).
+        let mut bytes = vec![0x48, 0x89, 0xc7];
+        bytes.extend(encode(SensitiveClass::Wrmsr));
+        let findings = scan(&bytes);
+        assert_eq!(
+            findings,
+            vec![Finding {
+                offset: 3,
+                class: SensitiveClass::Wrmsr
+            }]
+        );
+    }
+
+    #[test]
+    fn lidt_memory_form_detected_but_register_forms_not_confused() {
+        // 0F 01 18 = lidt [rax] (mod=00 reg=011 rm=000)
+        assert_eq!(
+            classify_at(&[0x0f, 0x01, 0x18], 0),
+            Some(SensitiveClass::Lidt)
+        );
+        // 0F 01 D8 has mod=11 reg=011 → VMRUN-adjacent, not lidt.
+        assert_eq!(classify_at(&[0x0f, 0x01, 0xd8], 0), None);
+        // swapgs (0F 01 F8) is not sensitive.
+        assert_eq!(classify_at(&[0x0f, 0x01, 0xf8], 0), None);
+    }
+
+    #[test]
+    fn tdcall_detected_with_and_without_prefix() {
+        assert_eq!(
+            classify_at(&[0x66, 0x0f, 0x01, 0xcc], 0),
+            Some(SensitiveClass::Tdcall)
+        );
+        assert_eq!(
+            classify_at(&[0x0f, 0x01, 0xcc], 0),
+            Some(SensitiveClass::Tdcall)
+        );
+    }
+
+    #[test]
+    fn clac_is_not_sensitive() {
+        // clac = 0F 01 CA: the kernel may always *drop* user access.
+        assert_eq!(classify_at(&[0x0f, 0x01, 0xca], 0), None);
+    }
+
+    #[test]
+    fn endbr_detection() {
+        let mut b = vec![0x90, 0x90];
+        b.extend(ENDBR64);
+        assert!(is_endbr_at(&b, 2));
+        assert!(!is_endbr_at(&b, 0));
+        assert!(!is_endbr_at(&b, 3));
+    }
+
+    #[test]
+    fn neutralize_produces_clean_bytes() {
+        let mut bytes: Vec<u8> = (0..4096).map(|i| (i * 37 % 256) as u8).collect();
+        // Random-ish bytes will contain incidental matches; neutralize
+        // must clear them all.
+        neutralize(&mut bytes);
+        assert!(scan(&bytes).is_empty());
+    }
+
+    #[test]
+    fn neutralize_handles_overlapping_patterns() {
+        // 66 0F 01 CC contains 0F 01 CC: two overlapping findings.
+        let mut bytes = encode(SensitiveClass::Tdcall);
+        bytes.extend(encode(SensitiveClass::Wrmsr));
+        neutralize(&mut bytes);
+        assert!(scan(&bytes).is_empty());
+    }
+}

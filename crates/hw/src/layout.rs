@@ -1,0 +1,72 @@
+//! The guest virtual-memory layout used by the simulated CVM.
+//!
+//! Mirrors a conventional x86-64 Linux split with an additional protected
+//! monitor window. Constants, not policy: enforcement lives in the MMU and
+//! the monitor.
+
+use crate::VirtAddr;
+
+/// Base of the user half (sandbox / process images, heaps, stacks).
+pub const USER_BASE: VirtAddr = VirtAddr(0x0000_0000_0040_0000);
+/// Exclusive top of canonical user space.
+pub const USER_TOP: VirtAddr = VirtAddr(0x0000_7fff_ffff_f000);
+
+/// Kernel text/data image base.
+pub const KERNEL_BASE: VirtAddr = VirtAddr(0xffff_8000_0000_0000);
+/// Direct map of all physical memory (virt = phys + `DIRECT_MAP_BASE`).
+pub const DIRECT_MAP_BASE: VirtAddr = VirtAddr(0xffff_8800_0000_0000);
+/// Monitor image, data and secure stacks.
+pub const MONITOR_BASE: VirtAddr = VirtAddr(0xffff_a000_0000_0000);
+/// Monitor shadow-stack window.
+pub const MONITOR_SSTK_BASE: VirtAddr = VirtAddr(0xffff_a100_0000_0000);
+
+/// Translate a physical address through the kernel direct map.
+#[must_use]
+pub fn direct_map(pa: crate::PhysAddr) -> VirtAddr {
+    VirtAddr(DIRECT_MAP_BASE.0 + pa.0)
+}
+
+/// Whether a virtual address lies in the user half.
+#[must_use]
+pub fn is_user(va: VirtAddr) -> bool {
+    va.0 < 0x0000_8000_0000_0000
+}
+
+/// Whether a virtual address lies in the monitor windows.
+#[must_use]
+pub fn is_monitor(va: VirtAddr) -> bool {
+    (MONITOR_BASE.0..MONITOR_BASE.0 + 0x2_0000_0000).contains(&va.0)
+        || (MONITOR_SSTK_BASE.0..MONITOR_SSTK_BASE.0 + 0x1000_0000).contains(&va.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PhysAddr;
+
+    #[test]
+    fn direct_map_offsets() {
+        assert_eq!(direct_map(PhysAddr(0x1000)).0, DIRECT_MAP_BASE.0 + 0x1000);
+    }
+
+    #[test]
+    fn halves() {
+        assert!(is_user(USER_BASE));
+        assert!(!is_user(KERNEL_BASE));
+        assert!(is_monitor(MONITOR_BASE));
+        assert!(!is_monitor(KERNEL_BASE));
+    }
+
+    #[test]
+    fn layout_addresses_are_canonical() {
+        for va in [
+            USER_BASE,
+            USER_TOP,
+            KERNEL_BASE,
+            DIRECT_MAP_BASE,
+            MONITOR_BASE,
+        ] {
+            assert!(va.is_canonical(), "{va} must be canonical");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! 4-level page tables stored in simulated physical frames.
+//!
+//! Page-table pages (PTPs) are ordinary frames of simulated DRAM: walking
+//! reads them through [`PhysMemory`], and *software* updates them through
+//! ordinary (MMU-checked) stores. That property is what lets the monitor
+//! enforce the Nested-Kernel PTP write-protection policy of §5.2 — the
+//! deprivileged kernel's direct-map stores to PTP frames hit the PKS check
+//! like any other store.
+//!
+//! This module provides the PTE encoding and *raw* table construction
+//! helpers used by boot firmware and by the MMU walker itself. They bypass
+//! permission checks by design; runtime software must go through
+//! [`crate::cpu::Cpu`] store operations instead.
+
+use crate::phys::{Frame, PhysAddr, PhysError, PhysMemory};
+use crate::VirtAddr;
+
+/// Architectural flag bits of a page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PteFlags {
+    /// Present.
+    pub present: bool,
+    /// Writable.
+    pub writable: bool,
+    /// User-accessible (`U/S = 1`).
+    pub user: bool,
+    /// Accessed (set by the walker).
+    pub accessed: bool,
+    /// Dirty (set by the walker on writes).
+    pub dirty: bool,
+    /// No-execute.
+    pub nx: bool,
+    /// 4-bit supervisor protection key (PKS domain).
+    pub pkey: u8,
+}
+
+impl PteFlags {
+    /// Kernel read-write data mapping.
+    #[must_use]
+    pub fn kernel_rw(pkey: u8) -> PteFlags {
+        PteFlags {
+            present: true,
+            writable: true,
+            nx: true,
+            pkey,
+            ..PteFlags::default()
+        }
+    }
+
+    /// Kernel read-only mapping.
+    #[must_use]
+    pub fn kernel_ro(pkey: u8) -> PteFlags {
+        PteFlags {
+            present: true,
+            nx: true,
+            pkey,
+            ..PteFlags::default()
+        }
+    }
+
+    /// Kernel executable (read-only) mapping — W⊕X.
+    #[must_use]
+    pub fn kernel_rx(pkey: u8) -> PteFlags {
+        PteFlags {
+            present: true,
+            pkey,
+            ..PteFlags::default()
+        }
+    }
+
+    /// User read-write data mapping.
+    #[must_use]
+    pub fn user_rw() -> PteFlags {
+        PteFlags {
+            present: true,
+            writable: true,
+            user: true,
+            nx: true,
+            ..PteFlags::default()
+        }
+    }
+
+    /// User read-only mapping.
+    #[must_use]
+    pub fn user_ro() -> PteFlags {
+        PteFlags {
+            present: true,
+            user: true,
+            nx: true,
+            ..PteFlags::default()
+        }
+    }
+
+    /// User executable (read-only) mapping.
+    #[must_use]
+    pub fn user_rx() -> PteFlags {
+        PteFlags {
+            present: true,
+            user: true,
+            ..PteFlags::default()
+        }
+    }
+}
+
+/// A raw 64-bit page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pte(pub u64);
+
+impl Pte {
+    const PRESENT: u64 = 1 << 0;
+    const WRITABLE: u64 = 1 << 1;
+    const USER: u64 = 1 << 2;
+    const ACCESSED: u64 = 1 << 5;
+    const DIRTY: u64 = 1 << 6;
+    const FRAME_MASK: u64 = 0x000f_ffff_ffff_f000;
+    const PKEY_SHIFT: u64 = 59;
+    const NX: u64 = 1 << 63;
+
+    /// Encode an entry from a frame and flags.
+    #[must_use]
+    pub fn encode(frame: Frame, flags: PteFlags) -> Pte {
+        let mut v = (frame.0 << 12) & Self::FRAME_MASK;
+        if flags.present {
+            v |= Self::PRESENT;
+        }
+        if flags.writable {
+            v |= Self::WRITABLE;
+        }
+        if flags.user {
+            v |= Self::USER;
+        }
+        if flags.accessed {
+            v |= Self::ACCESSED;
+        }
+        if flags.dirty {
+            v |= Self::DIRTY;
+        }
+        if flags.nx {
+            v |= Self::NX;
+        }
+        v |= u64::from(flags.pkey & 0xf) << Self::PKEY_SHIFT;
+        Pte(v)
+    }
+
+    /// The not-present entry.
+    #[must_use]
+    pub fn empty() -> Pte {
+        Pte(0)
+    }
+
+    /// Whether the entry is present.
+    #[must_use]
+    pub fn present(self) -> bool {
+        self.0 & Self::PRESENT != 0
+    }
+
+    /// Whether the entry is writable.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        self.0 & Self::WRITABLE != 0
+    }
+
+    /// Whether the entry is user-accessible.
+    #[must_use]
+    pub fn user(self) -> bool {
+        self.0 & Self::USER != 0
+    }
+
+    /// Whether the entry is dirty.
+    #[must_use]
+    pub fn dirty(self) -> bool {
+        self.0 & Self::DIRTY != 0
+    }
+
+    /// Whether the entry is no-execute.
+    #[must_use]
+    pub fn nx(self) -> bool {
+        self.0 & Self::NX != 0
+    }
+
+    /// The supervisor protection key.
+    #[must_use]
+    pub fn pkey(self) -> u8 {
+        ((self.0 >> Self::PKEY_SHIFT) & 0xf) as u8
+    }
+
+    /// Target frame.
+    #[must_use]
+    pub fn frame(self) -> Frame {
+        Frame((self.0 & Self::FRAME_MASK) >> 12)
+    }
+
+    /// Decoded flag view.
+    #[must_use]
+    pub fn flags(self) -> PteFlags {
+        PteFlags {
+            present: self.present(),
+            writable: self.writable(),
+            user: self.user(),
+            accessed: self.0 & Self::ACCESSED != 0,
+            dirty: self.dirty(),
+            nx: self.nx(),
+            pkey: self.pkey(),
+        }
+    }
+
+    /// Copy with accessed/dirty bits set.
+    #[must_use]
+    pub fn with_ad(self, dirty: bool) -> Pte {
+        let mut v = self.0 | Self::ACCESSED;
+        if dirty {
+            v |= Self::DIRTY;
+        }
+        Pte(v)
+    }
+
+    /// Copy with the writable bit cleared (used when the monitor seals
+    /// common memory read-only, §6.1).
+    #[must_use]
+    pub fn read_only(self) -> Pte {
+        Pte(self.0 & !Self::WRITABLE)
+    }
+}
+
+/// Conventional intermediate-level flags for a mapping whose leaf flags are
+/// `leaf`: present, writable, and user-visible iff the leaf is (x86 requires
+/// `U/S = 1` along the entire walk path for a user-accessible page).
+#[must_use]
+pub fn intermediate_for(leaf: PteFlags) -> PteFlags {
+    PteFlags {
+        present: true,
+        writable: true,
+        user: leaf.user,
+        ..PteFlags::default()
+    }
+}
+
+/// Physical address of the PTE slot for `va` at `level` within table `tbl`.
+#[must_use]
+pub fn pte_slot(tbl: Frame, va: VirtAddr, level: u8) -> PhysAddr {
+    PhysAddr(tbl.base().0 + (va.table_index(level) * 8) as u64)
+}
+
+/// Raw (unchecked) page-table construction: walk down from `root`, creating
+/// intermediate tables with `intermediate_flags` as needed, and install
+/// `pte` at the leaf slot for `va`.
+///
+/// Returns the list of newly allocated PTP frames so callers (the monitor)
+/// can tag and protect them.
+///
+/// # Errors
+/// Propagates physical-memory allocation failures.
+pub fn map_raw(
+    mem: &mut PhysMemory,
+    root: Frame,
+    va: VirtAddr,
+    pte: Pte,
+    intermediate_flags: PteFlags,
+) -> Result<Vec<Frame>, PhysError> {
+    let mut new_ptps = Vec::new();
+    let mut tbl = root;
+    for level in (2..=4u8).rev() {
+        let slot = pte_slot(tbl, va, level);
+        let entry = Pte(mem.read_u64(slot)?);
+        if entry.present() {
+            tbl = entry.frame();
+        } else {
+            let f = mem.alloc_frame()?;
+            mem.write_u64(slot, Pte::encode(f, intermediate_flags).0)?;
+            new_ptps.push(f);
+            tbl = f;
+        }
+    }
+    mem.write_u64(pte_slot(tbl, va, 1), pte.0)?;
+    Ok(new_ptps)
+}
+
+/// Raw (unchecked) leaf lookup: returns the leaf PTE for `va`, or `None` if
+/// any level is not present.
+///
+/// # Errors
+/// Propagates physical-memory range errors.
+pub fn lookup_raw(mem: &PhysMemory, root: Frame, va: VirtAddr) -> Result<Option<Pte>, PhysError> {
+    let mut tbl = root;
+    for level in (2..=4u8).rev() {
+        let entry = Pte(mem.read_u64(pte_slot(tbl, va, level))?);
+        if !entry.present() {
+            return Ok(None);
+        }
+        tbl = entry.frame();
+    }
+    let leaf = Pte(mem.read_u64(pte_slot(tbl, va, 1))?);
+    Ok(if leaf.present() { Some(leaf) } else { None })
+}
+
+/// Physical address of the *leaf PTE slot* for `va`, or `None` if the walk
+/// path is incomplete. Used by the monitor to locate entries it must edit.
+///
+/// # Errors
+/// Propagates physical-memory range errors.
+pub fn leaf_slot(
+    mem: &PhysMemory,
+    root: Frame,
+    va: VirtAddr,
+) -> Result<Option<PhysAddr>, PhysError> {
+    let mut tbl = root;
+    for level in (2..=4u8).rev() {
+        let entry = Pte(mem.read_u64(pte_slot(tbl, va, level))?);
+        if !entry.present() {
+            return Ok(None);
+        }
+        tbl = entry.frame();
+    }
+    Ok(Some(pte_slot(tbl, va, 1)))
+}
+
+/// Enumerate the PTP frames (all levels, including the root) reachable from
+/// `root`. Used by the monitor to apply the PTP protection key.
+///
+/// # Errors
+/// Propagates physical-memory range errors.
+pub fn collect_ptps(mem: &PhysMemory, root: Frame) -> Result<Vec<Frame>, PhysError> {
+    let mut out = vec![root];
+    let mut stack = vec![(root, 4u8)];
+    while let Some((tbl, level)) = stack.pop() {
+        for idx in 0..512usize {
+            let entry = Pte(mem.read_u64(PhysAddr(tbl.base().0 + (idx * 8) as u64))?);
+            if entry.present() && level > 1 {
+                out.push(entry.frame());
+                if level > 2 {
+                    stack.push((entry.frame(), level - 1));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> PhysMemory {
+        PhysMemory::new(64 * 1024 * 1024)
+    }
+
+    #[test]
+    fn pte_encode_decode_roundtrip() {
+        let flags = PteFlags {
+            present: true,
+            writable: true,
+            user: false,
+            accessed: false,
+            dirty: false,
+            nx: true,
+            pkey: 9,
+        };
+        let pte = Pte::encode(Frame(0x1234), flags);
+        assert!(pte.present() && pte.writable() && pte.nx());
+        assert_eq!(pte.pkey(), 9);
+        assert_eq!(pte.frame(), Frame(0x1234));
+        assert_eq!(pte.flags(), flags);
+    }
+
+    #[test]
+    fn map_then_lookup() {
+        let mut m = mem();
+        let root = m.alloc_frame().unwrap();
+        let target = m.alloc_frame().unwrap();
+        let va = VirtAddr(0x0000_7f12_3456_7000);
+        let ptps = map_raw(
+            &mut m,
+            root,
+            va,
+            Pte::encode(target, PteFlags::user_rw()),
+            PteFlags::kernel_rw(0),
+        )
+        .unwrap();
+        assert_eq!(ptps.len(), 3, "three intermediate levels created");
+        let leaf = lookup_raw(&m, root, va).unwrap().unwrap();
+        assert_eq!(leaf.frame(), target);
+        assert!(leaf.user() && leaf.writable());
+        assert_eq!(lookup_raw(&m, root, VirtAddr(0x1000)).unwrap(), None);
+    }
+
+    #[test]
+    fn map_reuses_intermediate_tables() {
+        let mut m = mem();
+        let root = m.alloc_frame().unwrap();
+        let t1 = m.alloc_frame().unwrap();
+        let t2 = m.alloc_frame().unwrap();
+        let ptps1 = map_raw(
+            &mut m,
+            root,
+            VirtAddr(0x40_0000),
+            Pte::encode(t1, PteFlags::user_ro()),
+            PteFlags::kernel_rw(0),
+        )
+        .unwrap();
+        let ptps2 = map_raw(
+            &mut m,
+            root,
+            VirtAddr(0x40_1000),
+            Pte::encode(t2, PteFlags::user_ro()),
+            PteFlags::kernel_rw(0),
+        )
+        .unwrap();
+        assert_eq!(ptps1.len(), 3);
+        assert_eq!(ptps2.len(), 0, "same PT path reused");
+    }
+
+    #[test]
+    fn collect_ptps_finds_all_levels() {
+        let mut m = mem();
+        let root = m.alloc_frame().unwrap();
+        let t = m.alloc_frame().unwrap();
+        map_raw(
+            &mut m,
+            root,
+            VirtAddr(0x40_0000),
+            Pte::encode(t, PteFlags::user_rw()),
+            PteFlags::kernel_rw(0),
+        )
+        .unwrap();
+        let ptps = collect_ptps(&m, root).unwrap();
+        assert_eq!(ptps.len(), 4, "root + 3 intermediates");
+        assert!(!ptps.contains(&t), "leaf data frame is not a PTP");
+    }
+
+    #[test]
+    fn leaf_slot_addresses_the_leaf() {
+        let mut m = mem();
+        let root = m.alloc_frame().unwrap();
+        let t = m.alloc_frame().unwrap();
+        let va = VirtAddr(0x40_0000);
+        map_raw(
+            &mut m,
+            root,
+            va,
+            Pte::encode(t, PteFlags::user_rw()),
+            PteFlags::kernel_rw(0),
+        )
+        .unwrap();
+        let slot = leaf_slot(&m, root, va).unwrap().unwrap();
+        let pte = Pte(m.read_u64(slot).unwrap());
+        assert_eq!(pte.frame(), t);
+    }
+
+    #[test]
+    fn read_only_seal_clears_w() {
+        let pte = Pte::encode(Frame(1), PteFlags::user_rw());
+        assert!(pte.writable());
+        assert!(!pte.read_only().writable());
+        assert!(pte.read_only().present());
+    }
+}

@@ -1,0 +1,398 @@
+//! Simulated physical memory: frames, a frame allocator with reserved
+//! regions, and byte-addressed DRAM backing.
+//!
+//! Frames are 4 KiB (the paper's prototype disables huge pages, §7, so the
+//! simulator only models 4 KiB mappings). Backing storage is allocated
+//! lazily so a multi-GiB simulated machine is cheap to construct.
+
+use std::collections::BTreeMap;
+
+/// Page size in bytes (4 KiB; huge pages are disabled per paper §7).
+pub const PAGE_SIZE: usize = 4096;
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u64 = 12;
+
+/// A physical byte address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The frame containing this address.
+    #[must_use]
+    pub fn frame(self) -> Frame {
+        Frame(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Byte offset within the containing frame.
+    #[must_use]
+    pub fn frame_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+}
+
+impl core::fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+/// A physical frame number (address >> 12).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frame(pub u64);
+
+impl Frame {
+    /// Base physical address of the frame.
+    #[must_use]
+    pub fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_SHIFT)
+    }
+}
+
+impl core::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Frame({:#x})", self.0)
+    }
+}
+
+/// Errors from physical-memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhysError {
+    /// Address beyond the configured DRAM size.
+    OutOfRange(PhysAddr),
+    /// No free frames remain in the requested region.
+    OutOfMemory,
+    /// Frame was not allocated (double free / free of reserved frame).
+    NotAllocated(Frame),
+    /// Frame is already allocated.
+    AlreadyAllocated(Frame),
+}
+
+impl core::fmt::Display for PhysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PhysError::OutOfRange(pa) => write!(f, "physical address {pa:?} out of range"),
+            PhysError::OutOfMemory => write!(f, "out of physical memory"),
+            PhysError::NotAllocated(fr) => write!(f, "{fr:?} not allocated"),
+            PhysError::AlreadyAllocated(fr) => write!(f, "{fr:?} already allocated"),
+        }
+    }
+}
+
+impl std::error::Error for PhysError {}
+
+/// A named contiguous region of physical memory.
+///
+/// The platform reserves regions at boot: monitor image, the contiguous
+/// region backing sandbox confined memory (the paper uses Linux CMA, §7),
+/// and the device-shared window that may be converted to CVM-shared memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First frame of the region (inclusive).
+    pub start: Frame,
+    /// One past the last frame (exclusive).
+    pub end: Frame,
+}
+
+impl Region {
+    /// Construct a region from frame numbers.
+    #[must_use]
+    pub fn new(start: u64, end: u64) -> Region {
+        assert!(start <= end, "region start must not exceed end");
+        Region {
+            start: Frame(start),
+            end: Frame(end),
+        }
+    }
+
+    /// Number of frames in the region.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// Whether the region contains `frame`.
+    #[must_use]
+    pub fn contains(&self, frame: Frame) -> bool {
+        frame >= self.start && frame < self.end
+    }
+}
+
+/// Simulated DRAM plus a first-fit frame allocator.
+///
+/// Backing pages are allocated lazily on first write; reads of untouched
+/// memory return zeroes, matching freshly-scrubbed CVM memory.
+pub struct PhysMemory {
+    total_frames: u64,
+    pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
+    allocated: Vec<bool>,
+    reserved: Vec<Region>,
+    next_hint: u64,
+}
+
+impl PhysMemory {
+    /// Create simulated DRAM of `bytes` bytes (rounded down to frames).
+    ///
+    /// # Panics
+    /// Panics if `bytes` is smaller than one page.
+    #[must_use]
+    pub fn new(bytes: u64) -> PhysMemory {
+        let total_frames = bytes >> PAGE_SHIFT;
+        assert!(total_frames > 0, "need at least one frame of DRAM");
+        PhysMemory {
+            total_frames,
+            pages: BTreeMap::new(),
+            allocated: vec![false; total_frames as usize],
+            reserved: Vec::new(),
+            next_hint: 0,
+        }
+    }
+
+    /// Reserve a region: [`PhysMemory::alloc_frame`] will skip it, but
+    /// [`PhysMemory::alloc_frame_in`] targeting the region still works.
+    /// Used for the CMA confined pool and the device-shared window.
+    pub fn reserve_region(&mut self, region: Region) {
+        self.reserved.push(region);
+    }
+
+    fn is_reserved(&self, frame: Frame) -> bool {
+        self.reserved.iter().any(|r| r.contains(frame))
+    }
+
+    /// Total number of frames.
+    #[must_use]
+    pub fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+
+    /// Number of currently allocated frames.
+    #[must_use]
+    pub fn allocated_frames(&self) -> u64 {
+        self.allocated.iter().filter(|a| **a).count() as u64
+    }
+
+    fn check(&self, pa: PhysAddr, len: usize) -> Result<(), PhysError> {
+        let end =
+            pa.0.checked_add(len as u64)
+                .ok_or(PhysError::OutOfRange(pa))?;
+        if end > self.total_frames << PAGE_SHIFT {
+            return Err(PhysError::OutOfRange(pa));
+        }
+        Ok(())
+    }
+
+    /// Allocate one free frame anywhere in DRAM.
+    pub fn alloc_frame(&mut self) -> Result<Frame, PhysError> {
+        let n = self.total_frames;
+        for i in 0..n {
+            let idx = (self.next_hint + i) % n;
+            if !self.allocated[idx as usize] && !self.is_reserved(Frame(idx)) {
+                self.allocated[idx as usize] = true;
+                self.next_hint = (idx + 1) % n;
+                return Ok(Frame(idx));
+            }
+        }
+        Err(PhysError::OutOfMemory)
+    }
+
+    /// Allocate one free frame inside `region`.
+    pub fn alloc_frame_in(&mut self, region: Region) -> Result<Frame, PhysError> {
+        for f in region.start.0..region.end.0 {
+            if f >= self.total_frames {
+                break;
+            }
+            if !self.allocated[f as usize] {
+                self.allocated[f as usize] = true;
+                return Ok(Frame(f));
+            }
+        }
+        Err(PhysError::OutOfMemory)
+    }
+
+    /// Mark a specific frame allocated (used when reserving fixed regions).
+    pub fn claim_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
+        if frame.0 >= self.total_frames {
+            return Err(PhysError::OutOfRange(frame.base()));
+        }
+        if self.allocated[frame.0 as usize] {
+            return Err(PhysError::AlreadyAllocated(frame));
+        }
+        self.allocated[frame.0 as usize] = true;
+        Ok(())
+    }
+
+    /// Claim every frame of `region`.
+    pub fn claim_region(&mut self, region: Region) -> Result<(), PhysError> {
+        for f in region.start.0..region.end.0 {
+            self.claim_frame(Frame(f))?;
+        }
+        Ok(())
+    }
+
+    /// Free a previously allocated frame and scrub its contents.
+    pub fn free_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
+        if frame.0 >= self.total_frames {
+            return Err(PhysError::OutOfRange(frame.base()));
+        }
+        if !self.allocated[frame.0 as usize] {
+            return Err(PhysError::NotAllocated(frame));
+        }
+        self.allocated[frame.0 as usize] = false;
+        self.pages.remove(&frame.0);
+        Ok(())
+    }
+
+    /// Whether the frame is currently allocated.
+    #[must_use]
+    pub fn is_allocated(&self, frame: Frame) -> bool {
+        frame.0 < self.total_frames && self.allocated[frame.0 as usize]
+    }
+
+    /// Zero an entire frame (used by the monitor's teardown scrubbing).
+    pub fn zero_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
+        self.check(frame.base(), PAGE_SIZE)?;
+        self.pages.remove(&frame.0);
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes starting at `pa`. May cross frame boundaries.
+    pub fn read(&self, pa: PhysAddr, buf: &mut [u8]) -> Result<(), PhysError> {
+        self.check(pa, buf.len())?;
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            match self.pages.get(&frame) {
+                Some(page) => buf[done..done + chunk].copy_from_slice(&page[off..off + chunk]),
+                None => buf[done..done + chunk].fill(0),
+            }
+            addr += chunk as u64;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `pa`. May cross frame boundaries.
+    pub fn write(&mut self, pa: PhysAddr, buf: &[u8]) -> Result<(), PhysError> {
+        self.check(pa, buf.len())?;
+        let mut addr = pa.0;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let frame = addr >> PAGE_SHIFT;
+            let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+            let chunk = (PAGE_SIZE - off).min(buf.len() - done);
+            let page = self
+                .pages
+                .entry(frame)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            addr += chunk as u64;
+            done += chunk;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian u64.
+    pub fn read_u64(&self, pa: PhysAddr) -> Result<u64, PhysError> {
+        let mut b = [0u8; 8];
+        self.read(pa, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Write a little-endian u64.
+    pub fn write_u64(&mut self, pa: PhysAddr, v: u64) -> Result<(), PhysError> {
+        self.write(pa, &v.to_le_bytes())
+    }
+}
+
+impl core::fmt::Debug for PhysMemory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PhysMemory")
+            .field("total_frames", &self.total_frames)
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lazily_backed_reads_are_zero() {
+        let mem = PhysMemory::new(1 << 20);
+        let mut b = [0xffu8; 16];
+        mem.read(PhysAddr(0x2000), &mut b).unwrap();
+        assert_eq!(b, [0u8; 16]);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_frames() {
+        let mut mem = PhysMemory::new(1 << 20);
+        let data: Vec<u8> = (0..9000).map(|i| (i % 251) as u8).collect();
+        mem.write(PhysAddr(0xff0), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read(PhysAddr(0xff0), &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut mem = PhysMemory::new(PAGE_SIZE as u64);
+        assert!(mem.write(PhysAddr(PAGE_SIZE as u64 - 4), &[0; 8]).is_err());
+        assert_eq!(mem.write(PhysAddr(0), &[0; 8]), Ok(()));
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut mem = PhysMemory::new(4 * PAGE_SIZE as u64);
+        let a = mem.alloc_frame().unwrap();
+        let b = mem.alloc_frame().unwrap();
+        assert_ne!(a, b);
+        assert!(mem.is_allocated(a));
+        mem.free_frame(a).unwrap();
+        assert!(!mem.is_allocated(a));
+        assert_eq!(mem.free_frame(a), Err(PhysError::NotAllocated(a)));
+    }
+
+    #[test]
+    fn alloc_exhaustion() {
+        let mut mem = PhysMemory::new(2 * PAGE_SIZE as u64);
+        mem.alloc_frame().unwrap();
+        mem.alloc_frame().unwrap();
+        assert_eq!(mem.alloc_frame(), Err(PhysError::OutOfMemory));
+    }
+
+    #[test]
+    fn free_scrubs_contents() {
+        let mut mem = PhysMemory::new(4 * PAGE_SIZE as u64);
+        let f = mem.alloc_frame().unwrap();
+        mem.write(f.base(), b"secret").unwrap();
+        mem.free_frame(f).unwrap();
+        mem.claim_frame(f).unwrap();
+        let mut b = [0u8; 6];
+        mem.read(f.base(), &mut b).unwrap();
+        assert_eq!(&b, &[0u8; 6], "freed frame must be scrubbed");
+    }
+
+    #[test]
+    fn region_alloc_respects_bounds() {
+        let mut mem = PhysMemory::new(16 * PAGE_SIZE as u64);
+        let region = Region::new(4, 6);
+        let f1 = mem.alloc_frame_in(region).unwrap();
+        let f2 = mem.alloc_frame_in(region).unwrap();
+        assert!(region.contains(f1) && region.contains(f2));
+        assert_eq!(mem.alloc_frame_in(region), Err(PhysError::OutOfMemory));
+    }
+
+    #[test]
+    fn claim_region_conflicts() {
+        let mut mem = PhysMemory::new(16 * PAGE_SIZE as u64);
+        mem.claim_region(Region::new(0, 4)).unwrap();
+        assert_eq!(
+            mem.claim_region(Region::new(3, 5)),
+            Err(PhysError::AlreadyAllocated(Frame(3)))
+        );
+    }
+}

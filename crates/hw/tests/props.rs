@@ -1,0 +1,202 @@
+//! Property-based tests for the hardware substrate: paging encode/decode,
+//! physical-memory round trips, allocator invariants, the
+//! sensitive-instruction scanner, and MMU permission monotonicity.
+
+use erebor_hw::fault::AccessKind;
+use erebor_hw::insn;
+use erebor_hw::mmu::{self, MmuEnv};
+use erebor_hw::paging::{self, Pte, PteFlags};
+use erebor_hw::phys::{PhysAddr, PhysMemory};
+use erebor_hw::regs::{Cr0, Cr4, PkrsPerms, Rflags};
+use erebor_hw::{CpuMode, Frame, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+fn arb_flags() -> impl Strategy<Value = PteFlags> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        0u8..16,
+    )
+        .prop_map(|(present, writable, user, dirty, nx, pkey)| PteFlags {
+            present,
+            writable,
+            user,
+            accessed: false,
+            dirty,
+            nx,
+            pkey,
+        })
+}
+
+fn arb_canonical_user_va() -> impl Strategy<Value = VirtAddr> {
+    (0x40_0000u64..0x0000_7fff_ffff_f000).prop_map(|v| VirtAddr(v & !0xfff))
+}
+
+proptest! {
+    #[test]
+    fn pte_encode_decode_roundtrip(frame in 0u64..(1 << 36), flags in arb_flags()) {
+        let pte = Pte::encode(Frame(frame), flags);
+        prop_assert_eq!(pte.frame(), Frame(frame));
+        prop_assert_eq!(pte.flags(), flags);
+    }
+
+    #[test]
+    fn pte_read_only_preserves_everything_but_w(frame in 0u64..(1 << 36), flags in arb_flags()) {
+        let pte = Pte::encode(Frame(frame), flags).read_only();
+        prop_assert!(!pte.writable());
+        prop_assert_eq!(pte.frame(), Frame(frame));
+        prop_assert_eq!(pte.nx(), flags.nx);
+        prop_assert_eq!(pte.pkey(), flags.pkey);
+        prop_assert_eq!(pte.user(), flags.user);
+    }
+
+    #[test]
+    fn phys_write_read_roundtrip(
+        offset in 0u64..(1 << 20),
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+    ) {
+        let mut mem = PhysMemory::new(4 << 20);
+        mem.write(PhysAddr(offset), &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        mem.read(PhysAddr(offset), &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn allocator_never_hands_out_duplicates(n in 1usize..200) {
+        let mut mem = PhysMemory::new(1 << 20); // 256 frames
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            match mem.alloc_frame() {
+                Ok(f) => prop_assert!(seen.insert(f.0), "duplicate frame {f:?}"),
+                Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_free_makes_reusable(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut mem = PhysMemory::new(64 * PAGE_SIZE as u64);
+        let mut live: Vec<Frame> = Vec::new();
+        for alloc in ops {
+            if alloc || live.is_empty() {
+                if let Ok(f) = mem.alloc_frame() {
+                    prop_assert!(!live.contains(&f));
+                    live.push(f);
+                }
+            } else {
+                let f = live.swap_remove(live.len() / 2);
+                mem.free_frame(f).unwrap();
+                prop_assert!(!mem.is_allocated(f));
+            }
+        }
+        prop_assert_eq!(mem.allocated_frames(), live.len() as u64);
+    }
+
+    #[test]
+    fn neutralize_always_converges_clean(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let mut b = bytes;
+        insn::neutralize(&mut b);
+        prop_assert!(insn::scan(&b).is_empty());
+    }
+
+    #[test]
+    fn scanner_finds_injections_anywhere(
+        filler in proptest::collection::vec(any::<u8>(), 64..1024),
+        class_idx in 0usize..5,
+        pos_frac in 0.0f64..1.0,
+    ) {
+        let class = insn::SensitiveClass::ALL[class_idx];
+        let mut bytes = filler;
+        insn::neutralize(&mut bytes);
+        let enc = insn::encode(class);
+        let pos = ((bytes.len() - enc.len()) as f64 * pos_frac) as usize;
+        bytes[pos..pos + enc.len()].copy_from_slice(&enc);
+        let findings = insn::scan(&bytes);
+        prop_assert!(
+            findings.iter().any(|f| f.offset == pos && f.class == class),
+            "injected {class:?} at {pos} not found"
+        );
+    }
+
+    #[test]
+    fn mapped_translation_resolves_to_target(
+        va in arb_canonical_user_va(),
+        offset in 0u64..PAGE_SIZE as u64,
+    ) {
+        let mut mem = PhysMemory::new(16 << 20);
+        let root = mem.alloc_frame().unwrap();
+        let target = mem.alloc_frame().unwrap();
+        let flags = PteFlags::user_rw();
+        paging::map_raw(&mut mem, root, va, Pte::encode(target, flags), paging::intermediate_for(flags)).unwrap();
+        let env = MmuEnv {
+            root,
+            cr0: Cr0(Cr0::WP | Cr0::PG),
+            cr4: Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS),
+            mode: CpuMode::User,
+            rflags: Rflags(0),
+            pkrs: PkrsPerms::GRANT_ALL,
+        };
+        let t = mmu::translate(&mut mem, &env, va.add(offset), AccessKind::Read).unwrap();
+        prop_assert_eq!(t.pa.0, target.base().0 + offset);
+    }
+
+    #[test]
+    fn permissions_monotone_under_pkrs_restriction(
+        va in arb_canonical_user_va(),
+        key in 0u8..16,
+    ) {
+        // Any access allowed under a restricted PKRS is also allowed under
+        // GRANT_ALL (restriction never *grants*).
+        let kva = VirtAddr(0xffff_8000_0000_0000 | (va.0 & 0x0000_000f_ffff_f000));
+        let mut mem = PhysMemory::new(16 << 20);
+        let root = mem.alloc_frame().unwrap();
+        let target = mem.alloc_frame().unwrap();
+        let flags = PteFlags::kernel_rw(key);
+        paging::map_raw(&mut mem, root, kva, Pte::encode(target, flags), paging::intermediate_for(flags)).unwrap();
+        let mk_env = |pkrs: PkrsPerms| MmuEnv {
+            root,
+            cr0: Cr0(Cr0::WP | Cr0::PG),
+            cr4: Cr4(Cr4::PKS),
+            mode: CpuMode::Supervisor,
+            rflags: Rflags(0),
+            pkrs,
+        };
+        for access in [AccessKind::Read, AccessKind::Write] {
+            let restricted = mk_env(PkrsPerms::GRANT_ALL.with_access_disabled(key));
+            let granted = mk_env(PkrsPerms::GRANT_ALL);
+            let r = mmu::translate(&mut mem, &restricted.clone(), kva, access).is_ok();
+            let g = mmu::translate(&mut mem, &granted, kva, access).is_ok();
+            prop_assert!(!r || g, "restricted allowed but granted denied?");
+            prop_assert!(!r, "AD key must deny data access");
+        }
+    }
+
+    #[test]
+    fn collect_ptps_matches_mapping_count(
+        vas in proptest::collection::btree_set(arb_canonical_user_va(), 1..32),
+    ) {
+        let mut mem = PhysMemory::new(64 << 20);
+        let root = mem.alloc_frame().unwrap();
+        let mut data_frames = std::collections::BTreeSet::new();
+        for va in &vas {
+            let f = mem.alloc_frame().unwrap();
+            data_frames.insert(f);
+            let flags = PteFlags::user_ro();
+            paging::map_raw(&mut mem, root, *va, Pte::encode(f, flags), paging::intermediate_for(flags)).unwrap();
+        }
+        let ptps = paging::collect_ptps(&mem, root).unwrap();
+        // No data frame is ever classified as a PTP, and the root is.
+        prop_assert!(ptps.contains(&root));
+        for f in &data_frames {
+            prop_assert!(!ptps.contains(f));
+        }
+        // Every mapping still resolves.
+        for va in &vas {
+            prop_assert!(paging::lookup_raw(&mem, root, *va).unwrap().is_some());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! The synthetic kernel image builder.
+//!
+//! Produces the byte image of the instrumented guest kernel that the
+//! monitor verifies at stage-two boot (§5.1): executable sections free of
+//! sensitive instructions (all such operations were replaced by EMCs at
+//! "build time"), plus data sections. Negative-test builders inject
+//! sensitive encodings to exercise the verifier.
+
+use erebor_hw::image::{Image, SectionKind};
+use erebor_hw::insn::{encode, SensitiveClass};
+use erebor_hw::layout::KERNEL_BASE;
+use erebor_hw::VirtAddr;
+
+/// Default text size (64 KiB covers every `entry::*` offset).
+pub const TEXT_SIZE: usize = 64 * 1024;
+
+/// Build the benign (properly instrumented) kernel image.
+#[must_use]
+pub fn benign_kernel(seed: u64) -> Image {
+    Image::builder("linux-6.6-erebor")
+        .benign_text(".text", KERNEL_BASE, TEXT_SIZE, seed)
+        .section(
+            ".rodata",
+            VirtAddr(KERNEL_BASE.0 + 0x0100_0000),
+            SectionKind::Rodata,
+            vec![0xaa; 4096],
+        )
+        .section(
+            ".data",
+            VirtAddr(KERNEL_BASE.0 + 0x0200_0000),
+            SectionKind::Data,
+            vec![0; 8192],
+        )
+        .entry(KERNEL_BASE)
+        .build()
+}
+
+/// Build a *malicious* kernel image hiding one sensitive instruction of
+/// `class` at `offset` in its text (for verifier tests; paper claim C1).
+#[must_use]
+pub fn malicious_kernel(seed: u64, class: SensitiveClass, offset: usize) -> Image {
+    let benign = benign_kernel(seed);
+    let mut text = benign.sections[0].bytes.clone();
+    let enc = encode(class);
+    assert!(offset + enc.len() <= text.len(), "offset out of range");
+    text[offset..offset + enc.len()].copy_from_slice(&enc);
+    Image::builder("evil-kernel")
+        .section(".text", KERNEL_BASE, SectionKind::Text, text)
+        .entry(KERNEL_BASE)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_kernel_scans_clean() {
+        assert!(benign_kernel(3).scan_sensitive().is_empty());
+    }
+
+    #[test]
+    fn malicious_kernel_scans_dirty() {
+        for class in SensitiveClass::ALL {
+            let img = malicious_kernel(3, class, 0x5000);
+            let findings = img.scan_sensitive();
+            assert!(
+                findings.iter().any(|(_, f)| f.class == class),
+                "{class:?} not found"
+            );
+        }
+    }
+
+    #[test]
+    fn entry_offsets_inside_text() {
+        let img = benign_kernel(1);
+        let text_end = KERNEL_BASE.0 + img.sections[0].bytes.len() as u64;
+        for e in [
+            crate::entry::SYSCALL,
+            crate::entry::PF,
+            crate::entry::VE,
+            crate::entry::TIMER,
+            crate::entry::DEVICE,
+        ] {
+            assert!(e.0 >= KERNEL_BASE.0 && e.0 < text_end, "{e} outside text");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! An in-memory virtual filesystem, including the devices the Erebor
+//! artifact exposes: `/dev/erebor` (the EMC driver used by the LibOS) and
+//! the DebugFS-emulated I/O channel
+//! (`/sys/kernel/debug/encos-IO-emulate/{in,out}`) used in the paper's
+//! artifact evaluation (§A.4).
+
+use crate::syscall::Errno;
+use std::collections::BTreeMap;
+
+/// Path of the Erebor pseudo-device.
+pub const EREBOR_DEV: &str = "/dev/erebor-psudeo-io-dev";
+/// DebugFS emulated input channel (artifact parity).
+pub const DEBUG_IN: &str = "/sys/kernel/debug/encos-IO-emulate/in";
+/// DebugFS emulated output channel (artifact parity).
+pub const DEBUG_OUT: &str = "/sys/kernel/debug/encos-IO-emulate/out";
+
+/// A file descriptor's backing object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FileDesc {
+    /// Standard input (reads empty).
+    Stdin,
+    /// Standard output (captured per task).
+    Stdout,
+    /// A regular in-memory file with a cursor.
+    File {
+        /// Path.
+        path: String,
+        /// Read/write offset.
+        offset: u64,
+    },
+    /// The `/dev/erebor` EMC driver.
+    EreborDev,
+    /// DebugFS emulated input channel.
+    DebugIn,
+    /// DebugFS emulated output channel.
+    DebugOut,
+}
+
+/// The filesystem: path → contents, plus the debug channel buffers.
+#[derive(Debug, Default)]
+pub struct Vfs {
+    files: BTreeMap<String, Vec<u8>>,
+    /// Bytes queued on the emulated input channel.
+    pub debug_in: Vec<u8>,
+    /// Bytes written to the emulated output channel.
+    pub debug_out: Vec<u8>,
+}
+
+impl Vfs {
+    /// An empty filesystem.
+    #[must_use]
+    pub fn new() -> Vfs {
+        Vfs::default()
+    }
+
+    /// Create or replace a file.
+    pub fn put(&mut self, path: &str, contents: Vec<u8>) {
+        self.files.insert(path.to_string(), contents);
+    }
+
+    /// Read a whole file.
+    #[must_use]
+    pub fn get(&self, path: &str) -> Option<&Vec<u8>> {
+        self.files.get(path)
+    }
+
+    /// Open: classify the path into a descriptor.
+    ///
+    /// # Errors
+    /// [`Errno::Enoent`] for unknown regular paths.
+    pub fn open(&mut self, path: &str, create: bool) -> Result<FileDesc, Errno> {
+        match path {
+            EREBOR_DEV => Ok(FileDesc::EreborDev),
+            DEBUG_IN => Ok(FileDesc::DebugIn),
+            DEBUG_OUT => Ok(FileDesc::DebugOut),
+            _ => {
+                if !self.files.contains_key(path) {
+                    if create {
+                        self.files.insert(path.to_string(), Vec::new());
+                    } else {
+                        return Err(Errno::Enoent);
+                    }
+                }
+                Ok(FileDesc::File {
+                    path: path.to_string(),
+                    offset: 0,
+                })
+            }
+        }
+    }
+
+    /// Read from a descriptor into `buf`; returns bytes read and advances
+    /// file cursors.
+    ///
+    /// # Errors
+    /// [`Errno::Ebadf`] for write-only descriptors.
+    pub fn read(&mut self, fd: &mut FileDesc, buf: &mut [u8]) -> Result<usize, Errno> {
+        match fd {
+            FileDesc::Stdin => Ok(0),
+            FileDesc::Stdout => Err(Errno::Ebadf),
+            FileDesc::File { path, offset } => {
+                let data = self.files.get(path.as_str()).ok_or(Errno::Enoent)?;
+                let start = (*offset as usize).min(data.len());
+                let n = buf.len().min(data.len() - start);
+                buf[..n].copy_from_slice(&data[start..start + n]);
+                *offset += n as u64;
+                Ok(n)
+            }
+            FileDesc::DebugIn => {
+                let n = buf.len().min(self.debug_in.len());
+                buf[..n].copy_from_slice(&self.debug_in[..n]);
+                self.debug_in.drain(..n);
+                Ok(n)
+            }
+            FileDesc::DebugOut => {
+                let n = buf.len().min(self.debug_out.len());
+                buf[..n].copy_from_slice(&self.debug_out[..n]);
+                Ok(n)
+            }
+            FileDesc::EreborDev => Err(Errno::Einval),
+        }
+    }
+
+    /// Write `buf` through a descriptor; returns bytes written.
+    ///
+    /// # Errors
+    /// [`Errno::Ebadf`] for read-only descriptors.
+    pub fn write(&mut self, fd: &mut FileDesc, buf: &[u8]) -> Result<usize, Errno> {
+        match fd {
+            FileDesc::Stdin => Err(Errno::Ebadf),
+            FileDesc::Stdout => Ok(buf.len()),
+            FileDesc::File { path, offset } => {
+                let data = self.files.entry(path.clone()).or_default();
+                let start = *offset as usize;
+                if data.len() < start + buf.len() {
+                    data.resize(start + buf.len(), 0);
+                }
+                data[start..start + buf.len()].copy_from_slice(buf);
+                *offset += buf.len() as u64;
+                Ok(buf.len())
+            }
+            FileDesc::DebugIn => {
+                self.debug_in.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            FileDesc::DebugOut => {
+                self.debug_out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            FileDesc::EreborDev => Err(Errno::Einval),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_read_write_roundtrip() {
+        let mut vfs = Vfs::new();
+        let mut fd = vfs.open("/tmp/x", true).unwrap();
+        vfs.write(&mut fd, b"hello world").unwrap();
+        let mut rd = vfs.open("/tmp/x", false).unwrap();
+        let mut buf = [0u8; 5];
+        assert_eq!(vfs.read(&mut rd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b"hello");
+        assert_eq!(vfs.read(&mut rd, &mut buf).unwrap(), 5);
+        assert_eq!(&buf, b" worl");
+    }
+
+    #[test]
+    fn missing_file_enoent() {
+        let mut vfs = Vfs::new();
+        assert_eq!(vfs.open("/nope", false), Err(Errno::Enoent));
+    }
+
+    #[test]
+    fn device_paths_classified() {
+        let mut vfs = Vfs::new();
+        assert_eq!(vfs.open(EREBOR_DEV, false).unwrap(), FileDesc::EreborDev);
+        assert_eq!(vfs.open(DEBUG_IN, false).unwrap(), FileDesc::DebugIn);
+        assert_eq!(vfs.open(DEBUG_OUT, false).unwrap(), FileDesc::DebugOut);
+    }
+
+    #[test]
+    fn debug_channels_fifo() {
+        let mut vfs = Vfs::new();
+        let mut din = vfs.open(DEBUG_IN, false).unwrap();
+        vfs.write(&mut din, b"prompt").unwrap();
+        let mut buf = [0u8; 3];
+        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"pro");
+        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 3);
+        assert_eq!(&buf, b"mpt");
+        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn sparse_write_extends() {
+        let mut vfs = Vfs::new();
+        let mut fd = vfs.open("/f", true).unwrap();
+        if let FileDesc::File { offset, .. } = &mut fd {
+            *offset = 10;
+        }
+        vfs.write(&mut fd, b"xy").unwrap();
+        assert_eq!(vfs.get("/f").unwrap().len(), 12);
+    }
+}

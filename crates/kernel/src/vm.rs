@@ -1,0 +1,319 @@
+//! Kernel virtual-memory operations.
+//!
+//! Under Erebor every page-table mutation is delegated through EMC; in the
+//! `Native` baseline the (still privileged) kernel performs the same
+//! operations directly, charging native costs — this is exactly the
+//! MMU row of Table 4.
+
+use crate::kernel::Hw;
+use crate::syscall::Errno;
+use erebor_core::emc::{EmcRequest, EmcResponse};
+use erebor_core::policy::FrameKind;
+use erebor_hw::paging::{self, Pte, PteFlags};
+use erebor_hw::{Frame, VirtAddr};
+
+/// Create a user address space: monitor-validated under Erebor, direct
+/// construction in native mode.
+///
+/// # Errors
+/// [`Errno::Enomem`] on allocation failure.
+pub fn create_address_space(hw: &mut Hw<'_>, asid: u32) -> Result<Frame, Errno> {
+    if hw.monitor.cfg.mmu_protection() {
+        match hw.monitor.emc(
+            hw.machine,
+            hw.tdx,
+            hw.cpu,
+            EmcRequest::CreateAddressSpace { asid },
+        ) {
+            Ok(EmcResponse::Root(root)) => Ok(root),
+            _ => Err(Errno::Enomem),
+        }
+    } else {
+        let root = hw.machine.mem.alloc_frame().map_err(|_| Errno::Enomem)?;
+        let kroot = hw.monitor.kernel_root;
+        for idx in 256..512usize {
+            let src = erebor_hw::PhysAddr(kroot.base().0 + (idx * 8) as u64);
+            let dst = erebor_hw::PhysAddr(root.base().0 + (idx * 8) as u64);
+            let v = hw.machine.mem.read_u64(src).map_err(|_| Errno::Enomem)?;
+            if v != 0 {
+                hw.machine
+                    .mem
+                    .write_u64(dst, v)
+                    .map_err(|_| Errno::Enomem)?;
+            }
+        }
+        hw.machine.cycles.charge(256 * hw.machine.costs.mem_op);
+        // Bookkeep in the shared frame table so teardown works uniformly.
+        hw.monitor.frames.set_kind(root, FrameKind::Ptp).ok();
+        Ok(root)
+    }
+}
+
+/// Map one anonymous user page (demand-paging fill). Returns the frame.
+///
+/// # Errors
+/// [`Errno::Enomem`] / [`Errno::Eperm`] per the monitor's policy.
+pub fn map_user_page(
+    hw: &mut Hw<'_>,
+    root: Frame,
+    va: VirtAddr,
+    writable: bool,
+    executable: bool,
+) -> Result<Frame, Errno> {
+    if hw.monitor.cfg.mmu_protection() {
+        match hw.monitor.emc(
+            hw.machine,
+            hw.tdx,
+            hw.cpu,
+            EmcRequest::MapUserPage {
+                root,
+                va,
+                frame: None,
+                writable,
+                executable,
+            },
+        ) {
+            Ok(EmcResponse::Mapped(f)) => Ok(f),
+            Err(erebor_core::emc::EmcError::NoMemory) => Err(Errno::Enomem),
+            _ => Err(Errno::Eperm),
+        }
+    } else {
+        let f = hw.machine.mem.alloc_frame().map_err(|_| Errno::Enomem)?;
+        let flags = if executable {
+            PteFlags::user_rx()
+        } else if writable {
+            PteFlags::user_rw()
+        } else {
+            PteFlags::user_ro()
+        };
+        let new_ptps = paging::map_raw(
+            &mut hw.machine.mem,
+            root,
+            va,
+            Pte::encode(f, flags),
+            paging::intermediate_for(flags),
+        )
+        .map_err(|_| Errno::Enomem)?;
+        hw.machine
+            .cycles
+            .charge(hw.machine.costs.pte_store * (1 + new_ptps.len() as u64));
+        hw.monitor
+            .frames
+            .set_kind(f, FrameKind::UserAnon { asid: 0 })
+            .ok();
+        hw.monitor.frames.inc_map(f);
+        Ok(f)
+    }
+}
+
+/// Map `pages` fresh anonymous user pages in one batched EMC (§9.1's
+/// optimization) — falls back to per-page mapping when batching is off.
+///
+/// # Errors
+/// As [`map_user_page`].
+pub fn map_user_range(
+    hw: &mut Hw<'_>,
+    root: Frame,
+    va: VirtAddr,
+    pages: u64,
+    writable: bool,
+) -> Result<(), Errno> {
+    if hw.monitor.cfg.mmu_protection() && hw.monitor.cfg.batched_mmu {
+        hw.monitor
+            .emc(
+                hw.machine,
+                hw.tdx,
+                hw.cpu,
+                EmcRequest::MapUserRange {
+                    root,
+                    va,
+                    pages,
+                    writable,
+                },
+            )
+            .map(|_| ())
+            .map_err(|_| Errno::Enomem)
+    } else {
+        for p in 0..pages {
+            map_user_page(
+                hw,
+                root,
+                va.add(p * erebor_hw::PAGE_SIZE as u64),
+                writable,
+                false,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Unmap one user page.
+///
+/// # Errors
+/// [`Errno::Efault`] if not mapped or refused.
+pub fn unmap_user_page(hw: &mut Hw<'_>, root: Frame, va: VirtAddr) -> Result<(), Errno> {
+    if hw.monitor.cfg.mmu_protection() {
+        hw.monitor
+            .emc(
+                hw.machine,
+                hw.tdx,
+                hw.cpu,
+                EmcRequest::UnmapUserPage { root, va },
+            )
+            .map(|_| ())
+            .map_err(|_| Errno::Efault)
+    } else {
+        let leaf = paging::lookup_raw(&hw.machine.mem, root, va)
+            .ok()
+            .flatten()
+            .ok_or(Errno::Efault)?;
+        let slot = paging::leaf_slot(&hw.machine.mem, root, va)
+            .ok()
+            .flatten()
+            .ok_or(Errno::Efault)?;
+        hw.machine
+            .mem
+            .write_u64(slot, 0)
+            .map_err(|_| Errno::Efault)?;
+        hw.machine.cycles.charge(hw.machine.costs.pte_store);
+        hw.monitor.frames.dec_map(leaf.frame());
+        if hw.monitor.frames.mapcount(leaf.frame()) == 0 {
+            hw.machine.mem.free_frame(leaf.frame()).ok();
+            hw.monitor.frames.release(leaf.frame()).ok();
+        }
+        Ok(())
+    }
+}
+
+/// Switch CR3 to a task's address space.
+///
+/// # Errors
+/// [`Errno::Eperm`] if the monitor refuses.
+pub fn switch_address_space(hw: &mut Hw<'_>, root: Frame) -> Result<(), Errno> {
+    if hw.machine.cpus[hw.cpu].cr3 == root {
+        return Ok(());
+    }
+    if hw.monitor.cfg.mmu_protection() {
+        hw.monitor
+            .emc(
+                hw.machine,
+                hw.tdx,
+                hw.cpu,
+                EmcRequest::SwitchAddressSpace { root },
+            )
+            .map(|_| ())
+            .map_err(|_| Errno::Eperm)
+    } else if hw.machine.sensitive_allowed(erebor_hw::cpu::Domain::Kernel) {
+        hw.machine.write_cr3(hw.cpu, root).map_err(|_| Errno::Eperm)
+    } else {
+        // Ablation configuration with the monitor present but MMU
+        // delegation disabled: model the register write at native cost.
+        hw.machine.cycles.charge(hw.machine.costs.mov_cr);
+        hw.machine.cpus[hw.cpu].cr3 = root;
+        Ok(())
+    }
+}
+
+/// Copy bytes into user memory (`copy_to_user`): monitor-emulated under
+/// Erebor (the kernel has no `stac`), direct under native.
+///
+/// # Errors
+/// [`Errno::Efault`] on permission failures.
+pub fn copy_to_user(hw: &mut Hw<'_>, root: Frame, va: VirtAddr, bytes: &[u8]) -> Result<(), Errno> {
+    if hw.monitor.cfg.mmu_protection() {
+        hw.monitor
+            .emc(
+                hw.machine,
+                hw.tdx,
+                hw.cpu,
+                EmcRequest::UserCopy {
+                    dir: erebor_core::emc::CopyDir::ToUser,
+                    root,
+                    user_va: va,
+                    bytes: bytes.to_vec(),
+                },
+            )
+            .map(|_| ())
+            .map_err(|_| Errno::Efault)
+    } else {
+        raw_user_copy(hw, root, va, bytes.len(), Some(bytes)).map(|_| ())
+    }
+}
+
+/// Native user copy (`stac`-window semantics at native cost): walks the
+/// target address space and copies through physical memory. Used by the
+/// privileged-kernel baseline and by ablation configs that disable the
+/// monitor's MMU interposition.
+fn raw_user_copy(
+    hw: &mut Hw<'_>,
+    root: Frame,
+    va: VirtAddr,
+    len: usize,
+    write: Option<&[u8]>,
+) -> Result<Vec<u8>, Errno> {
+    let costs_stac = hw.machine.costs.stac;
+    hw.machine.cycles.charge(2 * costs_stac); // stac + clac
+    let mut out = vec![0u8; if write.is_some() { 0 } else { len }];
+    let mut done = 0usize;
+    while done < len {
+        let cur = va.add(done as u64);
+        let chunk = ((erebor_hw::PAGE_SIZE as u64 - cur.page_offset()) as usize).min(len - done);
+        let leaf = erebor_hw::paging::lookup_raw(&hw.machine.mem, root, cur)
+            .ok()
+            .flatten()
+            .ok_or(Errno::Efault)?;
+        let pa = erebor_hw::PhysAddr(leaf.frame().base().0 + cur.page_offset());
+        match write {
+            Some(bytes) => {
+                if !leaf.writable() {
+                    return Err(Errno::Efault);
+                }
+                hw.machine
+                    .mem
+                    .write(pa, &bytes[done..done + chunk])
+                    .map_err(|_| Errno::Efault)?;
+            }
+            None => {
+                hw.machine
+                    .mem
+                    .read(pa, &mut out[done..done + chunk])
+                    .map_err(|_| Errno::Efault)?;
+            }
+        }
+        hw.machine.cycles.charge(
+            4 * hw.machine.costs.walk_level + hw.machine.costs.mem_op * (1 + chunk as u64 / 64),
+        );
+        done += chunk;
+    }
+    Ok(out)
+}
+
+/// Copy bytes out of user memory (`copy_from_user`).
+///
+/// # Errors
+/// [`Errno::Efault`] on permission failures.
+pub fn copy_from_user(
+    hw: &mut Hw<'_>,
+    root: Frame,
+    va: VirtAddr,
+    len: usize,
+) -> Result<Vec<u8>, Errno> {
+    if hw.monitor.cfg.mmu_protection() {
+        match hw.monitor.emc(
+            hw.machine,
+            hw.tdx,
+            hw.cpu,
+            EmcRequest::UserCopy {
+                dir: erebor_core::emc::CopyDir::FromUser,
+                root,
+                user_va: va,
+                bytes: vec![0u8; len],
+            },
+        ) {
+            Ok(EmcResponse::Data(d)) => Ok(d),
+            _ => Err(Errno::Efault),
+        }
+    } else {
+        raw_user_copy(hw, root, va, len, None)
+    }
+}

@@ -1,0 +1,88 @@
+//! The system interface a sandboxed (or native) program sees.
+//!
+//! The [`Sys`] trait is the LibOS's window onto the simulated platform: it
+//! issues real `syscall` transitions, performs user-mode memory accesses
+//! (which may page-fault and exit), charges computation cycles, and lets
+//! the platform deliver timer interrupts at quantum boundaries.
+
+/// Errors surfaced to user code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysError {
+    /// The monitor killed the sandbox (policy violation).
+    Killed(&'static str),
+    /// An unrecoverable memory fault (segfault analogue).
+    Fault,
+    /// A syscall returned a Linux errno.
+    Errno(i64),
+}
+
+impl core::fmt::Display for SysError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SysError::Killed(why) => write!(f, "sandbox killed: {why}"),
+            SysError::Fault => write!(f, "memory fault"),
+            SysError::Errno(e) => write!(f, "errno {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SysError {}
+
+/// The platform interface for user-mode execution.
+pub trait Sys {
+    /// Execute a `syscall` instruction with the Linux register convention.
+    /// Returns `rax`.
+    ///
+    /// # Errors
+    /// [`SysError::Killed`] if the monitor terminated the sandbox;
+    /// [`SysError::Errno`] for kernel errors.
+    fn syscall(&mut self, nr: u64, args: [u64; 6]) -> Result<u64, SysError>;
+
+    /// A user-mode data access at `va` (drives demand paging: may exit via
+    /// `#PF` and return only after the fault is serviced).
+    ///
+    /// # Errors
+    /// [`SysError::Fault`] for unrecoverable faults, [`SysError::Killed`]
+    /// if the fault killed the sandbox.
+    fn touch(&mut self, va: u64, write: bool) -> Result<(), SysError>;
+
+    /// Read user memory contents (after faulting pages in).
+    ///
+    /// # Errors
+    /// As [`Sys::touch`].
+    fn read_mem(&mut self, va: u64, buf: &mut [u8]) -> Result<(), SysError>;
+
+    /// Write user memory contents (after faulting pages in).
+    ///
+    /// # Errors
+    /// As [`Sys::touch`].
+    fn write_mem(&mut self, va: u64, data: &[u8]) -> Result<(), SysError>;
+
+    /// Charge `units` of computation (ALU work) and give the platform a
+    /// chance to deliver due timer/device interrupts.
+    ///
+    /// # Errors
+    /// [`SysError::Killed`] if an interposed exit killed the sandbox.
+    fn compute(&mut self, units: u64) -> Result<(), SysError>;
+
+    /// Execute a `cpuid` (causes a `#VE` under TDX; the monitor caches the
+    /// host's answer for sandboxes, §6.2). Returns `eax`.
+    ///
+    /// # Errors
+    /// [`SysError::Killed`] on policy violations.
+    fn cpuid(&mut self, leaf: u32) -> Result<u32, SysError>;
+
+    /// Current simulated cycle counter (for workload self-timing).
+    fn cycles(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(SysError::Killed("syscall").to_string().contains("killed"));
+        assert!(SysError::Errno(-2).to_string().contains("errno"));
+    }
+}

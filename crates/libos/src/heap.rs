@@ -1,0 +1,153 @@
+//! The LibOS userspace heap: serves `malloc`-style allocations from the
+//! pre-declared confined window without any runtime exits (§6.2 service 1).
+
+use erebor_hw::PAGE_SIZE;
+
+/// Base user VA of the confined heap window.
+pub const CONFINED_HEAP_BASE: u64 = 0x0000_5000_0000;
+
+/// Allocation failure: confined budget exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfHeap;
+
+impl core::fmt::Display for OutOfHeap {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "confined heap exhausted")
+    }
+}
+
+impl std::error::Error for OutOfHeap {}
+
+/// A simple first-fit free-list allocator over the confined window.
+#[derive(Debug)]
+pub struct Heap {
+    base: u64,
+    size: u64,
+    /// Sorted free list of `(offset, len)`.
+    free: Vec<(u64, u64)>,
+    /// High-water mark in bytes.
+    pub high_water: u64,
+}
+
+impl Heap {
+    /// A heap over `pages` pages starting at `base` (the pre-declared
+    /// confined window, or an mmap window in the LibOS-only baseline).
+    #[must_use]
+    pub fn new(base: u64, pages: u64) -> Heap {
+        let size = pages * PAGE_SIZE as u64;
+        Heap {
+            base,
+            size,
+            free: vec![(0, size)],
+            high_water: 0,
+        }
+    }
+
+    /// Base user VA of the heap window.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes currently free.
+    #[must_use]
+    pub fn free_bytes(&self) -> u64 {
+        self.free.iter().map(|(_, l)| l).sum()
+    }
+
+    /// Allocate `len` bytes (16-byte aligned). Returns the user VA.
+    ///
+    /// # Errors
+    /// [`OutOfHeap`] when no block fits.
+    pub fn alloc(&mut self, len: u64) -> Result<u64, OutOfHeap> {
+        let len = len.max(1).next_multiple_of(16);
+        for i in 0..self.free.len() {
+            let (off, flen) = self.free[i];
+            if flen >= len {
+                if flen == len {
+                    self.free.remove(i);
+                } else {
+                    self.free[i] = (off + len, flen - len);
+                }
+                self.high_water = self.high_water.max(off + len);
+                return Ok(self.base + off);
+            }
+        }
+        Err(OutOfHeap)
+    }
+
+    /// Free a previous allocation of `len` bytes at `va`, coalescing
+    /// neighbours.
+    ///
+    /// # Panics
+    /// Debug-asserts the address belongs to the heap.
+    pub fn free(&mut self, va: u64, len: u64) {
+        let len = len.max(1).next_multiple_of(16);
+        debug_assert!(va >= self.base && va + len <= self.base + self.size);
+        let off = va - self.base;
+        let pos = self.free.partition_point(|(o, _)| *o < off);
+        self.free.insert(pos, (off, len));
+        // Coalesce.
+        let mut i = 0;
+        while i + 1 < self.free.len() {
+            let (o1, l1) = self.free[i];
+            let (o2, l2) = self.free[i + 1];
+            if o1 + l1 == o2 {
+                self.free[i] = (o1, l1 + l2);
+                self.free.remove(i + 1);
+            } else {
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_coalesce() {
+        let mut h = Heap::new(CONFINED_HEAP_BASE, 4); // 16 KiB
+        let a = h.alloc(4096).unwrap();
+        let b = h.alloc(4096).unwrap();
+        let c = h.alloc(4096).unwrap();
+        assert_eq!(b - a, 4096);
+        h.free(a, 4096);
+        h.free(c, 4096);
+        h.free(b, 4096);
+        assert_eq!(h.free_bytes(), h.capacity());
+        assert_eq!(h.free.len(), 1, "fully coalesced");
+    }
+
+    #[test]
+    fn exhaustion() {
+        let mut h = Heap::new(CONFINED_HEAP_BASE, 1);
+        h.alloc(4096).unwrap();
+        assert_eq!(h.alloc(16), Err(OutOfHeap));
+    }
+
+    #[test]
+    fn alignment() {
+        let mut h = Heap::new(CONFINED_HEAP_BASE, 1);
+        let a = h.alloc(3).unwrap();
+        let b = h.alloc(3).unwrap();
+        assert_eq!(a % 16, 0);
+        assert_eq!(b - a, 16);
+    }
+
+    #[test]
+    fn high_water_tracks() {
+        let mut h = Heap::new(CONFINED_HEAP_BASE, 4);
+        let a = h.alloc(1000).unwrap();
+        h.alloc(1000).unwrap();
+        h.free(a, 1000);
+        assert!(h.high_water >= 2000 - 16);
+    }
+}

@@ -1,0 +1,32 @@
+//! # erebor-libos — the sandbox Library OS
+//!
+//! A Gramine-derived (§7) single-address-space LibOS that emulates the four
+//! runtime services of §6.2 *inside* the sandbox boundary:
+//!
+//! 1. **Heap management** — all memory is pre-declared as confined at
+//!    initialization and served from a userspace bump/free-list allocator;
+//!    no `brk`/`mmap` exits at runtime.
+//! 2. **In-memory stateless filesystem** — files preloaded before client
+//!    data arrives; temporary files live in confined memory.
+//! 3. **Multi-tasking** — a fixed pool of green threads created up front
+//!    (`clone` during init), synchronized with userspace spinlocks (no
+//!    `futex` exits after data install).
+//! 4. **Client data communication** — the reserved-fd `ioctl` channel to
+//!    the monitor (§6.3).
+//!
+//! Programs implement [`ServiceProgram`] and interact with the platform
+//! through the [`Sys`] trait, which the `erebor` facade implements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod fs;
+pub mod heap;
+pub mod manifest;
+pub mod os;
+pub mod thread;
+
+pub use api::{Sys, SysError};
+pub use manifest::{CommonSpec, Manifest};
+pub use os::{LibOs, LibOsError, ServiceProgram};

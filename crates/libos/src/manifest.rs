@@ -1,0 +1,100 @@
+//! The LibOS manifest: everything the loader must set up *before* client
+//! data can arrive (confined budget, preloaded files, common regions,
+//! thread pool size).
+
+/// A common (shared, eventually read-only) region the program needs.
+#[derive(Debug, Clone)]
+pub struct CommonSpec {
+    /// Name (for program lookup, e.g. "model", "database").
+    pub name: String,
+    /// Physical pages backing the simulated window.
+    pub pages: u64,
+    /// Declared logical size in bytes (Table 6 "Com." column).
+    pub logical_bytes: u64,
+}
+
+/// The manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Program name.
+    pub name: String,
+    /// Confined heap pages to declare up front (the hard budget of §6.1
+    /// comes from the service provider; the loader declares within it).
+    pub heap_pages: u64,
+    /// Declared logical confined size in bytes (Table 6 "Conf.").
+    pub logical_confined_bytes: u64,
+    /// Maximum green threads (pre-created at init, §6.2).
+    pub max_threads: usize,
+    /// Files preloaded into the in-memory FS.
+    pub preload_files: Vec<(String, Vec<u8>)>,
+    /// Common regions to create (or attach, if they already exist).
+    pub commons: Vec<CommonSpec>,
+}
+
+impl Manifest {
+    /// A minimal manifest.
+    #[must_use]
+    pub fn new(name: &str, heap_pages: u64) -> Manifest {
+        Manifest {
+            name: name.to_string(),
+            heap_pages,
+            logical_confined_bytes: heap_pages * erebor_hw::PAGE_SIZE as u64,
+            max_threads: 1,
+            preload_files: Vec::new(),
+            commons: Vec::new(),
+        }
+    }
+
+    /// Builder: set thread-pool size.
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Manifest {
+        self.max_threads = n.max(1);
+        self
+    }
+
+    /// Builder: preload a file.
+    #[must_use]
+    pub fn preload(mut self, path: &str, contents: Vec<u8>) -> Manifest {
+        self.preload_files.push((path.to_string(), contents));
+        self
+    }
+
+    /// Builder: request a common region.
+    #[must_use]
+    pub fn common(mut self, name: &str, pages: u64, logical_bytes: u64) -> Manifest {
+        self.commons.push(CommonSpec {
+            name: name.to_string(),
+            pages,
+            logical_bytes,
+        });
+        self
+    }
+
+    /// Builder: declared logical confined size.
+    #[must_use]
+    pub fn logical_confined(mut self, bytes: u64) -> Manifest {
+        self.logical_confined_bytes = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let m = Manifest::new("llama", 128)
+            .threads(8)
+            .preload("/model/config.json", b"{}".to_vec())
+            .common("model", 64, 4 << 30);
+        assert_eq!(m.max_threads, 8);
+        assert_eq!(m.preload_files.len(), 1);
+        assert_eq!(m.commons[0].logical_bytes, 4 << 30);
+    }
+
+    #[test]
+    fn threads_minimum_one() {
+        assert_eq!(Manifest::new("x", 1).threads(0).max_threads, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! The LibOS thread pool and userspace synchronization (§6.2 service 3).
+//!
+//! Threads are created up front via `clone` during initialization; after
+//! client data arrives no task-management syscalls remain. Synchronization
+//! uses the LibOS's own spinlocks (as the SGX SDK does): busy-waiting costs
+//! cycles but never exits the sandbox — the covert-channel-free trade the
+//! paper makes explicit.
+
+use crate::api::{Sys, SysError};
+
+/// Cycle cost of one uncontended spinlock acquire/release pair.
+pub const SPINLOCK_UNCONTENDED: u64 = 60;
+/// Additional busy-wait cycles charged per contending thread (an 8-thread
+/// barrier with stragglers burns tens of microseconds; the paper highlights
+/// llama.cpp's synchronization as the LibOS-only overhead driver, §9.2).
+pub const SPIN_CONTENTION_PER_THREAD: u64 = 5300;
+
+/// The pre-created thread pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    workers: usize,
+    /// Synchronization events performed (for stats).
+    pub sync_ops: u64,
+    /// Total cycles burned busy-waiting.
+    pub spin_cycles: u64,
+}
+
+impl ThreadPool {
+    /// Pool of `workers` green threads (created via `clone` by the loader).
+    #[must_use]
+    pub fn new(workers: usize) -> ThreadPool {
+        ThreadPool {
+            workers: workers.max(1),
+            sync_ops: 0,
+            spin_cycles: 0,
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `total_units` of parallelizable work with `sync_points`
+    /// synchronization barriers. Work is divided across the pool;
+    /// wall-clock cycles are `total/workers` plus spinlock costs.
+    ///
+    /// # Errors
+    /// Propagates kill/fault from the platform.
+    pub fn parallel(
+        &mut self,
+        sys: &mut dyn Sys,
+        total_units: u64,
+        sync_points: u64,
+    ) -> Result<(), SysError> {
+        let per_thread = total_units / self.workers as u64;
+        sys.compute(per_thread.max(1))?;
+        self.synchronize(sys, sync_points)
+    }
+
+    /// Charge `n` spinlock synchronization events.
+    ///
+    /// # Errors
+    /// Propagates kill/fault from the platform.
+    pub fn synchronize(&mut self, sys: &mut dyn Sys, n: u64) -> Result<(), SysError> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.sync_ops += n;
+        let contention = (self.workers as u64 - 1) * SPIN_CONTENTION_PER_THREAD;
+        let cost = n * (SPINLOCK_UNCONTENDED + contention);
+        self.spin_cycles += cost;
+        sys.compute(cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MockSys {
+        cycles: u64,
+    }
+
+    impl Sys for MockSys {
+        fn syscall(&mut self, _nr: u64, _args: [u64; 6]) -> Result<u64, SysError> {
+            Ok(0)
+        }
+        fn touch(&mut self, _va: u64, _write: bool) -> Result<(), SysError> {
+            Ok(())
+        }
+        fn read_mem(&mut self, _va: u64, _buf: &mut [u8]) -> Result<(), SysError> {
+            Ok(())
+        }
+        fn write_mem(&mut self, _va: u64, _data: &[u8]) -> Result<(), SysError> {
+            Ok(())
+        }
+        fn compute(&mut self, units: u64) -> Result<(), SysError> {
+            self.cycles += units;
+            Ok(())
+        }
+        fn cpuid(&mut self, _leaf: u32) -> Result<u32, SysError> {
+            Ok(0)
+        }
+        fn cycles(&self) -> u64 {
+            self.cycles
+        }
+    }
+
+    #[test]
+    fn parallel_divides_work() {
+        let mut sys = MockSys { cycles: 0 };
+        let mut pool = ThreadPool::new(8);
+        pool.parallel(&mut sys, 8000, 0).unwrap();
+        assert_eq!(sys.cycles, 1000);
+    }
+
+    #[test]
+    fn sync_costs_scale_with_contention() {
+        let mut sys1 = MockSys { cycles: 0 };
+        let mut solo = ThreadPool::new(1);
+        solo.synchronize(&mut sys1, 10).unwrap();
+        let mut sys8 = MockSys { cycles: 0 };
+        let mut eight = ThreadPool::new(8);
+        eight.synchronize(&mut sys8, 10).unwrap();
+        assert!(sys8.cycles > sys1.cycles, "contention must cost more");
+        assert_eq!(eight.sync_ops, 10);
+    }
+}

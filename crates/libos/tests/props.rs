@@ -1,0 +1,109 @@
+//! Property-based tests for the LibOS: the confined-heap allocator and the
+//! stateless filesystem.
+
+use erebor_libos::fs::MemFs;
+use erebor_libos::heap::{Heap, CONFINED_HEAP_BASE};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..5000).prop_map(Op::Alloc),
+            (0usize..32).prop_map(Op::FreeNth),
+        ],
+        0..128,
+    )
+}
+
+proptest! {
+    #[test]
+    fn heap_allocations_never_overlap_and_stay_in_bounds(ops in arb_ops()) {
+        let pages = 64u64;
+        let mut heap = Heap::new(CONFINED_HEAP_BASE, pages);
+        let cap = heap.capacity();
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc(len) => {
+                    if let Ok(va) = heap.alloc(len) {
+                        let aligned = len.max(1).next_multiple_of(16);
+                        prop_assert!(va >= CONFINED_HEAP_BASE);
+                        prop_assert!(va + aligned <= CONFINED_HEAP_BASE + cap);
+                        for (ova, olen) in &live {
+                            prop_assert!(
+                                va + aligned <= *ova || va >= ova + olen,
+                                "overlap: [{va:#x}+{aligned}] vs [{ova:#x}+{olen}]"
+                            );
+                        }
+                        live.push((va, aligned));
+                    }
+                }
+                Op::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let (va, len) = live.swap_remove(i % live.len());
+                        heap.free(va, len);
+                    }
+                }
+            }
+        }
+        // Conservation: free + live == capacity.
+        let live_total: u64 = live.iter().map(|(_, l)| l).sum();
+        prop_assert_eq!(heap.free_bytes() + live_total, cap);
+    }
+
+    #[test]
+    fn heap_full_free_restores_one_block(lens in proptest::collection::vec(1u64..3000, 1..32)) {
+        let mut heap = Heap::new(CONFINED_HEAP_BASE, 64);
+        let mut live = Vec::new();
+        for len in &lens {
+            if let Ok(va) = heap.alloc(*len) {
+                live.push((va, len.max(&1).next_multiple_of(16)));
+            }
+        }
+        for (va, len) in live {
+            heap.free(va, len);
+        }
+        prop_assert_eq!(heap.free_bytes(), heap.capacity());
+        // And the next max-size alloc succeeds (no fragmentation left).
+        prop_assert!(heap.alloc(heap.capacity()).is_ok());
+    }
+
+    #[test]
+    fn memfs_temp_shadows_and_restores(
+        path in "[a-z/]{1,16}",
+        orig in proptest::collection::vec(any::<u8>(), 0..128),
+        shadow in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut fs = MemFs::new();
+        fs.preload(&path, orig.clone()).unwrap();
+        fs.seal();
+        fs.write_temp(&path, shadow.clone());
+        prop_assert_eq!(fs.read(&path).unwrap(), &shadow[..]);
+        fs.clear_temp();
+        prop_assert_eq!(fs.read(&path).unwrap(), &orig[..]);
+    }
+
+    #[test]
+    fn memfs_temp_accounting(
+        files in proptest::collection::btree_map(
+            "[a-z]{1,8}",
+            proptest::collection::vec(any::<u8>(), 0..64),
+            0..16,
+        ),
+    ) {
+        let mut fs = MemFs::new();
+        fs.seal();
+        let mut expect = 0u64;
+        for (path, contents) in &files {
+            expect += contents.len() as u64;
+            fs.write_temp(path, contents.clone());
+        }
+        prop_assert_eq!(fs.temp_bytes(), expect);
+    }
+}

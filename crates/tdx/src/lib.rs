@@ -1,0 +1,32 @@
+//! # erebor-tdx — the TDX-module and host simulator
+//!
+//! Models the *guest-visible* behaviour of Intel TDX (§2.1) that Erebor's
+//! drop-in claim rests on:
+//!
+//! * [`sept`] — the secure EPT: every guest physical frame is *private*
+//!   (inaccessible to the host and devices) or *shared* (host/DMA visible).
+//!   Conversion happens only through `tdcall MapGPA`.
+//! * [`mod@tdcall`] — the privileged `tdcall` instruction and its leaves:
+//!   `MapGpa`, `VmCall` (GHCI synchronous exits), `TdReport`,
+//!   `RtmrExtend`. The ring/domain guard comes from `erebor-hw`, so the
+//!   monitor's exclusive control over GHCI (Table 2) is enforced at the
+//!   same place all sensitive instructions are.
+//! * [`attest`] — MRTD/RTMR measurement registers, TDREPORT with an HMAC
+//!   integrity binding, and CPU-root-signed quotes (Ed25519 by a simulated
+//!   Intel provisioning key).
+//! * [`host`] — the *untrusted* hypervisor: it observes every shared frame,
+//!   emulates `cpuid`/MSR exits, runs devices (DMA restricted to shared
+//!   memory), and injects interrupts. Attack tests drive this interface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attest;
+pub mod host;
+pub mod sept;
+pub mod tdcall;
+
+pub use attest::{Quote, TdReport};
+pub use host::HostVmm;
+pub use sept::{GpaState, Sept};
+pub use tdcall::{tdcall, TdcallLeaf, TdcallResult, TdxModule};

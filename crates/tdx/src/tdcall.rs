@@ -1,0 +1,397 @@
+//! The `tdcall` instruction and the TDX-module leaf dispatch.
+//!
+//! `tdcall` is a sensitive instruction (Table 2): the ring/domain guard from
+//! `erebor-hw` runs first, so after Erebor's boot only the monitor can reach
+//! any leaf — which is exactly how the monitor monopolises memory
+//! conversion, synchronous exits and attestation (§5.2, §6.3).
+
+use crate::attest::{Attestation, Quote, TdReport};
+use crate::host::HostVmm;
+use crate::sept::{GpaState, Sept, SeptError};
+use erebor_hw::cpu::Machine;
+use erebor_hw::fault::{Fault, VeReason};
+use erebor_hw::idt::vector;
+use erebor_hw::regs::GprContext;
+use erebor_hw::{Frame, VirtAddr};
+
+/// Operations the guest may request from the host through GHCI `vmcall`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmcallOp {
+    /// Emulate `cpuid`.
+    Cpuid {
+        /// Requested leaf.
+        leaf: u32,
+    },
+    /// Expose arbitrary data to the host (models MMIO/PIO/MSR exit
+    /// payloads — and the covert channel AV2/AV3 abuse this).
+    Data(Vec<u8>),
+    /// `hlt` until the next interrupt.
+    Halt,
+}
+
+/// `tdcall` leaves the simulator implements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdcallLeaf {
+    /// Convert a guest frame between private and shared (`MapGPA`).
+    MapGpa {
+        /// Frame to convert.
+        frame: Frame,
+        /// `true` → shared, `false` → private.
+        shared: bool,
+    },
+    /// Synchronous exit to the host (GHCI `tdg.vp.vmcall`).
+    VmCall(VmcallOp),
+    /// Generate a TDREPORT over 64 bytes of caller data.
+    TdReport {
+        /// Data bound into the report (e.g. a key-exchange hash).
+        report_data: Box<[u8; 64]>,
+    },
+    /// Turn a report into a CPU-signed quote.
+    GetQuote(Box<TdReport>),
+    /// Extend a runtime measurement register.
+    RtmrExtend {
+        /// RTMR index (0..4).
+        index: usize,
+        /// Data to extend with.
+        data: Vec<u8>,
+    },
+}
+
+/// Result of a successful `tdcall`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TdcallResult {
+    /// Leaf completed with no payload.
+    Ok,
+    /// `cpuid` emulation result.
+    Cpuid([u32; 4]),
+    /// A generated report.
+    Report(Box<TdReport>),
+    /// A signed quote.
+    Quote(Box<Quote>),
+}
+
+/// Per-CVM counters the evaluation harness reads (Table 6 columns).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TdxStats {
+    /// `tdcall` round trips.
+    pub tdcalls: u64,
+    /// `MapGPA` conversions.
+    pub mapgpa: u64,
+    /// Synchronous exits (`vmcall`).
+    pub vmcalls: u64,
+    /// Injected `#VE` exceptions.
+    pub ve_injected: u64,
+    /// Generated reports.
+    pub tdreports: u64,
+}
+
+/// The TDX module: sEPT, attestation state, the untrusted host, and
+/// counters.
+pub struct TdxModule {
+    /// The secure EPT.
+    pub sept: Sept,
+    /// Measurement and quoting state.
+    pub attest: Attestation,
+    /// The untrusted hypervisor.
+    pub host: HostVmm,
+    /// Event counters.
+    pub stats: TdxStats,
+}
+
+impl TdxModule {
+    /// Create a module with a deterministic hardware root seed.
+    #[must_use]
+    pub fn new(root_seed: [u8; 32]) -> TdxModule {
+        TdxModule {
+            sept: Sept::new(),
+            attest: Attestation::new(root_seed),
+            host: HostVmm::new(),
+            stats: TdxStats::default(),
+        }
+    }
+
+    /// Inject a `#VE` into the guest for a synchronous exit cause: the TDX
+    /// module traps the event and re-enters the guest at its `#VE` handler
+    /// (Fig. 1 steps ①–②). Returns `(handler, saved context)`.
+    ///
+    /// # Errors
+    /// Propagates IDT delivery failures.
+    pub fn inject_ve(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        _reason: VeReason,
+    ) -> Result<(VirtAddr, GprContext), Fault> {
+        self.stats.ve_injected += 1;
+        machine.deliver_interrupt(cpu, vector::VE)
+    }
+
+    /// TDX-module handling of an *asynchronous* exit: the guest context is
+    /// saved and scrubbed before the host runs, so the host observes only
+    /// zeros (§2.1). Returns the host-visible context.
+    pub fn async_exit_context_protect(&mut self, machine: &mut Machine, cpu: usize) -> GprContext {
+        machine.cycles.charge(machine.costs.tdx_context_protect);
+        let mut host_view = machine.cpus[cpu].ctx;
+        host_view.scrub();
+        host_view.rip = 0;
+        host_view
+    }
+}
+
+impl core::fmt::Debug for TdxModule {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TdxModule")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Execute a `tdcall` on core `cpu`.
+///
+/// # Errors
+/// * `#GP` from user mode (the paper relies on this: a userspace `tdcall`
+///   traps, §2.1);
+/// * `#UD` from a domain whose verified image lacks the instruction (the
+///   deprivileged kernel after Erebor's boot scan);
+/// * `#VE` wrapping leaf-level errors (e.g. bad `MapGPA`).
+pub fn tdcall(
+    module: &mut TdxModule,
+    machine: &mut Machine,
+    cpu: usize,
+    leaf: TdcallLeaf,
+) -> Result<TdcallResult, Fault> {
+    machine.tdcall_guard(cpu)?;
+    module.stats.tdcalls += 1;
+    let c = &machine.costs;
+    machine
+        .cycles
+        .charge(2 * (c.vm_transition + c.tdx_context_protect + c.tdx_dispatch));
+
+    match leaf {
+        TdcallLeaf::MapGpa { frame, shared } => {
+            module.stats.mapgpa += 1;
+            let to = if shared {
+                GpaState::Shared
+            } else {
+                GpaState::Private
+            };
+            match module.sept.convert(frame, to) {
+                Ok(()) => {
+                    // Conversion scrubs contents in both directions: private
+                    // data never leaks through a conversion, and host data
+                    // never pre-seeds private memory.
+                    machine
+                        .mem
+                        .zero_frame(frame)
+                        .map_err(|_| Fault::Unrecoverable("MapGPA left DRAM"))?;
+                    Ok(TdcallResult::Ok)
+                }
+                Err(SeptError::AlreadyInState(..)) => Ok(TdcallResult::Ok),
+                Err(SeptError::NotAccepted(_)) => {
+                    Err(Fault::VirtualizationException(VeReason::EptViolation))
+                }
+            }
+        }
+        TdcallLeaf::VmCall(op) => {
+            module.stats.vmcalls += 1;
+            machine.cycles.charge(machine.costs.vmm_dispatch / 2);
+            match op {
+                VmcallOp::Cpuid { leaf } => {
+                    Ok(TdcallResult::Cpuid(module.host.emulate_cpuid(leaf)))
+                }
+                VmcallOp::Data(payload) => {
+                    module.host.record_vmcall(&payload);
+                    Ok(TdcallResult::Ok)
+                }
+                VmcallOp::Halt => {
+                    module.host.record_vmcall(b"hlt");
+                    Ok(TdcallResult::Ok)
+                }
+            }
+        }
+        TdcallLeaf::TdReport { report_data } => {
+            module.stats.tdreports += 1;
+            machine.cycles.charge(machine.costs.tdreport_generate);
+            Ok(TdcallResult::Report(Box::new(
+                module.attest.tdreport(*report_data),
+            )))
+        }
+        TdcallLeaf::GetQuote(report) => {
+            if !module.attest.report_mac_valid(&report) {
+                return Err(Fault::GeneralProtection("GetQuote: report MAC invalid"));
+            }
+            // Quote generation flows through the host quoting service.
+            machine.cycles.charge(machine.costs.vmm_dispatch);
+            Ok(TdcallResult::Quote(Box::new(module.attest.quote(*report))))
+        }
+        TdcallLeaf::RtmrExtend { index, data } => {
+            module
+                .attest
+                .extend_rtmr(index, &data)
+                .map_err(|_| Fault::GeneralProtection("RTMR index out of range"))?;
+            Ok(TdcallResult::Ok)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erebor_hw::cpu::{CpuMode, Domain};
+
+    fn setup() -> (TdxModule, Machine) {
+        let mut machine = Machine::new(1, 16 * 1024 * 1024);
+        machine.allow_sensitive(Domain::Monitor);
+        machine.cpus[0].domain = Domain::Monitor;
+        let mut module = TdxModule::new([9u8; 32]);
+        for f in 0..machine.mem.total_frames() {
+            module.sept.accept_private(Frame(f));
+        }
+        (module, machine)
+    }
+
+    #[test]
+    fn tdcall_denied_from_user_mode() {
+        let (mut module, mut machine) = setup();
+        machine.cpus[0].mode = CpuMode::User;
+        let err = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Halt),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Fault::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn tdcall_denied_from_deprivileged_kernel() {
+        let (mut module, mut machine) = setup();
+        machine.cpus[0].domain = Domain::Kernel; // not sensitive-capable
+        let err = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Data(b"leak".to_vec())),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Fault::UndefinedInstruction(_)));
+        assert!(!module.host.observed_contains(b"leak"));
+    }
+
+    #[test]
+    fn mapgpa_scrubs_contents() {
+        let (mut module, mut machine) = setup();
+        let f = machine.mem.alloc_frame().unwrap();
+        machine.mem.write(f.base(), b"private secret").unwrap();
+        tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::MapGpa {
+                frame: f,
+                shared: true,
+            },
+        )
+        .unwrap();
+        let seen = module
+            .host
+            .read_guest(&machine.mem, &module.sept, f)
+            .unwrap();
+        assert!(seen.iter().all(|&b| b == 0), "conversion must scrub");
+    }
+
+    #[test]
+    fn vmcall_exposes_data_to_host() {
+        let (mut module, mut machine) = setup();
+        tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Data(b"intentional".to_vec())),
+        )
+        .unwrap();
+        assert!(module.host.observed_contains(b"intentional"));
+        assert_eq!(module.stats.vmcalls, 1);
+    }
+
+    #[test]
+    fn tdreport_and_quote_flow() {
+        let (mut module, mut machine) = setup();
+        module.attest.extend_mrtd(b"fw");
+        module.attest.seal_mrtd();
+        let rd = Box::new([7u8; 64]);
+        let report = match tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::TdReport { report_data: rd },
+        )
+        .unwrap()
+        {
+            TdcallResult::Report(r) => r,
+            other => panic!("expected report, got {other:?}"),
+        };
+        let quote =
+            match tdcall(&mut module, &mut machine, 0, TdcallLeaf::GetQuote(report)).unwrap() {
+                TdcallResult::Quote(q) => q,
+                other => panic!("expected quote, got {other:?}"),
+            };
+        crate::attest::verify_quote(
+            &module.attest.root_public(),
+            &quote,
+            &crate::attest::expected_mrtd(&[b"fw"]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn forged_report_cannot_be_quoted() {
+        let (mut module, mut machine) = setup();
+        let mut report = module.attest.tdreport([0; 64]);
+        report.mrtd[0] ^= 1; // attacker edits the measurement
+        let err = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::GetQuote(Box::new(report)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, Fault::GeneralProtection(_)));
+    }
+
+    #[test]
+    fn tdcall_charges_paper_scale_cycles() {
+        let (mut module, mut machine) = setup();
+        let before = machine.cycles.total();
+        tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Halt),
+        )
+        .unwrap();
+        let cost = machine.cycles.total() - before;
+        // Paper Table 3: tdcall ≈ 5276 cycles.
+        assert!((4000..=7000).contains(&cost), "tdcall cost {cost}");
+    }
+
+    #[test]
+    fn ve_injection_counts() {
+        let (mut module, mut machine) = setup();
+        // No IDT loaded → delivery fails, but the counter still reflects
+        // the injection attempt.
+        let _ = module.inject_ve(&mut machine, 0, VeReason::Cpuid);
+        assert_eq!(module.stats.ve_injected, 1);
+    }
+
+    #[test]
+    fn async_exit_scrubs_host_visible_context() {
+        let (mut module, mut machine) = setup();
+        machine.cpus[0].ctx.gpr = [0x4242; 16];
+        let host_view = module.async_exit_context_protect(&mut machine, 0);
+        assert!(host_view.is_scrubbed());
+        // The guest's real context is untouched.
+        assert_eq!(machine.cpus[0].ctx.gpr[0], 0x4242);
+    }
+}

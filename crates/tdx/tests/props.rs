@@ -1,0 +1,99 @@
+//! Property-based tests for the TDX-module simulator.
+
+use erebor_hw::{Frame, PhysMemory};
+use erebor_tdx::attest::{expected_mrtd, verify_quote, Attestation};
+use erebor_tdx::sept::{GpaState, Sept};
+use erebor_tdx::HostVmm;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn sept_state_machine(ops in proptest::collection::vec((0u64..16, any::<bool>()), 0..64)) {
+        let mut sept = Sept::new();
+        let mut model = std::collections::BTreeMap::new();
+        for f in 0..16u64 {
+            sept.accept_private(Frame(f));
+            model.insert(f, GpaState::Private);
+        }
+        for (f, to_shared) in ops {
+            let to = if to_shared { GpaState::Shared } else { GpaState::Private };
+            let res = sept.convert(Frame(f), to);
+            let cur = model[&f];
+            if cur == to {
+                prop_assert!(res.is_err(), "same-state convert must fail");
+            } else {
+                prop_assert!(res.is_ok());
+                model.insert(f, to);
+            }
+            prop_assert_eq!(sept.state(Frame(f)), Some(model[&f]));
+        }
+        let shared_model: Vec<u64> = model
+            .iter()
+            .filter(|(_, s)| **s == GpaState::Shared)
+            .map(|(f, _)| *f)
+            .collect();
+        let shared_sept: Vec<u64> = sept.shared_frames().map(|f| f.0).collect();
+        prop_assert_eq!(shared_sept, shared_model);
+    }
+
+    #[test]
+    fn host_visibility_follows_sept_exactly(shared_mask in any::<u16>()) {
+        let mut mem = PhysMemory::new(16 * 4096);
+        let mut sept = Sept::new();
+        let mut host = HostVmm::new();
+        for f in 0..16u64 {
+            sept.accept_private(Frame(f));
+            mem.write(Frame(f).base(), &[f as u8 + 1; 8]).unwrap();
+            if shared_mask >> f & 1 == 1 {
+                sept.convert(Frame(f), GpaState::Shared).unwrap();
+            }
+        }
+        for f in 0..16u64 {
+            let visible = host.read_guest(&mem, &sept, Frame(f)).is_ok();
+            prop_assert_eq!(visible, shared_mask >> f & 1 == 1);
+        }
+    }
+
+    #[test]
+    fn mrtd_order_and_content_sensitivity(
+        imgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..5),
+    ) {
+        // expected_mrtd models exactly the module's extension chain.
+        let mut att = Attestation::new([9; 32]);
+        for img in &imgs {
+            att.extend_mrtd(img);
+        }
+        att.seal_mrtd();
+        let refs: Vec<&[u8]> = imgs.iter().map(Vec::as_slice).collect();
+        prop_assert_eq!(att.mrtd(), expected_mrtd(&refs));
+        // Permuting two distinct images changes the measurement.
+        if imgs.len() >= 2 && imgs[0] != imgs[1] {
+            let mut swapped = imgs.clone();
+            swapped.swap(0, 1);
+            let refs2: Vec<&[u8]> = swapped.iter().map(Vec::as_slice).collect();
+            prop_assert_ne!(att.mrtd(), expected_mrtd(&refs2));
+        }
+    }
+
+    #[test]
+    fn quotes_bind_report_data(
+        rd1 in any::<[u8; 32]>(),
+        rd2 in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(rd1 != rd2);
+        let mut att = Attestation::new([3; 32]);
+        att.extend_mrtd(b"fw");
+        att.seal_mrtd();
+        let mut d1 = [0u8; 64];
+        d1[..32].copy_from_slice(&rd1);
+        let mut d2 = [0u8; 64];
+        d2[..32].copy_from_slice(&rd2);
+        let q1 = att.quote(att.tdreport(d1));
+        // Splicing rd2 into q1's signed report must invalidate it.
+        let mut forged = q1.clone();
+        forged.report.report_data = d2;
+        let expect = expected_mrtd(&[b"fw"]);
+        prop_assert!(verify_quote(&att.root_public(), &q1, &expect).is_ok());
+        prop_assert!(verify_quote(&att.root_public(), &forged, &expect).is_err());
+    }
+}

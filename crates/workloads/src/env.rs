@@ -1,0 +1,466 @@
+//! The workload execution environment abstraction.
+//!
+//! A [`Workload`] sees memory as *private* pages (confined memory in a
+//! sandbox; anonymous mmap natively) and *shared* pages (a common region
+//! in a sandbox; private replicated memory natively — which is exactly the
+//! memory-saving comparison of §9.2). It performs computation, thread
+//! synchronization, `cpuid`, and data I/O through the environment, so one
+//! workload definition measures every configuration of Fig. 9.
+
+use erebor_hw::PAGE_SIZE;
+use erebor_libos::api::{Sys, SysError};
+use erebor_libos::manifest::Manifest;
+use erebor_libos::os::{LibOs, ServiceProgram};
+use erebor_libos::thread::{SPINLOCK_UNCONTENDED, SPIN_CONTENTION_PER_THREAD};
+
+/// Sizing and concurrency parameters of a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadParams {
+    /// Private (confined) pages used.
+    pub private_pages: u64,
+    /// Shared (common) pages in the simulated window.
+    pub shared_pages: u64,
+    /// Declared logical private bytes (Table 6 "Conf.").
+    pub logical_private: u64,
+    /// Declared logical shared bytes (Table 6 "Com."; 0 = none).
+    pub logical_shared: u64,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+/// A workload kernel.
+pub trait Workload {
+    /// Name for tables.
+    fn name(&self) -> &'static str;
+
+    /// Sizing parameters.
+    fn params(&self) -> WorkloadParams;
+
+    /// Pre-data initialization (populate shared state).
+    ///
+    /// # Errors
+    /// Platform errors.
+    fn init(&mut self, env: &mut dyn Env) -> Result<(), SysError> {
+        let _ = env;
+        Ok(())
+    }
+
+    /// Process one request; returns the response bytes.
+    ///
+    /// # Errors
+    /// Platform errors.
+    fn serve(&mut self, env: &mut dyn Env, request: &[u8]) -> Result<Vec<u8>, SysError>;
+}
+
+impl Workload for Box<dyn Workload> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn params(&self) -> WorkloadParams {
+        self.as_ref().params()
+    }
+    fn init(&mut self, env: &mut dyn Env) -> Result<(), SysError> {
+        self.as_mut().init(env)
+    }
+    fn serve(&mut self, env: &mut dyn Env, request: &[u8]) -> Result<Vec<u8>, SysError> {
+        self.as_mut().serve(env, request)
+    }
+}
+
+/// The environment a workload runs against.
+pub trait Env {
+    /// Parallel compute: `units` of work divided across the thread pool.
+    ///
+    /// # Errors
+    /// Platform errors / kill.
+    fn compute(&mut self, units: u64) -> Result<(), SysError>;
+
+    /// `n` thread-synchronization events.
+    ///
+    /// # Errors
+    /// Platform errors / kill.
+    fn sync(&mut self, n: u64) -> Result<(), SysError>;
+
+    /// Touch private page `idx` (write).
+    ///
+    /// # Errors
+    /// Platform errors / kill.
+    fn touch_private(&mut self, idx: u64) -> Result<(), SysError>;
+
+    /// Touch shared page `idx` (read). First touches demand-page.
+    ///
+    /// # Errors
+    /// Platform errors / kill.
+    fn touch_shared(&mut self, idx: u64) -> Result<(), SysError>;
+
+    /// Execute `cpuid` (a `#VE` under TDX).
+    ///
+    /// # Errors
+    /// Platform errors / kill.
+    fn cpuid(&mut self) -> Result<u32, SysError>;
+
+    /// Number of worker threads.
+    fn threads(&self) -> usize;
+
+    /// Current cycle counter.
+    fn cycles(&self) -> u64;
+}
+
+// ======================================================================
+// Sandboxed environment (LibOS-backed)
+// ======================================================================
+
+/// Name of the shared common region a sandboxed workload attaches.
+pub const SHARED_REGION: &str = "shared";
+
+/// [`Env`] inside an EREBOR-SANDBOX.
+pub struct SandboxEnv<'a> {
+    /// The LibOS.
+    pub os: &'a mut LibOs,
+    /// The platform handle.
+    pub sys: &'a mut dyn Sys,
+    private_base: u64,
+    private_pages: u64,
+}
+
+impl<'a> SandboxEnv<'a> {
+    /// Wrap a LibOS + platform handle. `private_base` is a confined
+    /// allocation covering the workload's private pages.
+    #[must_use]
+    pub fn new(
+        os: &'a mut LibOs,
+        sys: &'a mut dyn Sys,
+        private_base: u64,
+        private_pages: u64,
+    ) -> SandboxEnv<'a> {
+        SandboxEnv {
+            os,
+            sys,
+            private_base,
+            private_pages,
+        }
+    }
+}
+
+impl Env for SandboxEnv<'_> {
+    fn compute(&mut self, units: u64) -> Result<(), SysError> {
+        self.os.pool.parallel(self.sys, units, 0)
+    }
+
+    fn sync(&mut self, n: u64) -> Result<(), SysError> {
+        self.os.pool.synchronize(self.sys, n)
+    }
+
+    fn touch_private(&mut self, idx: u64) -> Result<(), SysError> {
+        let va = self.private_base + (idx % self.private_pages.max(1)) * PAGE_SIZE as u64;
+        self.sys.touch(va, true)
+    }
+
+    fn touch_shared(&mut self, idx: u64) -> Result<(), SysError> {
+        self.os
+            .read_common_page(self.sys, SHARED_REGION, idx)
+            .map(|_| ())
+            .map_err(|e| match e {
+                erebor_libos::os::LibOsError::Sys(s) => s,
+                _ => SysError::Fault,
+            })
+    }
+
+    fn cpuid(&mut self) -> Result<u32, SysError> {
+        self.sys.cpuid(0x1)
+    }
+
+    fn threads(&self) -> usize {
+        self.os.pool.workers()
+    }
+
+    fn cycles(&self) -> u64 {
+        self.sys.cycles()
+    }
+}
+
+// ======================================================================
+// Native environment (plain process)
+// ======================================================================
+
+/// Persistent memory layout of a native workload process.
+#[derive(Debug, Clone, Copy)]
+pub struct NativeState {
+    /// Private window base.
+    pub private_base: u64,
+    /// Private pages.
+    pub private_pages: u64,
+    /// "Shared" window base (process-private — natively each instance
+    /// replicates it, the §9.2 memory comparison).
+    pub shared_base: u64,
+    /// Shared pages.
+    pub shared_pages: u64,
+    /// Worker threads.
+    pub threads: usize,
+    sync_counter: u64,
+}
+
+/// Fraction of native sync operations that hit the futex slow path.
+const NATIVE_FUTEX_EVERY: u64 = 16;
+
+impl NativeState {
+    /// Set up the process: mmap the private and "shared" windows.
+    ///
+    /// # Errors
+    /// Platform errors.
+    pub fn setup(sys: &mut dyn Sys, params: WorkloadParams) -> Result<NativeState, SysError> {
+        let private_base = sys.syscall(
+            erebor_kernel::syscall::nr::MMAP,
+            [
+                0,
+                params.private_pages.max(1) * PAGE_SIZE as u64,
+                3,
+                0,
+                0,
+                0,
+            ],
+        )?;
+        let shared_base = sys.syscall(
+            erebor_kernel::syscall::nr::MMAP,
+            [0, params.shared_pages.max(1) * PAGE_SIZE as u64, 3, 0, 0, 0],
+        )?;
+        Ok(NativeState {
+            private_base,
+            private_pages: params.private_pages.max(1),
+            shared_base,
+            shared_pages: params.shared_pages.max(1),
+            threads: params.threads,
+            sync_counter: 0,
+        })
+    }
+
+    /// Warm start (the paper pre-initializes containers, §9.2): touch every
+    /// page of both windows once, mirroring the sandbox loader's eager
+    /// confined mapping and common population.
+    ///
+    /// # Errors
+    /// Platform errors.
+    pub fn warm(&self, sys: &mut dyn Sys) -> Result<(), SysError> {
+        for p in 0..self.private_pages {
+            sys.touch(self.private_base + p * PAGE_SIZE as u64, true)?;
+        }
+        for p in 0..self.shared_pages {
+            sys.touch(self.shared_base + p * PAGE_SIZE as u64, true)?;
+            // Parse/deserialize work per page of the shared instance
+            // (mirrors the sandbox loader's population).
+            sys.compute(3_500)?;
+        }
+        Ok(())
+    }
+}
+
+/// [`Env`] for a native (non-sandboxed) process: no LibOS, futex-based
+/// synchronization, kernel demand paging.
+pub struct NativeEnv<'a> {
+    /// Platform handle.
+    pub sys: &'a mut dyn Sys,
+    /// The process's memory layout.
+    pub state: &'a mut NativeState,
+}
+
+impl<'a> NativeEnv<'a> {
+    /// Bind a handle to a prepared process.
+    #[must_use]
+    pub fn new(sys: &'a mut dyn Sys, state: &'a mut NativeState) -> NativeEnv<'a> {
+        NativeEnv { sys, state }
+    }
+}
+
+impl Env for NativeEnv<'_> {
+    fn compute(&mut self, units: u64) -> Result<(), SysError> {
+        self.sys.compute((units / self.state.threads as u64).max(1))
+    }
+
+    fn sync(&mut self, n: u64) -> Result<(), SysError> {
+        // Native pthreads: mostly userspace fast path, a futex syscall on
+        // contention; sleeping waiters burn far fewer cycles than the
+        // LibOS's exit-free spinlocks.
+        let contention = (self.state.threads as u64 - 1) * SPIN_CONTENTION_PER_THREAD / 4;
+        self.sys.compute(n * (SPINLOCK_UNCONTENDED + contention))?;
+        self.state.sync_counter += n;
+        while self.state.sync_counter >= NATIVE_FUTEX_EVERY {
+            self.state.sync_counter -= NATIVE_FUTEX_EVERY;
+            self.sys.syscall(
+                erebor_kernel::syscall::nr::FUTEX,
+                [self.state.private_base, 1, 1, 0, 0, 0],
+            )?;
+        }
+        Ok(())
+    }
+
+    fn touch_private(&mut self, idx: u64) -> Result<(), SysError> {
+        let va = self.state.private_base + (idx % self.state.private_pages) * PAGE_SIZE as u64;
+        self.sys.touch(va, true)
+    }
+
+    fn touch_shared(&mut self, idx: u64) -> Result<(), SysError> {
+        let va = self.state.shared_base + (idx % self.state.shared_pages) * PAGE_SIZE as u64;
+        self.sys.touch(va, false)
+    }
+
+    fn cpuid(&mut self) -> Result<u32, SysError> {
+        self.sys.cpuid(0x1)
+    }
+
+    fn threads(&self) -> usize {
+        self.state.threads
+    }
+
+    fn cycles(&self) -> u64 {
+        self.sys.cycles()
+    }
+}
+
+// ======================================================================
+// ServiceProgram adapter
+// ======================================================================
+
+/// Adapts any [`Workload`] into a sandbox-deployable [`ServiceProgram`].
+pub struct SandboxedWorkload<W: Workload> {
+    /// The wrapped workload.
+    pub inner: W,
+}
+
+impl<W: Workload> SandboxedWorkload<W> {
+    /// Wrap a workload.
+    #[must_use]
+    pub fn new(inner: W) -> SandboxedWorkload<W> {
+        SandboxedWorkload { inner }
+    }
+}
+
+impl<W: Workload> ServiceProgram for SandboxedWorkload<W> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn manifest(&self) -> Manifest {
+        let p = self.inner.params();
+        let mut m = Manifest::new(self.inner.name(), p.private_pages)
+            .threads(p.threads)
+            .logical_confined(p.logical_private);
+        if p.shared_pages > 0 {
+            m = m.common(SHARED_REGION, p.shared_pages, p.logical_shared);
+        }
+        m
+    }
+
+    fn init(&mut self, os: &mut LibOs, sys: &mut dyn Sys) -> Result<(), SysError> {
+        let p = self.inner.params();
+        if p.shared_pages > 0 {
+            // First instance populates the shared region (model load).
+            os.populate_common(sys, SHARED_REGION)
+                .map_err(|e| match e {
+                    erebor_libos::os::LibOsError::Sys(s) => s,
+                    _ => SysError::Fault,
+                })?;
+        }
+        let base = os.heap_base();
+        let mut env = SandboxEnv::new(os, sys, base, p.private_pages);
+        self.inner.init(&mut env)
+    }
+
+    fn serve(
+        &mut self,
+        os: &mut LibOs,
+        sys: &mut dyn Sys,
+        request: &[u8],
+    ) -> Result<Vec<u8>, SysError> {
+        let p = self.inner.params();
+        let base = os.heap_base();
+        let mut env = SandboxEnv::new(os, sys, base, p.private_pages);
+        self.inner.serve(&mut env, request)
+    }
+}
+
+/// Test-support environment that counts events without a platform.
+#[cfg(test)]
+pub mod tests_support {
+    use super::{Env, SysError};
+
+    /// Counting mock environment.
+    #[derive(Debug, Default)]
+    pub struct MockEnv {
+        /// Compute units charged.
+        pub compute_units: u64,
+        /// Sync events.
+        pub syncs: u64,
+        /// Private-page touches.
+        pub private_touches: u64,
+        /// Shared-page touches.
+        pub shared_touches: u64,
+        /// cpuid executions.
+        pub cpuids: u64,
+        /// Simulated cycles (1 per compute unit).
+        pub cycles: u64,
+    }
+
+    impl Env for MockEnv {
+        fn compute(&mut self, units: u64) -> Result<(), SysError> {
+            self.compute_units += units;
+            self.cycles += units;
+            Ok(())
+        }
+        fn sync(&mut self, n: u64) -> Result<(), SysError> {
+            self.syncs += n;
+            Ok(())
+        }
+        fn touch_private(&mut self, _idx: u64) -> Result<(), SysError> {
+            self.private_touches += 1;
+            Ok(())
+        }
+        fn touch_shared(&mut self, _idx: u64) -> Result<(), SysError> {
+            self.shared_touches += 1;
+            Ok(())
+        }
+        fn cpuid(&mut self) -> Result<u32, SysError> {
+            self.cpuids += 1;
+            Ok(0)
+        }
+        fn threads(&self) -> usize {
+            8
+        }
+        fn cycles(&self) -> u64 {
+            self.cycles
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Probe;
+    impl Workload for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn params(&self) -> WorkloadParams {
+            WorkloadParams {
+                private_pages: 4,
+                shared_pages: 8,
+                logical_private: 1 << 20,
+                logical_shared: 2 << 20,
+                threads: 2,
+            }
+        }
+        fn serve(&mut self, _env: &mut dyn Env, req: &[u8]) -> Result<Vec<u8>, SysError> {
+            Ok(req.to_vec())
+        }
+    }
+
+    #[test]
+    fn manifest_from_params() {
+        let w = SandboxedWorkload::new(Probe);
+        let m = w.manifest();
+        assert_eq!(m.heap_pages, 4);
+        assert_eq!(m.max_threads, 2);
+        assert_eq!(m.commons.len(), 1);
+        assert_eq!(m.commons[0].pages, 8);
+    }
+}

@@ -1,0 +1,46 @@
+//! The artifact's Helloworld demo sandbox (§A.4, experiment E2): a minimal
+//! program that takes no meaningful input and answers `0x4141…41` ("AA…A").
+
+use erebor_libos::api::{Sys, SysError};
+use erebor_libos::manifest::Manifest;
+use erebor_libos::os::{LibOs, ServiceProgram};
+
+/// The Helloworld demo program.
+#[derive(Debug, Default)]
+pub struct HelloWorld {
+    /// How many `A` bytes to emit.
+    pub len: usize,
+}
+
+impl ServiceProgram for HelloWorld {
+    fn name(&self) -> &str {
+        "helloworld"
+    }
+
+    fn manifest(&self) -> Manifest {
+        Manifest::new("helloworld", 8)
+    }
+
+    fn serve(
+        &mut self,
+        _os: &mut LibOs,
+        sys: &mut dyn Sys,
+        _request: &[u8],
+    ) -> Result<Vec<u8>, SysError> {
+        sys.compute(1000)?;
+        let len = if self.len == 0 { 10 } else { self.len };
+        Ok(vec![b'A'; len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_is_tiny() {
+        let h = HelloWorld::default();
+        assert_eq!(h.manifest().heap_pages, 8);
+        assert!(h.manifest().commons.is_empty());
+    }
+}

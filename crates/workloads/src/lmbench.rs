@@ -1,0 +1,182 @@
+//! LMBench-style microbenchmarks (Fig. 8, artifact E1).
+//!
+//! Each benchmark measures the simulated per-operation latency of one
+//! system-event class for a *native* (non-sandboxed) process. Under
+//! Erebor, the monitor's system-wide interposition (syscall entry, IDT,
+//! user copies, MMU delegation) is what these benchmarks feel.
+
+use erebor_hw::PAGE_SIZE;
+use erebor_kernel::syscall::nr;
+use erebor_libos::api::{Sys, SysError};
+
+/// One benchmark's result.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Simulated cycles per operation.
+    pub cycles_per_op: f64,
+    /// Operations performed.
+    pub ops: u64,
+}
+
+fn measure(
+    name: &'static str,
+    sys: &mut dyn Sys,
+    ops: u64,
+    mut f: impl FnMut(&mut dyn Sys, u64) -> Result<(), SysError>,
+) -> Result<BenchResult, SysError> {
+    let start = sys.cycles();
+    for i in 0..ops {
+        f(sys, i)?;
+    }
+    let cycles = sys.cycles() - start;
+    Ok(BenchResult {
+        name,
+        cycles_per_op: cycles as f64 / ops as f64,
+        ops,
+    })
+}
+
+/// `lat_syscall null`: getpid in a loop.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_null(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    measure("null", sys, ops, |s, _| {
+        s.syscall(nr::GETPID, [0; 6]).map(|_| ())
+    })
+}
+
+/// `lat_syscall read`: 1-byte reads of an open file (includes the
+/// monitor-emulated user copy).
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_read(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    let buf = sys.syscall(nr::MMAP, [0, 4096, 3, 0, 0, 0])?;
+    sys.write_mem(buf, b"/bench/data")?;
+    let fd = sys.syscall(nr::OPEN, [buf, 11, 0x40, 0, 0, 0])?;
+    sys.syscall(nr::WRITE, [fd, buf, 64, 0, 0, 0])?;
+    sys.syscall(nr::LSEEK, [fd, 0, 0, 0, 0, 0])?;
+    let data = buf + 2048;
+    measure("read", sys, ops, |s, i| {
+        if i % 32 == 0 {
+            s.syscall(nr::LSEEK, [fd, 0, 0, 0, 0, 0])?;
+        }
+        s.syscall(nr::READ, [fd, data, 1, 0, 0, 0]).map(|_| ())
+    })
+}
+
+/// `lat_syscall write`: 1-byte writes to /dev/null-like stdout.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_write(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    let buf = sys.syscall(nr::MMAP, [0, 4096, 3, 0, 0, 0])?;
+    sys.write_mem(buf, b"x")?;
+    measure("write", sys, ops, |s, _| {
+        s.syscall(nr::WRITE, [1, buf, 1, 0, 0, 0]).map(|_| ())
+    })
+}
+
+/// `lat_sig install`: sigaction registration.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_signal_install(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    measure("sig-install", sys, ops, |s, i| {
+        s.syscall(nr::RT_SIGACTION, [10 + (i % 3), 0x40_3000, 0, 0, 0, 0])
+            .map(|_| ())
+    })
+}
+
+/// `lat_sig catch`: self-signal delivery.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_signal_catch(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    let pid = sys.syscall(nr::GETPID, [0; 6])?;
+    sys.syscall(nr::RT_SIGACTION, [10, 0x40_3000, 0, 0, 0, 0])?;
+    measure("sig-catch", sys, ops, |s, _| {
+        s.syscall(nr::KILL, [pid, 10, 0, 0, 0, 0]).map(|_| ())
+    })
+}
+
+/// `lat_proc fork`: process creation + teardown (the MMU-heavy path).
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_fork(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    // A few mapped pages so fork has something to copy.
+    let buf = sys.syscall(nr::MMAP, [0, 8 * PAGE_SIZE as u64, 3, 0, 0, 0])?;
+    for p in 0..8u64 {
+        sys.write_mem(buf + p * PAGE_SIZE as u64, b"fork payload")?;
+    }
+    measure("fork", sys, ops, |s, _| {
+        let child = s.syscall(nr::FORK, [0; 6])?;
+        let _ = child;
+        Ok(())
+    })
+}
+
+/// `lat_mmap`: map + touch + unmap a region.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_mmap(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    measure("mmap", sys, ops, |s, _| {
+        let va = s.syscall(nr::MMAP, [0, 4 * PAGE_SIZE as u64, 3, 0, 0, 0])?;
+        s.touch(va, true)?;
+        s.syscall(nr::MUNMAP, [va, 4 * PAGE_SIZE as u64, 0, 0, 0, 0])?;
+        Ok(())
+    })
+}
+
+/// `lat_pagefault`: first-touch faults across a fresh mapping.
+///
+/// # Errors
+/// Platform errors.
+pub fn bench_pagefault(sys: &mut dyn Sys, ops: u64) -> Result<BenchResult, SysError> {
+    let pages_per_round = 64u64;
+    let rounds = ops.div_ceil(pages_per_round);
+    let start = sys.cycles();
+    let mut faults = 0u64;
+    for _ in 0..rounds {
+        let va = sys.syscall(
+            nr::MMAP,
+            [0, pages_per_round * PAGE_SIZE as u64, 3, 0, 0, 0],
+        )?;
+        for p in 0..pages_per_round {
+            sys.touch(va + p * PAGE_SIZE as u64, true)?;
+            faults += 1;
+        }
+        sys.syscall(
+            nr::MUNMAP,
+            [va, pages_per_round * PAGE_SIZE as u64, 0, 0, 0, 0],
+        )?;
+    }
+    let cycles = sys.cycles() - start;
+    Ok(BenchResult {
+        name: "pagefault",
+        cycles_per_op: cycles as f64 / faults as f64,
+        ops: faults,
+    })
+}
+
+/// The full Fig. 8 suite, in figure order.
+///
+/// # Errors
+/// Platform errors.
+pub fn run_suite(sys: &mut dyn Sys, ops: u64) -> Result<Vec<BenchResult>, SysError> {
+    Ok(vec![
+        bench_null(sys, ops)?,
+        bench_read(sys, ops)?,
+        bench_write(sys, ops)?,
+        bench_signal_install(sys, ops)?,
+        bench_signal_catch(sys, ops)?,
+        bench_mmap(sys, ops / 4 + 1)?,
+        bench_pagefault(sys, ops)?,
+        bench_fork(sys, (ops / 16).max(4))?,
+    ])
+}

@@ -1,0 +1,149 @@
+//! Background I/O-intensive programs (Fig. 10): OpenSSH-style encrypted
+//! file transfer and Nginx-style static file serving. These run as
+//! *native* processes (they manage VMs and serve as proxies, §9.3), so
+//! they feel Erebor's system-wide interposition only.
+
+use erebor_crypto::chacha20;
+use erebor_hw::PAGE_SIZE;
+use erebor_kernel::syscall::nr;
+use erebor_libos::api::{Sys, SysError};
+
+/// OpenSSH transfer chunk (scp's cipher-block pipeline buffers).
+const SSH_CHUNK: u64 = 16 * 1024;
+/// Nginx sendfile chunk (larger zero-copy spans per syscall).
+const NGINX_CHUNK: u64 = 64 * 1024;
+/// Staging window size (covers the largest chunk).
+const CHUNK: u64 = NGINX_CHUNK;
+/// Cycles charged per encrypted byte (ChaCha20 + MAC at paper scale).
+const ENC_CYCLES_PER_BYTE: u64 = 4;
+/// Cycles charged per copied byte (memcpy + TCP segmentation).
+const COPY_CYCLES_PER_BYTE: u64 = 3;
+/// Fixed per-request work: connection accept, request parse, headers,
+/// teardown (the TCP-stack cost every real server pays per request).
+const REQUEST_FIXED_CYCLES: u64 = 40_000;
+
+/// Result of serving a batch of file requests.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferResult {
+    /// File size served.
+    pub file_size: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Throughput in simulated bytes/cycle.
+    pub bytes_per_cycle: f64,
+}
+
+/// Prepare the server's file tree: one file of `size` bytes.
+///
+/// # Errors
+/// Platform errors.
+pub fn stage_file(sys: &mut dyn Sys, size: u64) -> Result<u64, SysError> {
+    let buf = sys.syscall(nr::MMAP, [0, 2 * CHUNK + PAGE_SIZE as u64, 3, 0, 0, 0])?;
+    sys.write_mem(buf, b"/srv/payload.bin")?;
+    let fd = sys.syscall(nr::OPEN, [buf, 16, 0x40, 0, 0, 0])?;
+    // Write the file in chunks.
+    let data = buf + PAGE_SIZE as u64;
+    sys.write_mem(data, &vec![0xabu8; CHUNK.min(size) as usize])?;
+    let mut written = 0u64;
+    while written < size {
+        let n = CHUNK.min(size - written);
+        sys.syscall(nr::WRITE, [fd, data, n, 0, 0, 0])?;
+        written += n;
+    }
+    sys.syscall(nr::CLOSE, [fd, 0, 0, 0, 0, 0])?;
+    Ok(buf)
+}
+
+fn serve_file(
+    sys: &mut dyn Sys,
+    buf: u64,
+    file_size: u64,
+    requests: u64,
+    encrypt: bool,
+    chunk: u64,
+) -> Result<TransferResult, SysError> {
+    let data = buf + PAGE_SIZE as u64;
+    let sock = data + CHUNK;
+    let key = [7u8; 32];
+    let nonce = [3u8; 12];
+    let start = sys.cycles();
+    for req in 0..requests {
+        sys.compute(REQUEST_FIXED_CYCLES)?;
+        let fd = sys.syscall(nr::OPEN, [buf, 16, 0, 0, 0, 0])?;
+        let mut sent = 0u64;
+        let mut counter = 0u32;
+        while sent < file_size {
+            let n = sys.syscall(nr::READ, [fd, data, chunk.min(file_size - sent), 0, 0, 0])?;
+            if n == 0 {
+                // Stateless sim files keep a cursor per open; rewind once.
+                sys.syscall(nr::LSEEK, [fd, 0, 0, 0, 0, 0])?;
+                continue;
+            }
+            if encrypt {
+                // Real cipher work on a sample of the buffer, cycle charge
+                // for the full chunk.
+                let mut sample = [0u8; 256];
+                sys.read_mem(data, &mut sample)?;
+                chacha20::xor_stream(&key, &nonce, counter, &mut sample);
+                counter = counter.wrapping_add(1);
+                sys.write_mem(sock, &sample)?;
+                sys.compute(n * ENC_CYCLES_PER_BYTE)?;
+            }
+            sys.compute(n * COPY_CYCLES_PER_BYTE)?;
+            // "send" over the emulated network channel.
+            sys.syscall(nr::WRITE, [1, sock, n.min(256), 0, 0, 0])?;
+            sent += n;
+        }
+        sys.syscall(nr::CLOSE, [fd, 0, 0, 0, 0, 0])?;
+        if req % 8 == 0 {
+            sys.cpuid(1)?; // periodic virtio/net #VE-class event
+        }
+    }
+    let cycles = sys.cycles() - start;
+    Ok(TransferResult {
+        file_size,
+        requests,
+        cycles,
+        bytes_per_cycle: (file_size * requests) as f64 / cycles as f64,
+    })
+}
+
+/// OpenSSH-style encrypted transfer of `requests` copies of a `file_size`
+/// file.
+///
+/// # Errors
+/// Platform errors.
+pub fn openssh(
+    sys: &mut dyn Sys,
+    file_size: u64,
+    requests: u64,
+) -> Result<TransferResult, SysError> {
+    let buf = stage_file(sys, file_size)?;
+    serve_file(sys, buf, file_size, requests, true, SSH_CHUNK)
+}
+
+/// Nginx-style static serving of `requests` for a `file_size` file.
+///
+/// # Errors
+/// Platform errors.
+pub fn nginx(sys: &mut dyn Sys, file_size: u64, requests: u64) -> Result<TransferResult, SysError> {
+    let buf = stage_file(sys, file_size)?;
+    serve_file(sys, buf, file_size, requests, false, NGINX_CHUNK)
+}
+
+/// The Fig. 10 file-size sweep (1 KiB – 16 MiB, powers of 4).
+#[must_use]
+pub fn fig10_sizes() -> Vec<u64> {
+    vec![
+        1 << 10,
+        4 << 10,
+        16 << 10,
+        64 << 10,
+        256 << 10,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+    ]
+}

@@ -1,0 +1,955 @@
+//! The platform: assembles hardware, TDX module, monitor, kernel and LibOS
+//! into a running CVM and drives the execution model — syscall and
+//! interrupt interposition, demand paging, timer quanta, the client/proxy
+//! data path — exactly as Fig. 7 lays it out.
+
+use erebor_core::boot::{BootConfig, BootError, Cvm};
+use erebor_core::channel::{Client, ClientError, Proxy};
+use erebor_core::config::Mode;
+use erebor_core::emc::{EmcRequest, EmcResponse};
+use erebor_core::sandbox::{ExitDecision, SandboxId};
+use erebor_core::stats::MonitorStats;
+use erebor_hw::cpu::{CpuMode, Domain};
+use erebor_hw::cycles::CLOCK_HZ;
+use erebor_hw::fault::{AccessKind, Fault, PfReason, VeReason};
+use erebor_hw::idt::vector;
+use erebor_hw::VirtAddr;
+use erebor_kernel::image::benign_kernel;
+use erebor_kernel::kernel::KernelStats;
+use erebor_kernel::{Hw, Kernel, Pid};
+use erebor_libos::api::{Sys, SysError};
+use erebor_libos::os::{CommonRegistry, LibOs, ServiceProgram};
+use erebor_tdx::attest::expected_mrtd;
+use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, TdxStats, VmcallOp};
+
+/// The synthetic rip of user code (any user-half address works; only its
+/// *half* matters to the privilege model).
+const USER_RIP: u64 = 0x40_1000;
+
+/// Platform-level failure.
+#[derive(Debug)]
+pub enum PlatformError {
+    /// Boot failed.
+    Boot(BootError),
+    /// Kernel returned an errno at setup time.
+    Errno(erebor_kernel::Errno),
+    /// User-level failure (kill, fault).
+    Sys(SysError),
+    /// Channel / attestation failure.
+    Channel(&'static str),
+    /// Client-side verification failure.
+    Client(ClientError),
+    /// LibOS failure.
+    LibOs(String),
+}
+
+impl core::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PlatformError::Boot(e) => write!(f, "boot: {e}"),
+            PlatformError::Errno(e) => write!(f, "kernel: {e}"),
+            PlatformError::Sys(e) => write!(f, "user: {e}"),
+            PlatformError::Channel(e) => write!(f, "channel: {e}"),
+            PlatformError::Client(e) => write!(f, "client: {e}"),
+            PlatformError::LibOs(e) => write!(f, "libos: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<SysError> for PlatformError {
+    fn from(e: SysError) -> PlatformError {
+        PlatformError::Sys(e)
+    }
+}
+
+impl From<erebor_libos::os::LibOsError> for PlatformError {
+    fn from(e: erebor_libos::os::LibOsError) -> PlatformError {
+        PlatformError::LibOs(e.to_string())
+    }
+}
+
+/// A counters snapshot for before/after measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Snapshot {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Monitor counters.
+    pub monitor: MonitorStats,
+    /// Kernel counters.
+    pub kernel: KernelStats,
+    /// TDX counters.
+    pub tdx: TdxStats,
+}
+
+impl Snapshot {
+    /// Elementwise difference `self - earlier`.
+    #[must_use]
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            cycles: self.cycles - earlier.cycles,
+            monitor: MonitorStats {
+                emc_calls: self.monitor.emc_calls - earlier.monitor.emc_calls,
+                pte_updates: self.monitor.pte_updates - earlier.monitor.pte_updates,
+                cr_writes: self.monitor.cr_writes - earlier.monitor.cr_writes,
+                msr_writes: self.monitor.msr_writes - earlier.monitor.msr_writes,
+                idt_writes: self.monitor.idt_writes - earlier.monitor.idt_writes,
+                user_copies: self.monitor.user_copies - earlier.monitor.user_copies,
+                ghci_ops: self.monitor.ghci_ops - earlier.monitor.ghci_ops,
+                sandbox_pf_exits: self.monitor.sandbox_pf_exits - earlier.monitor.sandbox_pf_exits,
+                sandbox_timer_exits: self.monitor.sandbox_timer_exits
+                    - earlier.monitor.sandbox_timer_exits,
+                sandbox_ve_exits: self.monitor.sandbox_ve_exits - earlier.monitor.sandbox_ve_exits,
+                sandbox_syscall_exits: self.monitor.sandbox_syscall_exits
+                    - earlier.monitor.sandbox_syscall_exits,
+                sandboxes_killed: self.monitor.sandboxes_killed - earlier.monitor.sandboxes_killed,
+                emc_denied: self.monitor.emc_denied - earlier.monitor.emc_denied,
+                cpuid_cached: self.monitor.cpuid_cached - earlier.monitor.cpuid_cached,
+            },
+            kernel: KernelStats {
+                syscalls: self.kernel.syscalls - earlier.kernel.syscalls,
+                page_faults: self.kernel.page_faults - earlier.kernel.page_faults,
+                timer_ticks: self.kernel.timer_ticks - earlier.kernel.timer_ticks,
+                ctx_switches: self.kernel.ctx_switches - earlier.kernel.ctx_switches,
+                forks: self.kernel.forks - earlier.kernel.forks,
+                signals_delivered: self.kernel.signals_delivered - earlier.kernel.signals_delivered,
+                ve_handled: self.kernel.ve_handled - earlier.kernel.ve_handled,
+            },
+            tdx: TdxStats {
+                tdcalls: self.tdx.tdcalls - earlier.tdx.tdcalls,
+                mapgpa: self.tdx.mapgpa - earlier.tdx.mapgpa,
+                vmcalls: self.tdx.vmcalls - earlier.tdx.vmcalls,
+                ve_injected: self.tdx.ve_injected - earlier.tdx.ve_injected,
+                tdreports: self.tdx.tdreports - earlier.tdx.tdreports,
+            },
+        }
+    }
+
+    /// Simulated seconds represented by the cycles field.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.cycles as f64 / CLOCK_HZ as f64
+    }
+}
+
+/// A deployed sandboxed service: the provider's program plus its LibOS.
+pub struct ServiceInstance {
+    /// The service program.
+    pub program: Box<dyn ServiceProgram>,
+    /// The LibOS instance inside the sandbox.
+    pub os: LibOs,
+    /// Host task.
+    pub pid: Pid,
+    /// The monitor's sandbox id.
+    pub sandbox: SandboxId,
+}
+
+impl core::fmt::Debug for ServiceInstance {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ServiceInstance")
+            .field("name", &self.program.name())
+            .field("pid", &self.pid)
+            .field("sandbox", &self.sandbox)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The assembled, booted platform.
+pub struct Platform {
+    /// The booted CVM (hardware + TDX + monitor).
+    pub cvm: Cvm,
+    /// The guest kernel.
+    pub kernel: Kernel,
+    /// Service-wide common-region registry.
+    pub registry: CommonRegistry,
+    /// Whether this platform booted under a paravisor (§10).
+    pub paravisor: bool,
+    cpu: usize,
+    last_timer: Vec<u64>,
+    device_period_ticks: u64,
+    ticks_since_device: Vec<u64>,
+    /// Ticks between memory-pressure reclaim passes (0 = disabled).
+    pub reclaim_period_ticks: u64,
+    /// Pages reclaimed per pass.
+    pub reclaim_pages_per_pass: u64,
+    ticks_since_reclaim: u64,
+}
+
+impl core::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Platform")
+            .field("cvm", &self.cvm)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    /// Boot with default parameters in the given mode.
+    ///
+    /// ```
+    /// use erebor::{Mode, Platform};
+    /// use erebor_workloads::hello::HelloWorld;
+    ///
+    /// let mut platform = Platform::boot(Mode::Full)?;
+    /// let mut svc = platform.deploy(Box::new(HelloWorld { len: 4 }), 4096)?;
+    /// let mut client = platform.connect_client(&svc, [7u8; 32])?;
+    /// let reply = platform.serve_request(&mut svc, &mut client, b"hi")?;
+    /// assert_eq!(reply, b"AAAA");
+    /// # Ok::<(), erebor::PlatformError>(())
+    /// ```
+    ///
+    /// # Errors
+    /// [`PlatformError::Boot`].
+    pub fn boot(mode: Mode) -> Result<Platform, PlatformError> {
+        let cfg = BootConfig {
+            config: erebor_core::config::ExecConfig::new(mode),
+            ..BootConfig::default()
+        };
+        Platform::boot_with(cfg)
+    }
+
+    /// Boot with explicit parameters.
+    ///
+    /// # Errors
+    /// [`PlatformError::Boot`] / [`PlatformError::Errno`].
+    pub fn boot_with(cfg: BootConfig) -> Result<Platform, PlatformError> {
+        let kernel_img = benign_kernel(cfg.seed);
+        let cvm = Cvm::boot_all(cfg, &kernel_img).map_err(PlatformError::Boot)?;
+        let paravisor = cfg.paravisor;
+        let cores = cfg.cores;
+        let mut platform = Platform {
+            cvm,
+            kernel: Kernel::new(),
+            registry: CommonRegistry::new(),
+            paravisor,
+            cpu: 0,
+            last_timer: vec![0; cores],
+            device_period_ticks: 3,
+            ticks_since_device: vec![0; cores],
+            reclaim_period_ticks: 2,
+            reclaim_pages_per_pass: 4,
+            ticks_since_reclaim: 0,
+        };
+        let (mut hw, kernel) = platform.parts();
+        kernel.init(&mut hw).map_err(PlatformError::Errno)?;
+        let now = platform.cvm.machine.cycles.total();
+        platform.last_timer.fill(now);
+        Ok(platform)
+    }
+
+    /// Enter kernel execution context on the driving core (ring 0, kernel
+    /// code domain) — the state in which kernel code like `spawn`/`schedule`
+    /// legitimately runs. Public for tests and benches that drive kernel
+    /// paths directly.
+    pub fn enter_kernel_mode(&mut self) {
+        let c = &mut self.cvm.machine.cpus[self.cpu];
+        c.mode = CpuMode::Supervisor;
+        c.domain = Domain::Kernel;
+    }
+
+    fn parts(&mut self) -> (Hw<'_>, &mut Kernel) {
+        (
+            Hw {
+                machine: &mut self.cvm.machine,
+                tdx: &mut self.cvm.tdx,
+                monitor: &mut self.cvm.monitor,
+                cpu: self.cpu,
+            },
+            &mut self.kernel,
+        )
+    }
+
+    /// A counters snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cycles: self.cvm.machine.cycles.total(),
+            monitor: self.cvm.monitor.stats,
+            kernel: self.kernel.stats,
+            tdx: self.cvm.tdx.stats,
+        }
+    }
+
+    /// Spawn a native (non-sandboxed) process.
+    ///
+    /// # Errors
+    /// Kernel errors.
+    pub fn spawn_native(&mut self) -> Result<Pid, PlatformError> {
+        self.enter_kernel_mode();
+        let (mut hw, kernel) = self.parts();
+        let pid = kernel.spawn_native(&mut hw).map_err(PlatformError::Errno)?;
+        kernel
+            .schedule(&mut hw, pid)
+            .map_err(PlatformError::Errno)?;
+        Ok(pid)
+    }
+
+    /// A [`Sys`] handle for driving a process's user-mode execution.
+    pub fn proc(&mut self, pid: Pid) -> ProcHandle<'_> {
+        ProcHandle {
+            platform: self,
+            pid,
+        }
+    }
+
+    // ================================================================
+    // Service deployment and the client data path (§6.3)
+    // ================================================================
+
+    /// Deploy a service program into a fresh sandbox: spawn the host task,
+    /// run the LibOS loader (confined declaration, commons, preloads,
+    /// thread pool) and the program's own pre-data initialization.
+    ///
+    /// # Errors
+    /// Any setup failure.
+    pub fn deploy(
+        &mut self,
+        mut program: Box<dyn ServiceProgram>,
+        budget_pages: u64,
+    ) -> Result<ServiceInstance, PlatformError> {
+        self.enter_kernel_mode();
+        let use_driver = self.cvm.monitor.cfg.monitor_present();
+        let (pid, sandbox) = if use_driver {
+            let (mut hw, kernel) = self.parts();
+            let (pid, sandbox) = kernel
+                .spawn_sandbox(&mut hw, budget_pages)
+                .map_err(PlatformError::Errno)?;
+            kernel
+                .schedule(&mut hw, pid)
+                .map_err(PlatformError::Errno)?;
+            (pid, sandbox)
+        } else {
+            // LibOS-only / Native baselines: a plain process.
+            let (mut hw, kernel) = self.parts();
+            let pid = kernel.spawn_native(&mut hw).map_err(PlatformError::Errno)?;
+            kernel
+                .schedule(&mut hw, pid)
+                .map_err(PlatformError::Errno)?;
+            (pid, SandboxId(0))
+        };
+        let manifest = program.manifest();
+        let mut registry = std::mem::take(&mut self.registry);
+        let result = LibOs::load(manifest, &mut registry, &mut self.proc(pid), use_driver);
+        self.registry = registry;
+        let mut os = result?;
+        program
+            .init(
+                &mut os,
+                &mut ProcHandle {
+                    platform: self,
+                    pid,
+                },
+            )
+            .map_err(PlatformError::Sys)?;
+        Ok(ServiceInstance {
+            program,
+            os,
+            pid,
+            sandbox,
+        })
+    }
+
+    /// Drive one request through a service *without* the monitor channel —
+    /// the LibOS-only/Native baselines' (unprotected) DebugFS data path,
+    /// mirroring the artifact's emulated I/O channel (§A.4).
+    ///
+    /// # Errors
+    /// Any step's failure.
+    pub fn serve_plain(
+        &mut self,
+        svc: &mut ServiceInstance,
+        request: &[u8],
+    ) -> Result<Vec<u8>, PlatformError> {
+        if self.cvm.monitor.cfg.monitor_present() {
+            return Err(PlatformError::Channel(
+                "serve_plain is for monitor-less baselines; use serve_request",
+            ));
+        }
+        self.kernel.vfs.debug_in.extend_from_slice(request);
+        let pid = svc.pid;
+        let req = svc.os.input(&mut ProcHandle {
+            platform: self,
+            pid,
+        })?;
+        let res = svc
+            .program
+            .serve(
+                &mut svc.os,
+                &mut ProcHandle {
+                    platform: self,
+                    pid,
+                },
+                &req,
+            )
+            .map_err(PlatformError::Sys)?;
+        svc.os.output(
+            &mut ProcHandle {
+                platform: self,
+                pid,
+            },
+            &res,
+        )?;
+        let out = std::mem::take(&mut self.kernel.vfs.debug_out);
+        Ok(out)
+    }
+
+    /// Run the remote-attestation handshake for a client of `svc`,
+    /// relaying both flights through the untrusted proxy.
+    ///
+    /// # Errors
+    /// Attestation / channel failures.
+    pub fn connect_client(
+        &mut self,
+        svc: &ServiceInstance,
+        key_seed: [u8; 32],
+    ) -> Result<Client, PlatformError> {
+        let root = self.cvm.tdx.attest.root_public();
+        let erebor_chain = expected_mrtd(&[
+            &self.cvm.firmware_image.measurement_bytes(),
+            &self.cvm.monitor_image.measurement_bytes(),
+        ]);
+        let expected = if self.paravisor {
+            erebor_tdx::attest::Expected::ParavisorRtmr {
+                mrtd: expected_mrtd(&[erebor_core::boot::PARAVISOR_MEASUREMENT_INPUT]),
+                rtmr0: erebor_chain,
+            }
+        } else {
+            erebor_tdx::attest::Expected::Mrtd(erebor_chain)
+        };
+        let (mut client, hello) = Client::with_expected(key_seed, root, expected);
+        // First flight crosses the untrusted network/proxy.
+        let _ = Proxy::relay(&mut self.cvm.tdx, &hello.client_pub);
+        let server_hello = self
+            .cvm
+            .monitor
+            .channel_accept(
+                &mut self.cvm.machine,
+                &mut self.cvm.tdx,
+                self.cpu,
+                svc.sandbox,
+                &hello,
+            )
+            .map_err(PlatformError::Channel)?;
+        let _ = Proxy::relay(&mut self.cvm.tdx, &server_hello.monitor_pub);
+        client
+            .finish(&server_hello)
+            .map_err(PlatformError::Client)?;
+        Ok(client)
+    }
+
+    /// Send sealed client data into the sandbox (through the proxy; the
+    /// first record flips the sandbox to `DataLoaded`).
+    ///
+    /// # Errors
+    /// Channel / record failures.
+    pub fn client_send(
+        &mut self,
+        svc: &ServiceInstance,
+        client: &mut Client,
+        data: &[u8],
+    ) -> Result<(), PlatformError> {
+        let record = client.seal(data).map_err(PlatformError::Client)?;
+        let record = Proxy::relay(&mut self.cvm.tdx, &record);
+        self.cvm
+            .monitor
+            .install_client_data(&mut self.cvm.machine, self.cpu, svc.sandbox, &record)
+            .map_err(PlatformError::Channel)
+    }
+
+    /// Fetch the next sealed result for the client (through the proxy).
+    ///
+    /// # Errors
+    /// Channel / record failures.
+    pub fn client_recv(
+        &mut self,
+        svc: &ServiceInstance,
+        client: &mut Client,
+    ) -> Result<Vec<u8>, PlatformError> {
+        let record = self
+            .cvm
+            .monitor
+            .fetch_output_quantized(&mut self.cvm.machine, svc.sandbox)
+            .ok_or(PlatformError::Channel("no output pending"))?;
+        let record = Proxy::relay(&mut self.cvm.tdx, &record);
+        client.open_result(&record).map_err(PlatformError::Client)
+    }
+
+    /// Full request/response round trip: seal → install → program `serve`
+    /// → padded sealed reply.
+    ///
+    /// # Errors
+    /// Any step's failure (including a sandbox kill).
+    pub fn serve_request(
+        &mut self,
+        svc: &mut ServiceInstance,
+        client: &mut Client,
+        request: &[u8],
+    ) -> Result<Vec<u8>, PlatformError> {
+        self.client_send(svc, client, request)?;
+        let pid = svc.pid;
+        let req = svc.os.input(&mut ProcHandle {
+            platform: self,
+            pid,
+        })?;
+        let res = svc
+            .program
+            .serve(
+                &mut svc.os,
+                &mut ProcHandle {
+                    platform: self,
+                    pid,
+                },
+                &req,
+            )
+            .map_err(PlatformError::Sys)?;
+        svc.os.output(
+            &mut ProcHandle {
+                platform: self,
+                pid,
+            },
+            &res,
+        )?;
+        self.client_recv(svc, client)
+    }
+
+    // ================================================================
+    // Execution-model internals
+    // ================================================================
+
+    fn sandbox_of(&self, pid: Pid) -> Option<SandboxId> {
+        self.kernel.task(pid).and_then(erebor_kernel::Task::sandbox)
+    }
+
+    /// Select the vCPU that subsequent [`Platform::proc`] handles drive.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range core id.
+    pub fn set_active_cpu(&mut self, cpu: usize) {
+        assert!(cpu < self.cvm.machine.cpus.len(), "no such core");
+        self.cpu = cpu;
+    }
+
+    /// The currently active vCPU.
+    #[must_use]
+    pub fn active_cpu(&self) -> usize {
+        self.cpu
+    }
+
+    fn ensure_current(&mut self, pid: Pid) -> Result<(), SysError> {
+        if self.kernel.current_on(self.cpu) != Some(pid) {
+            let saved_mode = self.cvm.machine.cpus[self.cpu].mode;
+            let saved_domain = self.cvm.machine.cpus[self.cpu].domain;
+            self.enter_kernel_mode();
+            let (mut hw, kernel) = self.parts();
+            kernel.schedule(&mut hw, pid).map_err(|_| SysError::Fault)?;
+            self.cvm.machine.cpus[self.cpu].mode = saved_mode;
+            self.cvm.machine.cpus[self.cpu].domain = saved_domain;
+        }
+        Ok(())
+    }
+
+    fn enter_user(&mut self, _pid: Pid) {
+        let c = &mut self.cvm.machine.cpus[self.cpu];
+        c.mode = CpuMode::User;
+        c.domain = Domain::User;
+        c.ctx.rip = USER_RIP;
+    }
+
+    /// Deliver the APIC timer for every quantum that has elapsed, running
+    /// the full interposition path (monitor scrub + kernel scheduler +
+    /// resume). Large `compute` charges may span several quanta; each gets
+    /// its tick, so event *rates* stay faithful to simulated time.
+    fn tick(&mut self, pid: Pid) -> Result<(), SysError> {
+        // Bound catch-up to keep pathological charges finite.
+        for _ in 0..4096 {
+            let quantum = self.cvm.monitor.cfg.timer_quantum_cycles;
+            if self
+                .cvm
+                .machine
+                .cycles
+                .total()
+                .saturating_sub(self.last_timer[self.cpu])
+                < quantum
+            {
+                return Ok(());
+            }
+            self.tick_once(pid)?;
+        }
+        Ok(())
+    }
+
+    fn tick_once(&mut self, pid: Pid) -> Result<(), SysError> {
+        let quantum = self.cvm.monitor.cfg.timer_quantum_cycles;
+        self.last_timer[self.cpu] += quantum;
+        if self
+            .cvm
+            .machine
+            .cycles
+            .total()
+            .saturating_sub(self.last_timer[self.cpu])
+            >= quantum * 64
+        {
+            // Far behind (huge single charge): resynchronize.
+            self.last_timer[self.cpu] = self.cvm.machine.cycles.total();
+        }
+        self.ticks_since_device[self.cpu] += 1;
+        let vec = if self.ticks_since_device[self.cpu] >= self.device_period_ticks {
+            self.ticks_since_device[self.cpu] = 0;
+            vector::DEVICE
+        } else {
+            vector::TIMER
+        };
+        // Periodic memory pressure: common (unpinned) pages and cold
+        // anonymous pages get evicted, sustaining runtime fault rates.
+        self.ticks_since_reclaim += 1;
+        if self.reclaim_period_ticks > 0 && self.ticks_since_reclaim >= self.reclaim_period_ticks {
+            self.ticks_since_reclaim = 0;
+            let budget = self.reclaim_pages_per_pass;
+            if self.cvm.monitor.cfg.monitor_present() {
+                self.cvm
+                    .monitor
+                    .reclaim_common(&mut self.cvm.machine, self.cpu, budget);
+            }
+            let saved_mode = self.cvm.machine.cpus[self.cpu].mode;
+            let saved_domain = self.cvm.machine.cpus[self.cpu].domain;
+            self.enter_kernel_mode();
+            let (mut hw, kernel) = self.parts();
+            kernel.reclaim_pages(&mut hw, budget);
+            self.cvm.machine.cpus[self.cpu].mode = saved_mode;
+            self.cvm.machine.cpus[self.cpu].domain = saved_domain;
+        }
+        self.deliver_interrupt(pid, vec)
+    }
+
+    fn deliver_interrupt(&mut self, pid: Pid, vec: u8) -> Result<(), SysError> {
+        // Async exit: the TDX module protects the guest context from the
+        // injecting host.
+        self.cvm
+            .tdx
+            .async_exit_context_protect(&mut self.cvm.machine, self.cpu);
+        let (_handler, saved) = self
+            .cvm
+            .machine
+            .deliver_interrupt(self.cpu, vec)
+            .map_err(|_| SysError::Fault)?;
+        let sandbox = self.sandbox_of(pid);
+        if self.cvm.monitor.cfg.monitor_present() && self.cvm.monitor.cfg.exit_protection() {
+            let decision =
+                self.cvm
+                    .monitor
+                    .on_interrupt(&mut self.cvm.machine, self.cpu, sandbox, vec, saved);
+            match decision {
+                ExitDecision::ForwardToKernel { .. } => {
+                    let (mut hw, kernel) = self.parts();
+                    kernel.on_timer(&mut hw);
+                }
+                ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
+                ExitDecision::Handled { .. } => {}
+            }
+            if let Some(id) = sandbox {
+                self.cvm
+                    .monitor
+                    .resume_sandbox(&mut self.cvm.machine, self.cpu, id)
+                    .map_err(|_| SysError::Fault)?;
+            }
+        } else {
+            let (mut hw, kernel) = self.parts();
+            kernel.on_timer(&mut hw);
+        }
+        // Return into the interrupted (possibly restored) user context.
+        self.ensure_current(pid)?;
+        self.cvm
+            .machine
+            .iret(self.cpu, saved)
+            .map_err(|_| SysError::Fault)?;
+        Ok(())
+    }
+
+    fn handle_user_pf(&mut self, pid: Pid, va: VirtAddr, write: bool) -> Result<(), SysError> {
+        let (_handler, saved) = self
+            .cvm
+            .machine
+            .deliver_interrupt(self.cpu, vector::PF)
+            .map_err(|_| SysError::Fault)?;
+        let sandbox = self.sandbox_of(pid);
+        if self.cvm.monitor.cfg.monitor_present() {
+            let decision = match sandbox {
+                Some(id) => {
+                    self.cvm
+                        .monitor
+                        .on_page_fault(&mut self.cvm.machine, self.cpu, id, va, write)
+                }
+                _ if self.cvm.monitor.cfg.exit_protection() => self.cvm.monitor.on_interrupt(
+                    &mut self.cvm.machine,
+                    self.cpu,
+                    None,
+                    vector::PF,
+                    saved,
+                ),
+                _ => ExitDecision::ForwardToKernel {
+                    handler: erebor_kernel::entry::PF,
+                },
+            };
+            match decision {
+                ExitDecision::Handled { .. } => {}
+                ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
+                ExitDecision::ForwardToKernel { .. } => {
+                    let (mut hw, kernel) = self.parts();
+                    kernel
+                        .handle_page_fault(&mut hw, pid, va, write)
+                        .map_err(|_| SysError::Fault)?;
+                }
+            }
+        } else {
+            let (mut hw, kernel) = self.parts();
+            kernel
+                .handle_page_fault(&mut hw, pid, va, write)
+                .map_err(|_| SysError::Fault)?;
+        }
+        self.cvm
+            .machine
+            .iret(self.cpu, saved)
+            .map_err(|_| SysError::Fault)?;
+        Ok(())
+    }
+
+    fn user_access(&mut self, pid: Pid, va: u64, write: bool) -> Result<(), SysError> {
+        self.tick(pid)?;
+        self.ensure_current(pid)?;
+        self.enter_user(pid);
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        for _attempt in 0..64 {
+            match self.cvm.machine.probe(self.cpu, VirtAddr(va), kind) {
+                Ok(()) => return Ok(()),
+                Err(Fault::PageFault {
+                    reason: PfReason::NotPresent,
+                    va: fva,
+                    ..
+                }) => {
+                    self.handle_user_pf(pid, fva, write)?;
+                    self.enter_user(pid);
+                }
+                Err(_) => return Err(SysError::Fault),
+            }
+        }
+        Err(SysError::Fault)
+    }
+}
+
+/// A [`Sys`] implementation driving one process on the platform.
+pub struct ProcHandle<'a> {
+    platform: &'a mut Platform,
+    /// The process this handle drives.
+    pub pid: Pid,
+}
+
+impl Sys for ProcHandle<'_> {
+    fn syscall(&mut self, syscall_nr: u64, args: [u64; 6]) -> Result<u64, SysError> {
+        let p = &mut *self.platform;
+        let pid = self.pid;
+        p.tick(pid)?;
+        p.ensure_current(pid)?;
+        p.enter_user(pid);
+        // Linux register convention: rax=nr, rdi/rsi/rdx/r10/r8/r9.
+        {
+            let ctx = &mut p.cvm.machine.cpus[p.cpu].ctx;
+            ctx.gpr[0] = syscall_nr;
+            ctx.gpr[7] = args[0];
+            ctx.gpr[6] = args[1];
+            ctx.gpr[2] = args[2];
+            ctx.gpr[10] = args[3];
+            ctx.gpr[8] = args[4];
+            ctx.gpr[9] = args[5];
+        }
+        p.cvm.machine.syscall(p.cpu).map_err(|_| SysError::Fault)?;
+        let sandbox = p.sandbox_of(pid);
+        let rax = if p.cvm.monitor.cfg.monitor_present() && p.cvm.monitor.cfg.exit_protection() {
+            let decision =
+                p.cvm
+                    .monitor
+                    .on_syscall(&mut p.cvm.machine, &mut p.cvm.tdx, p.cpu, sandbox);
+            match decision {
+                ExitDecision::ForwardToKernel { .. } => {
+                    let (mut hw, kernel) = p.parts();
+                    kernel.handle_syscall(&mut hw, pid, syscall_nr, args)
+                }
+                ExitDecision::Handled { rax } => rax,
+                ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
+            }
+        } else {
+            let (mut hw, kernel) = p.parts();
+            kernel.handle_syscall(&mut hw, pid, syscall_nr, args)
+        };
+        p.cvm.machine.sysret(p.cpu).map_err(|_| SysError::Fault)?;
+        let signed = rax as i64;
+        if (-4095..0).contains(&signed) {
+            return Err(SysError::Errno(signed));
+        }
+        Ok(rax)
+    }
+
+    fn touch(&mut self, va: u64, write: bool) -> Result<(), SysError> {
+        self.platform.user_access(self.pid, va, write)
+    }
+
+    fn read_mem(&mut self, va: u64, buf: &mut [u8]) -> Result<(), SysError> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        let p = &mut *self.platform;
+        let pid = self.pid;
+        let mut page = VirtAddr(va).page_base().0;
+        let end = va + buf.len() as u64 - 1;
+        while page <= end {
+            p.user_access(pid, page, false)?;
+            page += erebor_hw::PAGE_SIZE as u64;
+        }
+        p.enter_user(pid);
+        for _retry in 0..4 {
+            match p.cvm.machine.read(p.cpu, VirtAddr(va), buf) {
+                Ok(()) => return Ok(()),
+                Err(Fault::PageFault {
+                    reason: PfReason::NotPresent,
+                    va: fva,
+                    ..
+                }) => {
+                    // A reclaim pass raced the copy; fault the page back.
+                    p.handle_user_pf(pid, fva, false)?;
+                    p.enter_user(pid);
+                }
+                Err(_) => return Err(SysError::Fault),
+            }
+        }
+        Err(SysError::Fault)
+    }
+
+    fn write_mem(&mut self, va: u64, data: &[u8]) -> Result<(), SysError> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        let p = &mut *self.platform;
+        let pid = self.pid;
+        let mut page = VirtAddr(va).page_base().0;
+        let end = va + data.len() as u64 - 1;
+        while page <= end {
+            p.user_access(pid, page, true)?;
+            page += erebor_hw::PAGE_SIZE as u64;
+        }
+        p.enter_user(pid);
+        for _retry in 0..4 {
+            match p.cvm.machine.write(p.cpu, VirtAddr(va), data) {
+                Ok(()) => return Ok(()),
+                Err(Fault::PageFault {
+                    reason: PfReason::NotPresent,
+                    va: fva,
+                    ..
+                }) => {
+                    p.handle_user_pf(pid, fva, true)?;
+                    p.enter_user(pid);
+                }
+                Err(_) => return Err(SysError::Fault),
+            }
+        }
+        Err(SysError::Fault)
+    }
+
+    fn compute(&mut self, units: u64) -> Result<(), SysError> {
+        let cost = units * self.platform.cvm.machine.costs.compute_unit;
+        self.platform.cvm.machine.cycles.charge(cost);
+        self.platform.tick(self.pid)
+    }
+
+    fn cpuid(&mut self, leaf: u32) -> Result<u32, SysError> {
+        let p = &mut *self.platform;
+        let pid = self.pid;
+        p.tick(pid)?;
+        p.ensure_current(pid)?;
+        p.enter_user(pid);
+        let (_handler, saved) = p
+            .cvm
+            .tdx
+            .inject_ve(&mut p.cvm.machine, p.cpu, VeReason::Cpuid)
+            .map_err(|_| SysError::Fault)?;
+        let sandbox = p.sandbox_of(pid);
+        let eax = if p.cvm.monitor.cfg.monitor_present() && p.cvm.monitor.cfg.exit_protection() {
+            let decision = p.cvm.monitor.on_ve(
+                &mut p.cvm.machine,
+                &mut p.cvm.tdx,
+                p.cpu,
+                sandbox,
+                VeReason::Cpuid,
+                leaf,
+            );
+            match decision {
+                ExitDecision::Handled { rax } => rax as u32,
+                ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
+                ExitDecision::ForwardToKernel { .. } => {
+                    // Native path: kernel #VE handler delegates the GHCI
+                    // round trip to the monitor.
+                    let (mut hw, kernel) = p.parts();
+                    kernel.handle_ve_native(&mut hw);
+                    match hw.monitor.emc(
+                        hw.machine,
+                        hw.tdx,
+                        hw.cpu,
+                        EmcRequest::CpuidEmulate { leaf },
+                    ) {
+                        Ok(EmcResponse::Cpuid(v)) => v[0],
+                        _ => 0,
+                    }
+                }
+            }
+        } else if p.cvm.monitor.cfg.monitor_present() {
+            // Monitor present but exit interposition disabled: the kernel's
+            // #VE handler still needs the monitor for GHCI.
+            let (mut hw, kernel) = p.parts();
+            kernel.handle_ve_native(&mut hw);
+            match hw.monitor.emc(
+                hw.machine,
+                hw.tdx,
+                hw.cpu,
+                EmcRequest::CpuidEmulate { leaf },
+            ) {
+                Ok(EmcResponse::Cpuid(v)) => v[0],
+                _ => 0,
+            }
+        } else {
+            // Native CVM: the privileged kernel performs the tdcall itself.
+            let (mut hw, kernel) = p.parts();
+            kernel.handle_ve_native(&mut hw);
+            hw.machine.cpus[hw.cpu].domain = Domain::Kernel;
+            hw.machine.cpus[hw.cpu].mode = CpuMode::Supervisor;
+            match tdcall(
+                hw.tdx,
+                hw.machine,
+                hw.cpu,
+                TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf }),
+            ) {
+                Ok(TdcallResult::Cpuid(v)) => v[0],
+                _ => 0,
+            }
+        };
+        p.cvm
+            .machine
+            .iret(p.cpu, saved)
+            .map_err(|_| SysError::Fault)?;
+        Ok(eax)
+    }
+
+    fn cycles(&self) -> u64 {
+        self.platform.cvm.machine.cycles.total()
+    }
+}
+
+impl core::fmt::Debug for ProcHandle<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ProcHandle")
+            .field("pid", &self.pid)
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,82 @@
+//! Determinism: the entire platform is a pure function of its seeds — two
+//! identical runs produce identical cycle counts, counters, outputs and
+//! wire bytes.
+
+use erebor::runner::run_workload;
+use erebor::{BootConfig, Mode, Platform};
+use erebor_core::config::ExecConfig;
+use erebor_workloads::hello::HelloWorld;
+use erebor_workloads::retrieval::Retrieval;
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    let run = || {
+        let r = run_workload(Mode::Full, Box::new(Retrieval::default()), b"q=3000;9").expect("run");
+        (
+            r.cycles(),
+            r.init_cycles,
+            r.output.clone(),
+            r.serve.monitor.emc_calls,
+            r.serve.monitor.sandbox_pf_exits,
+            r.serve.kernel.page_faults,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_change_keys_but_not_results() {
+    let run = |seed: u64| {
+        let cfg = BootConfig {
+            seed,
+            config: ExecConfig::new(Mode::Full),
+            ..BootConfig::default()
+        };
+        let mut p = Platform::boot_with(cfg).expect("boot");
+        let mut svc = p
+            .deploy(Box::new(HelloWorld { len: 5 }), 4096)
+            .expect("deploy");
+        let mut client = p.connect_client(&svc, [1; 32]).expect("attest");
+        p.client_send(&svc, &mut client, b"r").expect("send");
+        let pid = svc.pid;
+        let req = svc.os.input(&mut p.proc(pid)).expect("input");
+        let res = svc
+            .program
+            .serve(&mut svc.os, &mut p.proc(pid), &req)
+            .expect("serve");
+        svc.os.output(&mut p.proc(pid), &res).expect("output");
+        let record = p.cvm.monitor.fetch_output(svc.sandbox).expect("record");
+        let reply = client.open_result(&record).expect("open");
+        (reply, record, p.cvm.tdx.attest.mrtd())
+    };
+    let (r1, w1, m1) = run(1);
+    let (r2, w2, m2) = run(2);
+    // Application results are seed-independent...
+    assert_eq!(r1, r2);
+    // ...but keys and measurements (and thus wire bytes) differ.
+    assert_ne!(
+        w1, w2,
+        "different root seeds must give different ciphertexts"
+    );
+    assert_ne!(m1, m2, "firmware filler differs with seed");
+}
+
+#[test]
+fn counters_are_stable_across_reboots_of_same_seed() {
+    let snap = || {
+        let mut p = Platform::boot(Mode::Full).expect("boot");
+        let mut svc = p
+            .deploy(Box::new(HelloWorld::default()), 4096)
+            .expect("deploy");
+        let mut c = p.connect_client(&svc, [3; 32]).expect("attest");
+        p.serve_request(&mut svc, &mut c, b"x").expect("serve");
+        let s = p.snapshot();
+        (
+            s.cycles,
+            s.monitor.emc_calls,
+            s.tdx.tdcalls,
+            s.kernel.syscalls,
+        )
+    };
+    assert_eq!(snap(), snap());
+}

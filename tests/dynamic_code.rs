@@ -1,0 +1,125 @@
+//! Dynamic kernel code (§5.2/§7): loadable modules and eBPF go through the
+//! monitor's verifier; user interrupts are hardware-gated by the target
+//! table the monitor controls.
+
+use erebor::{Mode, Platform};
+use erebor_core::emc::{EmcError, EmcRequest};
+use erebor_hw::fault::{Fault, PfReason};
+use erebor_hw::insn::{encode, SensitiveClass};
+use erebor_hw::layout::KERNEL_BASE;
+use erebor_hw::regs::Msr;
+use erebor_hw::VirtAddr;
+
+const MODULE_VA: VirtAddr = VirtAddr(KERNEL_BASE.0 + 0x0400_0000);
+
+#[test]
+fn benign_module_loads_and_is_wx_protected() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let code = vec![0x90u8; 6000]; // two pages of NOPs
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::LoadKernelModule {
+                code,
+                va: MODULE_VA,
+            },
+        )
+        .expect("benign module loads");
+    // Executable for the kernel...
+    p.cvm
+        .machine
+        .fetch_check(0, MODULE_VA)
+        .expect("module text executable");
+    // ...but W⊕X: not writable (kernel-text key).
+    let err = p
+        .cvm
+        .machine
+        .write_u64(0, MODULE_VA, 0x0f30)
+        .expect_err("no self-patch");
+    assert!(
+        err.is_pf(PfReason::PksWriteDisabled) || err.is_pf(PfReason::NotWritable),
+        "{err}"
+    );
+}
+
+#[test]
+fn module_with_sensitive_code_rejected() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    for class in SensitiveClass::ALL {
+        let mut code = vec![0x90u8; 512];
+        let enc = encode(class);
+        code[100..100 + enc.len()].copy_from_slice(&enc);
+        let err = p
+            .cvm
+            .monitor
+            .emc(
+                &mut p.cvm.machine,
+                &mut p.cvm.tdx,
+                0,
+                EmcRequest::LoadKernelModule {
+                    code,
+                    va: MODULE_VA,
+                },
+            )
+            .expect_err("sensitive module must be rejected");
+        assert!(matches!(err, EmcError::Denied(_)), "{class:?}: {err}");
+    }
+}
+
+#[test]
+fn module_cannot_land_in_monitor_or_user_space() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    for va in [erebor_hw::layout::MONITOR_BASE, VirtAddr(0x40_0000)] {
+        let err = p
+            .cvm
+            .monitor
+            .emc(
+                &mut p.cvm.machine,
+                &mut p.cvm.tdx,
+                0,
+                EmcRequest::LoadKernelModule {
+                    code: vec![0x90; 64],
+                    va,
+                },
+            )
+            .expect_err("bad load address");
+        assert!(matches!(err, EmcError::BadRequest(_)), "{va}: {err}");
+    }
+}
+
+#[test]
+fn senduipi_blocked_after_data_install() {
+    // AV3: the sandbox tries user-mode interrupts to signal a colluding
+    // process. The monitor invalidated IA32_UINTR_TT at data install, so
+    // the instruction faults.
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p
+        .deploy(
+            Box::new(erebor_workloads::hello::HelloWorld::default()),
+            4096,
+        )
+        .expect("deploy");
+    let mut client = p.connect_client(&svc, [6; 32]).expect("attest");
+    p.client_send(&svc, &mut client, b"secret").expect("send");
+    {
+        let pid = svc.pid;
+        svc.os.input(&mut p.proc(pid)).expect("input");
+    }
+    let err = p.cvm.machine.senduipi(0).expect_err("must be blocked");
+    assert!(matches!(err, Fault::GeneralProtection(_)));
+}
+
+#[test]
+fn senduipi_works_with_valid_target_table() {
+    // Native processes may use user interrupts when the kernel set up a
+    // valid target table.
+    let mut p = Platform::boot(Mode::Native).expect("boot");
+    p.cvm
+        .machine
+        .wrmsr(0, Msr::UintrTt, 0xdead_b001 | 1)
+        .expect("wrmsr");
+    p.cvm.machine.senduipi(0).expect("valid TT sends");
+}

@@ -1,0 +1,152 @@
+//! End-to-end integration: boot → deploy → attest → serve (artifact E2/E3
+//! flows), across configurations.
+
+use erebor::{Mode, Platform};
+use erebor_core::sandbox::SandboxState;
+use erebor_workloads::hello::HelloWorld;
+use erebor_workloads::llm::LlmInference;
+use erebor_workloads::SandboxedWorkload;
+
+#[test]
+fn helloworld_end_to_end() {
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = platform
+        .deploy(Box::new(HelloWorld { len: 10 }), 4096)
+        .expect("deploy");
+    let mut client = platform.connect_client(&svc, [7u8; 32]).expect("attest");
+    let reply = platform
+        .serve_request(&mut svc, &mut client, b"go")
+        .expect("request");
+    assert_eq!(
+        reply,
+        b"AAAAAAAAAA".to_vec(),
+        "artifact E2 expects 0x41..41"
+    );
+}
+
+#[test]
+fn sandbox_transitions_to_data_loaded() {
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = platform
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy");
+    assert_eq!(
+        platform.cvm.monitor.sandboxes[&svc.sandbox.0].state,
+        SandboxState::Setup
+    );
+    let mut client = platform.connect_client(&svc, [9u8; 32]).expect("attest");
+    platform
+        .serve_request(&mut svc, &mut client, b"x")
+        .expect("request");
+    assert_eq!(
+        platform.cvm.monitor.sandboxes[&svc.sandbox.0].state,
+        SandboxState::DataLoaded
+    );
+}
+
+#[test]
+fn proxy_sees_only_ciphertext() {
+    let secret = b"social security 078-05-1120";
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = platform
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy");
+    let mut client = platform.connect_client(&svc, [3u8; 32]).expect("attest");
+    let reply = platform
+        .serve_request(&mut svc, &mut client, secret)
+        .expect("request");
+    assert!(!reply.is_empty());
+    // Everything the proxy/host/kernel observed on the wire.
+    assert!(
+        !platform.cvm.tdx.host.observed_contains(secret),
+        "client plaintext leaked to the untrusted proxy path"
+    );
+    assert!(
+        !platform.cvm.tdx.host.observed_contains(&reply),
+        "result plaintext leaked to the untrusted proxy path"
+    );
+}
+
+#[test]
+fn llm_inference_end_to_end() {
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = platform
+        .deploy(
+            Box::new(SandboxedWorkload::new(LlmInference::default())),
+            8192,
+        )
+        .expect("deploy");
+    let mut client = platform.connect_client(&svc, [5u8; 32]).expect("attest");
+    let reply = platform
+        .serve_request(&mut svc, &mut client, b"gen=8;translate this text")
+        .expect("request");
+    let text = String::from_utf8(reply).expect("utf8 tokens");
+    assert_eq!(text.split(' ').count(), 8, "8 generated tokens: {text}");
+}
+
+#[test]
+fn multiple_requests_same_session() {
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = platform
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy");
+    let mut client = platform.connect_client(&svc, [1u8; 32]).expect("attest");
+    for _ in 0..3 {
+        let reply = platform
+            .serve_request(&mut svc, &mut client, b"again")
+            .expect("request");
+        assert_eq!(reply, b"AAAA".to_vec());
+    }
+}
+
+#[test]
+fn output_records_are_padded_to_quantum() {
+    let mut platform = Platform::boot(Mode::Full).expect("boot");
+    let quantum = platform.cvm.monitor.cfg.output_pad_quantum;
+    let mut short = platform
+        .deploy(Box::new(HelloWorld { len: 3 }), 4096)
+        .expect("deploy");
+    let mut long = platform
+        .deploy(Box::new(HelloWorld { len: 900 }), 4096)
+        .expect("deploy");
+    let mut c1 = platform.connect_client(&short, [1u8; 32]).expect("attest");
+    let mut c2 = platform.connect_client(&long, [2u8; 32]).expect("attest");
+
+    platform.client_send(&short, &mut c1, b"r").expect("send");
+    let pid = short.pid;
+    let req = short.os.input(&mut platform.proc(pid)).expect("input");
+    let res = short
+        .program
+        .serve(&mut short.os, &mut platform.proc(pid), &req)
+        .expect("serve");
+    short
+        .os
+        .output(&mut platform.proc(pid), &res)
+        .expect("output");
+    let rec1 = platform
+        .cvm
+        .monitor
+        .fetch_output(short.sandbox)
+        .expect("record");
+
+    platform.client_send(&long, &mut c2, b"r").expect("send");
+    let pid = long.pid;
+    let req = long.os.input(&mut platform.proc(pid)).expect("input");
+    let res = long
+        .program
+        .serve(&mut long.os, &mut platform.proc(pid), &req)
+        .expect("serve");
+    long.os
+        .output(&mut platform.proc(pid), &res)
+        .expect("output");
+    let rec2 = platform
+        .cvm
+        .monitor
+        .fetch_output(long.sandbox)
+        .expect("record");
+
+    // 3-byte and 900-byte outputs are indistinguishable by record size
+    // (both pad to one quantum + AEAD tag).
+    assert_eq!(rec1.len(), rec2.len(), "padding must hide output length");
+    assert_eq!(rec1.len(), quantum + 16);
+}

@@ -1,0 +1,95 @@
+//! The LibOS's POSIX-style file API inside a real sandbox: opens, reads
+//! and writes are emulated in userspace (no exits after data install).
+
+use erebor::{Mode, Platform};
+use erebor_libos::api::{Sys, SysError};
+use erebor_libos::manifest::Manifest;
+use erebor_libos::os::{LibOs, ServiceProgram};
+
+/// A program that reads a preloaded config, writes a temp scratch file,
+/// and answers from both.
+struct FileUser;
+
+impl ServiceProgram for FileUser {
+    fn name(&self) -> &str {
+        "file-user"
+    }
+
+    fn manifest(&self) -> Manifest {
+        Manifest::new("file-user", 16).preload("/etc/service.conf", b"mode=prod;limit=42".to_vec())
+    }
+
+    fn serve(
+        &mut self,
+        os: &mut LibOs,
+        sys: &mut dyn Sys,
+        request: &[u8],
+    ) -> Result<Vec<u8>, SysError> {
+        let map_err = |_| SysError::Fault;
+        // Read the preloaded config through the fd API.
+        let fd = os.open(sys, "/etc/service.conf", false).map_err(map_err)?;
+        let mut conf = [0u8; 64];
+        let n = os.read(sys, fd, &mut conf).map_err(map_err)?;
+        os.close(fd).map_err(map_err)?;
+        // Scratch work in a temp file (stateless: dies with the session).
+        let tmp = os.open(sys, "/tmp/work", true).map_err(map_err)?;
+        os.write(sys, tmp, request).map_err(map_err)?;
+        os.lseek(tmp, 0).map_err(map_err)?;
+        let mut back = vec![0u8; request.len()];
+        let m = os.read(sys, tmp, &mut back).map_err(map_err)?;
+        os.close(tmp).map_err(map_err)?;
+        Ok(format!(
+            "conf={} echoed={}",
+            String::from_utf8_lossy(&conf[..n]),
+            String::from_utf8_lossy(&back[..m])
+        )
+        .into_bytes())
+    }
+}
+
+#[test]
+fn posix_file_api_works_inside_sandbox_without_exits() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p.deploy(Box::new(FileUser), 4096).expect("deploy");
+    let mut client = p.connect_client(&svc, [0x44; 32]).expect("attest");
+    let syscalls_before = p.kernel.stats.syscalls;
+    let reply = p
+        .serve_request(&mut svc, &mut client, b"hello files")
+        .expect("serve");
+    assert_eq!(
+        String::from_utf8_lossy(&reply),
+        "conf=mode=prod;limit=42 echoed=hello files"
+    );
+    // The file work never reached the kernel: only the two channel ioctls
+    // exited, and those are monitor-handled (not kernel syscalls).
+    assert_eq!(
+        p.kernel.stats.syscalls, syscalls_before,
+        "file emulation must not produce kernel syscalls"
+    );
+}
+
+#[test]
+fn missing_file_errors_cleanly() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p.deploy(Box::new(FileUser), 4096).expect("deploy");
+    let pid = svc.pid;
+    let err = svc
+        .os
+        .open(&mut p.proc(pid), "/no/such/file", false)
+        .expect_err("enoent");
+    assert!(format!("{err}").contains("-2"), "{err}");
+}
+
+#[test]
+fn temp_files_die_with_the_session() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p.deploy(Box::new(FileUser), 4096).expect("deploy");
+    let mut client = p.connect_client(&svc, [5; 32]).expect("attest");
+    p.serve_request(&mut svc, &mut client, b"scratch")
+        .expect("serve");
+    assert!(svc.os.fs.read("/tmp/work").is_ok());
+    svc.os.fs.clear_temp();
+    assert!(svc.os.fs.read("/tmp/work").is_err());
+    // The preloaded config survives (it is not session state).
+    assert!(svc.os.fs.read("/etc/service.conf").is_ok());
+}

@@ -1,0 +1,219 @@
+//! Multi-tenant isolation: several sandboxes on one CVM, sharing common
+//! memory, failing independently, and leaving nothing behind at teardown.
+
+use erebor::{Mode, Platform};
+use erebor_hw::layout::direct_map;
+use erebor_libos::api::{Sys, SysError};
+use erebor_workloads::hello::HelloWorld;
+use erebor_workloads::retrieval::Retrieval;
+use erebor_workloads::SandboxedWorkload;
+
+#[test]
+fn tenants_share_one_common_region() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let s1 = p
+        .deploy(
+            Box::new(SandboxedWorkload::new(Retrieval::default())),
+            1 << 20,
+        )
+        .expect("deploy 1");
+    let s2 = p
+        .deploy(
+            Box::new(SandboxedWorkload::new(Retrieval::default())),
+            1 << 20,
+        )
+        .expect("deploy 2");
+    assert_eq!(p.cvm.monitor.common_regions.len(), 1, "one shared DB");
+    let region = &p.cvm.monitor.common_regions[&1];
+    assert_eq!(region.attached.len(), 2);
+    assert_ne!(s1.sandbox, s2.sandbox);
+    assert_ne!(
+        p.cvm.monitor.sandboxes[&s1.sandbox.0].root, p.cvm.monitor.sandboxes[&s2.sandbox.0].root,
+        "separate address spaces"
+    );
+}
+
+#[test]
+fn killing_one_tenant_leaves_the_other_serving() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut victim = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy v");
+    let mut survivor = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy s");
+    let mut cv = p.connect_client(&victim, [1; 32]).expect("attest v");
+    let mut cs = p.connect_client(&survivor, [2; 32]).expect("attest s");
+
+    // Load data into both sessions.
+    let ok = p
+        .serve_request(&mut survivor, &mut cs, b"warm")
+        .expect("survivor warm");
+    assert_eq!(ok, b"AAAA");
+    p.client_send(&victim, &mut cv, b"victim-secret")
+        .expect("send");
+    let pid = victim.pid;
+    victim.os.input(&mut p.proc(pid)).expect("input");
+
+    // The victim's program goes rogue: forbidden syscall → killed.
+    let err = p
+        .proc(pid)
+        .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
+        .expect_err("must be killed");
+    assert!(matches!(err, SysError::Killed(_)));
+
+    // The survivor keeps serving, unaffected.
+    let reply = p
+        .serve_request(&mut survivor, &mut cs, b"still here?")
+        .expect("survivor");
+    assert_eq!(reply, b"AAAA");
+    assert_eq!(
+        p.cvm.monitor.sandboxes[&survivor.sandbox.0].state,
+        erebor_core::sandbox::SandboxState::DataLoaded
+    );
+}
+
+#[test]
+fn teardown_zeroizes_confined_memory() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy");
+    let mut client = p.connect_client(&svc, [3; 32]).expect("attest");
+    p.serve_request(&mut svc, &mut client, b"session data 0xfeed")
+        .expect("serve");
+
+    let frames: Vec<_> = p.cvm.monitor.sandboxes[&svc.sandbox.0]
+        .confined
+        .iter()
+        .map(|(_, f)| *f)
+        .collect();
+    assert!(!frames.is_empty());
+    p.cvm.monitor.end_session(&mut p.cvm.machine, svc.sandbox);
+
+    // Every confined frame is scrubbed: reading the raw physical contents
+    // (hardware view) yields zeros, and the frame table released them.
+    for frame in frames {
+        let mut buf = vec![0u8; 4096];
+        p.cvm
+            .machine
+            .mem
+            .read(frame.base(), &mut buf)
+            .expect("raw read");
+        assert!(buf.iter().all(|&b| b == 0), "residual data in {frame:?}");
+        assert_eq!(
+            p.cvm.monitor.frames.kind(frame),
+            erebor_core::policy::FrameKind::Unused
+        );
+    }
+    assert_eq!(
+        p.cvm.monitor.sandboxes[&svc.sandbox.0].state,
+        erebor_core::sandbox::SandboxState::Dead
+    );
+}
+
+#[test]
+fn freed_confined_frames_are_safely_reusable() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    // Session 1 processes a secret and ends.
+    let mut s1 = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy 1");
+    let mut c1 = p.connect_client(&s1, [4; 32]).expect("attest");
+    p.serve_request(&mut s1, &mut c1, b"tenant-1 secret payload")
+        .expect("serve");
+    let old_frames: std::collections::BTreeSet<_> = p.cvm.monitor.sandboxes[&s1.sandbox.0]
+        .confined
+        .iter()
+        .map(|(_, f)| *f)
+        .collect();
+    p.cvm.monitor.end_session(&mut p.cvm.machine, s1.sandbox);
+
+    // Session 2 (a different tenant) may get the same physical frames.
+    let s2 = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy 2");
+    let new_frames: std::collections::BTreeSet<_> = p.cvm.monitor.sandboxes[&s2.sandbox.0]
+        .confined
+        .iter()
+        .map(|(_, f)| *f)
+        .collect();
+    // Whether or not frames were recycled, tenant 2 must never observe
+    // tenant 1's bytes.
+    let recycled: Vec<_> = old_frames.intersection(&new_frames).collect();
+    for frame in recycled {
+        let mut buf = vec![0u8; 4096];
+        p.cvm
+            .machine
+            .mem
+            .read(frame.base(), &mut buf)
+            .expect("read");
+        assert!(buf.iter().all(|&b| b == 0), "cross-session residue");
+    }
+}
+
+#[test]
+fn tenants_cannot_reach_each_others_confined_pages() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let s1 = p
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy 1");
+    let s2 = p
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy 2");
+    let (va1, frame1) = p.cvm.monitor.sandboxes[&s1.sandbox.0].confined[0];
+    // From tenant 2's address space, tenant 1's confined VA is unmapped
+    // (or maps elsewhere) — the physical frame never appears.
+    let root2 = p.cvm.monitor.sandboxes[&s2.sandbox.0].root;
+    let leaf = erebor_hw::paging::lookup_raw(&p.cvm.machine.mem, root2, va1).expect("walk");
+    if let Some(l) = leaf {
+        assert_ne!(l.frame(), frame1, "tenant 2 must not map tenant 1's frame");
+    }
+    // And the kernel can't gift it either (single-mapping policy) — the
+    // direct map view is monitor-keyed.
+    p.enter_kernel_mode();
+    assert!(p
+        .cvm
+        .machine
+        .read_u64(0, direct_map(frame1.base()))
+        .is_err());
+}
+
+#[test]
+fn dead_sandbox_cannot_alias_recycled_frames() {
+    // Regression: a killed tenant's stale PTEs must not alias frames later
+    // granted to a new tenant. The teardown unmaps before freeing.
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut victim = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy v");
+    let mut cv = p.connect_client(&victim, [7; 32]).expect("attest");
+    p.client_send(&victim, &mut cv, b"v-secret").expect("send");
+    let v_pid = victim.pid;
+    victim.os.input(&mut p.proc(v_pid)).expect("input");
+    let (v_va, _) = p.cvm.monitor.sandboxes[&victim.sandbox.0].confined[0];
+    // Kill the victim (policy violation).
+    let _ = p
+        .proc(v_pid)
+        .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
+        .expect_err("killed");
+    // A new tenant arrives and likely reuses the CMA frames.
+    let mut t2 = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy 2");
+    let mut c2 = p.connect_client(&t2, [8; 32]).expect("attest");
+    p.client_send(&t2, &mut c2, b"tenant-2 top secret")
+        .expect("send");
+    let t2_pid = t2.pid;
+    t2.os.input(&mut p.proc(t2_pid)).expect("input");
+    // Drive the DEAD victim task: its old confined VA must be unmapped —
+    // reading it must fault, never observe tenant 2's memory.
+    let mut buf = [0u8; 8];
+    let err = p
+        .proc(v_pid)
+        .read_mem(v_va.0, &mut buf)
+        .expect_err("stale mapping must be gone");
+    let _ = err;
+    // And sweep: tenant-2's plaintext is nowhere the attacker can see.
+    assert!(!p.cvm.tdx.host.observed_contains(b"tenant-2 top secret"));
+}

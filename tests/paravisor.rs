@@ -1,0 +1,110 @@
+//! §10 platform compatibility: Erebor under a paravisor-enhanced CVM.
+//!
+//! The paravisor (COCONUT-SVSM / OpenHCL class) occupies MRTD; Erebor's
+//! firmware+monitor chain moves to RTMR\[0\], and clients verify the pair.
+//! Everything else — the drop-in enforcement — is identical, because none
+//! of the hardware features Erebor uses are CVM-partitioning-specific.
+
+use erebor::{BootConfig, Mode, Platform};
+use erebor_core::boot::PARAVISOR_MEASUREMENT_INPUT;
+use erebor_core::channel::Client;
+use erebor_core::config::ExecConfig;
+use erebor_hw::fault::Fault;
+use erebor_hw::regs::Msr;
+use erebor_tdx::attest::{expected_mrtd, Expected};
+use erebor_workloads::hello::HelloWorld;
+
+fn boot_paravisor() -> Platform {
+    Platform::boot_with(BootConfig {
+        paravisor: true,
+        config: ExecConfig::new(Mode::Full),
+        ..BootConfig::default()
+    })
+    .expect("boot")
+}
+
+#[test]
+fn paravisor_boot_moves_measurement_to_rtmr() {
+    let p = boot_paravisor();
+    assert_eq!(
+        p.cvm.tdx.attest.mrtd(),
+        expected_mrtd(&[PARAVISOR_MEASUREMENT_INPUT]),
+        "MRTD holds the paravisor, not the monitor"
+    );
+}
+
+#[test]
+fn paravisor_end_to_end_request_works() {
+    let mut p = boot_paravisor();
+    let mut svc = p
+        .deploy(Box::new(HelloWorld { len: 6 }), 4096)
+        .expect("deploy");
+    let mut client = p.connect_client(&svc, [0x10; 32]).expect("attest via RTMR");
+    let reply = p
+        .serve_request(&mut svc, &mut client, b"ping")
+        .expect("serve");
+    assert_eq!(reply, b"AAAAAA");
+    assert!(!p.cvm.tdx.host.observed_contains(b"ping"));
+}
+
+#[test]
+fn paravisor_enforcement_is_unchanged() {
+    // The drop-in claim: all guest-local protections hold identically.
+    let mut p = boot_paravisor();
+    assert!(matches!(
+        p.cvm.machine.wrmsr(0, Msr::Pkrs, 0),
+        Err(Fault::UndefinedInstruction(_))
+    ));
+    assert!(p
+        .cvm
+        .machine
+        .read_u64(0, erebor_hw::layout::MONITOR_BASE)
+        .is_err());
+}
+
+#[test]
+fn mrtd_only_client_rejects_paravisor_quote() {
+    // A client configured for the plain deployment must notice that MRTD
+    // is not the monitor chain.
+    let mut p = boot_paravisor();
+    let svc = p
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy");
+    let root = p.cvm.tdx.attest.root_public();
+    let erebor_chain = expected_mrtd(&[
+        &p.cvm.firmware_image.measurement_bytes(),
+        &p.cvm.monitor_image.measurement_bytes(),
+    ]);
+    let (mut client, hello) = Client::new([1; 32], root, erebor_chain);
+    let server_hello = p
+        .cvm
+        .monitor
+        .channel_accept(&mut p.cvm.machine, &mut p.cvm.tdx, 0, svc.sandbox, &hello)
+        .expect("hello");
+    assert!(
+        client.finish(&server_hello).is_err(),
+        "MRTD policy must reject"
+    );
+}
+
+#[test]
+fn paravisor_client_rejects_wrong_rtmr_chain() {
+    // A paravisor-policy client with the right paravisor but a wrong
+    // monitor chain must also reject.
+    let mut p = boot_paravisor();
+    let svc = p
+        .deploy(Box::new(HelloWorld::default()), 4096)
+        .expect("deploy");
+    let root = p.cvm.tdx.attest.root_public();
+    let expected = Expected::ParavisorRtmr {
+        mrtd: expected_mrtd(&[PARAVISOR_MEASUREMENT_INPUT]),
+        rtmr0: [0xbb; 32], // not the monitor chain
+    };
+    let (mut client, hello) = Client::with_expected([2; 32], root, expected);
+    let server_hello = p
+        .cvm
+        .monitor
+        .channel_accept(&mut p.cvm.machine, &mut p.cvm.tdx, 0, svc.sandbox, &hello)
+        .expect("hello");
+    assert!(client.finish(&server_hello).is_err());
+}

@@ -1,0 +1,68 @@
+//! The Fig. 10 background servers end-to-end: staging, chunked serving,
+//! encryption correctness, and the overhead shape.
+
+use erebor::{Mode, Platform};
+use erebor_workloads::servers;
+
+#[test]
+fn openssh_transfers_all_bytes() {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let pid = p.spawn_native().expect("spawn");
+    let mut h = p.proc(pid);
+    let r = servers::openssh(&mut h, 48 * 1024, 3).expect("transfer");
+    assert_eq!(r.file_size, 48 * 1024);
+    assert_eq!(r.requests, 3);
+    assert!(r.cycles > 0);
+    assert!(r.bytes_per_cycle > 0.0);
+}
+
+#[test]
+fn nginx_serves_and_is_faster_than_ssh() {
+    let mut p = Platform::boot(Mode::Native).expect("boot");
+    let pid = p.spawn_native().expect("spawn");
+    let (ssh, web) = {
+        let mut h = p.proc(pid);
+        let ssh = servers::openssh(&mut h, 256 * 1024, 2).expect("ssh");
+        let web = servers::nginx(&mut h, 256 * 1024, 2).expect("nginx");
+        (ssh, web)
+    };
+    assert!(
+        web.bytes_per_cycle > ssh.bytes_per_cycle,
+        "static serving beats encrypted transfer: {} vs {}",
+        web.bytes_per_cycle,
+        ssh.bytes_per_cycle
+    );
+}
+
+#[test]
+fn overhead_shrinks_with_file_size() {
+    let relative = |size: u64| -> f64 {
+        let measure = |mode: Mode| {
+            let mut p = Platform::boot(mode).expect("boot");
+            let pid = p.spawn_native().expect("spawn");
+            let mut h = p.proc(pid);
+            servers::nginx(&mut h, size, 4)
+                .expect("serve")
+                .bytes_per_cycle
+        };
+        measure(Mode::Full) / measure(Mode::Native)
+    };
+    let small = relative(1 << 10);
+    let large = relative(1 << 20);
+    assert!(
+        large > small,
+        "overhead must amortize with size: 1KB {small:.3} vs 1MB {large:.3}"
+    );
+    assert!(
+        small > 0.5 && large < 1.0,
+        "band check: {small:.3} {large:.3}"
+    );
+}
+
+#[test]
+fn fig10_sizes_cover_the_paper_sweep() {
+    let sizes = servers::fig10_sizes();
+    assert_eq!(*sizes.first().unwrap(), 1 << 10);
+    assert_eq!(*sizes.last().unwrap(), 16 << 20);
+    assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+}
