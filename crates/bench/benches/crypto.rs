@@ -1,6 +1,7 @@
 //! Criterion: throughput of the from-scratch crypto substrate.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use erebor_testkit::bench::{Criterion, Throughput};
+use erebor_testkit::{criterion_group, criterion_main};
 use erebor_crypto::{aead, ed25519, sha256, x25519};
 
 fn bench_crypto(c: &mut Criterion) {

@@ -1,7 +1,8 @@
 //! Criterion: real-time performance of the simulated privilege machinery
 //! (EMC gates, syscall path, interrupt interposition).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use erebor_testkit::bench::Criterion;
+use erebor_testkit::{criterion_group, criterion_main};
 use erebor::{Mode, Platform};
 use erebor_core::emc::EmcRequest;
 use erebor_libos::api::Sys;

@@ -1,6 +1,7 @@
 //! Criterion: the simulated MMU paths (checked mapping, permission walks).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use erebor_testkit::bench::Criterion;
+use erebor_testkit::{criterion_group, criterion_main};
 use erebor::{Mode, Platform};
 use erebor_hw::fault::AccessKind;
 use erebor_hw::VirtAddr;

@@ -1,7 +1,8 @@
 //! Criterion: full request round trips through the simulated platform —
 //! the harness's own performance (not the paper's cycle model).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use erebor_testkit::bench::Criterion;
+use erebor_testkit::{criterion_group, criterion_main};
 use erebor::{Mode, Platform};
 use erebor_workloads::hello::HelloWorld;
 

@@ -1,7 +1,8 @@
 //! Criterion: the monitor's byte-level kernel verification (§5.1) — the
 //! boot-time cost of the drop-in design.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use erebor_testkit::bench::{Criterion, Throughput};
+use erebor_testkit::{criterion_group, criterion_main};
 use erebor_hw::image::Image;
 use erebor_hw::insn;
 use erebor_hw::layout::KERNEL_BASE;

@@ -1,14 +1,21 @@
 //! Regenerates Fig. 8: LMBench latency ratios, Erebor vs native.
+//!
+//! Human-readable table and bar chart on stderr; a machine-readable JSON
+//! document on stdout. `EREBOR_BENCH_SMOKE=1` reduces the per-benchmark
+//! op count for fast CI runs.
+
+use erebor_testkit::json::Json;
 
 fn main() {
-    let rows = erebor_bench::fig8::run(512);
-    println!("Fig. 8: LMBench system benchmarks (cycles/op; bar = Erebor/native)");
-    println!(
+    let ops = if erebor_testkit::bench::smoke() { 32 } else { 512 };
+    let rows = erebor_bench::fig8::run(ops);
+    eprintln!("Fig. 8: LMBench system benchmarks (cycles/op; bar = Erebor/native)");
+    eprintln!(
         "{:<12} {:>12} {:>12} {:>8}",
         "bench", "native", "erebor", "ratio"
     );
     for r in &rows {
-        println!(
+        eprintln!(
             "{:<12} {:>12.0} {:>12.0} {:>7.2}x",
             r.name,
             r.native,
@@ -16,10 +23,27 @@ fn main() {
             r.ratio()
         );
     }
-    println!("\nlatency ratio (one █ ≈ 0.25x):");
+    eprintln!("\nlatency ratio (one █ ≈ 0.25x):");
     for r in &rows {
         let bars = "█".repeat((r.ratio() * 4.0).round() as usize);
-        println!("  {:<12} {bars} {:.2}x", r.name, r.ratio());
+        eprintln!("  {:<12} {bars} {:.2}x", r.name, r.ratio());
     }
-    println!("\npaper: ratios 1.0–3.8x; pagefault highest (3.8x), fork also high");
+    eprintln!("\npaper: ratios 1.0–3.8x; pagefault highest (3.8x), fork also high");
+
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.name)
+                .field("native_cycles_per_op", r.native)
+                .field("erebor_cycles_per_op", r.erebor)
+                .field("ratio", r.ratio())
+        })
+        .collect();
+    let doc = Json::obj()
+        .field("experiment", "fig8")
+        .field("ops", ops)
+        .field("smoke", erebor_testkit::bench::smoke())
+        .field("rows", json_rows);
+    println!("{doc}");
 }

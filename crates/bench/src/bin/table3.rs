@@ -1,4 +1,10 @@
 //! Regenerates Table 3: privilege-transition round-trip costs.
+//!
+//! Human-readable table on stderr; a machine-readable JSON document on
+//! stdout (same convention as the testkit bench harness), so CI can
+//! pipe/parse the stats. `EREBOR_BENCH_SMOKE=1` reduces iterations.
+
+use erebor_testkit::json::Json;
 
 fn main() {
     let rows = erebor_bench::table3::run();
@@ -6,15 +12,31 @@ fn main() {
         .iter()
         .find(|r| r.name == "EMC")
         .map_or(1, |r| r.cycles);
-    println!("Table 3: privilege-transition costs (CPU cycles, round trip)");
-    println!("{:<10} {:>8} {:>8}", "call", "#cycle", "×EMC");
+    eprintln!("Table 3: privilege-transition costs (CPU cycles, round trip)");
+    eprintln!("{:<10} {:>8} {:>8}", "call", "#cycle", "×EMC");
     for r in &rows {
-        println!(
+        eprintln!(
             "{:<10} {:>8} {:>7.2}x",
             r.name,
             r.cycles,
             r.cycles as f64 / emc as f64
         );
     }
-    println!("\npaper:      EMC 1224 (1x), SYSCALL 684 (0.56x), TDCALL 5276 (4.31x), VMCALL 4031 (3.29x)");
+    eprintln!("\npaper:      EMC 1224 (1x), SYSCALL 684 (0.56x), TDCALL 5276 (4.31x), VMCALL 4031 (3.29x)");
+
+    let json_rows: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Json::obj()
+                .field("name", r.name)
+                .field("cycles", r.cycles)
+                .field("x_emc", r.cycles as f64 / emc as f64)
+        })
+        .collect();
+    let doc = Json::obj()
+        .field("experiment", "table3")
+        .field("unit", "cycles")
+        .field("smoke", erebor_testkit::bench::smoke())
+        .field("rows", json_rows);
+    println!("{doc}");
 }

@@ -84,19 +84,30 @@ pub mod table3 {
         pub cycles: u64,
     }
 
-    /// Measure all four transitions of Table 3.
+    /// Measure all four transitions of Table 3 with the default
+    /// iteration count (reduced under `EREBOR_BENCH_SMOKE`).
     ///
     /// # Panics
     /// Panics on platform failures (bench binary context).
     #[must_use]
     pub fn run() -> Vec<Row> {
-        const ITERS: u64 = 64;
+        run_with_iters(if erebor_testkit::bench::smoke() { 8 } else { 64 })
+    }
+
+    /// Measure all four transitions of Table 3, averaging over `iters`
+    /// round trips each.
+    ///
+    /// # Panics
+    /// Panics on platform failures (bench binary context).
+    #[must_use]
+    pub fn run_with_iters(iters: u64) -> Vec<Row> {
+        let iters = iters.max(1);
         let mut rows = Vec::new();
 
         // Empty EMC round trip.
         let mut p = Platform::boot(Mode::Full).expect("boot full");
         let before = p.cvm.machine.cycles.total();
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             p.cvm
                 .monitor
                 .emc(&mut p.cvm.machine, &mut p.cvm.tdx, 0, EmcRequest::Nop)
@@ -104,7 +115,7 @@ pub mod table3 {
         }
         rows.push(Row {
             name: "EMC",
-            cycles: (p.cvm.machine.cycles.total() - before) / ITERS,
+            cycles: (p.cvm.machine.cycles.total() - before) / iters,
         });
 
         // Empty syscall (native, no interposition, no timer noise).
@@ -118,14 +129,14 @@ pub mod table3 {
                 .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
                 .expect("getpid");
             let before = p.cvm.machine.cycles.total();
-            for _ in 0..ITERS {
+            for _ in 0..iters {
                 p.proc(pid)
                     .syscall(erebor_kernel::syscall::nr::GETPID, [0; 6])
                     .expect("getpid");
             }
             rows.push(Row {
                 name: "SYSCALL",
-                cycles: (p.cvm.machine.cycles.total() - before) / ITERS,
+                cycles: (p.cvm.machine.cycles.total() - before) / iters,
             });
         }
 
@@ -133,7 +144,7 @@ pub mod table3 {
         // kernel — the hardware cost is identical in every configuration.
         let mut p = Platform::boot(Mode::Native).expect("boot native");
         let before = p.cvm.machine.cycles.total();
-        for _ in 0..ITERS {
+        for _ in 0..iters {
             tdcall(
                 &mut p.cvm.tdx,
                 &mut p.cvm.machine,
@@ -142,7 +153,7 @@ pub mod table3 {
             )
             .expect("tdcall");
         }
-        let tdcall_cycles = (p.cvm.machine.cycles.total() - before) / ITERS;
+        let tdcall_cycles = (p.cvm.machine.cycles.total() - before) / iters;
         rows.push(Row {
             name: "TDCALL",
             cycles: tdcall_cycles,

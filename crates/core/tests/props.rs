@@ -7,7 +7,8 @@ use erebor_hw::image::{Image, SectionKind};
 use erebor_hw::insn::{self, SensitiveClass};
 use erebor_hw::layout::KERNEL_BASE;
 use erebor_hw::Frame;
-use proptest::prelude::*;
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
     prop_oneof![
@@ -52,7 +53,7 @@ proptest! {
     }
 
     #[test]
-    fn mapcount_never_underflows(ops in proptest::collection::vec(any::<bool>(), 0..64)) {
+    fn mapcount_never_underflows(ops in collection::vec(any::<bool>(), 0..64)) {
         let mut t = FrameTable::new(2);
         let mut model: i64 = 0;
         for inc in ops {
@@ -69,7 +70,7 @@ proptest! {
 
     #[test]
     fn verifier_accepts_iff_scanner_clean(
-        bytes in proptest::collection::vec(any::<u8>(), 16..2048),
+        bytes in collection::vec(any::<u8>(), 16..2048),
     ) {
         let img = Image::builder("k")
             .section(".text", KERNEL_BASE, SectionKind::Text, bytes.clone())

@@ -5,12 +5,13 @@ use erebor_crypto::ed25519::{self, SigningKey};
 use erebor_crypto::kx::{derive_session_keys, Role, SecureChannel};
 use erebor_crypto::x25519::{self, Fe};
 use erebor_crypto::{aead, hkdf, sha256, sha512};
-use proptest::prelude::*;
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
 
 proptest! {
     #[test]
     fn sha256_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        data in collection::vec(any::<u8>(), 0..4096),
         split_frac in 0.0f64..1.0,
     ) {
         let split = (data.len() as f64 * split_frac) as usize;
@@ -22,8 +23,8 @@ proptest! {
 
     #[test]
     fn sha512_incremental_equals_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..4096),
-        splits in proptest::collection::vec(0.0f64..1.0, 0..4),
+        data in collection::vec(any::<u8>(), 0..4096),
+        splits in collection::vec(0.0f64..1.0, 0..4),
     ) {
         let mut h = sha512::Sha512::new();
         let mut idxs: Vec<usize> =
@@ -42,8 +43,8 @@ proptest! {
     fn aead_roundtrip_any_inputs(
         key in any::<[u8; 32]>(),
         nonce in any::<[u8; 12]>(),
-        aad in proptest::collection::vec(any::<u8>(), 0..128),
-        pt in proptest::collection::vec(any::<u8>(), 0..2048),
+        aad in collection::vec(any::<u8>(), 0..128),
+        pt in collection::vec(any::<u8>(), 0..2048),
     ) {
         let sealed = aead::seal(&key, &nonce, &aad, &pt);
         prop_assert_eq!(sealed.len(), pt.len() + 16);
@@ -54,7 +55,7 @@ proptest! {
     fn aead_any_single_bitflip_rejected(
         key in any::<[u8; 32]>(),
         nonce in any::<[u8; 12]>(),
-        pt in proptest::collection::vec(any::<u8>(), 1..256),
+        pt in collection::vec(any::<u8>(), 1..256),
         bit in any::<u16>(),
     ) {
         let mut sealed = aead::seal(&key, &nonce, b"aad", &pt);
@@ -65,8 +66,8 @@ proptest! {
 
     #[test]
     fn hkdf_prefix_consistency(
-        ikm in proptest::collection::vec(any::<u8>(), 1..64),
-        info in proptest::collection::vec(any::<u8>(), 0..32),
+        ikm in collection::vec(any::<u8>(), 1..64),
+        info in collection::vec(any::<u8>(), 0..32),
     ) {
         // A longer expansion starts with the shorter one.
         let prk = hkdf::extract(b"salt", &ikm);
@@ -153,7 +154,7 @@ proptest! {
     #[test]
     fn ed25519_sign_verify_any_message(
         seed in any::<[u8; 32]>(),
-        msg in proptest::collection::vec(any::<u8>(), 0..512),
+        msg in collection::vec(any::<u8>(), 0..512),
     ) {
         let sk = SigningKey::from_seed(seed);
         let sig = sk.sign(&msg);
@@ -166,7 +167,7 @@ proptest! {
 
     #[test]
     fn secure_channel_in_order_stream(
-        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..16),
+        msgs in collection::vec(collection::vec(any::<u8>(), 0..256), 1..16),
         shared in any::<[u8; 32]>(),
     ) {
         let keys_c = derive_session_keys(&shared, &[1; 32], &[2; 32]);

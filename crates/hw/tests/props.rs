@@ -9,7 +9,8 @@ use erebor_hw::paging::{self, Pte, PteFlags};
 use erebor_hw::phys::{PhysAddr, PhysMemory};
 use erebor_hw::regs::{Cr0, Cr4, PkrsPerms, Rflags};
 use erebor_hw::{CpuMode, Frame, VirtAddr, PAGE_SIZE};
-use proptest::prelude::*;
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
 
 fn arb_flags() -> impl Strategy<Value = PteFlags> {
     (
@@ -56,7 +57,7 @@ proptest! {
     #[test]
     fn phys_write_read_roundtrip(
         offset in 0u64..(1 << 20),
-        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        data in collection::vec(any::<u8>(), 1..2000),
     ) {
         let mut mem = PhysMemory::new(4 << 20);
         mem.write(PhysAddr(offset), &data).unwrap();
@@ -78,7 +79,7 @@ proptest! {
     }
 
     #[test]
-    fn allocator_free_makes_reusable(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+    fn allocator_free_makes_reusable(ops in collection::vec(any::<bool>(), 1..300)) {
         let mut mem = PhysMemory::new(64 * PAGE_SIZE as u64);
         let mut live: Vec<Frame> = Vec::new();
         for alloc in ops {
@@ -97,7 +98,7 @@ proptest! {
     }
 
     #[test]
-    fn neutralize_always_converges_clean(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+    fn neutralize_always_converges_clean(bytes in collection::vec(any::<u8>(), 0..4096)) {
         let mut b = bytes;
         insn::neutralize(&mut b);
         prop_assert!(insn::scan(&b).is_empty());
@@ -105,7 +106,7 @@ proptest! {
 
     #[test]
     fn scanner_finds_injections_anywhere(
-        filler in proptest::collection::vec(any::<u8>(), 64..1024),
+        filler in collection::vec(any::<u8>(), 64..1024),
         class_idx in 0usize..5,
         pos_frac in 0.0f64..1.0,
     ) {
@@ -177,7 +178,7 @@ proptest! {
 
     #[test]
     fn collect_ptps_matches_mapping_count(
-        vas in proptest::collection::btree_set(arb_canonical_user_va(), 1..32),
+        vas in collection::btree_set(arb_canonical_user_va(), 1..32),
     ) {
         let mut mem = PhysMemory::new(64 << 20);
         let root = mem.alloc_frame().unwrap();

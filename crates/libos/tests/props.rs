@@ -3,7 +3,8 @@
 
 use erebor_libos::fs::MemFs;
 use erebor_libos::heap::{Heap, CONFINED_HEAP_BASE};
-use proptest::prelude::*;
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -12,7 +13,7 @@ enum Op {
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
+    collection::vec(
         prop_oneof![
             (1u64..5000).prop_map(Op::Alloc),
             (0usize..32).prop_map(Op::FreeNth),
@@ -58,7 +59,7 @@ proptest! {
     }
 
     #[test]
-    fn heap_full_free_restores_one_block(lens in proptest::collection::vec(1u64..3000, 1..32)) {
+    fn heap_full_free_restores_one_block(lens in collection::vec(1u64..3000, 1..32)) {
         let mut heap = Heap::new(CONFINED_HEAP_BASE, 64);
         let mut live = Vec::new();
         for len in &lens {
@@ -77,8 +78,8 @@ proptest! {
     #[test]
     fn memfs_temp_shadows_and_restores(
         path in "[a-z/]{1,16}",
-        orig in proptest::collection::vec(any::<u8>(), 0..128),
-        shadow in proptest::collection::vec(any::<u8>(), 0..128),
+        orig in collection::vec(any::<u8>(), 0..128),
+        shadow in collection::vec(any::<u8>(), 0..128),
     ) {
         let mut fs = MemFs::new();
         fs.preload(&path, orig.clone()).unwrap();
@@ -91,9 +92,9 @@ proptest! {
 
     #[test]
     fn memfs_temp_accounting(
-        files in proptest::collection::btree_map(
+        files in collection::btree_map(
             "[a-z]{1,8}",
-            proptest::collection::vec(any::<u8>(), 0..64),
+            collection::vec(any::<u8>(), 0..64),
             0..16,
         ),
     ) {

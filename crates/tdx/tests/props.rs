@@ -4,11 +4,12 @@ use erebor_hw::{Frame, PhysMemory};
 use erebor_tdx::attest::{expected_mrtd, verify_quote, Attestation};
 use erebor_tdx::sept::{GpaState, Sept};
 use erebor_tdx::HostVmm;
-use proptest::prelude::*;
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
 
 proptest! {
     #[test]
-    fn sept_state_machine(ops in proptest::collection::vec((0u64..16, any::<bool>()), 0..64)) {
+    fn sept_state_machine(ops in collection::vec((0u64..16, any::<bool>()), 0..64)) {
         let mut sept = Sept::new();
         let mut model = std::collections::BTreeMap::new();
         for f in 0..16u64 {
@@ -56,7 +57,7 @@ proptest! {
 
     #[test]
     fn mrtd_order_and_content_sensitivity(
-        imgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..5),
+        imgs in collection::vec(collection::vec(any::<u8>(), 1..64), 1..5),
     ) {
         // expected_mrtd models exactly the module's extension chain.
         let mut att = Attestation::new([9; 32]);

@@ -1,0 +1,313 @@
+//! A criterion-compatible micro-bench harness: warmup, calibrated
+//! iteration counts, mean/p50/p99 statistics, and machine-readable JSON
+//! output for `BENCH_*.json` trajectory tracking.
+//!
+//! Surface kept source-compatible with the criterion subset the bench
+//! files use: [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Throughput`], `criterion_group!`, `criterion_main!`, [`black_box`].
+//!
+//! Environment knobs:
+//! - `EREBOR_BENCH_SMOKE=1` — smoke mode: minimal warmup/samples, for CI.
+//! - `EREBOR_BENCH_JSON=<path>` — also write the JSON document to a file.
+//! - `EREBOR_BENCH_SAMPLES=<n>` — override the per-benchmark sample count.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Whether smoke mode (tiny iteration budgets) is active.
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var("EREBOR_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Summary statistics over per-iteration sample means, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Mean of sample means.
+    pub mean_ns: f64,
+    /// Median.
+    pub p50_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// Compute [`Stats`] from raw per-iteration sample means.
+///
+/// Percentiles use the nearest-rank method on the sorted samples:
+/// `p50` is the element at ceil(0.50·n)−1, `p99` at ceil(0.99·n)−1.
+///
+/// # Panics
+/// Panics if `samples` is empty.
+#[must_use]
+pub fn stats_of(samples: &[f64]) -> Stats {
+    assert!(!samples.is_empty(), "stats of empty sample set");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN samples"));
+    let rank = |p: f64| -> f64 {
+        let n = sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        sorted[idx]
+    };
+    Stats {
+        mean_ns: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p50_ns: rank(0.50),
+        p99_ns: rank(0.99),
+        min_ns: sorted[0],
+        max_ns: sorted[sorted.len() - 1],
+    }
+}
+
+/// One finished benchmark.
+#[derive(Clone, Debug)]
+struct Record {
+    group: Option<String>,
+    name: String,
+    iters_per_sample: u64,
+    samples: usize,
+    stats: Stats,
+    throughput: Option<Throughput>,
+}
+
+impl Record {
+    fn full_name(&self) -> String {
+        match &self.group {
+            Some(g) => format!("{g}/{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj()
+            .field("name", self.full_name())
+            .field("iters_per_sample", self.iters_per_sample)
+            .field("samples", self.samples)
+            .field("mean_ns", self.stats.mean_ns)
+            .field("p50_ns", self.stats.p50_ns)
+            .field("p99_ns", self.stats.p99_ns)
+            .field("min_ns", self.stats.min_ns)
+            .field("max_ns", self.stats.max_ns);
+        match self.throughput {
+            Some(Throughput::Bytes(b)) => {
+                j = j.field("throughput_bytes", b).field(
+                    "mib_per_s",
+                    b as f64 / (1 << 20) as f64 / (self.stats.mean_ns * 1e-9),
+                );
+            }
+            Some(Throughput::Elements(e)) => {
+                j = j
+                    .field("throughput_elements", e)
+                    .field("elements_per_s", e as f64 / (self.stats.mean_ns * 1e-9));
+            }
+            None => {}
+        }
+        j
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    result: Option<(u64, Vec<f64>)>,
+}
+
+impl Bencher {
+    /// Run `f` under warmup + calibrated sampling; records the result.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup: run until the warmup budget is spent, counting runs to
+        // seed the calibration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        // Calibrate iterations per sample to hit the sample target.
+        let iters = ((self.sample_target.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        let mut sample_means = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            sample_means.push(elapsed / iters as f64);
+        }
+        self.result = Some((iters, sample_means));
+    }
+}
+
+/// Global benchmark driver (criterion-compatible subset).
+pub struct Criterion {
+    records: Vec<Record>,
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let smoke = smoke();
+        let samples = std::env::var("EREBOR_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if smoke { 5 } else { 30 });
+        Criterion {
+            records: Vec::new(),
+            warmup: Duration::from_millis(if smoke { 2 } else { 150 }),
+            sample_target: Duration::from_millis(if smoke { 1 } else { 10 }),
+            samples,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        self.run_one(None, name.into(), None, None, f);
+    }
+
+    /// Open a named group (for throughput / sample-size annotations).
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    fn run_one(
+        &mut self,
+        group: Option<String>,
+        name: String,
+        throughput: Option<Throughput>,
+        sample_size: Option<usize>,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            sample_target: self.sample_target,
+            samples: sample_size.unwrap_or(self.samples),
+            result: None,
+        };
+        f(&mut b);
+        let Some((iters, sample_means)) = b.result else {
+            // Closure never called iter(); record nothing.
+            return;
+        };
+        let stats = stats_of(&sample_means);
+        let rec = Record {
+            group,
+            name,
+            iters_per_sample: iters,
+            samples: sample_means.len(),
+            stats,
+            throughput,
+        };
+        eprintln!(
+            "bench {:<40} mean {:>12.1} ns  p50 {:>12.1} ns  p99 {:>12.1} ns  ({} iters/sample)",
+            rec.full_name(),
+            stats.mean_ns,
+            stats.p50_ns,
+            stats.p99_ns,
+            iters
+        );
+        self.records.push(rec);
+    }
+
+    /// Emit the JSON document (stdout, plus `EREBOR_BENCH_JSON` if set).
+    /// Called by `criterion_main!` after all groups run.
+    pub fn final_summary(&self) {
+        let doc = Json::obj()
+            .field("harness", "erebor-testkit")
+            .field("smoke", smoke())
+            .field(
+                "benchmarks",
+                Json::Arr(self.records.iter().map(Record::to_json).collect()),
+            );
+        let text = doc.to_string();
+        println!("{text}");
+        if let Ok(path) = std::env::var("EREBOR_BENCH_JSON") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, &text) {
+                    eprintln!("bench: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// A group of related benchmarks sharing annotations.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = Some(n);
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let (group, t, s) = (self.name.clone(), self.throughput, self.sample_size);
+        self.c.run_one(Some(group), name.into(), t, s, f);
+    }
+
+    /// Close the group (no-op; kept for criterion compatibility).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_on_synthetic_sample() {
+        // 1..=100: mean 50.5, p50 = 50 (nearest rank), p99 = 99.
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = stats_of(&xs);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+        assert!((s.p50_ns - 50.0).abs() < 1e-9);
+        assert!((s.p99_ns - 99.0).abs() < 1e-9);
+        assert!((s.min_ns - 1.0).abs() < 1e-9);
+        assert!((s.max_ns - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = stats_of(&[7.0]);
+        assert_eq!(s.mean_ns, 7.0);
+        assert_eq!(s.p50_ns, 7.0);
+        assert_eq!(s.p99_ns, 7.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The testkit testing itself: generator ranges, shrinking behavior,
+//! seed determinism, and the macro surface end to end.
+
+use erebor_testkit::prelude::*;
+use erebor_testkit::prop::{run_case, shrink_bytes, CaseError, Source};
+use erebor_testkit::rng::TestRng;
+use erebor_testkit::{collection, prop_oneof};
+
+// ====================================================================
+// Generator ranges
+// ====================================================================
+
+#[test]
+fn generator_ranges_are_respected() {
+    let mut src = Source::fresh(TestRng::seed_from_u64(11));
+    for _ in 0..500 {
+        let v = (10u64..20).generate(&mut src);
+        assert!((10..20).contains(&v), "{v}");
+        let w = (3u8..=7).generate(&mut src);
+        assert!((3..=7).contains(&w), "{w}");
+        let f = (0.25f64..0.75).generate(&mut src);
+        assert!((0.25..0.75).contains(&f), "{f}");
+        let s = "[a-c]{2,4}".generate(&mut src);
+        assert!((2..=4).contains(&s.len()), "{s:?}");
+        assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        let xs = collection::vec(any::<u8>(), 1..5).generate(&mut src);
+        assert!((1..5).contains(&xs.len()));
+    }
+}
+
+#[test]
+fn oneof_and_map_compose() {
+    let strat = prop_oneof![
+        Just(0u64),
+        (1u64..10).prop_map(|x| x * 100),
+        (10u64..20).prop_map(|x| x + 1000),
+    ];
+    let mut src = Source::fresh(TestRng::seed_from_u64(5));
+    let mut seen_arms = [false; 3];
+    for _ in 0..300 {
+        let v = strat.generate(&mut src);
+        match v {
+            0 => seen_arms[0] = true,
+            100..=900 => seen_arms[1] = true,
+            1010..=1019 => seen_arms[2] = true,
+            other => panic!("value {other} outside every arm"),
+        }
+    }
+    assert!(seen_arms.iter().all(|&b| b), "{seen_arms:?}");
+}
+
+#[test]
+fn collections_meet_size_bounds() {
+    let mut src = Source::fresh(TestRng::seed_from_u64(9));
+    for _ in 0..100 {
+        let set = collection::btree_set(0u64..1000, 4..16).generate(&mut src);
+        assert!(set.len() <= 15);
+        let map = collection::btree_map("[a-z]{1,8}", any::<u8>(), 0..8).generate(&mut src);
+        assert!(map.len() <= 7);
+    }
+}
+
+#[test]
+fn same_seed_generates_identical_values() {
+    let gen = |seed| {
+        let mut src = Source::fresh(TestRng::seed_from_u64(seed));
+        collection::vec(any::<u64>(), 0..32).generate(&mut src)
+    };
+    assert_eq!(gen(7), gen(7));
+    assert_ne!(gen(7), gen(8));
+}
+
+// ====================================================================
+// Shrinking
+// ====================================================================
+
+/// Replays `bytes` through a u64 range draw and fails iff >= 1000.
+fn fails_ge_1000(bytes: &[u8]) -> bool {
+    let v = (0u64..10000).generate(&mut Source::replay(bytes));
+    v >= 1000
+}
+
+#[test]
+fn shrinker_reaches_a_local_minimum() {
+    // Find a failing case first.
+    let consumed = (0..64)
+        .find_map(|seed| {
+            let mut case = Source::fresh(TestRng::seed_from_u64(seed));
+            let v = (0u64..10000).generate(&mut case);
+            (v >= 1000).then(|| case.consumed().to_vec())
+        })
+        .expect("no failing case in 64 seeds");
+    let minimal = shrink_bytes(&consumed, &mut fails_ge_1000);
+    let v = (0u64..10000).generate(&mut Source::replay(&minimal));
+    // Still failing...
+    assert!(v >= 1000, "shrunk input no longer fails: {v}");
+    // ...and a fixed point: another full shrink pass finds nothing.
+    let again = shrink_bytes(&minimal, &mut fails_ge_1000);
+    assert_eq!(again, minimal, "not a local minimum");
+    // Greedy byte shrinking should land well below the starting draw's
+    // expected midpoint (~5000).
+    assert!(v < 2100, "poor shrink: {v}");
+}
+
+#[test]
+fn shrinker_shortens_vectors() {
+    // Fail iff the vec contains an element >= 128. Minimal failing input
+    // should shrink the vector sharply from the original draw.
+    let strat = || collection::vec(any::<u8>(), 0..64);
+    let fails = |bytes: &[u8]| {
+        strat()
+            .generate(&mut Source::replay(bytes))
+            .iter()
+            .any(|&b| b >= 128)
+    };
+    let mut found = None;
+    for seed in 0..64 {
+        let mut src = Source::fresh(TestRng::seed_from_u64(seed));
+        let v = strat().generate(&mut src);
+        if v.len() >= 8 && v.iter().any(|&b| b >= 128) {
+            found = Some(src.consumed().to_vec());
+            break;
+        }
+    }
+    let consumed = found.expect("no failing case in 64 seeds");
+    let minimal = shrink_bytes(&consumed, &mut |b| fails(b));
+    let v = strat().generate(&mut Source::replay(&minimal));
+    assert!(v.iter().any(|&b| b >= 128), "shrunk input no longer fails");
+    assert!(v.len() <= 2, "vector did not shrink: {v:?}");
+}
+
+#[test]
+fn run_case_converts_panics_to_failures() {
+    let mut case = |_: &mut Source| -> Result<(), CaseError> {
+        panic!("boom {}", 42);
+    };
+    let mut src = Source::fresh(TestRng::seed_from_u64(0));
+    match run_case(&mut case, &mut src) {
+        Err(CaseError::Fail(msg)) => assert!(msg.contains("boom 42"), "{msg}"),
+        other => panic!("expected Fail, got {other:?}"),
+    }
+}
+
+// ====================================================================
+// The macro surface end to end
+// ====================================================================
+
+proptest! {
+    #[test]
+    fn macro_roundtrip_u64(x in 0u64..1000, y in 0u64..1000) {
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x < 1000 && y < 1000);
+    }
+
+    #[test]
+    fn macro_assume_rejects(x in 0u64..100) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn macro_config_override(v in collection::vec(any::<u8>(), 0..10)) {
+        prop_assert!(v.len() < 10);
+    }
+}
+
+#[test]
+fn failing_property_reports_seed_and_minimal_input() {
+    let result = std::panic::catch_unwind(|| {
+        erebor_testkit::prop::run(
+            &Config::with_cases(50),
+            "selftest_failing_property",
+            |src| {
+                let x = (0u64..10000).generate(src);
+                if x >= 1000 {
+                    return Err(CaseError::Fail(format!("{x} too big")));
+                }
+                Ok(())
+            },
+            |src| format!("  x = {:?}\n", (0u64..10000).generate(src)),
+        );
+    });
+    let msg = match result {
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic payload"),
+        Ok(()) => panic!("property unexpectedly passed"),
+    };
+    assert!(msg.contains("EREBOR_PT_SEED="), "{msg}");
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(msg.contains("x = "), "{msg}");
+}

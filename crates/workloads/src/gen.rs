@@ -2,13 +2,12 @@
 //! experiments): request mixes, Zipfian query keys, and file-size
 //! distributions for the Fig. 10 sweeps.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use erebor_testkit::rng::TestRng;
 
 /// A seeded generator of client request traces.
 #[derive(Debug)]
 pub struct TraceGen {
-    rng: StdRng,
+    rng: TestRng,
 }
 
 impl TraceGen {
@@ -16,7 +15,7 @@ impl TraceGen {
     #[must_use]
     pub fn new(seed: u64) -> TraceGen {
         TraceGen {
-            rng: StdRng::seed_from_u64(seed),
+            rng: TestRng::seed_from_u64(seed),
         }
     }
 
@@ -26,7 +25,7 @@ impl TraceGen {
     pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
         debug_assert!(n >= 1);
         let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
-        let mut u = self.rng.random_range(0.0..h);
+        let mut u = self.rng.range_f64(0.0, h);
         for k in 1..=n {
             let w = 1.0 / (k as f64).powf(s);
             if u < w {
@@ -40,7 +39,7 @@ impl TraceGen {
     /// A batch of retrieval queries: "q=<count>;<seed>" with a fresh
     /// sub-seed so batches differ but reproducibly.
     pub fn retrieval_batch(&mut self, count: u64) -> Vec<u8> {
-        let sub: u32 = self.rng.random();
+        let sub: u32 = self.rng.next_u32();
         format!("q={count};{sub}").into_bytes()
     }
 
@@ -65,7 +64,7 @@ impl TraceGen {
             if i > 0 {
                 out.push(' ');
             }
-            let idx = self.rng.random_range(0..LEXICON.len());
+            let idx = self.rng.below(LEXICON.len() as u64) as usize;
             out.push_str(LEXICON[idx]);
         }
         out.into_bytes()
@@ -74,8 +73,10 @@ impl TraceGen {
     /// A file size for the Fig. 10 sweep, drawn from a web-like heavy-tail
     /// mix between 1 KiB and `max`.
     pub fn file_size(&mut self, max: u64) -> u64 {
-        let exp = self.rng.random_range(10u32..=max.ilog2());
-        let jitter = self.rng.random_range(0.5..1.5);
+        let exp = self
+            .rng
+            .range_u64_inclusive(10, u64::from(max.ilog2())) as u32;
+        let jitter = self.rng.range_f64(0.5, 1.5);
         (((1u64 << exp) as f64) * jitter) as u64
     }
 }

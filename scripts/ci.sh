@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the Erebor reproduction — fully offline.
+#
+#   scripts/ci.sh          build + test (the tier-1 gate)
+#   scripts/ci.sh --smoke  additionally run the bench binaries in smoke
+#                          mode (EREBOR_BENCH_SMOKE=1, reduced iteration
+#                          counts) and check they emit valid JSON on
+#                          stdout.
+#
+# The workspace has zero external dependencies (see crates/testkit), so
+# everything here must succeed with the network disabled.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -gt 1 || ( $# -eq 1 && "$1" != "--smoke" ) ]]; then
+    echo "usage: scripts/ci.sh [--smoke]" >&2
+    exit 2
+fi
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    export EREBOR_BENCH_SMOKE=1
+
+    check_json() {
+        # Minimal structural check without external tools: a JSON object
+        # document spanning exactly the whole stdout payload.
+        local out="$1" bin="$2"
+        if [[ "$out" != \{* || "$out" != *\} ]]; then
+            echo "error: $bin stdout is not a JSON object:" >&2
+            echo "$out" >&2
+            exit 1
+        fi
+        if command -v python3 >/dev/null 2>&1; then
+            echo "$out" | python3 -c 'import json,sys; json.load(sys.stdin)' \
+                || { echo "error: $bin stdout is not valid JSON" >&2; exit 1; }
+        fi
+    }
+
+    for bin in table3 fig8; do
+        echo "==> smoke: cargo run --release -p erebor-bench --bin $bin"
+        out="$(cargo run --release -q -p erebor-bench --bin "$bin")"
+        check_json "$out" "$bin"
+        echo "    $bin: JSON OK (${#out} bytes)"
+    done
+
+    echo "==> smoke: cargo bench (testkit harness, reduced samples)"
+    cargo bench -p erebor-bench --bench crypto >/dev/null
+fi
+
+echo "==> ci.sh: all checks passed"

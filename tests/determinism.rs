@@ -61,6 +61,71 @@ fn different_seeds_change_keys_but_not_results() {
     assert_ne!(m1, m2, "firmware filler differs with seed");
 }
 
+/// Boot with an explicit root seed, drive one full workload round trip
+/// (deploy → attest → send → serve → fetch), and return every observable
+/// as bytes: the Debug-formatted platform snapshot (all monitor, kernel
+/// and TDX counters plus the cycle count), the decrypted reply, and the
+/// encrypted wire record the host saw.
+fn seeded_trace(seed: u64) -> (String, Vec<u8>, Vec<u8>) {
+    let cfg = BootConfig {
+        seed,
+        config: ExecConfig::new(Mode::Full),
+        ..BootConfig::default()
+    };
+    let mut p = Platform::boot_with(cfg).expect("boot");
+    let mut svc = p
+        .deploy(
+            Box::new(erebor_workloads::SandboxedWorkload::new(
+                Retrieval::default(),
+            )),
+            1 << 20,
+        )
+        .expect("deploy");
+    let mut client = p.connect_client(&svc, [9; 32]).expect("attest");
+    let reply = p
+        .serve_request(&mut svc, &mut client, b"q=2000;4")
+        .expect("serve");
+    let record = p
+        .cvm
+        .tdx
+        .host
+        .observed
+        .last()
+        .cloned()
+        .unwrap_or_default();
+    (format!("{:?}", p.snapshot()), reply, record)
+}
+
+#[test]
+fn same_seed_full_trace_is_byte_identical() {
+    // The strongest determinism statement the simulator can make: boot +
+    // workload under the same seed reproduces the *entire* observable
+    // state byte for byte — every counter in the monitor/kernel/TDX
+    // snapshot, the application output, and the ciphertext on the wire.
+    let (snap1, out1, wire1) = seeded_trace(0xeb0e);
+    let (snap2, out2, wire2) = seeded_trace(0xeb0e);
+    assert_eq!(snap1, snap2, "snapshot Debug trace diverged");
+    assert_eq!(out1, out2, "workload output diverged");
+    assert_eq!(wire1, wire2, "wire record diverged");
+    assert!(!wire1.is_empty(), "host observed no wire traffic");
+}
+
+#[test]
+fn different_seeds_diverge_on_the_wire_but_not_in_results() {
+    // Negative control for the test above: a different root seed must
+    // actually change the key-dependent observables (otherwise the
+    // byte-identical check would pass vacuously on a constant), while
+    // deterministic application results and scheduling stay identical.
+    let (snap1, out1, wire1) = seeded_trace(1);
+    let (snap2, out2, wire2) = seeded_trace(2);
+    assert_eq!(out1, out2, "application results must be seed-independent");
+    assert_eq!(
+        snap1, snap2,
+        "counters/cycles must be seed-independent (seed feeds keys, not scheduling)"
+    );
+    assert_ne!(wire1, wire2, "different seeds must give different ciphertexts");
+}
+
 #[test]
 fn counters_are_stable_across_reboots_of_same_seed() {
     let snap = || {
