@@ -27,6 +27,42 @@ fn bench_paging(c: &mut Criterion) {
         });
     });
 
+    // Simulator-side translation cost, deterministic (cycle-model, not
+    // wall-clock): one probe served from the TLB vs one after a flush.
+    // These land in the JSON `meta` block so CI can assert the TLB is
+    // actually short-circuiting the four-level walk.
+    let m = &mut p.cvm.machine;
+    m.probe(0, VirtAddr(va), AccessKind::Read).expect("warm");
+    let before = m.cycles.total();
+    m.probe(0, VirtAddr(va), AccessKind::Read).expect("hit");
+    let hit_cycles = m.cycles.total() - before;
+    m.flush_tlb(0);
+    let before = m.cycles.total();
+    m.probe(0, VirtAddr(va), AccessKind::Read).expect("cold");
+    let cold_cycles = m.cycles.total() - before;
+    c.meta("sim_cycles_per_probe_tlb_hit", hit_cycles as f64);
+    c.meta("sim_cycles_per_probe_tlb_cold", cold_cycles as f64);
+
+    c.bench_function("mmu_probe_tlb_hit", |b| {
+        // The first probe fills; every timed iteration after it hits.
+        b.iter(|| {
+            p.cvm
+                .machine
+                .probe(0, VirtAddr(va), AccessKind::Read)
+                .expect("probe")
+        });
+    });
+
+    c.bench_function("mmu_probe_tlb_cold", |b| {
+        b.iter(|| {
+            p.cvm.machine.flush_tlb(0);
+            p.cvm
+                .machine
+                .probe(0, VirtAddr(va), AccessKind::Read)
+                .expect("probe")
+        });
+    });
+
     // A fixed address so the page-table pages are reused across the hot
     // loop (criterion runs millions of iterations).
     let fixed = 0x7a00_0000_0000u64;
@@ -42,6 +78,14 @@ fn bench_paging(c: &mut Criterion) {
                 .expect("munmap");
         });
     });
+
+    // Aggregate translation-path counters over the whole bench run.
+    let stats = p.cvm.machine.stats;
+    c.meta("tlb_hit_rate", stats.hit_rate());
+    c.meta("tlb_hits", stats.tlb_hits as f64);
+    c.meta("tlb_misses", stats.tlb_misses as f64);
+    c.meta("tlb_flushes", stats.tlb_flushes as f64);
+    c.meta("tlb_shootdown_ipis", stats.tlb_shootdown_ipis as f64);
 }
 
 criterion_group!(benches, bench_paging);

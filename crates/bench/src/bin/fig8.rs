@@ -8,7 +8,7 @@ use erebor_testkit::json::Json;
 
 fn main() {
     let ops = if erebor_testkit::bench::smoke() { 32 } else { 512 };
-    let rows = erebor_bench::fig8::run(ops);
+    let (rows, stats) = erebor_bench::fig8::run_with_stats(ops);
     eprintln!("Fig. 8: LMBench system benchmarks (cycles/op; bar = Erebor/native)");
     eprintln!(
         "{:<12} {:>12} {:>12} {:>8}",
@@ -44,6 +44,7 @@ fn main() {
         .field("experiment", "fig8")
         .field("ops", ops)
         .field("smoke", erebor_testkit::bench::smoke())
-        .field("rows", json_rows);
+        .field("rows", json_rows)
+        .field("stats", stats.to_json());
     println!("{doc}");
 }

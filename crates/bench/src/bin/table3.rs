@@ -7,7 +7,7 @@
 use erebor_testkit::json::Json;
 
 fn main() {
-    let rows = erebor_bench::table3::run();
+    let (rows, stats) = erebor_bench::table3::run_with_stats();
     let emc = rows
         .iter()
         .find(|r| r.name == "EMC")
@@ -37,6 +37,7 @@ fn main() {
         .field("experiment", "table3")
         .field("unit", "cycles")
         .field("smoke", erebor_testkit::bench::smoke())
-        .field("rows", json_rows);
+        .field("rows", json_rows)
+        .field("stats", stats.to_json());
     println!("{doc}");
 }

@@ -21,7 +21,52 @@
 
 use erebor::platform::Platform;
 use erebor::Mode;
+use erebor_core::stats::MonitorStats;
+use erebor_hw::HwStats;
+use erebor_testkit::json::Json;
 use erebor_workloads::Workload;
+
+/// Translation-path and monitor counters captured from one benchmark
+/// platform, for the machine-readable `stats` block of the bench
+/// binaries (Table 3 / Fig. 8 JSON).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunStats {
+    /// Hardware-model counters (TLB hits/misses/flushes/shootdowns).
+    pub hw: HwStats,
+    /// Monitor event counters (EMCs, PTE updates, exits).
+    pub monitor: MonitorStats,
+}
+
+impl RunStats {
+    /// Snapshot the counters of a platform after a run.
+    #[must_use]
+    pub fn capture(p: &Platform) -> RunStats {
+        RunStats {
+            hw: p.cvm.machine.stats,
+            monitor: p.cvm.monitor.stats,
+        }
+    }
+
+    /// Render as the `stats` JSON block.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let hw = Json::obj()
+            .field("tlb_hits", self.hw.tlb_hits)
+            .field("tlb_misses", self.hw.tlb_misses)
+            .field("tlb_hit_rate", self.hw.hit_rate())
+            .field("tlb_flushes", self.hw.tlb_flushes)
+            .field("tlb_page_invalidations", self.hw.tlb_page_invalidations)
+            .field("tlb_shootdown_ipis", self.hw.tlb_shootdown_ipis);
+        let monitor = Json::obj()
+            .field("emc_calls", self.monitor.emc_calls)
+            .field("pte_updates", self.monitor.pte_updates)
+            .field("user_copies", self.monitor.user_copies)
+            .field("ghci_ops", self.monitor.ghci_ops)
+            .field("sandbox_exits", self.monitor.sandbox_total_exits())
+            .field("emc_denied", self.monitor.emc_denied);
+        Json::obj().field("hw", hw).field("monitor", monitor)
+    }
+}
 
 /// A fresh-instance constructor for one workload.
 pub type WorkloadCtor = Box<dyn Fn() -> Box<dyn Workload>>;
@@ -94,6 +139,16 @@ pub mod table3 {
         run_with_iters(if erebor_testkit::bench::smoke() { 8 } else { 64 })
     }
 
+    /// Like [`run`], but also returns the counters of the Full platform
+    /// used for the EMC measurement.
+    ///
+    /// # Panics
+    /// Panics on platform failures (bench binary context).
+    #[must_use]
+    pub fn run_with_stats() -> (Vec<Row>, super::RunStats) {
+        inner(if erebor_testkit::bench::smoke() { 8 } else { 64 })
+    }
+
     /// Measure all four transitions of Table 3, averaging over `iters`
     /// round trips each.
     ///
@@ -101,6 +156,10 @@ pub mod table3 {
     /// Panics on platform failures (bench binary context).
     #[must_use]
     pub fn run_with_iters(iters: u64) -> Vec<Row> {
+        inner(iters).0
+    }
+
+    fn inner(iters: u64) -> (Vec<Row>, super::RunStats) {
         let iters = iters.max(1);
         let mut rows = Vec::new();
 
@@ -117,6 +176,7 @@ pub mod table3 {
             name: "EMC",
             cycles: (p.cvm.machine.cycles.total() - before) / iters,
         });
+        let stats = super::RunStats::capture(&p);
 
         // Empty syscall (native, no interposition, no timer noise).
         let mut p = Platform::boot(Mode::Native).expect("boot native");
@@ -167,7 +227,7 @@ pub mod table3 {
             cycles: 2 * c.vm_transition + c.vmm_dispatch,
         });
 
-        rows
+        (rows, stats)
     }
 }
 
@@ -418,18 +478,30 @@ pub mod fig8 {
     /// Panics on platform failures (bench binary context).
     #[must_use]
     pub fn run(ops: u64) -> Vec<Row> {
-        let run_one = |mode: Mode| -> Vec<lmbench::BenchResult> {
+        run_with_stats(ops).0
+    }
+
+    /// Like [`run`], but also returns the counters of the Full (Erebor)
+    /// configuration's run.
+    ///
+    /// # Panics
+    /// Panics on platform failures (bench binary context).
+    #[must_use]
+    pub fn run_with_stats(ops: u64) -> (Vec<Row>, super::RunStats) {
+        let run_one = |mode: Mode| -> (Vec<lmbench::BenchResult>, super::RunStats) {
             let mut p = Platform::boot(mode).expect("boot");
             // LMBench isolates per-op latency; suppress timer noise.
             p.cvm.monitor.cfg.timer_quantum_cycles = u64::MAX / 4;
             p.reclaim_period_ticks = 0;
             let pid = p.spawn_native().expect("spawn");
             let mut h = p.proc(pid);
-            lmbench::run_suite(&mut h, ops).expect("suite")
+            let results = lmbench::run_suite(&mut h, ops).expect("suite");
+            let stats = super::RunStats::capture(&p);
+            (results, stats)
         };
-        let native = run_one(Mode::Native);
-        let erebor = run_one(Mode::Full);
-        native
+        let (native, _) = run_one(Mode::Native);
+        let (erebor, stats) = run_one(Mode::Full);
+        let rows = native
             .iter()
             .zip(erebor.iter())
             .map(|(n, e)| {
@@ -440,7 +512,8 @@ pub mod fig8 {
                     erebor: e.cycles_per_op,
                 }
             })
-            .collect()
+            .collect();
+        (rows, stats)
     }
 }
 

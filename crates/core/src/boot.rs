@@ -391,6 +391,7 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
     let syscall_interposer = VirtAddr(layout::MONITOR_BASE.0 + 0x100);
     for cpu in 0..cfg.cores {
         machine.cpus[cpu].cr3 = kernel_root;
+        machine.flush_tlb(cpu);
         machine.cpus[cpu].cr0 = Cr0(Cr0::WP | Cr0::PG);
         machine.cpus[cpu].cr4 = Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS | Cr4::CET);
         machine.cpus[cpu].domain = Domain::Firmware;

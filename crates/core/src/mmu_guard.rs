@@ -50,6 +50,7 @@ pub fn retag_direct_map(
     let slot = paging::leaf_slot(&machine.mem, kernel_root, dm_va)
         .map_err(|_| Fault::Unrecoverable("direct-map walk left DRAM"))?
         .ok_or(Fault::Unrecoverable("direct map incomplete"))?;
+    let old = pte_read_raw(machine, slot);
     let flags = PteFlags {
         present: true,
         writable: true,
@@ -57,7 +58,18 @@ pub fn retag_direct_map(
         pkey: pkey_for(kind),
         ..PteFlags::default()
     };
-    pte_write(machine, cpu, slot, Pte::encode(frame, flags))
+    pte_write(machine, cpu, slot, Pte::encode(frame, flags))?;
+    if old.present() && old.pkey() != pkey_for(kind) {
+        // The retype changed the frame's protection key: a cached
+        // direct-map translation carrying the old key on any core would
+        // let the kernel keep writing a frame that just became trusted
+        // (PTP/monitor) state — the stale-sEPT hazard class. Shoot it
+        // down everywhere. Key-preserving retypes (e.g. free → user
+        // data, both PK_DEFAULT) need no flush: the cached permissions
+        // are still exact.
+        machine.tlb_shootdown(cpu, dm_va)?;
+    }
+    Ok(())
 }
 
 /// Walk (creating intermediate PTPs as needed) and install `leaf_pte` for

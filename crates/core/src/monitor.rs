@@ -355,6 +355,14 @@ impl Monitor {
                 match self.frames.kind(old.frame()) {
                     FrameKind::UserAnon { .. } => {
                         self.stats.pte_updates += 1;
+                        if !writable {
+                            // Downgrades must be visible on every core
+                            // running this address space; upgrades can
+                            // lazily re-fault.
+                            machine
+                                .tlb_shootdown_mm(cpu, root, &[va])
+                                .map_err(EmcError::Fault)?;
+                        }
                         Ok(EmcResponse::Ok)
                     }
                     _ => {
@@ -606,6 +614,12 @@ impl Monitor {
         }
         mmu_guard::checked_update_leaf(machine, cpu, root, va, |_| Pte::empty())
             .map_err(map_err)?;
+        // Close the stale-translation window before the frame can be
+        // reused: every core running this address space may hold a cached
+        // translation for `va`.
+        machine
+            .tlb_shootdown_mm(cpu, root, &[va])
+            .map_err(EmcError::Fault)?;
         self.frames.dec_map(f);
         self.stats.pte_updates += 1;
         if self.frames.mapcount(f) == 0 && matches!(self.frames.kind(f), FrameKind::UserAnon { .. })
@@ -1132,6 +1146,10 @@ impl Monitor {
                     seal_res = Err(map_err(e));
                     break;
                 }
+                if let Err(e) = machine.tlb_shootdown_mm(cpu, root, &[page]) {
+                    seal_res = Err(EmcError::Fault(e));
+                    break;
+                }
                 self.stats.pte_updates += 1;
             }
             guard.exit(machine, cpu);
@@ -1169,6 +1187,7 @@ impl Monitor {
                 if mmu_guard::checked_update_leaf(machine, cpu, root, page, |_| Pte::empty())
                     .is_ok()
                 {
+                    machine.tlb_shootdown_mm(cpu, root, &[page]).ok();
                     if let Some(region) = self.common_regions.get(&rid) {
                         let idx = region
                             .attached
@@ -1211,6 +1230,9 @@ impl Monitor {
         };
         for (va, frame) in confined {
             mmu_guard::checked_update_leaf(machine, 0, root, va, |_| Pte::empty()).ok();
+            // Shoot down *before* scrub/free: a stale translation to a
+            // freed frame is a cross-tenant leak.
+            machine.tlb_shootdown_mm(0, root, &[va]).ok();
             self.frames.dec_map(frame);
             machine.mem.zero_frame(frame).ok();
             machine.mem.free_frame(frame).ok();
@@ -1218,6 +1240,7 @@ impl Monitor {
         }
         for (rid, page) in commons {
             mmu_guard::checked_update_leaf(machine, 0, root, page, |_| Pte::empty()).ok();
+            machine.tlb_shootdown_mm(0, root, &[page]).ok();
             if let Some(region) = self.common_regions.get(&rid) {
                 if let Some((_, base)) = region.attached.iter().find(|(sid, _)| sid.0 == id.0) {
                     let idx = ((page.0 - base.0) / PAGE_SIZE as u64) as usize;

@@ -30,6 +30,7 @@ use crate::layout;
 use crate::mmu::{self, MmuEnv};
 use crate::phys::{Frame, PhysMemory};
 use crate::regs::{s_cet, Cr0, Cr4, GprContext, Msr, PkrsPerms, Rflags};
+use crate::tlb::{HwStats, Tlb};
 use crate::VirtAddr;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -157,6 +158,13 @@ pub struct Machine {
     /// is set; the paper's prototype omits them, §7 — the simulator
     /// supports both configurations).
     pub sstk: Vec<ShadowStack>,
+    /// Per-core software TLBs consulted before the walker.
+    pub tlbs: Vec<Tlb>,
+    /// Translation-path counters (hits, misses, flushes, shootdown IPIs).
+    pub stats: HwStats,
+    /// Fast-path switch: `false` forces every translation through the
+    /// walker (ablation + the TLB-equivalence property test).
+    pub tlb_enabled: bool,
     sensitive_domains: BTreeSet<Domain>,
 }
 
@@ -175,6 +183,9 @@ impl Machine {
                     ShadowStack::new(VirtAddr(layout::MONITOR_SSTK_BASE.0 + ((i as u64) << 16)))
                 })
                 .collect(),
+            tlbs: (0..cores).map(|_| Tlb::new()).collect(),
+            stats: HwStats::default(),
+            tlb_enabled: true,
             sensitive_domains: BTreeSet::new(),
         }
     }
@@ -225,8 +236,42 @@ impl Machine {
 
     // ----- memory ------------------------------------------------------
 
-    fn charge_translation(&mut self) {
-        self.cycles.charge(4 * self.costs.walk_level);
+    /// Translate `va` for `kind`, consulting the core's TLB before the
+    /// walker, and charge the translation cycles: `tlb_hit` on a hit, the
+    /// real `levels_walked * walk_level` on a miss (which also fills the
+    /// TLB). Faults charge nothing, as before.
+    ///
+    /// A hit re-runs [`mmu::check_access`] against the *live* register
+    /// state and the cached effective permissions, so PKRS/CR4/CR0.WP
+    /// writes need no flush. A write hit on a clean entry re-walks so the
+    /// dirty bit lands in the in-memory PTE (as hardware promotes D=0→1
+    /// with a table walk).
+    fn translate_cached(
+        &mut self,
+        cpu: usize,
+        va: VirtAddr,
+        kind: AccessKind,
+    ) -> Result<crate::PhysAddr, Fault> {
+        let env = self.env(cpu);
+        if self.tlb_enabled {
+            if let Some(entry) = self.tlbs[cpu].lookup(env.root, va, kind) {
+                let needs_dirty_promotion = kind == AccessKind::Write && !entry.dirty;
+                if !needs_dirty_promotion {
+                    mmu::check_access(&env, va, kind, entry.eff)?;
+                    self.stats.tlb_hits += 1;
+                    self.cycles.charge(self.costs.tlb_hit);
+                    return Ok(crate::PhysAddr(entry.frame.base().0 + va.page_offset()));
+                }
+            }
+        }
+        let t = mmu::translate(&mut self.mem, &env, va, kind)?;
+        self.cycles
+            .charge(u64::from(t.levels_walked) * self.costs.walk_level);
+        if self.tlb_enabled {
+            self.stats.tlb_misses += 1;
+            self.tlbs[cpu].insert(env.root, va, kind, &t);
+        }
+        Ok(t.pa)
     }
 
     /// Checked load of `buf.len()` bytes at `va` on core `cpu`.
@@ -262,17 +307,15 @@ impl Machine {
     where
         F: FnMut(&mut PhysMemory, crate::PhysAddr, std::ops::Range<usize>) -> Result<(), Fault>,
     {
-        let env = self.env(cpu);
         let mut done = 0usize;
         while done < len {
             let cur = va.add(done as u64);
             let page_remain = (crate::PAGE_SIZE as u64 - cur.page_offset()) as usize;
             let chunk = page_remain.min(len - done);
-            let t = mmu::translate(&mut self.mem, &env, cur, kind)?;
-            self.charge_translation();
+            let pa = self.translate_cached(cpu, cur, kind)?;
             self.cycles
                 .charge(self.costs.mem_op * (1 + chunk as u64 / 64));
-            op(&mut self.mem, t.pa, done..done + chunk)?;
+            op(&mut self.mem, pa, done..done + chunk)?;
             done += chunk;
         }
         Ok(())
@@ -303,9 +346,7 @@ impl Machine {
     /// # Errors
     /// Any MMU permission fault.
     pub fn probe(&mut self, cpu: usize, va: VirtAddr, kind: AccessKind) -> Result<(), Fault> {
-        let env = self.env(cpu);
-        mmu::translate(&mut self.mem, &env, va, kind)?;
-        self.charge_translation();
+        self.translate_cached(cpu, va, kind)?;
         Ok(())
     }
 
@@ -315,9 +356,130 @@ impl Machine {
     /// # Errors
     /// Any MMU permission fault.
     pub fn fetch_check(&mut self, cpu: usize, va: VirtAddr) -> Result<(), Fault> {
-        let env = self.env(cpu);
-        mmu::translate(&mut self.mem, &env, va, AccessKind::Execute)?;
-        self.charge_translation();
+        self.translate_cached(cpu, va, AccessKind::Execute)?;
+        Ok(())
+    }
+
+    // ----- TLB maintenance ----------------------------------------------
+
+    /// Flush every entry of `cpu`'s TLB (the CR3-write side effect; also
+    /// exposed for raw-CR3 boot/ablation paths that bypass
+    /// [`Machine::write_cr3`]).
+    pub fn flush_tlb(&mut self, cpu: usize) {
+        self.tlbs[cpu].flush_all();
+        self.stats.tlb_flushes += 1;
+    }
+
+    /// `invlpg`-equivalent: drop `cpu`'s cached translation for `va`'s
+    /// page. Privileged but not sensitive — like real `invlpg`, any ring-0
+    /// code may shoot its own core.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn invalidate_page(&mut self, cpu: usize, va: VirtAddr) -> Result<(), Fault> {
+        if self.cpus[cpu].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("invlpg in user mode"));
+        }
+        self.cycles.charge(self.costs.invlpg);
+        self.tlbs[cpu].invalidate_page(va);
+        self.stats.tlb_page_invalidations += 1;
+        Ok(())
+    }
+
+    /// TLB shootdown for `va`'s page: local `invlpg` on `initiator` plus
+    /// an invalidation IPI to every other core, each charged at
+    /// `interrupt_delivery` (the IPI round the monitor pays to close the
+    /// stale-translation window after a downgrade/unmap). The privilege of
+    /// the caller is the initiator's local `invlpg` check.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn tlb_shootdown(&mut self, initiator: usize, va: VirtAddr) -> Result<(), Fault> {
+        self.tlb_shootdown_batch(initiator, &[va])
+    }
+
+    /// Above this many pages a shootdown full-flushes instead of issuing
+    /// per-page `invlpg`s, mirroring Linux's
+    /// `tlb_single_page_flush_ceiling` (33 on x86).
+    pub const SHOOTDOWN_FULL_FLUSH_CEILING: usize = 32;
+
+    /// Batched TLB shootdown: one invalidation IPI per remote core for the
+    /// *whole* set of pages (how `flush_tlb_mm_range` amortizes a large
+    /// munmap), rather than an IPI round per page. Past
+    /// [`Machine::SHOOTDOWN_FULL_FLUSH_CEILING`] pages, every core
+    /// full-flushes instead of walking the list, as real kernels do.
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn tlb_shootdown_batch(&mut self, initiator: usize, vas: &[VirtAddr]) -> Result<(), Fault> {
+        if self.cpus[initiator].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("tlb shootdown in user mode"));
+        }
+        if vas.is_empty() {
+            return Ok(());
+        }
+        self.shootdown_inner(initiator, None, vas)
+    }
+
+    /// Address-space-targeted shootdown (`flush_tlb_mm_range` with a real
+    /// `mm_cpumask`): IPIs go only to cores whose CR3 currently holds
+    /// `root`. Sound because a core that switched away flushed at that CR3
+    /// write, so no other core can hold live entries tagged with `root`.
+    /// Use only for per-address-space (user) mappings — ranges visible
+    /// under every root (the direct map, kernel text) must broadcast via
+    /// [`Machine::tlb_shootdown_batch`].
+    ///
+    /// # Errors
+    /// `#GP` from user mode.
+    pub fn tlb_shootdown_mm(
+        &mut self,
+        initiator: usize,
+        root: Frame,
+        vas: &[VirtAddr],
+    ) -> Result<(), Fault> {
+        self.shootdown_inner(initiator, Some(root), vas)
+    }
+
+    fn shootdown_inner(
+        &mut self,
+        initiator: usize,
+        root: Option<Frame>,
+        vas: &[VirtAddr],
+    ) -> Result<(), Fault> {
+        if self.cpus[initiator].mode != CpuMode::Supervisor {
+            return Err(Fault::GeneralProtection("tlb shootdown in user mode"));
+        }
+        if vas.is_empty() {
+            return Ok(());
+        }
+        let full = vas.len() > Self::SHOOTDOWN_FULL_FLUSH_CEILING;
+        for cpu in 0..self.cpus.len() {
+            if cpu != initiator {
+                if root.is_some_and(|r| self.cpus[cpu].cr3 != r) {
+                    continue; // not in the mm's cpumask
+                }
+                // The remote handler's invalidation work is folded into
+                // the IPI delivery cost.
+                self.cycles.charge(self.costs.interrupt_delivery);
+                self.stats.tlb_shootdown_ipis += 1;
+            }
+            if full {
+                if cpu == initiator {
+                    // Charged like a CR3 reload on the initiating core.
+                    self.cycles.charge(self.costs.mov_cr);
+                }
+                self.tlbs[cpu].flush_all();
+                self.stats.tlb_flushes += 1;
+            } else {
+                for va in vas {
+                    if cpu == initiator {
+                        self.cycles.charge(self.costs.invlpg);
+                        self.stats.tlb_page_invalidations += 1;
+                    }
+                    self.tlbs[cpu].invalidate_page(*va);
+                }
+            }
+        }
         Ok(())
     }
 
@@ -343,6 +505,9 @@ impl Machine {
         self.sensitive_guard(cpu)?;
         self.cycles.charge(self.costs.mov_cr);
         self.cpus[cpu].cr3 = root;
+        // Architectural side effect: flush the writing core's (non-global;
+        // the PTE model has no G bit, so all) entries.
+        self.flush_tlb(cpu);
         Ok(())
     }
 
@@ -785,5 +950,201 @@ mod tests {
         assert_eq!(domain_of(layout::MONITOR_BASE), Domain::Monitor);
         assert_eq!(domain_of(layout::KERNEL_BASE), Domain::Kernel);
         assert_eq!(domain_of(VirtAddr(0x40_0000)), Domain::User);
+    }
+
+    // ----- TLB ----------------------------------------------------------
+
+    #[test]
+    fn tlb_hit_charges_one_cycle_not_a_walk() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        // Warm with a write so the dirty bit is set and later writes hit.
+        m.probe(0, va, AccessKind::Write).unwrap();
+        assert_eq!(m.stats.tlb_misses, 1);
+        let before = m.cycles.total();
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(0, va, AccessKind::Write).unwrap();
+        assert_eq!(m.cycles.total() - before, 2 * m.costs.tlb_hit);
+        assert_eq!(m.stats.tlb_hits, 2);
+    }
+
+    #[test]
+    fn tlb_miss_charges_real_levels_walked() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let before = m.cycles.total();
+        m.probe(0, VirtAddr(0xffff_8000_0000_0000), AccessKind::Read)
+            .unwrap();
+        assert_eq!(m.cycles.total() - before, 4 * m.costs.walk_level);
+    }
+
+    #[test]
+    fn cr3_write_flushes_only_the_writing_core() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Kernel);
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(1, va, AccessKind::Read).unwrap();
+        let root = m.cpus[0].cr3;
+        m.write_cr3(0, root).unwrap();
+        assert_eq!(m.tlbs[0].occupancy(), 0, "writer flushed");
+        assert_eq!(m.tlbs[1].occupancy(), 1, "other core keeps its entry");
+        assert_eq!(m.stats.tlb_flushes, 1);
+    }
+
+    #[test]
+    fn invlpg_drops_one_page_and_is_privileged() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        map(&mut m, 0xffff_8000_0000_1000u64, PteFlags::kernel_rw(0));
+        let a = VirtAddr(0xffff_8000_0000_0000);
+        let b = VirtAddr(0xffff_8000_0000_1000);
+        m.probe(0, a, AccessKind::Read).unwrap();
+        m.probe(0, b, AccessKind::Read).unwrap();
+        m.invalidate_page(0, a).unwrap();
+        assert_eq!(m.tlbs[0].occupancy(), 1, "only a's entry dropped");
+        assert!(m.tlbs[0].lookup(m.cpus[0].cr3, b, AccessKind::Read).is_some());
+        m.cpus[0].mode = CpuMode::User;
+        assert!(matches!(
+            m.invalidate_page(0, b),
+            Err(Fault::GeneralProtection(_))
+        ));
+    }
+
+    #[test]
+    fn shootdown_invalidates_all_cores_and_charges_ipis() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(1, va, AccessKind::Read).unwrap();
+        let before = m.cycles.total();
+        m.tlb_shootdown(0, va).unwrap();
+        assert_eq!(m.tlbs[0].occupancy(), 0);
+        assert_eq!(m.tlbs[1].occupancy(), 0);
+        assert_eq!(m.stats.tlb_shootdown_ipis, 1, "one remote core");
+        assert_eq!(
+            m.cycles.total() - before,
+            m.costs.invlpg + m.costs.interrupt_delivery
+        );
+    }
+
+    #[test]
+    fn mm_targeted_shootdown_skips_cores_on_other_roots() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Kernel);
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        let root = m.cpus[0].cr3;
+        m.probe(0, va, AccessKind::Read).unwrap();
+        // Core 1 runs a different address space; any entries it once held
+        // under `root` died at its CR3 switch, so no IPI is owed.
+        let other = m.mem.alloc_frame().unwrap();
+        m.write_cr3(1, other).unwrap();
+        let before = m.cycles.total();
+        m.tlb_shootdown_mm(0, root, &[va]).unwrap();
+        assert_eq!(m.stats.tlb_shootdown_ipis, 0, "no core in the cpumask");
+        assert_eq!(m.cycles.total() - before, m.costs.invlpg);
+        assert!(m.tlbs[0].lookup(root, va, AccessKind::Read).is_none());
+        // Pull core 1 back onto `root`: now it is in the cpumask.
+        m.write_cr3(1, root).unwrap();
+        m.probe(1, va, AccessKind::Read).unwrap();
+        m.tlb_shootdown_mm(0, root, &[va]).unwrap();
+        assert_eq!(m.stats.tlb_shootdown_ipis, 1);
+        assert!(m.tlbs[1].lookup(root, va, AccessKind::Read).is_none());
+    }
+
+    #[test]
+    fn pkrs_write_does_not_flush_but_is_enforced_on_hits() {
+        let mut m = machine();
+        m.allow_sensitive(Domain::Monitor);
+        m.cpus[0].domain = Domain::Monitor;
+        m.wrmsr(0, Msr::Pkrs, PkrsPerms::GRANT_ALL.0).unwrap();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(5));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(0, va, AccessKind::Read).unwrap();
+        assert_eq!(m.stats.tlb_hits, 1);
+        // Revoke key 5. The entry must survive (no flush) yet the next
+        // access must fault — the check re-runs against live PKRS.
+        m.wrmsr(0, Msr::Pkrs, PkrsPerms::GRANT_ALL.with_access_disabled(5).0)
+            .unwrap();
+        assert_eq!(m.tlbs[0].occupancy(), 1, "PKRS write must not flush");
+        let err = m.probe(0, va, AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::PksAccessDisabled));
+        // And granting it back works instantly, still without a walk.
+        m.wrmsr(0, Msr::Pkrs, PkrsPerms::GRANT_ALL.0).unwrap();
+        let misses = m.stats.tlb_misses;
+        m.probe(0, va, AccessKind::Read).unwrap();
+        assert_eq!(m.stats.tlb_misses, misses, "served from the TLB");
+    }
+
+    #[test]
+    fn same_va_under_different_cr3_is_isolated() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        m.probe(0, va, AccessKind::Read).unwrap();
+        // Same VA on core 1 under a different root: the cached entry is
+        // keyed by root, so this must walk (and fault: nothing mapped).
+        let other_root = m.mem.alloc_frame().unwrap();
+        m.cpus[1].cr3 = other_root;
+        let err = m.probe(1, va, AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::NotPresent));
+    }
+
+    #[test]
+    fn dirty_bit_lands_in_pte_on_cached_read_then_write() {
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        let root = m.cpus[0].cr3;
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(0, va, AccessKind::Read).unwrap();
+        assert_eq!(m.stats.tlb_hits, 1);
+        let leaf = crate::paging::lookup_raw(&m.mem, root, va).unwrap().unwrap();
+        assert!(!leaf.dirty(), "reads never set D");
+        // The write hits a clean entry: it must re-walk (a miss) so the
+        // dirty bit is set in the in-memory PTE, then later writes hit.
+        m.probe(0, va, AccessKind::Write).unwrap();
+        assert_eq!(m.stats.tlb_misses, 2, "dirty promotion re-walks");
+        let leaf = crate::paging::lookup_raw(&m.mem, root, va).unwrap().unwrap();
+        assert!(leaf.dirty(), "dirty bit landed in the PTE");
+        let hits = m.stats.tlb_hits;
+        m.probe(0, va, AccessKind::Write).unwrap();
+        assert_eq!(m.stats.tlb_hits, hits + 1);
+    }
+
+    #[test]
+    fn tlb_disabled_always_walks() {
+        let mut m = machine();
+        m.tlb_enabled = false;
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        m.probe(0, va, AccessKind::Read).unwrap();
+        m.probe(0, va, AccessKind::Read).unwrap();
+        assert_eq!(m.stats.tlb_hits, 0);
+        assert_eq!(m.stats.tlb_misses, 0, "off means uncounted too");
+        assert_eq!(m.tlbs[0].occupancy(), 0);
+    }
+
+    #[test]
+    fn stale_read_through_until_invalidation() {
+        // The hazard the monitor's shootdown obligation closes: a PTE
+        // store in DRAM is invisible to a cached translation until an
+        // explicit invalidation.
+        let mut m = machine();
+        map(&mut m, 0xffff_8000_0000_0000u64, PteFlags::kernel_rw(0));
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        let root = m.cpus[0].cr3;
+        m.probe(0, va, AccessKind::Read).unwrap();
+        let slot = crate::paging::leaf_slot(&m.mem, root, va).unwrap().unwrap();
+        m.mem.write_u64(slot, 0).unwrap(); // raw unmap, no invalidation
+        assert!(m.probe(0, va, AccessKind::Read).is_ok(), "stale hit");
+        m.invalidate_page(0, va).unwrap();
+        let err = m.probe(0, va, AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(crate::fault::PfReason::NotPresent));
     }
 }

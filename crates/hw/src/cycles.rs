@@ -27,6 +27,8 @@ pub struct Costs {
     pub walk_level: u64,
     /// TLB hit translation.
     pub tlb_hit: u64,
+    /// `invlpg` single-page invalidation.
+    pub invlpg: u64,
     /// Register-to-register ALU work unit.
     pub alu: u64,
     /// `rdmsr`.
@@ -93,6 +95,7 @@ impl Default for Costs {
             mem_op: 2,
             walk_level: 18,
             tlb_hit: 1,
+            invlpg: 140,
             alu: 1,
             rdmsr: 80,
             wrmsr: 364,
@@ -144,9 +147,15 @@ impl CycleCounter {
         CycleCounter::default()
     }
 
-    /// Charge `n` cycles.
+    /// Charge `n` cycles. Saturates at `u64::MAX` — a wrapped counter
+    /// would silently corrupt every Table 3 / Fig 8 datum derived from it.
     pub fn charge(&mut self, n: u64) {
-        self.cycles = self.cycles.wrapping_add(n);
+        debug_assert!(
+            self.cycles.checked_add(n).is_some(),
+            "cycle counter overflow: {} + {n}",
+            self.cycles
+        );
+        self.cycles = self.cycles.saturating_add(n);
     }
 
     /// Total cycles charged so far.

@@ -31,6 +31,7 @@ pub mod mmu;
 pub mod paging;
 pub mod phys;
 pub mod regs;
+pub mod tlb;
 
 pub use cpu::{Cpu, CpuMode};
 pub use cycles::{Costs, CycleCounter};
@@ -38,6 +39,7 @@ pub use fault::{AccessKind, Fault, PfReason};
 pub use paging::{Pte, PteFlags};
 pub use phys::{Frame, PhysAddr, PhysMemory, PAGE_SHIFT, PAGE_SIZE};
 pub use regs::{Cr0, Cr4, Msr, PkrsPerms, Rflags};
+pub use tlb::{HwStats, Tlb};
 
 /// A canonical 64-bit virtual address.
 ///

@@ -30,6 +30,21 @@ pub struct MmuEnv {
     pub pkrs: PkrsPerms,
 }
 
+/// Effective permissions accumulated over a full walk (AND of W and U/S
+/// across levels, OR of NX) plus the leaf's protection key — exactly the
+/// state a TLB entry caches, and everything [`check_access`] needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EffPerms {
+    /// Writable at every level.
+    pub writable: bool,
+    /// User-accessible at every level.
+    pub user: bool,
+    /// No-execute at any level.
+    pub nx: bool,
+    /// Leaf supervisor protection key.
+    pub pkey: u8,
+}
+
 /// Result of a successful translation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Translation {
@@ -39,10 +54,76 @@ pub struct Translation {
     pub pte: Pte,
     /// Number of page-table levels read (for cycle accounting).
     pub levels_walked: u8,
+    /// Effective permissions of the mapping (TLB fill state).
+    pub eff: EffPerms,
 }
 
 fn pf(va: VirtAddr, access: AccessKind, reason: PfReason) -> Fault {
     Fault::PageFault { va, access, reason }
+}
+
+/// The architectural permission pipeline, evaluated against the *current*
+/// register state and a mapping's effective permissions.
+///
+/// Shared by the walker (fresh permissions) and the TLB hit path (cached
+/// permissions), so a TLB-on and a TLB-off translation of the same state
+/// produce the same verdict and the same [`PfReason`]. Keeping the
+/// register checks here — outside the cached state — is what makes
+/// PKRS/CR4/CR0.WP writes flush-free, as on silicon.
+///
+/// # Errors
+/// Returns the precise [`Fault`] the hardware would raise.
+pub fn check_access(
+    env: &MmuEnv,
+    va: VirtAddr,
+    access: AccessKind,
+    eff: EffPerms,
+) -> Result<(), Fault> {
+    match access {
+        AccessKind::Write => {
+            // Supervisor writes honour RO mappings only when CR0.WP is set;
+            // user writes always honour them.
+            let wp_applies = env.mode == CpuMode::User || env.cr0.wp();
+            if !eff.writable && wp_applies {
+                return Err(pf(va, access, PfReason::NotWritable));
+            }
+        }
+        AccessKind::Execute => {
+            if eff.nx {
+                return Err(pf(va, access, PfReason::NoExecute));
+            }
+        }
+        AccessKind::Read => {}
+    }
+
+    match env.mode {
+        CpuMode::User => {
+            if !eff.user {
+                return Err(pf(va, access, PfReason::UserAccessToSupervisor));
+            }
+        }
+        CpuMode::Supervisor => {
+            if eff.user {
+                // SMEP: never execute user pages from supervisor mode.
+                if access == AccessKind::Execute && env.cr4.smep() {
+                    return Err(pf(va, access, PfReason::Smep));
+                }
+                // SMAP: no supervisor data access to user pages unless AC.
+                if access.is_data() && env.cr4.smap() && !env.rflags.ac() {
+                    return Err(pf(va, access, PfReason::Smap));
+                }
+            } else if env.cr4.pks() {
+                // PKS applies to supervisor (U/S = 0) data pages only.
+                if env.pkrs.access_disabled(eff.pkey) && access.is_data() {
+                    return Err(pf(va, access, PfReason::PksAccessDisabled));
+                }
+                if env.pkrs.write_disabled(eff.pkey) && access == AccessKind::Write {
+                    return Err(pf(va, access, PfReason::PksWriteDisabled));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Translate `va` for `access` under `env`, enforcing every architectural
@@ -67,11 +148,13 @@ pub fn translate(
     let mut eff_nx = false;
     let mut leaf = Pte::empty();
     let mut leaf_pa = PhysAddr(0);
+    let mut levels_walked = 0u8;
     for level in (1..=4u8).rev() {
         let slot = pte_slot(tbl, va, level);
         let entry = Pte(mem
             .read_u64(slot)
             .map_err(|_| Fault::Unrecoverable("page-table walk left DRAM"))?);
+        levels_walked += 1;
         if !entry.present() {
             return Err(pf(va, access, PfReason::NotPresent));
         }
@@ -85,53 +168,14 @@ pub fn translate(
             tbl = entry.frame();
         }
     }
+    let eff = EffPerms {
+        writable: eff_writable,
+        user: eff_user,
+        nx: eff_nx,
+        pkey: leaf.pkey(),
+    };
 
-    // --- Permission pipeline -------------------------------------------
-    match access {
-        AccessKind::Write => {
-            // Supervisor writes honour RO mappings only when CR0.WP is set;
-            // user writes always honour them.
-            let wp_applies = env.mode == CpuMode::User || env.cr0.wp();
-            if !eff_writable && wp_applies {
-                return Err(pf(va, access, PfReason::NotWritable));
-            }
-        }
-        AccessKind::Execute => {
-            if eff_nx {
-                return Err(pf(va, access, PfReason::NoExecute));
-            }
-        }
-        AccessKind::Read => {}
-    }
-
-    match env.mode {
-        CpuMode::User => {
-            if !eff_user {
-                return Err(pf(va, access, PfReason::UserAccessToSupervisor));
-            }
-        }
-        CpuMode::Supervisor => {
-            if eff_user {
-                // SMEP: never execute user pages from supervisor mode.
-                if access == AccessKind::Execute && env.cr4.smep() {
-                    return Err(pf(va, access, PfReason::Smep));
-                }
-                // SMAP: no supervisor data access to user pages unless AC.
-                if access.is_data() && env.cr4.smap() && !env.rflags.ac() {
-                    return Err(pf(va, access, PfReason::Smap));
-                }
-            } else if env.cr4.pks() {
-                // PKS applies to supervisor (U/S = 0) data pages only.
-                let key = leaf.pkey();
-                if env.pkrs.access_disabled(key) && access.is_data() {
-                    return Err(pf(va, access, PfReason::PksAccessDisabled));
-                }
-                if env.pkrs.write_disabled(key) && access == AccessKind::Write {
-                    return Err(pf(va, access, PfReason::PksWriteDisabled));
-                }
-            }
-        }
-    }
+    check_access(env, va, access, eff)?;
 
     // Hardware A/D update (bypasses permission checks).
     let updated = leaf.with_ad(access == AccessKind::Write);
@@ -143,7 +187,8 @@ pub fn translate(
     Ok(Translation {
         pa: PhysAddr(updated.frame().base().0 + va.page_offset()),
         pte: updated,
-        levels_walked: 4,
+        levels_walked,
+        eff,
     })
 }
 

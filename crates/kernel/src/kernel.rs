@@ -378,7 +378,8 @@ impl Kernel {
                 }
                 (t.root, victims)
             };
-            for page in victims {
+            for page in &victims {
+                let page = *page;
                 // Swap out: preserve contents before dropping the frame.
                 if let Ok(Some(leaf)) = erebor_hw::paging::lookup_raw(&hw.machine.mem, root, page) {
                     let mut contents = vec![0u8; PAGE_SIZE];
@@ -394,6 +395,12 @@ impl Kernel {
                 }
                 hw.machine.cycles.charge(hw.machine.costs.dma_page); // swap write-out
                 vm::unmap_user_page(hw, root, page).ok();
+            }
+            if !hw.monitor.cfg.mmu_protection() {
+                // One mm-targeted IPI round per reclaim sweep (native
+                // path; delegated unmaps were shot down page-by-page by
+                // the monitor).
+                hw.machine.tlb_shootdown_mm(hw.cpu, root, &victims).ok();
             }
         }
         reclaimed
@@ -550,8 +557,14 @@ impl Kernel {
                         .ok_or(Errno::Einval)?;
                     (t.root, t.vmas[idx].mapped.clone(), idx)
                 };
-                for page in mapped {
-                    vm::unmap_user_page(hw, root, page).ok();
+                for page in &mapped {
+                    vm::unmap_user_page(hw, root, *page).ok();
+                }
+                if !hw.monitor.cfg.mmu_protection() {
+                    // Native path: one mm-targeted IPI round for the
+                    // whole range (under delegation the monitor's
+                    // per-page EMC unmap already shot each page down).
+                    hw.machine.tlb_shootdown_mm(hw.cpu, root, &mapped).ok();
                 }
                 let t = self.tasks.get_mut(&pid.0).ok_or(Errno::Esrch)?;
                 t.vmas.remove(idx);

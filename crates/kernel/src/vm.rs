@@ -176,6 +176,13 @@ pub fn unmap_user_page(hw: &mut Hw<'_>, root: Frame, va: VirtAddr) -> Result<(),
             .write_u64(slot, 0)
             .map_err(|_| Errno::Efault)?;
         hw.machine.cycles.charge(hw.machine.costs.pte_store);
+        // Local invalidation only: native callers unmapping a whole range
+        // (munmap, reclaim) owe the cross-core IPI round themselves and
+        // batch it — one `tlb_shootdown_mm` per range, as
+        // `flush_tlb_mm_range` amortizes it.
+        hw.machine
+            .invalidate_page(hw.cpu, va)
+            .map_err(|_| Errno::Efault)?;
         hw.monitor.frames.dec_map(leaf.frame());
         if hw.monitor.frames.mapcount(leaf.frame()) == 0 {
             hw.machine.mem.free_frame(leaf.frame()).ok();
@@ -207,9 +214,11 @@ pub fn switch_address_space(hw: &mut Hw<'_>, root: Frame) -> Result<(), Errno> {
         hw.machine.write_cr3(hw.cpu, root).map_err(|_| Errno::Eperm)
     } else {
         // Ablation configuration with the monitor present but MMU
-        // delegation disabled: model the register write at native cost.
+        // delegation disabled: model the register write at native cost,
+        // including its architectural TLB flush.
         hw.machine.cycles.charge(hw.machine.costs.mov_cr);
         hw.machine.cpus[hw.cpu].cr3 = root;
+        hw.machine.flush_tlb(hw.cpu);
         Ok(())
     }
 }

@@ -160,6 +160,7 @@ impl Bencher {
 /// Global benchmark driver (criterion-compatible subset).
 pub struct Criterion {
     records: Vec<Record>,
+    meta: Vec<(String, Json)>,
     warmup: Duration,
     sample_target: Duration,
     samples: usize,
@@ -174,6 +175,7 @@ impl Default for Criterion {
             .unwrap_or(if smoke { 5 } else { 30 });
         Criterion {
             records: Vec::new(),
+            meta: Vec::new(),
             warmup: Duration::from_millis(if smoke { 2 } else { 150 }),
             sample_target: Duration::from_millis(if smoke { 1 } else { 10 }),
             samples,
@@ -185,6 +187,16 @@ impl Criterion {
     /// Run one named benchmark.
     pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
         self.run_one(None, name.into(), None, None, f);
+    }
+
+    /// Attach an extra top-level JSON field to the final summary (emitted
+    /// under `"meta"`). Benchmarks use this for simulator-side counters —
+    /// deterministic cycle costs, TLB hit rates — that wall-clock stats
+    /// can't carry. Re-using a key overwrites the earlier value.
+    pub fn meta(&mut self, key: impl Into<String>, value: impl Into<Json>) {
+        let key = key.into();
+        self.meta.retain(|(k, _)| *k != key);
+        self.meta.push((key, value.into()));
     }
 
     /// Open a named group (for throughput / sample-size annotations).
@@ -239,13 +251,20 @@ impl Criterion {
     /// Emit the JSON document (stdout, plus `EREBOR_BENCH_JSON` if set).
     /// Called by `criterion_main!` after all groups run.
     pub fn final_summary(&self) {
-        let doc = Json::obj()
+        let mut doc = Json::obj()
             .field("harness", "erebor-testkit")
             .field("smoke", smoke())
             .field(
                 "benchmarks",
                 Json::Arr(self.records.iter().map(Record::to_json).collect()),
             );
+        if !self.meta.is_empty() {
+            let mut m = Json::obj();
+            for (k, v) in &self.meta {
+                m = m.field(k, v.clone());
+            }
+            doc = doc.field("meta", m);
+        }
         let text = doc.to_string();
         println!("{text}");
         if let Ok(path) = std::env::var("EREBOR_BENCH_JSON") {

@@ -47,11 +47,48 @@ if [[ "${1:-}" == "--smoke" ]]; then
         echo "==> smoke: cargo run --release -p erebor-bench --bin $bin"
         out="$(cargo run --release -q -p erebor-bench --bin "$bin")"
         check_json "$out" "$bin"
+        # The stats block (TLB + monitor counters) must be present and
+        # structurally sound.
+        if [[ "$out" != *'"stats"'* || "$out" != *'"tlb_hit_rate"'* ]]; then
+            echo "error: $bin stdout lacks the stats block" >&2
+            exit 1
+        fi
         echo "    $bin: JSON OK (${#out} bytes)"
     done
 
     echo "==> smoke: cargo bench (testkit harness, reduced samples)"
     cargo bench -p erebor-bench --bench crypto >/dev/null
+
+    echo "==> smoke: cargo bench paging (TLB translation-path checks)"
+    paging_out="$(cargo bench -p erebor-bench --bench paging 2>/dev/null | tail -n 1)"
+    check_json "$paging_out" "paging"
+    if command -v python3 >/dev/null 2>&1; then
+        EREBOR_PAGING_JSON="$paging_out" python3 - <<'PY'
+import json, os
+meta = json.loads(os.environ["EREBOR_PAGING_JSON"])["meta"]
+hit_rate = meta["tlb_hit_rate"]
+hit = meta["sim_cycles_per_probe_tlb_hit"]
+cold = meta["sim_cycles_per_probe_tlb_cold"]
+assert hit_rate > 0.5, f"TLB hit rate too low: {hit_rate}"
+assert cold >= 5 * hit, f"TLB hit not >=5x cheaper: hit={hit} cold={cold}"
+print(f"    paging: hit rate {hit_rate:.2f}, {hit:.0f} vs {cold:.0f} sim cycles/probe")
+PY
+    else
+        # Fallback without python3: extract the two cycle counts with sed
+        # and compare integer parts.
+        hit="$(echo "$paging_out" | sed -n 's/.*"sim_cycles_per_probe_tlb_hit":\([0-9]*\).*/\1/p')"
+        cold="$(echo "$paging_out" | sed -n 's/.*"sim_cycles_per_probe_tlb_cold":\([0-9]*\).*/\1/p')"
+        rate_tenths="$(echo "$paging_out" | sed -n 's/.*"tlb_hit_rate":0\.\([0-9]\).*/\1/p')"
+        if [[ -z "$hit" || -z "$cold" || "$cold" -lt $((5 * hit)) ]]; then
+            echo "error: TLB hit not >=5x cheaper (hit=$hit cold=$cold)" >&2
+            exit 1
+        fi
+        if [[ -z "$rate_tenths" || "$rate_tenths" -lt 5 ]]; then
+            echo "error: TLB hit rate too low" >&2
+            exit 1
+        fi
+        echo "    paging: hit=$hit cold=$cold sim cycles/probe"
+    fi
 fi
 
 echo "==> ci.sh: all checks passed"

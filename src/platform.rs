@@ -13,7 +13,7 @@ use erebor_hw::cpu::{CpuMode, Domain};
 use erebor_hw::cycles::CLOCK_HZ;
 use erebor_hw::fault::{AccessKind, Fault, PfReason, VeReason};
 use erebor_hw::idt::vector;
-use erebor_hw::VirtAddr;
+use erebor_hw::{HwStats, VirtAddr};
 use erebor_kernel::image::benign_kernel;
 use erebor_kernel::kernel::KernelStats;
 use erebor_kernel::{Hw, Kernel, Pid};
@@ -81,6 +81,8 @@ pub struct Snapshot {
     pub kernel: KernelStats,
     /// TDX counters.
     pub tdx: TdxStats,
+    /// Hardware-model counters (TLB translation path).
+    pub hw: HwStats,
 }
 
 impl Snapshot {
@@ -123,6 +125,7 @@ impl Snapshot {
                 ve_injected: self.tdx.ve_injected - earlier.tdx.ve_injected,
                 tdreports: self.tdx.tdreports - earlier.tdx.tdreports,
             },
+            hw: self.hw.delta(&earlier.hw),
         }
     }
 
@@ -268,6 +271,7 @@ impl Platform {
             monitor: self.cvm.monitor.stats,
             kernel: self.kernel.stats,
             tdx: self.cvm.tdx.stats,
+            hw: self.cvm.machine.stats,
         }
     }
 

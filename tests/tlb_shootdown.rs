@@ -1,0 +1,210 @@
+//! The stale-translation window around page-table downgrades.
+//!
+//! A PTE store is invisible to translations already cached in a TLB; until
+//! someone invalidates, a sandbox (or the kernel) keeps reading through
+//! the *old* mapping. The negative tests demonstrate the attack — a PTE
+//! zeroed in DRAM without a shootdown stays readable — and the positive
+//! tests show the monitor's EMC paths close the window, including across
+//! cores.
+
+use erebor::{Mode, Platform};
+use erebor_core::emc::{EmcRequest, EmcResponse};
+use erebor_hw::cpu::Domain;
+use erebor_hw::fault::{AccessKind, PfReason};
+use erebor_hw::{paging, CpuMode, Frame, VirtAddr};
+
+const VA: VirtAddr = VirtAddr(0x40_0000);
+
+/// Boot Full, create a fresh user address space through EMC, and map one
+/// writable page at [`VA`].
+fn platform_with_user_page() -> (Platform, Frame) {
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    p.enter_kernel_mode();
+    let root = match p.cvm.monitor.emc(
+        &mut p.cvm.machine,
+        &mut p.cvm.tdx,
+        0,
+        EmcRequest::CreateAddressSpace { asid: 77 },
+    ) {
+        Ok(EmcResponse::Root(r)) => r,
+        other => panic!("create address space: {other:?}"),
+    };
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::MapUserPage {
+                root,
+                va: VA,
+                frame: None,
+                writable: true,
+                executable: false,
+            },
+        )
+        .expect("map user page");
+    (p, root)
+}
+
+/// Put `cpu` in user mode running `root`, with a clean TLB.
+fn run_user(p: &mut Platform, cpu: usize, root: Frame) {
+    p.cvm.machine.cpus[cpu].cr3 = root;
+    p.cvm.machine.flush_tlb(cpu);
+    p.cvm.machine.cpus[cpu].mode = CpuMode::User;
+    p.cvm.machine.cpus[cpu].domain = Domain::User;
+}
+
+#[test]
+fn stale_translation_survives_a_raw_pte_zero_without_shootdown() {
+    let (mut p, root) = platform_with_user_page();
+    run_user(&mut p, 0, root);
+    p.cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect("mapped page readable");
+
+    // A buggy (or bypassed) monitor zeroes the PTE in DRAM and *forgets*
+    // the shootdown — the DMA-style backdoor write models exactly that.
+    let slot = paging::leaf_slot(&p.cvm.machine.mem, root, VA)
+        .expect("walk")
+        .expect("leaf slot");
+    p.cvm.machine.mem.write_u64(slot, 0).expect("backdoor store");
+    assert!(
+        paging::lookup_raw(&p.cvm.machine.mem, root, VA)
+            .expect("walk")
+            .is_none(),
+        "the mapping is gone from the tables"
+    );
+
+    // ...and yet the sandbox still reads through the cached translation.
+    p.cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect("stale TLB entry still serves the unmapped page");
+
+    // Only an explicit invalidation closes the window.
+    p.cvm.machine.cpus[0].mode = CpuMode::Supervisor;
+    p.cvm.machine.invalidate_page(0, VA).expect("invlpg");
+    p.cvm.machine.cpus[0].mode = CpuMode::User;
+    let err = p
+        .cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect_err("after invlpg the unmap is visible");
+    assert!(err.is_pf(PfReason::NotPresent), "{err:?}");
+}
+
+#[test]
+fn monitor_unmap_shoots_down_the_local_core() {
+    let (mut p, root) = platform_with_user_page();
+    run_user(&mut p, 0, root);
+    p.cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect("mapped page readable");
+
+    // The real path: the kernel delegates the unmap; the monitor's EMC
+    // handler both clears the PTE and invalidates.
+    p.enter_kernel_mode();
+    let before = p.cvm.machine.stats.tlb_page_invalidations;
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::UnmapUserPage { root, va: VA },
+        )
+        .expect("delegated unmap");
+    assert!(
+        p.cvm.machine.stats.tlb_page_invalidations > before,
+        "the monitor owes an invalidation with the PTE clear"
+    );
+
+    p.cvm.machine.cpus[0].mode = CpuMode::User;
+    p.cvm.machine.cpus[0].domain = Domain::User;
+    let err = p
+        .cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect_err("no stale window after a delegated unmap");
+    assert!(err.is_pf(PfReason::NotPresent), "{err:?}");
+}
+
+#[test]
+fn monitor_unmap_shoots_down_remote_cores_running_the_address_space() {
+    let (mut p, root) = platform_with_user_page();
+    // Core 1 runs the sandbox's address space and caches the translation;
+    // core 0 stays in the kernel.
+    run_user(&mut p, 1, root);
+    p.cvm
+        .machine
+        .probe(1, VA, AccessKind::Read)
+        .expect("mapped page readable on core 1");
+
+    p.enter_kernel_mode();
+    let before = p.cvm.machine.stats.tlb_shootdown_ipis;
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::UnmapUserPage { root, va: VA },
+        )
+        .expect("delegated unmap");
+    assert_eq!(
+        p.cvm.machine.stats.tlb_shootdown_ipis,
+        before + 1,
+        "core 1 holds the address space and must be IPI'd"
+    );
+
+    let err = p
+        .cvm
+        .machine
+        .probe(1, VA, AccessKind::Read)
+        .expect_err("core 1 must not read through the dead mapping");
+    assert!(err.is_pf(PfReason::NotPresent), "{err:?}");
+}
+
+#[test]
+fn permission_downgrade_is_visible_without_an_address_space_reload() {
+    // ProtectUserPage(writable=false) must invalidate: a cached writable
+    // translation outliving the downgrade would let the sandbox keep
+    // scribbling a sealed page.
+    let (mut p, root) = platform_with_user_page();
+    run_user(&mut p, 0, root);
+    p.cvm
+        .machine
+        .probe(0, VA, AccessKind::Write)
+        .expect("page starts writable");
+
+    p.enter_kernel_mode();
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::ProtectUserPage {
+                root,
+                va: VA,
+                writable: false,
+            },
+        )
+        .expect("downgrade");
+
+    p.cvm.machine.cpus[0].mode = CpuMode::User;
+    p.cvm.machine.cpus[0].domain = Domain::User;
+    let err = p
+        .cvm
+        .machine
+        .probe(0, VA, AccessKind::Write)
+        .expect_err("write must fault immediately after the downgrade");
+    assert!(err.is_pf(PfReason::NotWritable), "{err:?}");
+    p.cvm
+        .machine
+        .probe(0, VA, AccessKind::Read)
+        .expect("reads still fine");
+}
