@@ -1,0 +1,349 @@
+//! Global security invariants checked between adversarial steps.
+//!
+//! Each check re-derives its claim from machine state alone (registers,
+//! in-memory page tables, TLB arrays, shadow stacks) so a bug anywhere in
+//! the gate/monitor plumbing shows up as a checker hit rather than a
+//! silent corruption. The five invariants mirror the properties §5 of the
+//! paper argues for:
+//!
+//! 1. **PKRS confinement** — a core running kernel or user code never
+//!    holds a PKRS that grants monitor-memory access.
+//! 2. **EMC consistency** — `in_emc`, the saved-PKRS slot, the domain and
+//!    the live PKRS tell one coherent story per core.
+//! 3. **W⊕X** — no leaf mapping under any tracked root is simultaneously
+//!    writable and executable.
+//! 4. **Shadow-stack balance** — interrupt nesting depth equals shadow
+//!    stack depth on every core with `SH_STK_EN`.
+//! 5. **TLB coherence** — every cached translation matches a fresh walk
+//!    of the in-memory tables, except pages whose invalidation IPI the
+//!    injector dropped (the recorded tolerated-stale set).
+
+use erebor_core::gate::EmcGate;
+use erebor_core::policy;
+use erebor_hw::cpu::{Domain, Machine};
+use erebor_hw::paging::{pte_slot, Pte};
+use erebor_hw::phys::{Frame, PhysMemory};
+use erebor_hw::VirtAddr;
+
+/// A failed invariant: which one, and the state that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Short invariant name (stable across runs; replay keys off it).
+    pub invariant: &'static str,
+    /// Human-readable description of the offending state.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(invariant: &'static str, detail: String) -> Violation {
+        Violation { invariant, detail }
+    }
+}
+
+impl core::fmt::Display for Violation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}] {}", self.invariant, self.detail)
+    }
+}
+
+/// Effective translation derived from a fresh page-table walk: target
+/// frame, effective writability (AND over levels), effective NX (OR over
+/// levels), and the leaf protection key.
+fn walk_effective(
+    mem: &PhysMemory,
+    root: Frame,
+    va: VirtAddr,
+) -> Option<(Frame, bool, bool, u8)> {
+    let mut tbl = root;
+    let mut writable = true;
+    let mut nx = false;
+    for level in (2..=4u8).rev() {
+        let entry = Pte(mem.read_u64(pte_slot(tbl, va, level)).ok()?);
+        if !entry.present() {
+            return None;
+        }
+        writable &= entry.writable();
+        nx |= entry.nx();
+        tbl = entry.frame();
+    }
+    let leaf = Pte(mem.read_u64(pte_slot(tbl, va, 1)).ok()?);
+    if !leaf.present() {
+        return None;
+    }
+    Some((
+        leaf.frame(),
+        writable && leaf.writable(),
+        nx || leaf.nx(),
+        leaf.pkey(),
+    ))
+}
+
+/// Invariant 1: kernel/user code never holds monitor-mode PKRS.
+///
+/// # Errors
+/// A [`Violation`] naming the offending core.
+pub fn kernel_pkrs_confinement(machine: &Machine) -> Result<(), Violation> {
+    for (cpu, c) in machine.cpus.iter().enumerate() {
+        if matches!(c.domain, Domain::Kernel | Domain::User)
+            && !c.pkrs().access_disabled(policy::PK_MONITOR)
+        {
+            return Err(Violation::new(
+                "pkrs-confinement",
+                format!(
+                    "cpu {cpu} runs {:?} code with PKRS {:#x} granting monitor memory",
+                    c.domain,
+                    c.pkrs().0
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 2: per-core gate state is internally consistent.
+///
+/// # Errors
+/// A [`Violation`] naming the inconsistent core.
+pub fn emc_consistency(machine: &Machine, gate: &EmcGate) -> Result<(), Violation> {
+    for (cpu, c) in machine.cpus.iter().enumerate() {
+        if !gate.in_emc(cpu) {
+            continue;
+        }
+        match gate.saved_pkrs(cpu) {
+            None => {
+                // A live (unpreempted) EMC: the core must actually be in
+                // monitor code with the elevated PKRS. `in_emc` without
+                // either means a gate transition tore.
+                if c.pkrs() != policy::monitor_mode_pkrs() {
+                    return Err(Violation::new(
+                        "emc-consistency",
+                        format!(
+                            "cpu {cpu} in_emc with no save but PKRS {:#x} != monitor mode",
+                            c.pkrs().0
+                        ),
+                    ));
+                }
+                if c.domain != Domain::Monitor {
+                    return Err(Violation::new(
+                        "emc-consistency",
+                        format!("cpu {cpu} in_emc with no save but domain {:?}", c.domain),
+                    ));
+                }
+            }
+            Some(saved) => {
+                // A preempted EMC: the elevated PKRS must be stashed, not
+                // live, while the handler runs.
+                if !c.pkrs().access_disabled(policy::PK_MONITOR) {
+                    return Err(Violation::new(
+                        "emc-consistency",
+                        format!(
+                            "cpu {cpu} preempted mid-EMC but live PKRS {:#x} still grants monitor",
+                            c.pkrs().0
+                        ),
+                    ));
+                }
+                if saved != policy::monitor_mode_pkrs().0 {
+                    return Err(Violation::new(
+                        "emc-consistency",
+                        format!("cpu {cpu} saved PKRS {saved:#x} is not the monitor-mode value"),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 3: W⊕X over every leaf mapping reachable from `roots`.
+///
+/// # Errors
+/// A [`Violation`] naming the first writable+executable leaf found.
+pub fn wx_exclusive(machine: &Machine, roots: &[Frame]) -> Result<(), Violation> {
+    for &root in roots {
+        let mut stack = vec![(root, 4u8)];
+        while let Some((tbl, level)) = stack.pop() {
+            for idx in 0..512usize {
+                let slot = erebor_hw::PhysAddr(tbl.base().0 + (idx * 8) as u64);
+                let Ok(raw) = machine.mem.read_u64(slot) else {
+                    continue;
+                };
+                let entry = Pte(raw);
+                if !entry.present() {
+                    continue;
+                }
+                if level > 1 {
+                    stack.push((entry.frame(), level - 1));
+                } else if entry.writable() && !entry.nx() {
+                    return Err(Violation::new(
+                        "wx-exclusive",
+                        format!(
+                            "leaf slot {idx} in table {:?} under root {root:?} maps {:?} W+X",
+                            tbl,
+                            entry.frame()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 4: interrupt nesting equals shadow-stack depth.
+///
+/// # Errors
+/// A [`Violation`] naming the unbalanced core.
+pub fn shadow_stack_balance(machine: &Machine) -> Result<(), Violation> {
+    for (cpu, c) in machine.cpus.iter().enumerate() {
+        if !c.sstk_enabled() {
+            continue;
+        }
+        let sstk = machine.sstk[cpu].depth();
+        let ints = machine.interrupt_depth(cpu) as usize;
+        if sstk != ints {
+            return Err(Violation::new(
+                "shadow-stack-balance",
+                format!("cpu {cpu}: shadow stack depth {sstk} != interrupt depth {ints}"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Invariant 5: every live TLB entry matches a fresh walk, modulo the
+/// recorded pending-shootdown set.
+///
+/// # Errors
+/// A [`Violation`] naming the stale entry.
+pub fn tlb_coherence(machine: &Machine) -> Result<(), Violation> {
+    for (cpu, tlb) in machine.tlbs.iter().enumerate() {
+        for e in tlb.entries() {
+            if machine.pending_shootdowns().contains(&(cpu, e.page)) {
+                continue; // a modelled IPI loss: staleness is expected here
+            }
+            let va = VirtAddr(e.page << 12);
+            let fresh = walk_effective(&machine.mem, e.root, va);
+            // The dirty bit is excluded: a clean cached entry over a dirty
+            // PTE re-walks on write, so it can never grant anything stale.
+            let cached = Some((e.frame, e.eff.writable, e.eff.nx, e.eff.pkey));
+            if fresh != cached {
+                return Err(Violation::new(
+                    "tlb-coherence",
+                    format!(
+                        "cpu {cpu} caches page {:#x} as {cached:?} but tables say {fresh:?} \
+                         with no pending shootdown",
+                        e.page
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run every invariant in order; first failure wins.
+///
+/// # Errors
+/// The first [`Violation`] found.
+pub fn check_all(machine: &Machine, gate: &EmcGate, roots: &[Frame]) -> Result<(), Violation> {
+    kernel_pkrs_confinement(machine)?;
+    emc_consistency(machine, gate)?;
+    wx_exclusive(machine, roots)?;
+    shadow_stack_balance(machine)?;
+    tlb_coherence(machine)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erebor_hw::paging::{map_raw, PteFlags};
+    use erebor_hw::regs::{Cr0, Cr4, Msr};
+
+    fn machine() -> (Machine, Frame) {
+        let mut m = Machine::new(2, 16 * 1024 * 1024);
+        let root = m.mem.alloc_frame().unwrap();
+        for c in &mut m.cpus {
+            c.cr3 = root;
+            c.cr0 = Cr0(Cr0::WP | Cr0::PG);
+            c.cr4 = Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS);
+            c.domain = Domain::Kernel;
+        }
+        m.allow_sensitive(Domain::Monitor);
+        for cpu in 0..2 {
+            m.cpus[cpu].domain = Domain::Monitor;
+            m.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0).unwrap();
+            m.cpus[cpu].domain = Domain::Kernel;
+        }
+        (m, root)
+    }
+
+    #[test]
+    fn clean_machine_passes() {
+        let (m, root) = machine();
+        let gate = EmcGate::new(erebor_hw::layout::MONITOR_BASE, vec![VirtAddr(0); 2]);
+        check_all(&m, &gate, &[root]).unwrap();
+    }
+
+    #[test]
+    fn kernel_domain_with_monitor_pkrs_is_flagged() {
+        let (mut m, _) = machine();
+        m.cpus[1].domain = Domain::Monitor;
+        m.wrmsr(1, Msr::Pkrs, policy::monitor_mode_pkrs().0).unwrap();
+        m.cpus[1].domain = Domain::Kernel;
+        let v = kernel_pkrs_confinement(&m).unwrap_err();
+        assert_eq!(v.invariant, "pkrs-confinement");
+        assert!(v.detail.contains("cpu 1"));
+    }
+
+    #[test]
+    fn wx_leaf_is_flagged() {
+        let (mut m, root) = machine();
+        let f = m.mem.alloc_frame().unwrap();
+        let wx = PteFlags {
+            present: true,
+            writable: true,
+            nx: false, // writable AND executable
+            ..PteFlags::default()
+        };
+        map_raw(
+            &mut m.mem,
+            root,
+            VirtAddr(0xffff_8000_0040_0000),
+            Pte::encode(f, wx),
+            erebor_hw::paging::intermediate_for(wx),
+        )
+        .unwrap();
+        let v = wx_exclusive(&m, &[root]).unwrap_err();
+        assert_eq!(v.invariant, "wx-exclusive");
+    }
+
+    #[test]
+    fn stale_tlb_entry_without_pending_record_is_flagged() {
+        let (mut m, root) = machine();
+        let va = VirtAddr(0xffff_8000_0000_0000);
+        let f = m.mem.alloc_frame().unwrap();
+        map_raw(
+            &mut m.mem,
+            root,
+            va,
+            Pte::encode(f, PteFlags::kernel_rw(0)),
+            erebor_hw::paging::intermediate_for(PteFlags::kernel_rw(0)),
+        )
+        .unwrap();
+        m.probe(0, va, erebor_hw::fault::AccessKind::Read).unwrap();
+        // Raw-remap the leaf to a different frame without any shootdown:
+        // cpu 0's cached translation is now silently stale.
+        let other = m.mem.alloc_frame().unwrap();
+        let slot = erebor_hw::paging::leaf_slot(&m.mem, root, va).unwrap().unwrap();
+        m.mem
+            .write_u64(slot, Pte::encode(other, PteFlags::kernel_rw(0)).0)
+            .unwrap();
+        let v = tlb_coherence(&m).unwrap_err();
+        assert_eq!(v.invariant, "tlb-coherence");
+        assert!(v.detail.contains("cpu 0"));
+        // An invalidation clears the staleness and the checker passes.
+        m.invalidate_page(0, va).unwrap();
+        tlb_coherence(&m).unwrap();
+    }
+}

@@ -1,0 +1,296 @@
+//! `erebor-chaos`: deterministic fault injection and invariant checking.
+//!
+//! The standing bug-finding engine for the reproduction. A [`ChaosPlan`]
+//! (an [`erebor_hw::inject::Injector`] driven by the testkit's seeded
+//! ChaCha20 RNG) schedules adversarial events at the instrumented
+//! injection points — interrupts landing inside the EMC gates, host sEPT
+//! flips under an in-flight `MapGPA`, frame-allocation failures, `tdcall`
+//! error completions, dropped and spurious TLB-shootdown IPIs — while a
+//! [`ChaosWorld`] drives random interleavings of gate entries/exits,
+//! interrupts, shootdowns and conversions across 2–4 cores. Between every
+//! step the global [`invariants`] are re-derived from machine state.
+//!
+//! Everything is replayable: a case is fully determined by `(seed, op
+//! bytes)`, failing op sequences are shrunk with the testkit's byte
+//! shrinker, and [`run`] folds every trace into an order-sensitive digest
+//! so two runs with the same seed can be compared byte-for-byte.
+//!
+//! Environment knobs (the `EREBOR_PT_SEED` convention):
+//! - `EREBOR_CHAOS_SEED`  — base seed (default in [`ChaosConfig`]).
+//! - `EREBOR_CHAOS_CASES` — number of cases.
+//! - `EREBOR_CHAOS_OPS`   — op bytes per case.
+
+pub mod invariants;
+pub mod plan;
+pub mod world;
+
+pub use invariants::Violation;
+pub use plan::{ChaosEvent, ChaosPlan, ChaosRates};
+pub use world::ChaosWorld;
+
+use erebor_hw::inject::InjectorHandle;
+use erebor_testkit::rng::TestRng;
+use std::sync::{Arc, Mutex};
+
+/// A full chaos campaign: seed, budget, and injection rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Base seed; each case derives its own from this.
+    pub seed: u64,
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Op bytes per case.
+    pub ops_per_case: usize,
+    /// Injection probabilities.
+    pub rates: ChaosRates,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            seed: 0xE2EB_0234,
+            cases: 64,
+            ops_per_case: 96,
+            rates: ChaosRates::default(),
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    match raw.parse() {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name} must be a u64, got {raw:?}"),
+    }
+}
+
+impl ChaosConfig {
+    /// Defaults overridden by `EREBOR_CHAOS_SEED` / `EREBOR_CHAOS_CASES` /
+    /// `EREBOR_CHAOS_OPS`.
+    ///
+    /// # Panics
+    /// If a set variable does not parse as a `u64` (a silently ignored
+    /// typo would silently change what a CI run tests).
+    #[must_use]
+    pub fn from_env() -> ChaosConfig {
+        let mut cfg = ChaosConfig::default();
+        if let Some(seed) = env_u64("EREBOR_CHAOS_SEED") {
+            cfg.seed = seed;
+        }
+        if let Some(cases) = env_u64("EREBOR_CHAOS_CASES") {
+            cfg.cases = cases as u32;
+        }
+        if let Some(ops) = env_u64("EREBOR_CHAOS_OPS") {
+            cfg.ops_per_case = ops as usize;
+        }
+        cfg
+    }
+}
+
+/// Seed for case number `case` under base seed `seed`.
+#[must_use]
+pub fn case_seed(seed: u64, case: u32) -> u64 {
+    seed ^ (u64::from(case) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The outcome of one executed case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOutcome {
+    /// Full event schedule (ops interleaved with injections).
+    pub trace: Vec<ChaosEvent>,
+    /// The first invariant violation, if any.
+    pub violation: Option<Violation>,
+}
+
+/// Execute one case: build a fresh world (2–4 cores, derived from the
+/// seed), install a [`ChaosPlan`] seeded with `case_seed`, run the op
+/// bytes, and check every invariant between steps.
+#[must_use]
+pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
+    let cores = 2 + (case_seed % 3) as usize;
+    let mut world = ChaosWorld::new(cores);
+    let plan = Arc::new(Mutex::new(ChaosPlan::new(case_seed, cfg.rates)));
+    let handle: InjectorHandle = plan.clone();
+    world.machine.set_injector(handle);
+    let mut violation = None;
+    for (index, &byte) in ops.iter().enumerate() {
+        plan.lock().unwrap().record(ChaosEvent::Op { index, byte });
+        if let Err(v) = world.step(byte) {
+            violation = Some(v);
+            break;
+        }
+        if let Err(v) = invariants::check_all(&world.machine, &world.gate, &[world.root]) {
+            violation = Some(v);
+            break;
+        }
+        if plan.lock().unwrap().kernel_saw_monitor_pkrs() {
+            violation = Some(Violation {
+                invariant: "kernel-view",
+                detail: "an injected preemption let kernel/user code observe a PKRS \
+                         granting monitor memory"
+                    .to_owned(),
+            });
+            break;
+        }
+    }
+    world.machine.clear_injector();
+    let trace = plan.lock().unwrap().take_trace();
+    CaseOutcome { trace, violation }
+}
+
+/// One shrunk, replayable failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseFailure {
+    /// Case number within the campaign.
+    pub case: u32,
+    /// The derived seed — replay with `exec_case(cfg, case_seed, &ops)`.
+    pub case_seed: u64,
+    /// Shrunk op bytes still reproducing a violation.
+    pub ops: Vec<u8>,
+    /// The violation the shrunk case produces.
+    pub violation: Violation,
+    /// The shrunk case's full event trace.
+    pub trace: Vec<ChaosEvent>,
+}
+
+/// Campaign result: totals, an order-sensitive trace digest, failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Base seed the campaign ran under.
+    pub seed: u64,
+    /// Cases executed.
+    pub cases: u32,
+    /// Events recorded across every trace.
+    pub total_events: u64,
+    /// FNV-1a over every case's trace, in order: byte-identical across
+    /// replays of the same seed.
+    pub digest: u64,
+    /// Shrunk failures (empty on a clean run).
+    pub failures: Vec<CaseFailure>,
+}
+
+impl ChaosReport {
+    /// Whether the campaign found no violations.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// A human-readable roll-up (what the CI stage prints).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "chaos: seed={:#x} cases={} events={} digest={:#018x} failures={}\n",
+            self.seed,
+            self.cases,
+            self.total_events,
+            self.digest,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            s.push_str(&format!(
+                "  case {} FAILED: {}\n    replay: EREBOR_CHAOS_SEED={} ops={:?}\n    trace: {:?}\n",
+                f.case, f.violation, f.case_seed, f.ops, f.trace
+            ));
+        }
+        s
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Run a full campaign. Failing cases are shrunk to a minimal op sequence
+/// that still violates (under the same per-case seed, so the shrunk bytes
+/// replay exactly).
+#[must_use]
+pub fn run(cfg: &ChaosConfig) -> ChaosReport {
+    let mut digest = FNV_OFFSET;
+    let mut total_events = 0u64;
+    let mut failures = Vec::new();
+    for case in 0..cfg.cases {
+        let cs = case_seed(cfg.seed, case);
+        // A distinct stream from the injection plan's, so op generation
+        // and injection decisions never entangle.
+        let mut rng = TestRng::seed_from_u64(cs ^ 0x6f70_735f); // "ops_"
+        let mut ops = vec![0u8; cfg.ops_per_case];
+        rng.fill(&mut ops);
+        let outcome = exec_case(cfg, cs, &ops);
+        total_events += outcome.trace.len() as u64;
+        digest = fnv1a(digest, &cs.to_le_bytes());
+        digest = fnv1a(digest, format!("{:?}", outcome.trace).as_bytes());
+        if let Some(first) = outcome.violation {
+            let shrunk = erebor_testkit::prop::shrink_bytes(&ops, &mut |bytes| {
+                exec_case(cfg, cs, bytes).violation.is_some()
+            });
+            let replay = exec_case(cfg, cs, &shrunk);
+            failures.push(CaseFailure {
+                case,
+                case_seed: cs,
+                violation: replay.violation.unwrap_or(first),
+                trace: replay.trace,
+                ops: shrunk,
+            });
+        }
+    }
+    ChaosReport {
+        seed: cfg.seed,
+        cases: cfg.cases,
+        total_events,
+        digest,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig {
+            cases: 8,
+            ops_per_case: 64,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean() {
+        let report = run(&small());
+        assert!(report.passed(), "{}", report.summary());
+        assert!(report.total_events > 0);
+    }
+
+    #[test]
+    fn same_seed_replays_byte_identically() {
+        let a = run(&small());
+        let b = run(&small());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.total_events, b.total_events);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(&small());
+        let b = run(&ChaosConfig {
+            seed: 0xDEAD_BEEF,
+            ..small()
+        });
+        assert_ne!(a.digest, b.digest);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct() {
+        let s: std::collections::BTreeSet<u64> =
+            (0..100).map(|c| case_seed(1, c)).collect();
+        assert_eq!(s.len(), 100);
+    }
+}

@@ -1,0 +1,284 @@
+//! Seeded fault-injection plans.
+//!
+//! A [`ChaosPlan`] is an [`Injector`] whose every decision is drawn from
+//! the testkit's ChaCha20 [`TestRng`]: two plans built from the same seed
+//! make byte-identical decisions given the same sequence of hook calls,
+//! which is what makes a failing chaos case replayable from nothing but
+//! `(seed, op bytes)`. The plan also keeps the full [`ChaosEvent`] trace
+//! of what it injected, so a violation report can show the adversarial
+//! schedule that produced it.
+
+use erebor_core::policy;
+use erebor_hw::cpu::Domain;
+use erebor_hw::fault::Fault;
+use erebor_hw::inject::{CoreView, InjectionPoint, Injector};
+use erebor_hw::regs::PkrsPerms;
+use erebor_testkit::rng::TestRng;
+
+/// Per-hook injection probabilities, in permille (0 disables the hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosRates {
+    /// `wrmsr` / `mov %cr` / branch faults.
+    pub fault: u32,
+    /// Interrupt delivered inside a gate window.
+    pub preempt: u32,
+    /// TLB-shootdown IPI lost in flight.
+    pub drop_ipi: u32,
+    /// Unrequested remote TLB flush.
+    pub spurious: u32,
+    /// Frame allocation refused.
+    pub alloc_fail: u32,
+    /// `tdcall` completes with an error status.
+    pub tdcall_fail: u32,
+    /// Host flips the sEPT under an in-flight `MapGPA`.
+    pub sept_flip: u32,
+}
+
+impl Default for ChaosRates {
+    fn default() -> ChaosRates {
+        ChaosRates {
+            fault: 120,
+            preempt: 250,
+            drop_ipi: 200,
+            spurious: 120,
+            alloc_fail: 150,
+            tdcall_fail: 200,
+            sept_flip: 250,
+        }
+    }
+}
+
+/// One injected (or observed) adversarial event, in schedule order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// Driver executed op byte `byte` as its `index`-th step.
+    Op {
+        /// Step number within the case.
+        index: usize,
+        /// The raw op byte.
+        byte: u8,
+    },
+    /// A fault was injected at an instrumented point.
+    Fault(InjectionPoint),
+    /// An interrupt was delivered inside a gate window.
+    Preempt(InjectionPoint),
+    /// A shootdown IPI from `initiator` to `target` was dropped.
+    DropIpi {
+        /// Core that issued the shootdown.
+        initiator: usize,
+        /// Core whose invalidation was lost.
+        target: usize,
+    },
+    /// Core `cpu` took an unrequested remote flush.
+    Spurious {
+        /// The flushed core.
+        cpu: usize,
+    },
+    /// A frame allocation was refused.
+    AllocFail,
+    /// An in-flight `tdcall` was completed with `status`.
+    TdcallFail {
+        /// Raw TDX completion status.
+        status: u64,
+    },
+    /// The host contended with an in-flight `MapGPA`.
+    SeptFlip,
+    /// What the kernel's handler saw during an injected preemption.
+    KernelView {
+        /// Preempted core.
+        cpu: usize,
+        /// Raw `IA32_PKRS` at that instant.
+        pkrs: u64,
+        /// Whether that PKRS still grants monitor-memory access while
+        /// kernel or user code runs — the confinement violation.
+        monitor_visible: bool,
+    },
+}
+
+/// TDX completion statuses the plan injects (the three classes
+/// `erebor_tdx::tdcall::TdcallError` decodes).
+const TDCALL_STATUSES: [u64; 3] = [
+    erebor_tdx::tdcall::status::OPERAND_INVALID,
+    erebor_tdx::tdcall::status::OPERAND_BUSY,
+    erebor_tdx::tdcall::status::LEAF_NOT_SUPPORTED,
+];
+
+/// A seeded, trace-recording injector.
+#[derive(Debug)]
+pub struct ChaosPlan {
+    rng: TestRng,
+    rates: ChaosRates,
+    trace: Vec<ChaosEvent>,
+    kernel_saw_monitor_pkrs: bool,
+}
+
+impl ChaosPlan {
+    /// Build a plan from a seed and rates. Same seed + same hook sequence
+    /// → same decisions.
+    #[must_use]
+    pub fn new(seed: u64, rates: ChaosRates) -> ChaosPlan {
+        ChaosPlan {
+            rng: TestRng::seed_from_u64(seed),
+            rates,
+            trace: Vec::new(),
+            kernel_saw_monitor_pkrs: false,
+        }
+    }
+
+    /// Append a driver-side event (the world records its op stream here so
+    /// the trace interleaves ops with what they triggered).
+    pub fn record(&mut self, ev: ChaosEvent) {
+        self.trace.push(ev);
+    }
+
+    /// The full schedule so far.
+    #[must_use]
+    pub fn trace(&self) -> &[ChaosEvent] {
+        &self.trace
+    }
+
+    /// Take the schedule out (end of case).
+    #[must_use]
+    pub fn take_trace(&mut self) -> Vec<ChaosEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Whether any injected preemption let kernel/user code observe a
+    /// PKRS that still grants monitor memory.
+    #[must_use]
+    pub fn kernel_saw_monitor_pkrs(&self) -> bool {
+        self.kernel_saw_monitor_pkrs
+    }
+
+    fn roll(&mut self, permille: u32) -> bool {
+        // Always draw, even at rate 0: the draw count (and so the whole
+        // downstream schedule) must not depend on which rates are enabled.
+        self.rng.below(1000) < u64::from(permille)
+    }
+}
+
+impl Injector for ChaosPlan {
+    fn inject_fault(&mut self, point: InjectionPoint) -> Option<Fault> {
+        if self.roll(self.rates.fault) {
+            self.trace.push(ChaosEvent::Fault(point));
+            return Some(Fault::GeneralProtection("chaos-injected fault"));
+        }
+        None
+    }
+
+    fn preempt(&mut self, point: InjectionPoint) -> bool {
+        let hit = self.roll(self.rates.preempt);
+        if hit {
+            self.trace.push(ChaosEvent::Preempt(point));
+        }
+        hit
+    }
+
+    fn drop_shootdown_ipi(&mut self, initiator: usize, target: usize) -> bool {
+        let hit = self.roll(self.rates.drop_ipi);
+        if hit {
+            self.trace.push(ChaosEvent::DropIpi { initiator, target });
+        }
+        hit
+    }
+
+    fn spurious_shootdown(&mut self, cpu: usize) -> bool {
+        let hit = self.roll(self.rates.spurious);
+        if hit {
+            self.trace.push(ChaosEvent::Spurious { cpu });
+        }
+        hit
+    }
+
+    fn fail_alloc(&mut self) -> bool {
+        let hit = self.roll(self.rates.alloc_fail);
+        if hit {
+            self.trace.push(ChaosEvent::AllocFail);
+        }
+        hit
+    }
+
+    fn host_sept_flip(&mut self) -> bool {
+        let hit = self.roll(self.rates.sept_flip);
+        if hit {
+            self.trace.push(ChaosEvent::SeptFlip);
+        }
+        hit
+    }
+
+    fn tdcall_status(&mut self, _cpu: usize) -> Option<u64> {
+        if self.roll(self.rates.tdcall_fail) {
+            let status = TDCALL_STATUSES[self.rng.below(3) as usize];
+            self.trace.push(ChaosEvent::TdcallFail { status });
+            return Some(status);
+        }
+        None
+    }
+
+    fn observe_preemption(&mut self, view: CoreView) {
+        let monitor_visible = matches!(view.domain, Domain::Kernel | Domain::User)
+            && !PkrsPerms(view.pkrs).access_disabled(policy::PK_MONITOR);
+        if monitor_visible {
+            self.kernel_saw_monitor_pkrs = true;
+        }
+        self.trace.push(ChaosEvent::KernelView {
+            cpu: view.cpu,
+            pkrs: view.pkrs,
+            monitor_visible,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use erebor_hw::regs::Msr;
+
+    fn drive(plan: &mut ChaosPlan) -> Vec<ChaosEvent> {
+        for i in 0..200usize {
+            let p = InjectionPoint::Wrmsr {
+                cpu: i % 2,
+                msr: Msr::Pkrs,
+            };
+            let _ = plan.inject_fault(p);
+            let _ = plan.preempt(InjectionPoint::GateEnter { cpu: i % 2 });
+            let _ = plan.drop_shootdown_ipi(0, 1);
+            let _ = plan.tdcall_status(0);
+        }
+        plan.take_trace()
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = ChaosPlan::new(42, ChaosRates::default());
+        let mut b = ChaosPlan::new(42, ChaosRates::default());
+        assert_eq!(drive(&mut a), drive(&mut b));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosPlan::new(1, ChaosRates::default());
+        let mut b = ChaosPlan::new(2, ChaosRates::default());
+        assert_ne!(drive(&mut a), drive(&mut b));
+    }
+
+    #[test]
+    fn kernel_view_flags_monitor_pkrs() {
+        let mut plan = ChaosPlan::new(0, ChaosRates::default());
+        plan.observe_preemption(CoreView {
+            cpu: 0,
+            mode: erebor_hw::cpu::CpuMode::Supervisor,
+            domain: Domain::Kernel,
+            pkrs: erebor_core::policy::monitor_mode_pkrs().0,
+        });
+        assert!(plan.kernel_saw_monitor_pkrs());
+        let mut ok = ChaosPlan::new(0, ChaosRates::default());
+        ok.observe_preemption(CoreView {
+            cpu: 0,
+            mode: erebor_hw::cpu::CpuMode::Supervisor,
+            domain: Domain::Kernel,
+            pkrs: erebor_core::policy::normal_mode_pkrs().0,
+        });
+        assert!(!ok.kernel_saw_monitor_pkrs());
+    }
+}

@@ -11,6 +11,7 @@
 use crate::policy;
 use erebor_hw::cpu::Machine;
 use erebor_hw::fault::Fault;
+use erebor_hw::inject::InjectionPoint;
 use erebor_hw::regs::Msr;
 use erebor_hw::VirtAddr;
 
@@ -23,7 +24,11 @@ pub struct EmcGate {
     /// Per-core secure stack tops.
     pub secure_stacks: Vec<VirtAddr>,
     in_emc: Vec<bool>,
-    saved_pkrs: Vec<Option<u64>>,
+    /// `(value, depth)` of the PKRS saved by the outermost preempting
+    /// interrupt — `depth` is the `int_depth` at which the save happened,
+    /// and only the matching return restores it.
+    saved_pkrs: Vec<Option<(u64, u32)>>,
+    int_depth: Vec<u32>,
 }
 
 impl EmcGate {
@@ -36,6 +41,7 @@ impl EmcGate {
             secure_stacks,
             in_emc: vec![false; cores],
             saved_pkrs: vec![None; cores],
+            int_depth: vec![0; cores],
         }
     }
 
@@ -45,6 +51,20 @@ impl EmcGate {
         self.in_emc[cpu]
     }
 
+    /// The PKRS value stashed by a preempting interrupt, if any
+    /// (invariant checkers consult this to tell a live EMC from a
+    /// preempted one).
+    #[must_use]
+    pub fn saved_pkrs(&self, cpu: usize) -> Option<u64> {
+        self.saved_pkrs[cpu].map(|(v, _)| v)
+    }
+
+    /// Interrupt-nesting depth the `#INT` gate has tracked for `cpu`.
+    #[must_use]
+    pub fn int_depth(&self, cpu: usize) -> u32 {
+        self.int_depth[cpu]
+    }
+
     /// The entry gate (Fig. 5a): indirect branch (IBT-checked), scratch
     /// spills, PKRS grant, stack switch.
     ///
@@ -52,6 +72,8 @@ impl EmcGate {
     /// `#CP` if the caller aims anywhere but the landing pad; fetch faults;
     /// `#GP`/`#UD` if somehow reached from an illegitimate context.
     pub fn enter(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        let prev_domain = machine.cpus[cpu].domain;
+        let prev_rip = machine.cpus[cpu].ctx.rip;
         // ① Indirect call to the gate: hardware IBT check; on success the
         // core's code domain becomes Monitor.
         machine.indirect_branch(cpu, self.entry)?;
@@ -61,11 +83,47 @@ impl EmcGate {
         machine
             .cycles
             .charge(6 * c.mem_op + c.stack_switch + 2 * c.alu + c.gate_overhead);
-        // Grant monitor memory access for this core only.
-        let _old = machine.rdmsr(cpu, Msr::Pkrs)?;
-        machine.wrmsr(cpu, Msr::Pkrs, policy::monitor_mode_pkrs().0)?;
+        // Arm the in-EMC flag *before* the PKRS grant: a preemption
+        // landing between these two steps then goes through the `#INT`
+        // gate's save/revoke path like any other mid-EMC interrupt.
         self.in_emc[cpu] = true;
+        if machine.chaos_preempt(InjectionPoint::GateEnter { cpu }) {
+            self.injected_preemption(machine, cpu);
+        }
+        // Grant monitor memory access for this core only. A fault on
+        // either MSR op unwinds the whole entry: the caller must observe
+        // the same state as if the gate had never been taken.
+        let granted = machine
+            .rdmsr(cpu, Msr::Pkrs)
+            .and_then(|_old| machine.wrmsr(cpu, Msr::Pkrs, policy::monitor_mode_pkrs().0));
+        if let Err(f) = granted {
+            self.in_emc[cpu] = false;
+            machine.cpus[cpu].domain = prev_domain;
+            machine.cpus[cpu].ctx.rip = prev_rip;
+            return Err(f);
+        }
         Ok(())
+    }
+
+    /// Model an interrupt delivered inside a gate window: the `#INT` gate
+    /// runs, the injector observes what the kernel handler would see, and
+    /// the handler returns.
+    fn injected_preemption(&mut self, machine: &mut Machine, cpu: usize) {
+        let entered = self.interrupt_entry(machine, cpu).is_ok();
+        machine.chaos_observe(cpu);
+        if entered && self.interrupt_return(machine, cpu).is_err() {
+            // The return's restoring `wrmsr` faulted. The real gate's
+            // recovery is straight-line verified monitor code, so the
+            // rollback itself is not injectable: put the saved value back
+            // and unwind the depth the failed return left bumped.
+            if let Some((saved, at_depth)) = self.saved_pkrs[cpu] {
+                if at_depth == self.int_depth[cpu] {
+                    machine.restore_msr(cpu, Msr::Pkrs, saved);
+                    self.saved_pkrs[cpu] = None;
+                }
+            }
+            self.int_depth[cpu] = self.int_depth[cpu].saturating_sub(1);
+        }
     }
 
     /// The exit gate (Fig. 5b): revoke monitor access, restore scratch,
@@ -83,11 +141,21 @@ impl EmcGate {
         machine
             .cycles
             .charge(6 * c.mem_op + c.stack_switch + 2 * c.alu + c.call_ret + c.gate_overhead);
+        if machine.chaos_preempt(InjectionPoint::GateExit { cpu }) {
+            self.injected_preemption(machine, cpu);
+        }
         // The exit gate reads then rewrites PKRS (Fig. 5b lines 9-12).
-        let _cur = machine.rdmsr(cpu, Msr::Pkrs)?;
+        // Faults here leave all state untouched — still inside the EMC.
+        let cur = machine.rdmsr(cpu, Msr::Pkrs)?;
         machine.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0)?;
         self.in_emc[cpu] = false;
-        machine.direct_branch(cpu, return_to)?;
+        if let Err(f) = machine.direct_branch(cpu, return_to) {
+            // The return never left the monitor: put the EMC state back so
+            // `in_emc`/PKRS/domain agree that we are still inside.
+            self.in_emc[cpu] = true;
+            machine.restore_msr(cpu, Msr::Pkrs, cur);
+            return Err(f);
+        }
         Ok(())
     }
 
@@ -103,24 +171,41 @@ impl EmcGate {
     pub fn interrupt_entry(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         // Register save/restore cost of the gate.
         machine.cycles.charge(16 * machine.costs.mem_op);
+        self.int_depth[cpu] += 1;
         if self.in_emc[cpu] && self.saved_pkrs[cpu].is_none() {
-            let cur = machine.rdmsr(cpu, Msr::Pkrs)?;
-            self.saved_pkrs[cpu] = Some(cur);
-            machine.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0)?;
+            let revoked = machine
+                .rdmsr(cpu, Msr::Pkrs)
+                .and_then(|cur| machine.wrmsr(cpu, Msr::Pkrs, policy::normal_mode_pkrs().0).map(|()| cur));
+            match revoked {
+                Ok(cur) => self.saved_pkrs[cpu] = Some((cur, self.int_depth[cpu])),
+                Err(f) => {
+                    // PKRS is untouched on either fault; undo the depth
+                    // bump so the entry is a no-op, and refuse delivery.
+                    self.int_depth[cpu] -= 1;
+                    return Err(f);
+                }
+            }
         }
         Ok(())
     }
 
     /// The `#INT` gate, interrupt-return half (Fig. 5c-right ⓑ): restore
-    /// the saved PKRS when returning into a preempted EMC.
+    /// the saved PKRS when returning into a preempted EMC — but only at
+    /// the return matching the save. A nested interrupt returning first
+    /// must leave the revoked PKRS in place, or the *outer* kernel
+    /// handler would run with monitor memory access.
     ///
     /// # Errors
-    /// Propagates MSR faults.
+    /// Propagates MSR faults (state untouched on error).
     pub fn interrupt_return(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         machine.cycles.charge(16 * machine.costs.mem_op);
-        if let Some(saved) = self.saved_pkrs[cpu].take() {
-            machine.wrmsr(cpu, Msr::Pkrs, saved)?;
+        if let Some((saved, at_depth)) = self.saved_pkrs[cpu] {
+            if at_depth == self.int_depth[cpu] {
+                machine.wrmsr(cpu, Msr::Pkrs, saved)?;
+                self.saved_pkrs[cpu] = None;
+            }
         }
+        self.int_depth[cpu] = self.int_depth[cpu].saturating_sub(1);
         Ok(())
     }
 }
@@ -223,8 +308,120 @@ mod tests {
         gate.enter(&mut m, 0).unwrap();
         gate.interrupt_entry(&mut m, 0).unwrap();
         gate.interrupt_entry(&mut m, 0).unwrap(); // nested
+        // The nested handler returns first: the *outer* kernel handler is
+        // still running, so monitor access must stay revoked.
+        gate.interrupt_return(&mut m, 0).unwrap();
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        assert_eq!(gate.saved_pkrs(0), Some(crate::policy::monitor_mode_pkrs().0));
+        // Only the outermost return restores the saved monitor PKRS.
         gate.interrupt_return(&mut m, 0).unwrap();
         assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        assert_eq!(gate.int_depth(0), 0);
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+    }
+
+    #[test]
+    fn emc_inside_interrupt_handler_restores_at_matching_depth() {
+        // An EMC can itself start inside an interrupt handler (the kernel
+        // handler calls into the monitor). A nested preemption then saves
+        // at depth 2, and must restore when *that* interrupt returns, not
+        // when the stack unwinds to depth 0.
+        let (mut m, mut gate) = setup();
+        gate.interrupt_entry(&mut m, 0).unwrap(); // outer, outside EMC
+        gate.enter(&mut m, 0).unwrap();
+        gate.interrupt_entry(&mut m, 0).unwrap(); // nested, mid-EMC
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        gate.interrupt_return(&mut m, 0).unwrap(); // back into the EMC
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+        gate.interrupt_return(&mut m, 0).unwrap(); // outer handler done
+        assert_eq!(gate.int_depth(0), 0);
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+    }
+
+    /// One-shot injector faulting the next operation at a chosen point.
+    struct Bomb {
+        armed: bool,
+        wrmsr: bool,
+        branch: bool,
+    }
+
+    impl erebor_hw::inject::Injector for Bomb {
+        fn inject_fault(&mut self, p: InjectionPoint) -> Option<Fault> {
+            let hit = match p {
+                InjectionPoint::Wrmsr { .. } => self.wrmsr,
+                InjectionPoint::DirectBranch { .. } => self.branch,
+                _ => false,
+            };
+            if self.armed && hit {
+                self.armed = false;
+                return Some(Fault::GeneralProtection("injected fault"));
+            }
+            None
+        }
+    }
+
+    #[test]
+    fn faulting_pkrs_grant_rolls_back_enter() {
+        let (mut m, mut gate) = setup();
+        m.set_injector(erebor_hw::inject::handle(Bomb {
+            armed: true,
+            wrmsr: true,
+            branch: false,
+        }));
+        let err = gate.enter(&mut m, 0).unwrap_err();
+        assert!(matches!(err, Fault::GeneralProtection(_)));
+        // Fully unwound: the core is back where the caller left it, not
+        // stranded in the Monitor domain with `in_emc == false`.
+        assert!(!gate.in_emc(0));
+        assert_eq!(m.cpus[0].domain, Domain::Kernel);
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+        // The bomb is spent: a retry succeeds.
+        gate.enter(&mut m, 0).unwrap();
+        assert!(gate.in_emc(0));
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+    }
+
+    #[test]
+    fn faulting_return_branch_restores_emc_state() {
+        let (mut m, mut gate) = setup();
+        gate.enter(&mut m, 0).unwrap();
+        m.set_injector(erebor_hw::inject::handle(Bomb {
+            armed: true,
+            wrmsr: false,
+            branch: true,
+        }));
+        let err = gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap_err();
+        assert!(matches!(err, Fault::GeneralProtection(_)));
+        // Control never left the monitor, and the gate state says so.
+        assert!(gate.in_emc(0));
+        assert_eq!(m.cpus[0].domain, Domain::Monitor);
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        // The retry completes the exit.
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
+        assert!(!gate.in_emc(0));
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::normal_mode_pkrs());
+    }
+
+    #[test]
+    fn faulting_revoke_unwinds_interrupt_entry() {
+        let (mut m, mut gate) = setup();
+        gate.enter(&mut m, 0).unwrap();
+        m.set_injector(erebor_hw::inject::handle(Bomb {
+            armed: true,
+            wrmsr: true,
+            branch: false,
+        }));
+        let err = gate.interrupt_entry(&mut m, 0).unwrap_err();
+        assert!(matches!(err, Fault::GeneralProtection(_)));
+        // No half-delivered interrupt: nothing saved, depth unchanged,
+        // PKRS still the EMC's.
+        assert_eq!(gate.saved_pkrs(0), None);
+        assert_eq!(gate.int_depth(0), 0);
+        assert_eq!(m.cpus[0].pkrs(), crate::policy::monitor_mode_pkrs());
+        gate.interrupt_entry(&mut m, 0).unwrap();
+        gate.interrupt_return(&mut m, 0).unwrap();
+        gate.exit(&mut m, 0, layout::KERNEL_BASE).unwrap();
     }
 
     #[test]

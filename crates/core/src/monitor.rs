@@ -492,17 +492,21 @@ impl Monitor {
                     }
                     None => {
                         self.stats.ghci_ops += 1;
-                        let v = match tdcall(
+                        // Only successful emulations enter the cache: a
+                        // faulted or module-declined tdcall must not pin
+                        // zeros for the leaf forever.
+                        match tdcall(
                             tdx,
                             machine,
                             cpu,
                             TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf }),
                         ) {
-                            Ok(TdcallResult::Cpuid(v)) => v,
+                            Ok(TdcallResult::Cpuid(v)) => {
+                                self.cpuid_cache.insert(leaf, v);
+                                v
+                            }
                             _ => [0; 4],
-                        };
-                        self.cpuid_cache.insert(leaf, v);
-                        v
+                        }
                     }
                 };
                 Ok(EmcResponse::Cpuid(value))
@@ -699,7 +703,23 @@ impl Monitor {
                 .set_kind(frame, FrameKind::SharedDevice)
                 .map_err(|_| EmcError::Denied("frame kind conflict"))?;
         }
-        tdcall(tdx, machine, cpu, TdcallLeaf::MapGpa { frame, shared }).map_err(EmcError::Fault)?;
+        match tdcall(tdx, machine, cpu, TdcallLeaf::MapGpa { frame, shared }) {
+            Ok(TdcallResult::Failed(_)) => {
+                // Module declined (e.g. host contention): the conversion
+                // did not happen, so unwind the frame-kind change.
+                if shared {
+                    self.frames.release(frame).ok();
+                }
+                return Err(EmcError::Denied("host declined MapGPA conversion"));
+            }
+            Ok(_) => {}
+            Err(f) => {
+                if shared {
+                    self.frames.release(frame).ok();
+                }
+                return Err(EmcError::Fault(f));
+            }
+        }
         if !shared {
             self.frames.release(frame).ok();
         }
@@ -1319,7 +1339,14 @@ impl Monitor {
         interrupted: GprContext,
     ) -> ExitDecision {
         self.charge_interpose(machine);
-        let _ = self.gate.interrupt_entry(machine, cpu);
+        if self.gate.interrupt_entry(machine, cpu).is_err() {
+            // The #INT gate could not revoke the EMC's PKRS: forwarding
+            // to the kernel handler would hand it monitor memory access,
+            // so refuse delivery instead.
+            return ExitDecision::Killed {
+                reason: "#INT gate failed to revoke EMC credentials",
+            };
+        }
         if let Some(id) = sandbox {
             if self.cfg.exit_protection() {
                 match vec {
@@ -1399,12 +1426,16 @@ impl Monitor {
                                 cpu,
                                 TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf: cpuid_leaf }),
                             );
-                            let v = match res {
-                                Ok(TdcallResult::Cpuid(v)) => v,
+                            // Cache only real results — a transient
+                            // tdcall failure must not poison the cache
+                            // with zeros for every later caller.
+                            match res {
+                                Ok(TdcallResult::Cpuid(v)) => {
+                                    self.cpuid_cache.insert(cpuid_leaf, v);
+                                    v
+                                }
                                 _ => [0; 4],
-                            };
-                            self.cpuid_cache.insert(cpuid_leaf, v);
-                            v
+                            }
                         }
                     };
                     machine.cpus[cpu].ctx.gpr[0] = u64::from(value[0]);

@@ -26,6 +26,7 @@ use crate::cet::{EndbrRegistry, ShadowStack};
 use crate::cycles::{Costs, CycleCounter};
 use crate::fault::{AccessKind, CpReason, Fault};
 use crate::idt::Idtr;
+use crate::inject::{CoreView, InjectionPoint, InjectorHandle};
 use crate::layout;
 use crate::mmu::{self, MmuEnv};
 use crate::phys::{Frame, PhysMemory};
@@ -166,6 +167,13 @@ pub struct Machine {
     /// walker (ablation + the TLB-equivalence property test).
     pub tlb_enabled: bool,
     sensitive_domains: BTreeSet<Domain>,
+    injector: Option<InjectorHandle>,
+    /// `(cpu, page-number)` pairs whose invalidation IPI was dropped by an
+    /// injector: the core may hold a stale entry for the page until its
+    /// next flush. The TLB-coherence invariant treats these as the only
+    /// tolerated stale set.
+    pending_shootdowns: BTreeSet<(usize, u64)>,
+    interrupt_depth: Vec<u32>,
 }
 
 impl Machine {
@@ -187,7 +195,101 @@ impl Machine {
             stats: HwStats::default(),
             tlb_enabled: true,
             sensitive_domains: BTreeSet::new(),
+            injector: None,
+            pending_shootdowns: BTreeSet::new(),
+            interrupt_depth: vec![0; cores],
         }
+    }
+
+    // ----- fault injection ----------------------------------------------
+
+    /// Install a chaos injector; the physical memory shares the handle so
+    /// allocation failures can be injected too.
+    pub fn set_injector(&mut self, injector: InjectorHandle) {
+        self.mem.set_injector(injector.clone());
+        self.injector = Some(injector);
+    }
+
+    /// Remove any installed injector.
+    pub fn clear_injector(&mut self) {
+        self.mem.clear_injector();
+        self.injector = None;
+    }
+
+    /// Consult the injector for a fault at `point` (no-op without one).
+    ///
+    /// # Errors
+    /// Whatever fault the injector chose to deliver.
+    pub fn chaos_fault(&mut self, point: InjectionPoint) -> Result<(), Fault> {
+        if let Some(h) = &self.injector {
+            if let Some(f) = h.lock().unwrap().inject_fault(point) {
+                return Err(f);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the injector wants an interrupt delivered inside the
+    /// window at `point`.
+    #[must_use]
+    pub fn chaos_preempt(&mut self, point: InjectionPoint) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|h| h.lock().unwrap().preempt(point))
+    }
+
+    /// Hand the injector a kernel's-eye snapshot of `cpu` (recorded by
+    /// invariant checkers during injected preemptions).
+    pub fn chaos_observe(&mut self, cpu: usize) {
+        if let Some(h) = &self.injector {
+            let c = &self.cpus[cpu];
+            let view = CoreView {
+                cpu,
+                mode: c.mode,
+                domain: c.domain,
+                pkrs: c.msr(Msr::Pkrs),
+            };
+            h.lock().unwrap().observe_preemption(view);
+        }
+    }
+
+    /// Raw completion status to fail an in-flight `tdcall` with.
+    #[must_use]
+    pub fn chaos_tdcall_status(&mut self, cpu: usize) -> Option<u64> {
+        self.injector
+            .as_ref()
+            .and_then(|h| h.lock().unwrap().tdcall_status(cpu))
+    }
+
+    /// Whether the untrusted host contends with the in-flight `MapGPA`.
+    #[must_use]
+    pub fn chaos_host_sept_flip(&mut self) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|h| h.lock().unwrap().host_sept_flip())
+    }
+
+    /// Pages whose invalidation IPI was dropped by the injector, keyed
+    /// `(cpu, page-number)`: the tolerated-stale set for TLB coherence.
+    #[must_use]
+    pub fn pending_shootdowns(&self) -> &BTreeSet<(usize, u64)> {
+        &self.pending_shootdowns
+    }
+
+    /// Nesting depth of interrupts currently live on `cpu` (incremented
+    /// at delivery, decremented at `iret`).
+    #[must_use]
+    pub fn interrupt_depth(&self, cpu: usize) -> u32 {
+        self.interrupt_depth[cpu]
+    }
+
+    /// Uninjected, unguarded MSR restore for fault-path rollback: when a
+    /// gate aborts mid-transition it must be able to put the old value
+    /// back without the rollback itself being injectable (the real gate's
+    /// recovery path is straight-line verified monitor code).
+    pub fn restore_msr(&mut self, cpu: usize, msr: Msr, v: u64) {
+        self.cycles.charge(self.costs.wrmsr);
+        self.cpus[cpu].msrs.insert(msr, v);
     }
 
     /// Register `domain` as having a verified image that legitimately
@@ -368,6 +470,7 @@ impl Machine {
     pub fn flush_tlb(&mut self, cpu: usize) {
         self.tlbs[cpu].flush_all();
         self.stats.tlb_flushes += 1;
+        self.pending_shootdowns.retain(|&(c, _)| c != cpu);
     }
 
     /// `invlpg`-equivalent: drop `cpu`'s cached translation for `va`'s
@@ -383,6 +486,7 @@ impl Machine {
         self.cycles.charge(self.costs.invlpg);
         self.tlbs[cpu].invalidate_page(va);
         self.stats.tlb_page_invalidations += 1;
+        self.pending_shootdowns.remove(&(cpu, va.0 >> 12));
         Ok(())
     }
 
@@ -462,6 +566,19 @@ impl Machine {
                 // the IPI delivery cost.
                 self.cycles.charge(self.costs.interrupt_delivery);
                 self.stats.tlb_shootdown_ipis += 1;
+                let dropped = self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|h| h.lock().unwrap().drop_shootdown_ipi(initiator, cpu));
+                if dropped {
+                    // The IPI is lost in flight: the remote core keeps its
+                    // stale entries. Record the staleness so invariant
+                    // checks can tell a modelled loss from a real bug.
+                    for va in vas {
+                        self.pending_shootdowns.insert((cpu, va.0 >> 12));
+                    }
+                    continue;
+                }
             }
             if full {
                 if cpu == initiator {
@@ -470,6 +587,7 @@ impl Machine {
                 }
                 self.tlbs[cpu].flush_all();
                 self.stats.tlb_flushes += 1;
+                self.pending_shootdowns.retain(|&(c, _)| c != cpu);
             } else {
                 for va in vas {
                     if cpu == initiator {
@@ -477,6 +595,24 @@ impl Machine {
                         self.stats.tlb_page_invalidations += 1;
                     }
                     self.tlbs[cpu].invalidate_page(*va);
+                    self.pending_shootdowns.remove(&(cpu, va.0 >> 12));
+                }
+            }
+        }
+        if self.injector.is_some() {
+            // Spurious IPIs: unrequested remote flushes that a correct
+            // system must tolerate (they only drop cached entries).
+            for cpu in 0..self.cpus.len() {
+                let spurious = self
+                    .injector
+                    .as_ref()
+                    .is_some_and(|h| h.lock().unwrap().spurious_shootdown(cpu));
+                if spurious {
+                    self.cycles.charge(self.costs.interrupt_delivery);
+                    self.stats.tlb_shootdown_ipis += 1;
+                    self.tlbs[cpu].flush_all();
+                    self.stats.tlb_flushes += 1;
+                    self.pending_shootdowns.retain(|&(c, _)| c != cpu);
                 }
             }
         }
@@ -492,6 +628,7 @@ impl Machine {
     /// instruction.
     pub fn write_cr0(&mut self, cpu: usize, v: u64) -> Result<(), Fault> {
         self.sensitive_guard(cpu)?;
+        self.chaos_fault(InjectionPoint::WriteCr { cpu, reg: 0 })?;
         self.cycles.charge(self.costs.mov_cr);
         self.cpus[cpu].cr0 = Cr0(v);
         Ok(())
@@ -503,6 +640,7 @@ impl Machine {
     /// As [`Machine::write_cr0`].
     pub fn write_cr3(&mut self, cpu: usize, root: Frame) -> Result<(), Fault> {
         self.sensitive_guard(cpu)?;
+        self.chaos_fault(InjectionPoint::WriteCr { cpu, reg: 3 })?;
         self.cycles.charge(self.costs.mov_cr);
         self.cpus[cpu].cr3 = root;
         // Architectural side effect: flush the writing core's (non-global;
@@ -517,6 +655,7 @@ impl Machine {
     /// As [`Machine::write_cr0`].
     pub fn write_cr4(&mut self, cpu: usize, v: u64) -> Result<(), Fault> {
         self.sensitive_guard(cpu)?;
+        self.chaos_fault(InjectionPoint::WriteCr { cpu, reg: 4 })?;
         self.cycles.charge(self.costs.mov_cr);
         self.cpus[cpu].cr4 = Cr4(v);
         Ok(())
@@ -528,6 +667,7 @@ impl Machine {
     /// As [`Machine::write_cr0`].
     pub fn wrmsr(&mut self, cpu: usize, msr: Msr, v: u64) -> Result<(), Fault> {
         self.sensitive_guard(cpu)?;
+        self.chaos_fault(InjectionPoint::Wrmsr { cpu, msr })?;
         self.cycles.charge(self.costs.wrmsr);
         self.cpus[cpu].msrs.insert(msr, v);
         Ok(())
@@ -618,6 +758,7 @@ impl Machine {
     /// `#CP` if IBT is active and `target` is not an `endbr64` landing pad;
     /// any fetch permission fault (NX, SMEP, unmapped).
     pub fn indirect_branch(&mut self, cpu: usize, target: VirtAddr) -> Result<(), Fault> {
+        self.chaos_fault(InjectionPoint::IndirectBranch { cpu })?;
         self.fetch_check(cpu, target)?;
         if self.cpus[cpu].ibt_enabled() {
             self.cycles.charge(self.costs.endbr_check);
@@ -636,6 +777,7 @@ impl Machine {
     /// # Errors
     /// Any fetch permission fault.
     pub fn direct_branch(&mut self, cpu: usize, target: VirtAddr) -> Result<(), Fault> {
+        self.chaos_fault(InjectionPoint::DirectBranch { cpu })?;
         self.fetch_check(cpu, target)?;
         self.cycles.charge(self.costs.call_ret);
         self.cpus[cpu].domain = domain_of(target);
@@ -713,6 +855,7 @@ impl Machine {
         self.cpus[cpu].mode = CpuMode::Supervisor;
         self.cpus[cpu].domain = domain_of(handler);
         self.cpus[cpu].ctx.rip = handler.0;
+        self.interrupt_depth[cpu] += 1;
         Ok((handler, saved))
     }
 
@@ -740,6 +883,7 @@ impl Machine {
             CpuMode::Supervisor
         };
         self.cpus[cpu].domain = domain_of(target);
+        self.interrupt_depth[cpu] = self.interrupt_depth[cpu].saturating_sub(1);
         Ok(())
     }
 }

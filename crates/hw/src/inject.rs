@@ -1,0 +1,170 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! The simulator's architectural choke points — privileged register
+//! writes, control transfers, TLB shootdown IPIs, frame allocation, and
+//! the `tdcall` boundary — consult an optional [`Injector`] before (or
+//! while) performing their effect. A test installs an injector through
+//! [`crate::cpu::Machine::set_injector`]; production paths run with none
+//! installed and pay nothing beyond an `Option` check.
+//!
+//! The injector is deliberately blind: it receives only the
+//! [`InjectionPoint`] (and, for preemptions, a [`CoreView`] snapshot), so
+//! it cannot mutate machine state directly. Everything it can do — fault
+//! a `wrmsr`, drop a shootdown IPI, fail an allocation — is something the
+//! environment (hardware, a malicious host, memory pressure) can do to
+//! Erebor on a real TDX machine. Determinism is the caller's contract:
+//! drive all decisions from a seeded RNG and a replay with the same seed
+//! reproduces the identical event sequence.
+
+use crate::cpu::{CpuMode, Domain};
+use crate::fault::Fault;
+use crate::regs::Msr;
+use std::sync::{Arc, Mutex};
+
+/// An instrumented location where an adversarial event may be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectionPoint {
+    /// A `wrmsr` on `cpu` to `msr`, about to take effect.
+    Wrmsr {
+        /// Executing core.
+        cpu: usize,
+        /// Target MSR.
+        msr: Msr,
+    },
+    /// A control-register write (`reg` ∈ {0, 3, 4}) on `cpu`.
+    WriteCr {
+        /// Executing core.
+        cpu: usize,
+        /// Control register number.
+        reg: u8,
+    },
+    /// An indirect `call`/`jmp` (IBT-checked) on `cpu`.
+    IndirectBranch {
+        /// Executing core.
+        cpu: usize,
+    },
+    /// A direct `call`/`jmp`/`ret` on `cpu`.
+    DirectBranch {
+        /// Executing core.
+        cpu: usize,
+    },
+    /// The EMC entry gate's preemption window (after the gate is armed,
+    /// before the PKRS grant lands).
+    GateEnter {
+        /// Executing core.
+        cpu: usize,
+    },
+    /// The EMC exit gate's preemption window (before the PKRS revoke).
+    GateExit {
+        /// Executing core.
+        cpu: usize,
+    },
+    /// A frame allocation in physical memory.
+    AllocFrame,
+    /// A `tdcall` about to dispatch on `cpu`.
+    Tdcall {
+        /// Executing core.
+        cpu: usize,
+    },
+}
+
+/// Read-only snapshot of a core handed to
+/// [`Injector::observe_preemption`] — what a kernel interrupt handler
+/// preempting at that moment would architecturally see.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreView {
+    /// Core id.
+    pub cpu: usize,
+    /// Hardware privilege mode.
+    pub mode: CpuMode,
+    /// Code-provenance domain.
+    pub domain: Domain,
+    /// Raw `IA32_PKRS` value.
+    pub pkrs: u64,
+}
+
+/// The fault-injection policy. Every method has a no-op default so an
+/// injector only overrides the events it cares about.
+pub trait Injector: Send {
+    /// Fault the operation at `point` instead of performing it.
+    fn inject_fault(&mut self, _point: InjectionPoint) -> Option<Fault> {
+        None
+    }
+
+    /// Deliver an interrupt inside the window at `point` (only gate
+    /// windows consult this).
+    fn preempt(&mut self, _point: InjectionPoint) -> bool {
+        false
+    }
+
+    /// Lose the shootdown IPI from `initiator` to `target` (the remote
+    /// core keeps its stale entries; the machine records the staleness in
+    /// [`crate::cpu::Machine::pending_shootdowns`]).
+    fn drop_shootdown_ipi(&mut self, _initiator: usize, _target: usize) -> bool {
+        false
+    }
+
+    /// Deliver a spurious (unrequested) shootdown to `cpu` — a harmless
+    /// full flush that invariants must tolerate.
+    fn spurious_shootdown(&mut self, _cpu: usize) -> bool {
+        false
+    }
+
+    /// Fail the current frame allocation with `OutOfMemory`.
+    fn fail_alloc(&mut self) -> bool {
+        false
+    }
+
+    /// Have the untrusted host refuse / revert the in-flight `MapGPA`
+    /// conversion (TDX `TDX_OPERAND_BUSY`-style contention).
+    fn host_sept_flip(&mut self) -> bool {
+        false
+    }
+
+    /// Raw completion status to fail the current `tdcall` with, `None`
+    /// to let the leaf run.
+    fn tdcall_status(&mut self, _cpu: usize) -> Option<u64> {
+        None
+    }
+
+    /// Observe the kernel-visible core state during an injected gate
+    /// preemption (invariant checkers record violations here).
+    fn observe_preemption(&mut self, _view: CoreView) {}
+}
+
+/// Shared handle to an installed injector. The machine and its physical
+/// memory each hold a clone; `Mutex` keeps the handle `Sync` so `Machine`
+/// stays `Send`.
+pub type InjectorHandle = Arc<Mutex<dyn Injector>>;
+
+/// Wrap an injector into a handle.
+pub fn handle<I: Injector + 'static>(injector: I) -> InjectorHandle {
+    Arc::new(Mutex::new(injector))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Injector for Nop {}
+
+    #[test]
+    fn defaults_are_inert() {
+        let mut n = Nop;
+        assert!(n.inject_fault(InjectionPoint::AllocFrame).is_none());
+        assert!(!n.preempt(InjectionPoint::GateEnter { cpu: 0 }));
+        assert!(!n.drop_shootdown_ipi(0, 1));
+        assert!(!n.spurious_shootdown(0));
+        assert!(!n.fail_alloc());
+        assert!(!n.host_sept_flip());
+        assert!(n.tdcall_status(0).is_none());
+    }
+
+    #[test]
+    fn handle_is_shareable() {
+        let h = handle(Nop);
+        let h2 = h.clone();
+        assert!(h2.lock().unwrap().tdcall_status(0).is_none());
+    }
+}

@@ -25,6 +25,7 @@ pub mod cycles;
 pub mod fault;
 pub mod idt;
 pub mod image;
+pub mod inject;
 pub mod insn;
 pub mod layout;
 pub mod mmu;
@@ -36,6 +37,7 @@ pub mod tlb;
 pub use cpu::{Cpu, CpuMode};
 pub use cycles::{Costs, CycleCounter};
 pub use fault::{AccessKind, Fault, PfReason};
+pub use inject::{CoreView, InjectionPoint, Injector, InjectorHandle};
 pub use paging::{Pte, PteFlags};
 pub use phys::{Frame, PhysAddr, PhysMemory, PAGE_SHIFT, PAGE_SIZE};
 pub use regs::{Cr0, Cr4, Msr, PkrsPerms, Rflags};

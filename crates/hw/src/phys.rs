@@ -5,6 +5,7 @@
 //! simulator only models 4 KiB mappings). Backing storage is allocated
 //! lazily so a multi-GiB simulated machine is cheap to construct.
 
+use crate::inject::InjectorHandle;
 use std::collections::BTreeMap;
 
 /// Page size in bytes (4 KiB; huge pages are disabled per paper §7).
@@ -127,6 +128,7 @@ pub struct PhysMemory {
     allocated: Vec<bool>,
     reserved: Vec<Region>,
     next_hint: u64,
+    injector: Option<InjectorHandle>,
 }
 
 impl PhysMemory {
@@ -144,7 +146,25 @@ impl PhysMemory {
             allocated: vec![false; total_frames as usize],
             reserved: Vec::new(),
             next_hint: 0,
+            injector: None,
         }
+    }
+
+    /// Install a chaos injector for allocation-failure injection
+    /// (normally via [`crate::cpu::Machine::set_injector`]).
+    pub fn set_injector(&mut self, injector: InjectorHandle) {
+        self.injector = Some(injector);
+    }
+
+    /// Remove any installed injector.
+    pub fn clear_injector(&mut self) {
+        self.injector = None;
+    }
+
+    fn alloc_injected(&self) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|h| h.lock().unwrap().fail_alloc())
     }
 
     /// Reserve a region: [`PhysMemory::alloc_frame`] will skip it, but
@@ -182,6 +202,9 @@ impl PhysMemory {
 
     /// Allocate one free frame anywhere in DRAM.
     pub fn alloc_frame(&mut self) -> Result<Frame, PhysError> {
+        if self.alloc_injected() {
+            return Err(PhysError::OutOfMemory);
+        }
         let n = self.total_frames;
         for i in 0..n {
             let idx = (self.next_hint + i) % n;
@@ -196,6 +219,9 @@ impl PhysMemory {
 
     /// Allocate one free frame inside `region`.
     pub fn alloc_frame_in(&mut self, region: Region) -> Result<Frame, PhysError> {
+        if self.alloc_injected() {
+            return Err(PhysError::OutOfMemory);
+        }
         for f in region.start.0..region.end.0 {
             if f >= self.total_frames {
                 break;

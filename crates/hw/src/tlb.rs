@@ -130,6 +130,12 @@ impl Tlb {
     pub fn occupancy(&self) -> usize {
         self.instr.iter().chain(self.data.iter()).flatten().count()
     }
+
+    /// Iterate over every live entry in both classes (invariant checkers
+    /// re-walk each against the in-memory tables).
+    pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> + '_ {
+        self.instr.iter().chain(self.data.iter()).flatten()
+    }
 }
 
 /// Hardware-level counters exported into bench JSON next to
@@ -168,7 +174,9 @@ impl HwStats {
     /// Fraction of successful translations served from the TLB.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
-        let total = self.tlb_hits + self.tlb_misses;
+        // Widen before adding: on a long chaos run the two counters can
+        // individually approach u64::MAX and their sum must not wrap.
+        let total = u128::from(self.tlb_hits) + u128::from(self.tlb_misses);
         if total == 0 {
             0.0
         } else {
@@ -288,5 +296,17 @@ mod tests {
         });
         assert_eq!(d.tlb_hits, 2);
         assert_eq!(d.tlb_misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_does_not_overflow_on_saturated_counters() {
+        let s = HwStats {
+            tlb_hits: u64::MAX,
+            tlb_misses: u64::MAX,
+            ..HwStats::default()
+        };
+        let r = s.hit_rate();
+        assert!(r.is_finite());
+        assert!((r - 0.5).abs() < 1e-12, "hit rate {r}");
     }
 }

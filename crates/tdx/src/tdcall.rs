@@ -57,7 +57,49 @@ pub enum TdcallLeaf {
     },
 }
 
-/// Result of a successful `tdcall`.
+/// Leaf-level completion failure, mirroring the RAX status-code classes
+/// of the real TDX-module ABI. These are *completions*, not faults: the
+/// instruction retired, the module just declined the request — callers
+/// must check and handle them rather than assume success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TdcallError {
+    /// `TDX_OPERAND_INVALID`-class: a leaf argument was rejected.
+    InvalidOperand,
+    /// The module does not implement the requested leaf.
+    LeafNotSupported,
+    /// `TDX_OPERAND_BUSY`-class: host/module contention, retryable.
+    Busy,
+}
+
+/// Raw status-code classes (high word of RAX in the real ABI).
+pub mod status {
+    /// `TDX_OPERAND_INVALID` class code.
+    pub const OPERAND_INVALID: u64 = 0xC000_0100_0000_0000;
+    /// `TDX_OPERAND_BUSY` class code.
+    pub const OPERAND_BUSY: u64 = 0x8000_0200_0000_0000;
+    /// Unsupported-leaf class code.
+    pub const LEAF_NOT_SUPPORTED: u64 = 0xC000_0000_0000_0000;
+}
+
+impl TdcallError {
+    /// Decode a raw completion status into an error class.
+    #[must_use]
+    pub fn from_status(raw: u64) -> TdcallError {
+        match raw {
+            status::OPERAND_INVALID => TdcallError::InvalidOperand,
+            status::OPERAND_BUSY => TdcallError::Busy,
+            _ => TdcallError::LeafNotSupported,
+        }
+    }
+
+    /// Whether retrying the same leaf can succeed.
+    #[must_use]
+    pub fn retryable(self) -> bool {
+        self == TdcallError::Busy
+    }
+}
+
+/// Result of a retired `tdcall`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TdcallResult {
     /// Leaf completed with no payload.
@@ -68,6 +110,46 @@ pub enum TdcallResult {
     Report(Box<TdReport>),
     /// A signed quote.
     Quote(Box<Quote>),
+    /// The instruction retired but the module declined the leaf.
+    Failed(TdcallError),
+}
+
+impl TdcallResult {
+    /// The completion error, if the leaf failed.
+    #[must_use]
+    pub fn error(&self) -> Option<TdcallError> {
+        match self {
+            TdcallResult::Failed(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The report payload, if any.
+    #[must_use]
+    pub fn into_report(self) -> Option<Box<TdReport>> {
+        match self {
+            TdcallResult::Report(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The quote payload, if any.
+    #[must_use]
+    pub fn into_quote(self) -> Option<Box<Quote>> {
+        match self {
+            TdcallResult::Quote(q) => Some(q),
+            _ => None,
+        }
+    }
+
+    /// The `cpuid` payload, if any.
+    #[must_use]
+    pub fn cpuid(&self) -> Option<[u32; 4]> {
+        match self {
+            TdcallResult::Cpuid(v) => Some(*v),
+            _ => None,
+        }
+    }
 }
 
 /// Per-CVM counters the evaluation harness reads (Table 6 columns).
@@ -166,6 +248,11 @@ pub fn tdcall(
     machine
         .cycles
         .charge(2 * (c.vm_transition + c.tdx_context_protect + c.tdx_dispatch));
+    if let Some(raw) = machine.chaos_tdcall_status(cpu) {
+        // Injected module-level refusal: the instruction retires with an
+        // error completion status instead of dispatching the leaf.
+        return Ok(TdcallResult::Failed(TdcallError::from_status(raw)));
+    }
 
     match leaf {
         TdcallLeaf::MapGpa { frame, shared } => {
@@ -177,6 +264,19 @@ pub fn tdcall(
             };
             match module.sept.convert(frame, to) {
                 Ok(()) => {
+                    if machine.chaos_host_sept_flip() {
+                        // The untrusted host contends with the conversion
+                        // mid-flight (a concurrent sEPT operation): the
+                        // module reverts it and completes with BUSY, as
+                        // the real module does under `TDX_OPERAND_BUSY`.
+                        let back = if shared {
+                            GpaState::Private
+                        } else {
+                            GpaState::Shared
+                        };
+                        let _ = module.sept.convert(frame, back);
+                        return Ok(TdcallResult::Failed(TdcallError::Busy));
+                    }
                     // Conversion scrubs contents in both directions: private
                     // data never leaks through a conversion, and host data
                     // never pre-seeds private memory.
@@ -321,22 +421,21 @@ mod tests {
         module.attest.extend_mrtd(b"fw");
         module.attest.seal_mrtd();
         let rd = Box::new([7u8; 64]);
-        let report = match tdcall(
+        let report = tdcall(
             &mut module,
             &mut machine,
             0,
             TdcallLeaf::TdReport { report_data: rd },
         )
         .unwrap()
-        {
-            TdcallResult::Report(r) => r,
-            other => panic!("expected report, got {other:?}"),
-        };
-        let quote =
-            match tdcall(&mut module, &mut machine, 0, TdcallLeaf::GetQuote(report)).unwrap() {
-                TdcallResult::Quote(q) => q,
-                other => panic!("expected quote, got {other:?}"),
-            };
+        .into_report();
+        assert!(report.is_some(), "TdReport leaf must yield a report");
+        let report = report.unwrap();
+        let quote = tdcall(&mut module, &mut machine, 0, TdcallLeaf::GetQuote(report))
+            .unwrap()
+            .into_quote();
+        assert!(quote.is_some(), "GetQuote leaf must yield a quote");
+        let quote = quote.unwrap();
         crate::attest::verify_quote(
             &module.attest.root_public(),
             &quote,
@@ -374,6 +473,116 @@ mod tests {
         let cost = machine.cycles.total() - before;
         // Paper Table 3: tdcall ≈ 5276 cycles.
         assert!((4000..=7000).contains(&cost), "tdcall cost {cost}");
+    }
+
+    /// Injector failing every tdcall with a fixed raw status.
+    struct StatusInjector(u64);
+    impl erebor_hw::inject::Injector for StatusInjector {
+        fn tdcall_status(&mut self, _cpu: usize) -> Option<u64> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn injected_status_fails_leaf_without_fault_or_panic() {
+        let (mut module, mut machine) = setup();
+        machine.set_injector(erebor_hw::inject::handle(StatusInjector(
+            status::OPERAND_BUSY,
+        )));
+        let res = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Halt),
+        )
+        .unwrap();
+        assert_eq!(res.error(), Some(TdcallError::Busy));
+        assert!(res.error().unwrap().retryable());
+        // The leaf never dispatched: no vmcall reached the host.
+        assert_eq!(module.stats.vmcalls, 0);
+        // Accessors degrade gracefully instead of panicking.
+        assert!(res.cpuid().is_none());
+        assert!(res.into_report().is_none());
+        machine.clear_injector();
+        let res = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::VmCall(VmcallOp::Halt),
+        )
+        .unwrap();
+        assert!(res.error().is_none());
+    }
+
+    #[test]
+    fn status_codes_decode_to_error_classes() {
+        assert_eq!(
+            TdcallError::from_status(status::OPERAND_INVALID),
+            TdcallError::InvalidOperand
+        );
+        assert_eq!(
+            TdcallError::from_status(status::OPERAND_BUSY),
+            TdcallError::Busy
+        );
+        assert_eq!(
+            TdcallError::from_status(status::LEAF_NOT_SUPPORTED),
+            TdcallError::LeafNotSupported
+        );
+        assert_eq!(
+            TdcallError::from_status(0xdead_beef),
+            TdcallError::LeafNotSupported,
+            "unknown codes decode conservatively"
+        );
+        assert!(!TdcallError::InvalidOperand.retryable());
+    }
+
+    /// Injector contending with exactly one MapGPA conversion.
+    struct SeptFlipper {
+        armed: bool,
+    }
+    impl erebor_hw::inject::Injector for SeptFlipper {
+        fn host_sept_flip(&mut self) -> bool {
+            std::mem::take(&mut self.armed)
+        }
+    }
+
+    #[test]
+    fn host_contention_reverts_mapgpa_and_reports_busy() {
+        let (mut module, mut machine) = setup();
+        let f = machine.mem.alloc_frame().unwrap();
+        machine.mem.write(f.base(), b"private secret").unwrap();
+        machine.set_injector(erebor_hw::inject::handle(SeptFlipper { armed: true }));
+        let res = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::MapGpa {
+                frame: f,
+                shared: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(res.error(), Some(TdcallError::Busy));
+        // The conversion did not stick and nothing was scrubbed or leaked:
+        // the frame is still private, contents intact, host cannot read it.
+        assert!(!module.sept.is_shared(f));
+        let mut buf = vec![0u8; 14];
+        machine.mem.read(f.base(), &mut buf).unwrap();
+        assert_eq!(&buf, b"private secret");
+        assert!(module.host.read_guest(&machine.mem, &module.sept, f).is_err());
+        // Retry (injector disarmed) completes and scrubs as usual.
+        let res = tdcall(
+            &mut module,
+            &mut machine,
+            0,
+            TdcallLeaf::MapGpa {
+                frame: f,
+                shared: true,
+            },
+        )
+        .unwrap();
+        assert!(res.error().is_none());
+        assert!(module.sept.is_shared(f));
     }
 
     #[test]

@@ -6,16 +6,30 @@
 #                          mode (EREBOR_BENCH_SMOKE=1, reduced iteration
 #                          counts) and check they emit valid JSON on
 #                          stdout.
+#   scripts/ci.sh --chaos  additionally run the deterministic chaos
+#                          campaign (fixed seed, release mode). Any
+#                          invariant violation fails the stage and the
+#                          test output prints the replay line
+#                          (EREBOR_CHAOS_SEED=<case_seed> ops=[...])
+#                          plus the shrunk event trace.
 #
 # The workspace has zero external dependencies (see crates/testkit), so
 # everything here must succeed with the network disabled.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ $# -gt 1 || ( $# -eq 1 && "$1" != "--smoke" ) ]]; then
-    echo "usage: scripts/ci.sh [--smoke]" >&2
-    exit 2
-fi
+SMOKE=0
+CHAOS=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        --chaos) CHAOS=1 ;;
+        *)
+            echo "usage: scripts/ci.sh [--smoke] [--chaos]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 export CARGO_NET_OFFLINE=true
 
@@ -25,7 +39,20 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-if [[ "${1:-}" == "--smoke" ]]; then
+if [[ "$CHAOS" == 1 ]]; then
+    # Fixed-seed fault-injection campaign (see DESIGN.md §"Chaos" and
+    # EXPERIMENTS.md). The budget is deliberately explicit so CI always
+    # tests the same schedule; override the seed to explore, or replay a
+    # failure with the EREBOR_CHAOS_SEED printed in its report.
+    echo "==> chaos: cargo test --release -p erebor-chaos"
+    cargo test --release -q -p erebor-chaos
+
+    echo "==> chaos: cargo test --release --test chaos (fixed-seed campaign)"
+    EREBOR_CHAOS_CASES="${EREBOR_CHAOS_CASES:-500}" \
+        cargo test --release -q --test chaos
+fi
+
+if [[ "$SMOKE" == 1 ]]; then
     export EREBOR_BENCH_SMOKE=1
 
     check_json() {

@@ -13,6 +13,7 @@ use erebor_hw::cpu::{CpuMode, Domain};
 use erebor_hw::cycles::CLOCK_HZ;
 use erebor_hw::fault::{AccessKind, Fault, PfReason, VeReason};
 use erebor_hw::idt::vector;
+use erebor_hw::inject::InjectorHandle;
 use erebor_hw::{HwStats, VirtAddr};
 use erebor_kernel::image::benign_kernel;
 use erebor_kernel::kernel::KernelStats;
@@ -239,6 +240,19 @@ impl Platform {
         let now = platform.cvm.machine.cycles.total();
         platform.last_timer.fill(now);
         Ok(platform)
+    }
+
+    /// Install a chaos injector on the booted machine: every instrumented
+    /// hardware operation (MSR/CR writes, branches, allocations, tdcalls,
+    /// shootdown IPIs) from here on consults it. Pair with
+    /// [`Platform::clear_injector`] to return to clean execution.
+    pub fn install_injector(&mut self, injector: InjectorHandle) {
+        self.cvm.machine.set_injector(injector);
+    }
+
+    /// Remove any installed chaos injector.
+    pub fn clear_injector(&mut self) {
+        self.cvm.machine.clear_injector();
     }
 
     /// Enter kernel execution context on the driving core (ring 0, kernel

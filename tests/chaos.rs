@@ -1,0 +1,336 @@
+//! Cross-crate chaos harness tests (ISSUE 3 acceptance).
+//!
+//! Exercises the deterministic fault-injection engine end to end: the
+//! invariant checkers flag the states the pre-fix gate bugs produced
+//! (red), the fixed gate survives the same adversity (green), random
+//! seeded interleavings across 2–4 cores never let the kernel observe a
+//! monitor-mode PKRS, and a ≥500-case fixed-seed campaign is clean and
+//! replays byte-identically.
+
+use erebor::ecore::policy;
+use erebor::ehw::cpu::Domain;
+use erebor::ehw::fault::Fault;
+use erebor::ehw::inject::{handle, InjectionPoint, Injector};
+use erebor::ehw::layout;
+use erebor::ehw::regs::Msr;
+use erebor::ehw::VirtAddr;
+use erebor::etdx::tdcall::{tdcall, TdcallError, TdcallLeaf, TdcallResult};
+use erebor::{Mode, Platform};
+use erebor_chaos::{case_seed, exec_case, invariants, run, ChaosConfig, ChaosWorld};
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
+
+/// One-shot injector faulting the next operation at a chosen point.
+struct Bomb {
+    armed: bool,
+    wrmsr: bool,
+    branch: bool,
+}
+
+impl Injector for Bomb {
+    fn inject_fault(&mut self, p: InjectionPoint) -> Option<Fault> {
+        let hit = match p {
+            InjectionPoint::Wrmsr { .. } => self.wrmsr,
+            InjectionPoint::DirectBranch { .. } => self.branch,
+            _ => false,
+        };
+        if self.armed && hit {
+            self.armed = false;
+            return Some(Fault::GeneralProtection("injected fault"));
+        }
+        None
+    }
+}
+
+/// Injector failing every tdcall with a host-contention status.
+struct BusyTdcall;
+
+impl Injector for BusyTdcall {
+    fn tdcall_status(&mut self, _cpu: usize) -> Option<u64> {
+        Some(erebor::etdx::tdcall::status::OPERAND_BUSY)
+    }
+}
+
+/// Injector losing every TLB-shootdown IPI in flight.
+struct DropAllIpis;
+
+impl Injector for DropAllIpis {
+    fn drop_shootdown_ipi(&mut self, _initiator: usize, _target: usize) -> bool {
+        true
+    }
+}
+
+// --- satellite 1: transactional gate entry/exit ---------------------
+
+/// A faulted PKRS grant mid-`enter` must leave the core exactly where
+/// the caller had it (the pre-fix gate stranded it in Monitor domain
+/// with the gate disarmed).
+#[test]
+fn failed_enter_rolls_back_completely() {
+    let mut w = ChaosWorld::new(2);
+    let pre_domain = w.machine.cpus[0].domain;
+    let pre_rip = w.machine.cpus[0].ctx.rip;
+    let pre_pkrs = w.machine.cpus[0].msr(Msr::Pkrs);
+
+    w.machine.set_injector(handle(Bomb {
+        armed: true,
+        wrmsr: true,
+        branch: false,
+    }));
+    w.gate.enter(&mut w.machine, 0).unwrap_err();
+    w.machine.clear_injector();
+
+    assert!(!w.gate.in_emc(0));
+    assert_eq!(w.machine.cpus[0].domain, pre_domain);
+    assert_eq!(w.machine.cpus[0].ctx.rip, pre_rip);
+    assert_eq!(w.machine.cpus[0].msr(Msr::Pkrs), pre_pkrs);
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+}
+
+/// A faulted return branch mid-`exit` must leave the core inside the
+/// EMC (monitor PKRS, Monitor domain, gate still armed) so the exit can
+/// be retried — the pre-fix gate had already flipped `in_emc` off.
+#[test]
+fn failed_exit_keeps_core_inside_emc() {
+    let mut w = ChaosWorld::new(2);
+    w.gate.enter(&mut w.machine, 0).unwrap();
+
+    w.machine.set_injector(handle(Bomb {
+        armed: true,
+        wrmsr: false,
+        branch: true,
+    }));
+    w.gate
+        .exit(&mut w.machine, 0, layout::KERNEL_BASE)
+        .unwrap_err();
+    w.machine.clear_injector();
+
+    assert!(w.gate.in_emc(0));
+    assert_eq!(w.machine.cpus[0].domain, Domain::Monitor);
+    assert_eq!(w.machine.cpus[0].pkrs(), policy::monitor_mode_pkrs());
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+    // And the retry goes through.
+    w.gate.exit(&mut w.machine, 0, layout::KERNEL_BASE).unwrap();
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+}
+
+// --- satellite 2: nested-interrupt PKRS restore ----------------------
+
+/// Red: the state the pre-fix unbalanced restore produced — PKRS put
+/// back to the normal-mode value while the core is still inside the EMC
+/// — is flagged by the emc-consistency invariant.
+#[test]
+fn early_pkrs_restore_inside_emc_is_flagged() {
+    let mut w = ChaosWorld::new(2);
+    w.gate.enter(&mut w.machine, 0).unwrap();
+    invariants::emc_consistency(&w.machine, &w.gate).unwrap();
+
+    // Simulate the old bug's aftermath: an inner interrupt return
+    // restored the saved PKRS at the wrong nesting depth.
+    w.machine
+        .restore_msr(0, Msr::Pkrs, policy::normal_mode_pkrs().0);
+    let v = invariants::emc_consistency(&w.machine, &w.gate).unwrap_err();
+    assert_eq!(v.invariant, "emc-consistency");
+
+    // Undo and the checker passes again.
+    w.machine
+        .restore_msr(0, Msr::Pkrs, policy::monitor_mode_pkrs().0);
+    invariants::emc_consistency(&w.machine, &w.gate).unwrap();
+}
+
+/// Red: a kernel-domain core holding a monitor-mode PKRS (what the
+/// pre-fix interrupt gate leaked to the preempting handler) trips the
+/// confinement invariant.
+#[test]
+fn kernel_domain_with_monitor_pkrs_is_flagged() {
+    let mut w = ChaosWorld::new(2);
+    assert_eq!(w.machine.cpus[1].domain, Domain::Kernel);
+    w.machine
+        .restore_msr(1, Msr::Pkrs, policy::monitor_mode_pkrs().0);
+    let v = invariants::kernel_pkrs_confinement(&w.machine).unwrap_err();
+    assert_eq!(v.invariant, "pkrs-confinement");
+    assert!(v.detail.contains("cpu 1"), "{}", v.detail);
+
+    w.machine
+        .restore_msr(1, Msr::Pkrs, policy::normal_mode_pkrs().0);
+    invariants::kernel_pkrs_confinement(&w.machine).unwrap();
+}
+
+/// Green: the fixed gate keeps the PKRS revoked across nested
+/// interrupts and restores it only at the matching return.
+#[test]
+fn nested_interrupts_restore_at_matching_depth_only() {
+    let mut w = ChaosWorld::new(2);
+    w.gate.enter(&mut w.machine, 0).unwrap();
+
+    // Outer preemption: save + revoke.
+    w.gate.interrupt_entry(&mut w.machine, 0).unwrap();
+    assert!(w.gate.saved_pkrs(0).is_some());
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+
+    // Inner (nested) interrupt: return at the inner depth must NOT
+    // restore the saved value.
+    w.gate.interrupt_entry(&mut w.machine, 0).unwrap();
+    w.gate.interrupt_return(&mut w.machine, 0).unwrap();
+    assert!(w.gate.saved_pkrs(0).is_some());
+    assert_ne!(w.machine.cpus[0].pkrs(), policy::monitor_mode_pkrs());
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+
+    // The matching outer return restores it.
+    w.gate.interrupt_return(&mut w.machine, 0).unwrap();
+    assert!(w.gate.saved_pkrs(0).is_none());
+    assert_eq!(w.machine.cpus[0].pkrs(), policy::monitor_mode_pkrs());
+    invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
+}
+
+// --- satellite 3: tdcall error completions, not panics ---------------
+
+/// An injected `TDX_OPERAND_BUSY` completion surfaces as
+/// `TdcallResult::Failed` (the pre-fix path panicked on unexpected
+/// statuses) and the same leaf succeeds once the host backs off.
+#[test]
+fn injected_tdcall_failure_is_surfaced_not_panicked() {
+    let mut w = ChaosWorld::new(2);
+    let frame = w.machine.mem.alloc_frame().unwrap();
+    w.module.sept.accept_private(frame);
+    // `tdcall` is a sensitive instruction: issue it from the monitor.
+    w.gate.enter(&mut w.machine, 0).unwrap();
+
+    w.machine.set_injector(handle(BusyTdcall));
+    let r = tdcall(
+        &mut w.module,
+        &mut w.machine,
+        0,
+        TdcallLeaf::MapGpa {
+            frame,
+            shared: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(r.error(), Some(TdcallError::Busy));
+    // The failed completion changed nothing: the frame is still private.
+    assert!(!w.module.sept.is_shared(frame));
+    w.machine.clear_injector();
+
+    let r = tdcall(
+        &mut w.module,
+        &mut w.machine,
+        0,
+        TdcallLeaf::MapGpa {
+            frame,
+            shared: true,
+        },
+    )
+    .unwrap();
+    assert!(matches!(r, TdcallResult::Ok));
+    assert!(w.module.sept.is_shared(frame));
+}
+
+// --- TLB staleness accounting ----------------------------------------
+
+/// A dropped shootdown IPI is not a violation — the machine records the
+/// staleness — and a re-issued shootdown that lands clears it.
+#[test]
+fn dropped_ipi_is_recorded_then_cleared_by_landing_shootdown() {
+    let mut w = ChaosWorld::new(2);
+    let va = VirtAddr(layout::KERNEL_BASE.0 + 0x20_0000);
+    // Warm both cores' TLBs on a data page.
+    for cpu in 0..2 {
+        w.machine
+            .probe(cpu, va, erebor::ehw::fault::AccessKind::Read)
+            .unwrap();
+    }
+
+    w.machine.set_injector(handle(DropAllIpis));
+    w.machine.tlb_shootdown(0, va).unwrap();
+    assert!(
+        w.machine.pending_shootdowns().contains(&(1, va.0 >> 12)),
+        "dropped IPI must be recorded as pending staleness"
+    );
+    invariants::tlb_coherence(&w.machine).unwrap();
+    w.machine.clear_injector();
+
+    w.machine.tlb_shootdown(0, va).unwrap();
+    assert!(w.machine.pending_shootdowns().is_empty());
+    invariants::tlb_coherence(&w.machine).unwrap();
+}
+
+// --- satellite 4: property test over random interleavings ------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Random seeded interleavings of gate entries/exits, interrupts,
+    // shootdowns, tdcalls and allocations across 2–4 cores — with
+    // faults injected throughout — never break an invariant; in
+    // particular the kernel never observes a monitor-mode PKRS and
+    // `in_emc` stays consistent with the live PKRS. Failures shrink to
+    // a minimal op trace.
+    #[test]
+    fn random_interleavings_preserve_confinement(
+        seed in any::<u64>(),
+        ops in collection::vec(any::<u8>(), 1..160),
+    ) {
+        let cfg = ChaosConfig::default();
+        let out = exec_case(&cfg, seed, &ops);
+        prop_assert!(
+            out.violation.is_none(),
+            "violation: {:?}\ntrace: {:?}",
+            out.violation,
+            out.trace
+        );
+    }
+}
+
+// --- fixed-seed campaign: clean and byte-identical -------------------
+
+/// ≥500-case fixed-seed campaign finds no violations, and running the
+/// same seed again replays byte-identically (same digest, same event
+/// count).
+#[test]
+fn fixed_seed_500_case_campaign_is_clean_and_replays() {
+    // Honors EREBOR_CHAOS_SEED / EREBOR_CHAOS_CASES / EREBOR_CHAOS_OPS
+    // (the CI stage sets the case budget), with the acceptance floor of
+    // 500 cases enforced.
+    let mut cfg = ChaosConfig::from_env();
+    cfg.cases = cfg.cases.max(500);
+    let a = run(&cfg);
+    assert!(a.passed(), "{}", a.summary());
+    assert!(a.total_events > 0);
+
+    let b = run(&cfg);
+    assert_eq!(a.digest, b.digest, "same seed must replay byte-identically");
+    assert_eq!(a.total_events, b.total_events);
+
+    // And per-case replays are exact, including the op→event schedule.
+    let cs = case_seed(cfg.seed, 7);
+    let ops: Vec<u8> = (0..64).map(|i| i * 3).collect();
+    assert_eq!(exec_case(&cfg, cs, &ops), exec_case(&cfg, cs, &ops));
+}
+
+// --- platform wiring --------------------------------------------------
+
+/// The platform exposes the injector hook-up: a chaos injector
+/// installed through `Platform::install_injector` reaches the machine's
+/// choke points, and `clear_injector` detaches it.
+#[test]
+fn platform_injector_wiring_reaches_the_machine() {
+    let mut p = Platform::boot(Mode::Full).unwrap();
+    p.enter_kernel_mode();
+    let va = VirtAddr(layout::KERNEL_BASE.0);
+    let cores = p.cvm.machine.cpus.len();
+    for cpu in 0..cores {
+        let _ = p.cvm.machine.probe(cpu, va, erebor::ehw::fault::AccessKind::Read);
+    }
+
+    p.install_injector(handle(DropAllIpis));
+    p.cvm.machine.tlb_shootdown(0, va).unwrap();
+    assert!(
+        !p.cvm.machine.pending_shootdowns().is_empty(),
+        "installed injector must reach the shootdown path"
+    );
+
+    p.clear_injector();
+    p.cvm.machine.tlb_shootdown(0, va).unwrap();
+    assert!(p.cvm.machine.pending_shootdowns().is_empty());
+}
