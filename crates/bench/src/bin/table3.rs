@@ -39,5 +39,5 @@ fn main() {
         .field("smoke", erebor_testkit::bench::smoke())
         .field("rows", json_rows)
         .field("stats", stats.to_json());
-    println!("{doc}");
+    println!("EREBOR_JSON:{doc}");
 }

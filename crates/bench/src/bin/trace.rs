@@ -1,0 +1,23 @@
+//! Emits the deterministic event trace and cycle-attribution profile of
+//! one full-system request round trip.
+//!
+//! Stdout carries a single `EREBOR_JSON:`-marked document:
+//! `{"cycles":..,"attribution":{..},"trace":{..}}`. Two runs with the same
+//! build are byte-identical — the CI `--trace` stage relies on that and on
+//! the attribution buckets summing to the cycle total.
+
+fn main() {
+    use erebor::{Mode, Platform};
+    use erebor_workloads::hello::HelloWorld;
+
+    let mut p = Platform::boot(Mode::Full).expect("boot");
+    let mut svc = p
+        .deploy(Box::new(HelloWorld { len: 4 }), 4096)
+        .expect("deploy");
+    let mut client = p.connect_client(&svc, [7u8; 32]).expect("connect");
+    let reply = p
+        .serve_request(&mut svc, &mut client, b"hi")
+        .expect("serve");
+    assert_eq!(reply, b"AAAA", "canonical request must round-trip");
+    println!("EREBOR_JSON:{}", p.trace_json());
+}

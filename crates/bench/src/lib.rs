@@ -24,6 +24,7 @@ use erebor::Mode;
 use erebor_core::stats::MonitorStats;
 use erebor_hw::HwStats;
 use erebor_testkit::json::Json;
+use erebor_trace::{Attribution, Bucket};
 use erebor_workloads::Workload;
 
 /// Translation-path and monitor counters captured from one benchmark
@@ -35,6 +36,10 @@ pub struct RunStats {
     pub hw: HwStats,
     /// Monitor event counters (EMCs, PTE updates, exits).
     pub monitor: MonitorStats,
+    /// Per-bucket cycle attribution (sums to the machine's total).
+    pub attribution: Attribution,
+    /// Trace events recorded on the platform (retained + evicted).
+    pub trace_events: u64,
 }
 
 impl RunStats {
@@ -44,6 +49,8 @@ impl RunStats {
         RunStats {
             hw: p.cvm.machine.stats,
             monitor: p.cvm.monitor.stats,
+            attribution: p.cvm.machine.cycles.attribution(),
+            trace_events: p.cvm.machine.trace.recorded(),
         }
     }
 
@@ -64,7 +71,16 @@ impl RunStats {
             .field("ghci_ops", self.monitor.ghci_ops)
             .field("sandbox_exits", self.monitor.sandbox_total_exits())
             .field("emc_denied", self.monitor.emc_denied);
-        Json::obj().field("hw", hw).field("monitor", monitor)
+        let mut attribution = Json::obj();
+        for b in Bucket::ALL {
+            attribution = attribution.field(b.name(), self.attribution.get(b));
+        }
+        attribution = attribution.field("total", self.attribution.total());
+        Json::obj()
+            .field("hw", hw)
+            .field("monitor", monitor)
+            .field("attribution", attribution)
+            .field("trace_events", self.trace_events)
     }
 }
 

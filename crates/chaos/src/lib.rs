@@ -30,7 +30,19 @@ pub use world::ChaosWorld;
 
 use erebor_hw::inject::InjectorHandle;
 use erebor_testkit::rng::TestRng;
-use std::sync::{Arc, Mutex};
+use erebor_trace::TraceRecord;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Machine-trace records retained with a failing case (the tail of the
+/// per-core ring buffers at violation time).
+pub const FAILURE_TRACE_DEPTH: usize = 32;
+
+/// Lock the shared plan, recovering from poisoning: a panicking invariant
+/// check inside the injector must not wedge trace collection — the
+/// recorded schedule is exactly what we need to diagnose the panic.
+fn lock_plan(plan: &Arc<Mutex<ChaosPlan>>) -> MutexGuard<'_, ChaosPlan> {
+    plan.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// A full chaos campaign: seed, budget, and injection rates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +112,10 @@ pub struct CaseOutcome {
     pub trace: Vec<ChaosEvent>,
     /// The first invariant violation, if any.
     pub violation: Option<Violation>,
+    /// The machine's last [`FAILURE_TRACE_DEPTH`] trace records at the end
+    /// of the case — cycle-stamped hardware events (gates, IPIs, faults,
+    /// injections) that situate the violation in simulated time.
+    pub machine_trace: Vec<TraceRecord>,
 }
 
 /// Execute one case: build a fresh world (2–4 cores, derived from the
@@ -114,7 +130,7 @@ pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
     world.machine.set_injector(handle);
     let mut violation = None;
     for (index, &byte) in ops.iter().enumerate() {
-        plan.lock().unwrap().record(ChaosEvent::Op { index, byte });
+        lock_plan(&plan).record(ChaosEvent::Op { index, byte });
         if let Err(v) = world.step(byte) {
             violation = Some(v);
             break;
@@ -123,7 +139,7 @@ pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
             violation = Some(v);
             break;
         }
-        if plan.lock().unwrap().kernel_saw_monitor_pkrs() {
+        if lock_plan(&plan).kernel_saw_monitor_pkrs() {
             violation = Some(Violation {
                 invariant: "kernel-view",
                 detail: "an injected preemption let kernel/user code observe a PKRS \
@@ -134,8 +150,13 @@ pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
         }
     }
     world.machine.clear_injector();
-    let trace = plan.lock().unwrap().take_trace();
-    CaseOutcome { trace, violation }
+    let machine_trace = world.machine.trace.last_n(FAILURE_TRACE_DEPTH);
+    let trace = lock_plan(&plan).take_trace();
+    CaseOutcome {
+        trace,
+        violation,
+        machine_trace,
+    }
 }
 
 /// One shrunk, replayable failure.
@@ -151,6 +172,9 @@ pub struct CaseFailure {
     pub violation: Violation,
     /// The shrunk case's full event trace.
     pub trace: Vec<ChaosEvent>,
+    /// The machine's last trace records at violation time (cycle-stamped
+    /// hardware events from the replay of the shrunk case).
+    pub machine_trace: Vec<TraceRecord>,
 }
 
 /// Campaign result: totals, an order-sensitive trace digest, failures.
@@ -192,6 +216,13 @@ impl ChaosReport {
                 "  case {} FAILED: {}\n    replay: EREBOR_CHAOS_SEED={} ops={:?}\n    trace: {:?}\n",
                 f.case, f.violation, f.case_seed, f.ops, f.trace
             ));
+            s.push_str(&format!(
+                "    machine trace (last {} events):\n",
+                f.machine_trace.len()
+            ));
+            for r in &f.machine_trace {
+                s.push_str(&format!("      {r}\n"));
+            }
         }
         s
     }
@@ -237,6 +268,7 @@ pub fn run(cfg: &ChaosConfig) -> ChaosReport {
                 case_seed: cs,
                 violation: replay.violation.unwrap_or(first),
                 trace: replay.trace,
+                machine_trace: replay.machine_trace,
                 ops: shrunk,
             });
         }

@@ -369,15 +369,13 @@ impl ChaosWorld {
     }
 
     fn op_alloc(&mut self) {
-        match self.machine.mem.alloc_frame() {
-            Ok(f) => {
-                self.allocated.push(f);
-                if self.allocated.len() > ALLOC_RING {
-                    let old = self.allocated.remove(0);
-                    let _ = self.machine.mem.free_frame(old);
-                }
+        // Err means injected (or genuine) exhaustion: callers cope.
+        if let Ok(f) = self.machine.mem.alloc_frame() {
+            self.allocated.push(f);
+            if self.allocated.len() > ALLOC_RING {
+                let old = self.allocated.remove(0);
+                let _ = self.machine.mem.free_frame(old);
             }
-            Err(_) => {} // injected (or genuine) exhaustion: callers cope
         }
     }
 

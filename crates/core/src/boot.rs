@@ -226,6 +226,8 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
     if cfg.paravisor {
         tdx.attest.extend_mrtd(PARAVISOR_MEASUREMENT_INPUT);
         tdx.attest.seal_mrtd();
+        // Statically infallible: extend_rtmr only errors for an index
+        // past the four architectural RTMRs, and 0 is hard-coded here.
         tdx.attest
             .extend_rtmr(0, &firmware.measurement_bytes())
             .expect("rtmr 0 exists");
@@ -240,6 +242,8 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
 
     let mut frames = FrameTable::new(total);
     for f in lay.firmware.start.0..lay.firmware.end.0 {
+        // Statically infallible: the table was created empty on the line
+        // above, so no frame can already carry a conflicting kind.
         frames
             .set_kind(Frame(f), FrameKind::Firmware)
             .expect("fresh table");
@@ -351,6 +355,9 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
 
     // Tag monitor frames and the boot PTPs; fix their direct-map keys.
     for f in lay.monitor.start.0..lay.monitor.end.0 {
+        // Statically infallible: the monitor region is disjoint from the
+        // firmware region (checked by `Layout`), so these frames are
+        // still untagged.
         frames
             .set_kind(Frame(f), FrameKind::Monitor)
             .expect("fresh region");

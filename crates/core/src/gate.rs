@@ -14,6 +14,7 @@ use erebor_hw::fault::Fault;
 use erebor_hw::inject::InjectionPoint;
 use erebor_hw::regs::Msr;
 use erebor_hw::VirtAddr;
+use erebor_trace::{Bucket, TraceEvent};
 
 /// Per-core gate state plus the gate addresses inside the monitor image.
 #[derive(Debug)]
@@ -72,6 +73,16 @@ impl EmcGate {
     /// `#CP` if the caller aims anywhere but the landing pad; fetch faults;
     /// `#GP`/`#UD` if somehow reached from an illegitimate context.
     pub fn enter(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.enter_gate(machine, cpu);
+        machine.cycles.set_bucket(prev_bucket);
+        if r.is_ok() {
+            machine.trace_event(cpu, TraceEvent::GateEnter);
+        }
+        r
+    }
+
+    fn enter_gate(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         let prev_domain = machine.cpus[cpu].domain;
         let prev_rip = machine.cpus[cpu].ctx.rip;
         // ① Indirect call to the gate: hardware IBT check; on success the
@@ -137,6 +148,21 @@ impl EmcGate {
         cpu: usize,
         return_to: VirtAddr,
     ) -> Result<(), Fault> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.exit_gate(machine, cpu, return_to);
+        machine.cycles.set_bucket(prev_bucket);
+        if r.is_ok() {
+            machine.trace_event(cpu, TraceEvent::GateExit);
+        }
+        r
+    }
+
+    fn exit_gate(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        return_to: VirtAddr,
+    ) -> Result<(), Fault> {
         let c = &machine.costs;
         machine
             .cycles
@@ -169,6 +195,13 @@ impl EmcGate {
     /// # Errors
     /// Propagates MSR faults.
     pub fn interrupt_entry(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.interrupt_entry_gate(machine, cpu);
+        machine.cycles.set_bucket(prev_bucket);
+        r
+    }
+
+    fn interrupt_entry_gate(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         // Register save/restore cost of the gate.
         machine.cycles.charge(16 * machine.costs.mem_op);
         self.int_depth[cpu] += 1;
@@ -198,6 +231,13 @@ impl EmcGate {
     /// # Errors
     /// Propagates MSR faults (state untouched on error).
     pub fn interrupt_return(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.interrupt_return_gate(machine, cpu);
+        machine.cycles.set_bucket(prev_bucket);
+        r
+    }
+
+    fn interrupt_return_gate(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         machine.cycles.charge(16 * machine.costs.mem_op);
         if let Some((saved, at_depth)) = self.saved_pkrs[cpu] {
             if at_depth == self.int_depth[cpu] {

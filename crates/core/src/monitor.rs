@@ -25,6 +25,7 @@ use erebor_hw::regs::{Cr0, Cr4, GprContext, Msr};
 use erebor_hw::{Frame, VirtAddr, PAGE_SIZE};
 use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, VmcallOp};
 use erebor_tdx::TdxModule;
+use erebor_trace::{Bucket, TraceEvent};
 use std::collections::BTreeMap;
 
 /// The reserved file descriptor of the monitor I/O channel (§6.3).
@@ -262,12 +263,26 @@ impl Monitor {
         if !self.cfg.emc_delegation() {
             return Err(EmcError::Denied("no monitor in this configuration"));
         }
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let res = self.emc_body(machine, tdx, cpu, req);
+        machine.cycles.set_bucket(prev_bucket);
+        res
+    }
+
+    fn emc_body(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        req: EmcRequest,
+    ) -> Result<EmcResponse, EmcError> {
         let return_to = self.kernel_return;
         self.gate.enter(machine, cpu).map_err(EmcError::Fault)?;
         self.stats.emc_calls += 1;
         let res = self.dispatch(machine, tdx, cpu, req);
         if res.is_err() {
             self.stats.emc_denied += 1;
+            machine.trace_event(cpu, TraceEvent::Emc { op: "deny", arg: 0 });
         }
         self.gate
             .exit(machine, cpu, return_to)
@@ -362,6 +377,13 @@ impl Monitor {
                             machine
                                 .tlb_shootdown_mm(cpu, root, &[va])
                                 .map_err(EmcError::Fault)?;
+                            machine.trace_event(
+                                cpu,
+                                TraceEvent::Emc {
+                                    op: "downgrade",
+                                    arg: va.0 >> 12,
+                                },
+                            );
                         }
                         Ok(EmcResponse::Ok)
                     }
@@ -744,6 +766,9 @@ impl Monitor {
         if end > text_len {
             return Err(EmcError::BadRequest("patch outside kernel text"));
         }
+        let target_frame = *frames
+            .get((offset / PAGE_SIZE as u64) as usize)
+            .ok_or(EmcError::BadRequest("patch outside kernel text"))?;
         let base = *base;
         // Read surrounding bytes for straddle-safe verification.
         let ctx_lo = offset.saturating_sub(3);
@@ -759,17 +784,11 @@ impl Monitor {
         scan::verify_text_patch(&before, bytes, &after)
             .map_err(|_| EmcError::Denied("text patch contains sensitive instructions"))?;
         // Write through the (monitor-writable) direct-map alias.
-        let frame_idx = (offset / PAGE_SIZE as u64) as usize;
         let in_page = (offset % PAGE_SIZE as u64) as usize;
         if in_page + bytes.len() > PAGE_SIZE {
             return Err(EmcError::BadRequest("patch crosses a page boundary"));
         }
-        let pa = erebor_hw::PhysAddr(
-            self.kernel_text.as_ref().expect("checked").1[frame_idx]
-                .base()
-                .0
-                + in_page as u64,
-        );
+        let pa = erebor_hw::PhysAddr(target_frame.base().0 + in_page as u64);
         machine
             .write(cpu, direct_map(pa), bytes)
             .map_err(EmcError::Fault)?;
@@ -864,16 +883,29 @@ impl Monitor {
         cpu: usize,
         budget_pages: u64,
     ) -> Result<SandboxId, EmcError> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
         let id = SandboxId(self.next_sandbox);
         self.next_sandbox += 1;
         // Container creation is monitor code: raise privileges for the
         // page-table work (same pattern as the interposers).
-        let guard = PrivGuard::enter(machine, cpu).map_err(EmcError::Fault)?;
-        let root = self.create_address_space(machine, cpu, 0x8000_0000 | id.0);
-        guard.exit(machine, cpu);
+        let root = PrivGuard::enter(machine, cpu)
+            .map_err(EmcError::Fault)
+            .and_then(|guard| {
+                let root = self.create_address_space(machine, cpu, 0x8000_0000 | id.0);
+                guard.exit(machine, cpu);
+                root
+            });
+        machine.cycles.set_bucket(prev_bucket);
         let root = root?;
         self.sandboxes
             .insert(id.0, Sandbox::new(id, root, budget_pages));
+        machine.trace_event(
+            cpu,
+            TraceEvent::Emc {
+                op: "create",
+                arg: u64::from(id.0),
+            },
+        );
         Ok(id)
     }
 
@@ -948,7 +980,10 @@ impl Monitor {
             machine
                 .cycles
                 .charge(machine.costs.pf_fixed + machine.costs.rdmsr + 2 * machine.costs.wrmsr);
-            let sandbox = self.sandboxes.get_mut(&id.0).expect("sandbox exists");
+            let sandbox = self
+                .sandboxes
+                .get_mut(&id.0)
+                .ok_or(EmcError::BadRequest("no such sandbox"))?;
             sandbox.confined.push((page_va, frame));
             sandbox.logical_confined_bytes += PAGE_SIZE as u64;
         }
@@ -1011,12 +1046,12 @@ impl Monitor {
         // is where the paper's runtime page-fault rates come from.
         self.common_regions
             .get_mut(&region_id)
-            .expect("checked")
+            .ok_or(EmcError::BadRequest("no such common region"))?
             .attached
             .push((id, va));
         self.sandboxes
             .get_mut(&id.0)
-            .expect("checked")
+            .ok_or(EmcError::BadRequest("no such sandbox"))?
             .attached_common
             .push((region_id, va));
         Ok(())
@@ -1026,6 +1061,20 @@ impl Monitor {
     /// anything else after data install is a policy violation (confined
     /// memory is pinned, so a fault there cannot be benign).
     pub fn on_page_fault(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        id: SandboxId,
+        va: VirtAddr,
+        write: bool,
+    ) -> ExitDecision {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let d = self.on_page_fault_body(machine, cpu, id, va, write);
+        machine.cycles.set_bucket(prev_bucket);
+        d
+    }
+
+    fn on_page_fault_body(
         &mut self,
         machine: &mut Machine,
         cpu: usize,
@@ -1068,7 +1117,11 @@ impl Monitor {
                 },
             };
         };
-        let region = self.common_regions.get(&rid).expect("hit checked");
+        let Some(region) = self.common_regions.get(&rid) else {
+            return ExitDecision::Killed {
+                reason: "attached common region vanished",
+            };
+        };
         let sealed = region.sealed;
         if sealed && write {
             self.kill_sandbox(machine, id, "write to sealed common memory");
@@ -1132,6 +1185,27 @@ impl Monitor {
         cpu: usize,
         region_id: u32,
     ) -> Result<(), EmcError> {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.seal_common_body(machine, cpu, region_id);
+        machine.cycles.set_bucket(prev_bucket);
+        if r.is_ok() {
+            machine.trace_event(
+                cpu,
+                TraceEvent::Emc {
+                    op: "seal",
+                    arg: u64::from(region_id),
+                },
+            );
+        }
+        r
+    }
+
+    fn seal_common_body(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        region_id: u32,
+    ) -> Result<(), EmcError> {
         let region = self
             .common_regions
             .get_mut(&region_id)
@@ -1183,6 +1257,20 @@ impl Monitor {
     /// materialized common mappings (up to `max_pages`), forcing re-faults.
     /// Returns the number of pages reclaimed.
     pub fn reclaim_common(&mut self, machine: &mut Machine, cpu: usize, max_pages: u64) -> u64 {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let reclaimed = self.reclaim_common_body(machine, cpu, max_pages);
+        machine.cycles.set_bucket(prev_bucket);
+        machine.trace_event(
+            cpu,
+            TraceEvent::Emc {
+                op: "reclaim",
+                arg: reclaimed,
+            },
+        );
+        reclaimed
+    }
+
+    fn reclaim_common_body(&mut self, machine: &mut Machine, cpu: usize, max_pages: u64) -> u64 {
         let ids: Vec<u32> = self.sandboxes.keys().copied().collect();
         let mut reclaimed = 0u64;
         for id in ids {
@@ -1234,6 +1322,21 @@ impl Monitor {
     /// a stale PTE in the dead container's page table must never alias a
     /// frame later granted to another tenant.
     pub fn kill_sandbox(&mut self, machine: &mut Machine, id: SandboxId, reason: &'static str) {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        self.kill_sandbox_body(machine, id, reason);
+        machine.cycles.set_bucket(prev_bucket);
+        // The teardown path is pinned to core 0 (see the PrivGuard below);
+        // the event follows suit.
+        machine.trace_event(
+            0,
+            TraceEvent::Emc {
+                op: "kill",
+                arg: u64::from(id.0),
+            },
+        );
+    }
+
+    fn kill_sandbox_body(&mut self, machine: &mut Machine, id: SandboxId, reason: &'static str) {
         self.stats.sandboxes_killed += 1;
         let Some(sandbox) = self.sandboxes.get_mut(&id.0) else {
             return;
@@ -1295,6 +1398,19 @@ impl Monitor {
         cpu: usize,
         sandbox: Option<SandboxId>,
     ) -> ExitDecision {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let d = self.on_syscall_body(machine, tdx, cpu, sandbox);
+        machine.cycles.set_bucket(prev_bucket);
+        d
+    }
+
+    fn on_syscall_body(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+    ) -> ExitDecision {
         self.charge_interpose(machine);
         let ctx = machine.cpus[cpu].ctx;
         let nr = ctx.gpr[0]; // rax
@@ -1331,6 +1447,20 @@ impl Monitor {
     /// kernel handler runs; also services the `#INT` gate for preempted
     /// EMCs.
     pub fn on_interrupt(
+        &mut self,
+        machine: &mut Machine,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+        vec: u8,
+        interrupted: GprContext,
+    ) -> ExitDecision {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let d = self.on_interrupt_body(machine, cpu, sandbox, vec, interrupted);
+        machine.cycles.set_bucket(prev_bucket);
+        d
+    }
+
+    fn on_interrupt_body(
         &mut self,
         machine: &mut Machine,
         cpu: usize,
@@ -1384,14 +1514,18 @@ impl Monitor {
         cpu: usize,
         id: SandboxId,
     ) -> Result<(), Fault> {
-        self.gate.interrupt_return(machine, cpu)?;
-        if let Some(s) = self.sandboxes.get_mut(&id.0) {
-            if let Some(ctx) = s.saved_ctx.take() {
-                machine.cycles.charge(machine.costs.ctx_protect);
-                machine.cpus[cpu].ctx = ctx;
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let r = self.gate.interrupt_return(machine, cpu);
+        if r.is_ok() {
+            if let Some(s) = self.sandboxes.get_mut(&id.0) {
+                if let Some(ctx) = s.saved_ctx.take() {
+                    machine.cycles.charge(machine.costs.ctx_protect);
+                    machine.cpus[cpu].ctx = ctx;
+                }
             }
         }
-        Ok(())
+        machine.cycles.set_bucket(prev_bucket);
+        r
     }
 
     /// `#VE` interposer: hypercall-class events from a sandbox.
@@ -1399,6 +1533,21 @@ impl Monitor {
     /// `cpuid` is emulated from the monitor's cache (one host round trip
     /// ever, §6.2 ④); anything else after data install kills the sandbox.
     pub fn on_ve(
+        &mut self,
+        machine: &mut Machine,
+        tdx: &mut TdxModule,
+        cpu: usize,
+        sandbox: Option<SandboxId>,
+        reason: VeReason,
+        cpuid_leaf: u32,
+    ) -> ExitDecision {
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let d = self.on_ve_body(machine, tdx, cpu, sandbox, reason, cpuid_leaf);
+        machine.cycles.set_bucket(prev_bucket);
+        d
+    }
+
+    fn on_ve_body(
         &mut self,
         machine: &mut Machine,
         tdx: &mut TdxModule,
@@ -1468,7 +1617,10 @@ impl Monitor {
         cpu: usize,
         id: SandboxId,
     ) -> ExitDecision {
-        self.handle_io_ioctl(machine, tdx, cpu, id)
+        let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        let d = self.handle_io_ioctl(machine, tdx, cpu, id);
+        machine.cycles.set_bucket(prev_bucket);
+        d
     }
 
     fn handle_io_ioctl(

@@ -35,13 +35,41 @@ pub struct MonitorStats {
 }
 
 impl MonitorStats {
-    /// Total interposed sandbox exits.
+    /// Total interposed sandbox exits. Saturating: a long-running machine
+    /// with counters near `u64::MAX` must report a pinned total, not a
+    /// wrapped (tiny) one.
     #[must_use]
     pub fn sandbox_total_exits(&self) -> u64 {
         self.sandbox_pf_exits
-            + self.sandbox_timer_exits
-            + self.sandbox_ve_exits
-            + self.sandbox_syscall_exits
+            .saturating_add(self.sandbox_timer_exits)
+            .saturating_add(self.sandbox_ve_exits)
+            .saturating_add(self.sandbox_syscall_exits)
+    }
+
+    /// Fieldwise saturating difference `self - earlier`, for interval
+    /// measurements between two snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &MonitorStats) -> MonitorStats {
+        MonitorStats {
+            emc_calls: self.emc_calls.saturating_sub(earlier.emc_calls),
+            pte_updates: self.pte_updates.saturating_sub(earlier.pte_updates),
+            cr_writes: self.cr_writes.saturating_sub(earlier.cr_writes),
+            msr_writes: self.msr_writes.saturating_sub(earlier.msr_writes),
+            idt_writes: self.idt_writes.saturating_sub(earlier.idt_writes),
+            user_copies: self.user_copies.saturating_sub(earlier.user_copies),
+            ghci_ops: self.ghci_ops.saturating_sub(earlier.ghci_ops),
+            sandbox_pf_exits: self.sandbox_pf_exits.saturating_sub(earlier.sandbox_pf_exits),
+            sandbox_timer_exits: self
+                .sandbox_timer_exits
+                .saturating_sub(earlier.sandbox_timer_exits),
+            sandbox_ve_exits: self.sandbox_ve_exits.saturating_sub(earlier.sandbox_ve_exits),
+            sandbox_syscall_exits: self
+                .sandbox_syscall_exits
+                .saturating_sub(earlier.sandbox_syscall_exits),
+            sandboxes_killed: self.sandboxes_killed.saturating_sub(earlier.sandboxes_killed),
+            emc_denied: self.emc_denied.saturating_sub(earlier.emc_denied),
+            cpuid_cached: self.cpuid_cached.saturating_sub(earlier.cpuid_cached),
+        }
     }
 }
 
@@ -59,5 +87,35 @@ mod tests {
             ..MonitorStats::default()
         };
         assert_eq!(s.sandbox_total_exits(), 10);
+    }
+
+    #[test]
+    fn total_exits_saturates_at_max() {
+        // Regression: the old unchecked `+` chain wrapped (and panicked in
+        // debug builds) once any addend pushed the sum past u64::MAX.
+        let s = MonitorStats {
+            sandbox_pf_exits: u64::MAX,
+            sandbox_timer_exits: 1,
+            sandbox_ve_exits: u64::MAX,
+            sandbox_syscall_exits: 7,
+            ..MonitorStats::default()
+        };
+        assert_eq!(s.sandbox_total_exits(), u64::MAX);
+    }
+
+    #[test]
+    fn delta_saturates_instead_of_underflowing() {
+        let earlier = MonitorStats {
+            emc_calls: 10,
+            ..MonitorStats::default()
+        };
+        let later = MonitorStats {
+            emc_calls: 7, // e.g. counters reset between snapshots
+            sandbox_pf_exits: 3,
+            ..MonitorStats::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.emc_calls, 0, "would have wrapped to huge value");
+        assert_eq!(d.sandbox_pf_exits, 3);
     }
 }

@@ -23,16 +23,17 @@
 //!    firmware/monitor only.
 
 use crate::cet::{EndbrRegistry, ShadowStack};
-use crate::cycles::{Costs, CycleCounter};
+use crate::cycles::{Bucket, Costs, CycleCounter};
 use crate::fault::{AccessKind, CpReason, Fault};
 use crate::idt::Idtr;
-use crate::inject::{CoreView, InjectionPoint, InjectorHandle};
+use crate::inject::{self, CoreView, InjectionPoint, InjectorHandle};
 use crate::layout;
 use crate::mmu::{self, MmuEnv};
 use crate::phys::{Frame, PhysMemory};
 use crate::regs::{s_cet, Cr0, Cr4, GprContext, Msr, PkrsPerms, Rflags};
 use crate::tlb::{HwStats, Tlb};
 use crate::VirtAddr;
+use erebor_trace::{TraceBuffer, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Hardware privilege mode (ring 3 vs ring 0).
@@ -163,6 +164,9 @@ pub struct Machine {
     pub tlbs: Vec<Tlb>,
     /// Translation-path counters (hits, misses, flushes, shootdown IPIs).
     pub stats: HwStats,
+    /// Per-core bounded ring of cycle-stamped trace events. Recording
+    /// charges no cycles, so tracing never perturbs the model it observes.
+    pub trace: TraceBuffer,
     /// Fast-path switch: `false` forces every translation through the
     /// walker (ablation + the TLB-equivalence property test).
     pub tlb_enabled: bool,
@@ -193,12 +197,21 @@ impl Machine {
                 .collect(),
             tlbs: (0..cores).map(|_| Tlb::new()).collect(),
             stats: HwStats::default(),
+            trace: TraceBuffer::new(cores),
             tlb_enabled: true,
             sensitive_domains: BTreeSet::new(),
             injector: None,
             pending_shootdowns: BTreeSet::new(),
             interrupt_depth: vec![0; cores],
         }
+    }
+
+    // ----- tracing ------------------------------------------------------
+
+    /// Record a trace event on `cpu`, stamped with the current simulated
+    /// cycle count.
+    pub fn trace_event(&mut self, cpu: usize, event: TraceEvent) {
+        self.trace.record(cpu, self.cycles.total(), event);
     }
 
     // ----- fault injection ----------------------------------------------
@@ -221,10 +234,16 @@ impl Machine {
     /// # Errors
     /// Whatever fault the injector chose to deliver.
     pub fn chaos_fault(&mut self, point: InjectionPoint) -> Result<(), Fault> {
-        if let Some(h) = &self.injector {
-            if let Some(f) = h.lock().unwrap().inject_fault(point) {
-                return Err(f);
-            }
+        let injected = match &self.injector {
+            Some(h) => inject::lock(h).inject_fault(point),
+            None => None,
+        };
+        if let Some(f) = injected {
+            self.trace_event(
+                point.cpu().unwrap_or(0),
+                TraceEvent::ChaosFault { point: point.name() },
+            );
+            return Err(f);
         }
         Ok(())
     }
@@ -235,7 +254,7 @@ impl Machine {
     pub fn chaos_preempt(&mut self, point: InjectionPoint) -> bool {
         self.injector
             .as_ref()
-            .is_some_and(|h| h.lock().unwrap().preempt(point))
+            .is_some_and(|h| inject::lock(h).preempt(point))
     }
 
     /// Hand the injector a kernel's-eye snapshot of `cpu` (recorded by
@@ -249,7 +268,7 @@ impl Machine {
                 domain: c.domain,
                 pkrs: c.msr(Msr::Pkrs),
             };
-            h.lock().unwrap().observe_preemption(view);
+            inject::lock(h).observe_preemption(view);
         }
     }
 
@@ -258,7 +277,7 @@ impl Machine {
     pub fn chaos_tdcall_status(&mut self, cpu: usize) -> Option<u64> {
         self.injector
             .as_ref()
-            .and_then(|h| h.lock().unwrap().tdcall_status(cpu))
+            .and_then(|h| inject::lock(h).tdcall_status(cpu))
     }
 
     /// Whether the untrusted host contends with the in-flight `MapGPA`.
@@ -266,7 +285,7 @@ impl Machine {
     pub fn chaos_host_sept_flip(&mut self) -> bool {
         self.injector
             .as_ref()
-            .is_some_and(|h| h.lock().unwrap().host_sept_flip())
+            .is_some_and(|h| inject::lock(h).host_sept_flip())
     }
 
     /// Pages whose invalidation IPI was dropped by the injector, keyed
@@ -359,21 +378,40 @@ impl Machine {
             if let Some(entry) = self.tlbs[cpu].lookup(env.root, va, kind) {
                 let needs_dirty_promotion = kind == AccessKind::Write && !entry.dirty;
                 if !needs_dirty_promotion {
-                    mmu::check_access(&env, va, kind, entry.eff)?;
+                    if let Err(f) = mmu::check_access(&env, va, kind, entry.eff) {
+                        self.trace_fault(cpu, va, kind);
+                        return Err(f);
+                    }
                     self.stats.tlb_hits += 1;
-                    self.cycles.charge(self.costs.tlb_hit);
+                    self.cycles.charge_to(Bucket::PageWalk, self.costs.tlb_hit);
                     return Ok(crate::PhysAddr(entry.frame.base().0 + va.page_offset()));
                 }
             }
         }
-        let t = mmu::translate(&mut self.mem, &env, va, kind)?;
+        let t = match mmu::translate(&mut self.mem, &env, va, kind) {
+            Ok(t) => t,
+            Err(f) => {
+                self.trace_fault(cpu, va, kind);
+                return Err(f);
+            }
+        };
         self.cycles
-            .charge(u64::from(t.levels_walked) * self.costs.walk_level);
+            .charge_to(Bucket::PageWalk, u64::from(t.levels_walked) * self.costs.walk_level);
         if self.tlb_enabled {
             self.stats.tlb_misses += 1;
             self.tlbs[cpu].insert(env.root, va, kind, &t);
         }
         Ok(t.pa)
+    }
+
+    fn trace_fault(&mut self, cpu: usize, va: VirtAddr, kind: AccessKind) {
+        self.trace_event(
+            cpu,
+            TraceEvent::PageFault {
+                va_page: va.0 >> 12,
+                write: kind == AccessKind::Write,
+            },
+        );
     }
 
     /// Checked load of `buf.len()` bytes at `va` on core `cpu`.
@@ -566,19 +604,27 @@ impl Machine {
                 // the IPI delivery cost.
                 self.cycles.charge(self.costs.interrupt_delivery);
                 self.stats.tlb_shootdown_ipis += 1;
+                self.trace_event(initiator, TraceEvent::IpiSent { to: cpu as u32 });
                 let dropped = self
                     .injector
                     .as_ref()
-                    .is_some_and(|h| h.lock().unwrap().drop_shootdown_ipi(initiator, cpu));
+                    .is_some_and(|h| inject::lock(h).drop_shootdown_ipi(initiator, cpu));
                 if dropped {
                     // The IPI is lost in flight: the remote core keeps its
                     // stale entries. Record the staleness so invariant
                     // checks can tell a modelled loss from a real bug.
+                    self.trace_event(initiator, TraceEvent::IpiDropped { to: cpu as u32 });
                     for va in vas {
                         self.pending_shootdowns.insert((cpu, va.0 >> 12));
                     }
                     continue;
                 }
+                self.trace_event(
+                    cpu,
+                    TraceEvent::IpiReceived {
+                        from: initiator as u32,
+                    },
+                );
             }
             if full {
                 if cpu == initiator {
@@ -606,10 +652,11 @@ impl Machine {
                 let spurious = self
                     .injector
                     .as_ref()
-                    .is_some_and(|h| h.lock().unwrap().spurious_shootdown(cpu));
+                    .is_some_and(|h| inject::lock(h).spurious_shootdown(cpu));
                 if spurious {
                     self.cycles.charge(self.costs.interrupt_delivery);
                     self.stats.tlb_shootdown_ipis += 1;
+                    self.trace_event(cpu, TraceEvent::IpiSpurious);
                     self.tlbs[cpu].flush_all();
                     self.stats.tlb_flushes += 1;
                     self.pending_shootdowns.retain(|&(c, _)| c != cpu);

@@ -132,23 +132,34 @@ impl Default for Costs {
 /// The counter is the time base for every table and figure: workload
 /// "seconds" are defined as `cycles / CLOCK_HZ` with the paper machine's
 /// 2.1 GHz clock.
+///
+/// Every charge also lands in exactly one [`Bucket`] of the attached
+/// [`Attribution`] — either the counter's *current* bucket (set by the
+/// layer whose code is executing: monitor gates, the kernel, tdcall) or
+/// an explicit one via [`CycleCounter::charge_to`] — so the per-bucket
+/// totals sum to [`CycleCounter::total`] by construction.
 #[derive(Debug, Default, Clone)]
 pub struct CycleCounter {
     cycles: u64,
+    attr: Attribution,
+    current: Bucket,
 }
+
+pub use erebor_trace::{Attribution, Bucket};
 
 /// Simulated clock frequency (the paper's Xeon 8570 runs at 2.1 GHz).
 pub const CLOCK_HZ: u64 = 2_100_000_000;
 
 impl CycleCounter {
-    /// A fresh counter at cycle zero.
+    /// A fresh counter at cycle zero, attributing to [`Bucket::Other`].
     #[must_use]
     pub fn new() -> CycleCounter {
         CycleCounter::default()
     }
 
-    /// Charge `n` cycles. Saturates at `u64::MAX` — a wrapped counter
-    /// would silently corrupt every Table 3 / Fig 8 datum derived from it.
+    /// Charge `n` cycles to the current bucket. Saturates at `u64::MAX` —
+    /// a wrapped counter would silently corrupt every Table 3 / Fig 8
+    /// datum derived from it.
     pub fn charge(&mut self, n: u64) {
         debug_assert!(
             self.cycles.checked_add(n).is_some(),
@@ -156,6 +167,39 @@ impl CycleCounter {
             self.cycles
         );
         self.cycles = self.cycles.saturating_add(n);
+        self.attr.charge(self.current, n);
+    }
+
+    /// Charge `n` cycles to an explicit bucket, regardless of the
+    /// current one (translation costs go to [`Bucket::PageWalk`] no
+    /// matter whose code triggered the walk).
+    pub fn charge_to(&mut self, bucket: Bucket, n: u64) {
+        debug_assert!(
+            self.cycles.checked_add(n).is_some(),
+            "cycle counter overflow: {} + {n}",
+            self.cycles
+        );
+        self.cycles = self.cycles.saturating_add(n);
+        self.attr.charge(bucket, n);
+    }
+
+    /// Switch the current bucket, returning the previous one so callers
+    /// can restore it when their region ends (no RAII guard: callers
+    /// need `&mut Machine` between the set and the restore).
+    pub fn set_bucket(&mut self, bucket: Bucket) -> Bucket {
+        core::mem::replace(&mut self.current, bucket)
+    }
+
+    /// The bucket charges currently land in.
+    #[must_use]
+    pub fn bucket(&self) -> Bucket {
+        self.current
+    }
+
+    /// Per-bucket totals charged so far.
+    #[must_use]
+    pub fn attribution(&self) -> Attribution {
+        self.attr
     }
 
     /// Total cycles charged so far.

@@ -68,6 +68,40 @@ pub enum InjectionPoint {
     },
 }
 
+impl InjectionPoint {
+    /// Stable snake_case identifier (recorded in the trace buffer when
+    /// the injector fires here).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectionPoint::Wrmsr { .. } => "wrmsr",
+            InjectionPoint::WriteCr { .. } => "write_cr",
+            InjectionPoint::IndirectBranch { .. } => "indirect_branch",
+            InjectionPoint::DirectBranch { .. } => "direct_branch",
+            InjectionPoint::GateEnter { .. } => "gate_enter",
+            InjectionPoint::GateExit { .. } => "gate_exit",
+            InjectionPoint::AllocFrame => "alloc_frame",
+            InjectionPoint::Tdcall { .. } => "tdcall",
+        }
+    }
+
+    /// The executing core, where the point has one ([`None`] for
+    /// allocation, which is machine-global).
+    #[must_use]
+    pub fn cpu(self) -> Option<usize> {
+        match self {
+            InjectionPoint::Wrmsr { cpu, .. }
+            | InjectionPoint::WriteCr { cpu, .. }
+            | InjectionPoint::IndirectBranch { cpu }
+            | InjectionPoint::DirectBranch { cpu }
+            | InjectionPoint::GateEnter { cpu }
+            | InjectionPoint::GateExit { cpu }
+            | InjectionPoint::Tdcall { cpu } => Some(cpu),
+            InjectionPoint::AllocFrame => None,
+        }
+    }
+}
+
 /// Read-only snapshot of a core handed to
 /// [`Injector::observe_preemption`] — what a kernel interrupt handler
 /// preempting at that moment would architecturally see.
@@ -140,6 +174,16 @@ pub type InjectorHandle = Arc<Mutex<dyn Injector>>;
 /// Wrap an injector into a handle.
 pub fn handle<I: Injector + 'static>(injector: I) -> InjectorHandle {
     Arc::new(Mutex::new(injector))
+}
+
+/// Lock an injector handle, recovering from poisoning.
+///
+/// An injector that panicked (e.g. an invariant `assert!` inside a chaos
+/// checker) poisons its mutex; the simulated hardware must keep running
+/// — a real machine does not halt because an observer crashed — so we
+/// take the inner guard rather than propagating the panic.
+pub fn lock(h: &InjectorHandle) -> std::sync::MutexGuard<'_, dyn Injector + 'static> {
+    h.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]

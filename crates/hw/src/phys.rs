@@ -164,7 +164,7 @@ impl PhysMemory {
     fn alloc_injected(&self) -> bool {
         self.injector
             .as_ref()
-            .is_some_and(|h| h.lock().unwrap().fail_alloc())
+            .is_some_and(|h| crate::inject::lock(h).fail_alloc())
     }
 
     /// Reserve a region: [`PhysMemory::alloc_frame`] will skip it, but

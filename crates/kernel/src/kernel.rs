@@ -52,6 +52,23 @@ pub struct KernelStats {
     pub ve_handled: u64,
 }
 
+impl KernelStats {
+    /// Fieldwise saturating difference `self - earlier`, for interval
+    /// measurements between two snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            syscalls: self.syscalls.saturating_sub(earlier.syscalls),
+            page_faults: self.page_faults.saturating_sub(earlier.page_faults),
+            timer_ticks: self.timer_ticks.saturating_sub(earlier.timer_ticks),
+            ctx_switches: self.ctx_switches.saturating_sub(earlier.ctx_switches),
+            forks: self.forks.saturating_sub(earlier.forks),
+            signals_delivered: self.signals_delivered.saturating_sub(earlier.signals_delivered),
+            ve_handled: self.ve_handled.saturating_sub(earlier.ve_handled),
+        }
+    }
+}
+
 /// `ioctl` requests of the `/dev/erebor` driver (LibOS → kernel → EMC).
 pub mod erebor_ioctl {
     /// Declare confined memory: `args[2]=va, args[3]=pages, args[4]=exec`.

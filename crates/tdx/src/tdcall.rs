@@ -13,6 +13,7 @@ use erebor_hw::fault::{Fault, VeReason};
 use erebor_hw::idt::vector;
 use erebor_hw::regs::GprContext;
 use erebor_hw::{Frame, VirtAddr};
+use erebor_trace::{Bucket, TraceEvent};
 
 /// Operations the guest may request from the host through GHCI `vmcall`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,6 +56,20 @@ pub enum TdcallLeaf {
         /// Data to extend with.
         data: Vec<u8>,
     },
+}
+
+impl TdcallLeaf {
+    /// Stable snake_case leaf identifier (recorded in the trace buffer).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            TdcallLeaf::MapGpa { .. } => "map_gpa",
+            TdcallLeaf::VmCall(_) => "vmcall",
+            TdcallLeaf::TdReport { .. } => "tdreport",
+            TdcallLeaf::GetQuote(_) => "get_quote",
+            TdcallLeaf::RtmrExtend { .. } => "rtmr_extend",
+        }
+    }
 }
 
 /// Leaf-level completion failure, mirroring the RAX status-code classes
@@ -167,6 +182,21 @@ pub struct TdxStats {
     pub tdreports: u64,
 }
 
+impl TdxStats {
+    /// Fieldwise saturating difference `self - earlier`, for interval
+    /// measurements between two snapshots.
+    #[must_use]
+    pub fn delta(&self, earlier: &TdxStats) -> TdxStats {
+        TdxStats {
+            tdcalls: self.tdcalls.saturating_sub(earlier.tdcalls),
+            mapgpa: self.mapgpa.saturating_sub(earlier.mapgpa),
+            vmcalls: self.vmcalls.saturating_sub(earlier.vmcalls),
+            ve_injected: self.ve_injected.saturating_sub(earlier.ve_injected),
+            tdreports: self.tdreports.saturating_sub(earlier.tdreports),
+        }
+    }
+}
+
 /// The TDX module: sEPT, attestation state, the untrusted host, and
 /// counters.
 pub struct TdxModule {
@@ -243,6 +273,21 @@ pub fn tdcall(
     leaf: TdcallLeaf,
 ) -> Result<TdcallResult, Fault> {
     machine.tdcall_guard(cpu)?;
+    let prev_bucket = machine.cycles.set_bucket(Bucket::Tdcall);
+    machine.trace_event(cpu, TraceEvent::TdcallLeave { leaf: leaf.name() });
+    let r = tdcall_body(module, machine, cpu, leaf);
+    let ok = matches!(&r, Ok(result) if result.error().is_none());
+    machine.trace_event(cpu, TraceEvent::TdcallDone { ok });
+    machine.cycles.set_bucket(prev_bucket);
+    r
+}
+
+fn tdcall_body(
+    module: &mut TdxModule,
+    machine: &mut Machine,
+    cpu: usize,
+    leaf: TdcallLeaf,
+) -> Result<TdcallResult, Fault> {
     module.stats.tdcalls += 1;
     let c = &machine.costs;
     machine

@@ -266,7 +266,10 @@ impl Criterion {
             doc = doc.field("meta", m);
         }
         let text = doc.to_string();
-        println!("{text}");
+        // The `EREBOR_JSON:` marker lets CI extract the document with a
+        // grep instead of assuming it is the last stdout line (which
+        // breaks silently the moment anything prints after it).
+        println!("EREBOR_JSON:{text}");
         if let Ok(path) = std::env::var("EREBOR_BENCH_JSON") {
             if !path.is_empty() {
                 if let Err(e) = std::fs::write(&path, &text) {

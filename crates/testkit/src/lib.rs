@@ -53,6 +53,9 @@ pub mod prelude {
 ///
 /// An optional `#![proptest_config(ProptestConfig::with_cases(n))]`
 /// header overrides the case count for every test in the block.
+// The `#[test]` in the example is the macro's actual input syntax, not a
+// unit test smuggled into a doctest — the doctest only needs to compile.
+#[allow(clippy::test_attr_in_doctest)]
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {

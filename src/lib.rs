@@ -24,6 +24,7 @@ pub mod runner;
 
 pub use erebor_core::config::{ExecConfig, Mode};
 pub use erebor_core::{BootConfig, Cvm};
+pub use erebor_trace::{Attribution, Bucket, TraceBuffer, TraceEvent, TraceRecord};
 pub use platform::{Platform, PlatformError, ProcHandle, ServiceInstance, Snapshot};
 pub use runner::{run_workload, run_workload_on, RunReport};
 

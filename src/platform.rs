@@ -22,6 +22,7 @@ use erebor_libos::api::{Sys, SysError};
 use erebor_libos::os::{CommonRegistry, LibOs, ServiceProgram};
 use erebor_tdx::attest::expected_mrtd;
 use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, TdxStats, VmcallOp};
+use erebor_trace::{Attribution, Bucket};
 
 /// The synthetic rip of user code (any user-half address works; only its
 /// *half* matters to the privilege model).
@@ -84,49 +85,24 @@ pub struct Snapshot {
     pub tdx: TdxStats,
     /// Hardware-model counters (TLB translation path).
     pub hw: HwStats,
+    /// Per-bucket cycle attribution (sums to `cycles`).
+    pub attribution: Attribution,
 }
 
 impl Snapshot {
-    /// Elementwise difference `self - earlier`.
+    /// Elementwise *saturating* difference `self - earlier`. Saturating
+    /// matters: benches snapshot around intervals on machines whose
+    /// counters may reset (chaos replays) — an underflow must pin at 0,
+    /// not wrap to a huge bogus delta.
     #[must_use]
     pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
-            cycles: self.cycles - earlier.cycles,
-            monitor: MonitorStats {
-                emc_calls: self.monitor.emc_calls - earlier.monitor.emc_calls,
-                pte_updates: self.monitor.pte_updates - earlier.monitor.pte_updates,
-                cr_writes: self.monitor.cr_writes - earlier.monitor.cr_writes,
-                msr_writes: self.monitor.msr_writes - earlier.monitor.msr_writes,
-                idt_writes: self.monitor.idt_writes - earlier.monitor.idt_writes,
-                user_copies: self.monitor.user_copies - earlier.monitor.user_copies,
-                ghci_ops: self.monitor.ghci_ops - earlier.monitor.ghci_ops,
-                sandbox_pf_exits: self.monitor.sandbox_pf_exits - earlier.monitor.sandbox_pf_exits,
-                sandbox_timer_exits: self.monitor.sandbox_timer_exits
-                    - earlier.monitor.sandbox_timer_exits,
-                sandbox_ve_exits: self.monitor.sandbox_ve_exits - earlier.monitor.sandbox_ve_exits,
-                sandbox_syscall_exits: self.monitor.sandbox_syscall_exits
-                    - earlier.monitor.sandbox_syscall_exits,
-                sandboxes_killed: self.monitor.sandboxes_killed - earlier.monitor.sandboxes_killed,
-                emc_denied: self.monitor.emc_denied - earlier.monitor.emc_denied,
-                cpuid_cached: self.monitor.cpuid_cached - earlier.monitor.cpuid_cached,
-            },
-            kernel: KernelStats {
-                syscalls: self.kernel.syscalls - earlier.kernel.syscalls,
-                page_faults: self.kernel.page_faults - earlier.kernel.page_faults,
-                timer_ticks: self.kernel.timer_ticks - earlier.kernel.timer_ticks,
-                ctx_switches: self.kernel.ctx_switches - earlier.kernel.ctx_switches,
-                forks: self.kernel.forks - earlier.kernel.forks,
-                signals_delivered: self.kernel.signals_delivered - earlier.kernel.signals_delivered,
-                ve_handled: self.kernel.ve_handled - earlier.kernel.ve_handled,
-            },
-            tdx: TdxStats {
-                tdcalls: self.tdx.tdcalls - earlier.tdx.tdcalls,
-                mapgpa: self.tdx.mapgpa - earlier.tdx.mapgpa,
-                vmcalls: self.tdx.vmcalls - earlier.tdx.vmcalls,
-                ve_injected: self.tdx.ve_injected - earlier.tdx.ve_injected,
-                tdreports: self.tdx.tdreports - earlier.tdx.tdreports,
-            },
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            monitor: self.monitor.delta(&earlier.monitor),
+            kernel: self.kernel.delta(&earlier.kernel),
+            tdx: self.tdx.delta(&earlier.tdx),
             hw: self.hw.delta(&earlier.hw),
+            attribution: self.attribution.delta(&earlier.attribution),
         }
     }
 
@@ -263,6 +239,7 @@ impl Platform {
         let c = &mut self.cvm.machine.cpus[self.cpu];
         c.mode = CpuMode::Supervisor;
         c.domain = Domain::Kernel;
+        self.cvm.machine.cycles.set_bucket(Bucket::Kernel);
     }
 
     fn parts(&mut self) -> (Hw<'_>, &mut Kernel) {
@@ -286,7 +263,19 @@ impl Platform {
             kernel: self.kernel.stats,
             tdx: self.cvm.tdx.stats,
             hw: self.cvm.machine.stats,
+            attribution: self.cvm.machine.cycles.attribution(),
         }
+    }
+
+    /// Deterministic JSON document with the full event trace and the
+    /// cycle-attribution profile: same seed and op sequence → byte-identical
+    /// output.
+    #[must_use]
+    pub fn trace_json(&self) -> String {
+        let cycles = self.cvm.machine.cycles.total();
+        let attribution = self.cvm.machine.cycles.attribution().json();
+        let trace = self.cvm.machine.trace.json();
+        format!("{{\"cycles\":{cycles},\"attribution\":{attribution},\"trace\":{trace}}}")
     }
 
     /// Spawn a native (non-sandboxed) process.
@@ -558,11 +547,13 @@ impl Platform {
         if self.kernel.current_on(self.cpu) != Some(pid) {
             let saved_mode = self.cvm.machine.cpus[self.cpu].mode;
             let saved_domain = self.cvm.machine.cpus[self.cpu].domain;
+            let saved_bucket = self.cvm.machine.cycles.bucket();
             self.enter_kernel_mode();
             let (mut hw, kernel) = self.parts();
             kernel.schedule(&mut hw, pid).map_err(|_| SysError::Fault)?;
             self.cvm.machine.cpus[self.cpu].mode = saved_mode;
             self.cvm.machine.cpus[self.cpu].domain = saved_domain;
+            self.cvm.machine.cycles.set_bucket(saved_bucket);
         }
         Ok(())
     }
@@ -572,6 +563,7 @@ impl Platform {
         c.mode = CpuMode::User;
         c.domain = Domain::User;
         c.ctx.rip = USER_RIP;
+        self.cvm.machine.cycles.set_bucket(Bucket::Sandbox);
     }
 
     /// Deliver the APIC timer for every quantum that has elapsed, running
@@ -631,11 +623,13 @@ impl Platform {
             }
             let saved_mode = self.cvm.machine.cpus[self.cpu].mode;
             let saved_domain = self.cvm.machine.cpus[self.cpu].domain;
+            let saved_bucket = self.cvm.machine.cycles.bucket();
             self.enter_kernel_mode();
             let (mut hw, kernel) = self.parts();
             kernel.reclaim_pages(&mut hw, budget);
             self.cvm.machine.cpus[self.cpu].mode = saved_mode;
             self.cvm.machine.cpus[self.cpu].domain = saved_domain;
+            self.cvm.machine.cycles.set_bucket(saved_bucket);
         }
         self.deliver_interrupt(pid, vec)
     }
@@ -659,8 +653,10 @@ impl Platform {
                     .on_interrupt(&mut self.cvm.machine, self.cpu, sandbox, vec, saved);
             match decision {
                 ExitDecision::ForwardToKernel { .. } => {
+                    let prev = self.cvm.machine.cycles.set_bucket(Bucket::Kernel);
                     let (mut hw, kernel) = self.parts();
                     kernel.on_timer(&mut hw);
+                    self.cvm.machine.cycles.set_bucket(prev);
                 }
                 ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
                 ExitDecision::Handled { .. } => {}
@@ -672,8 +668,10 @@ impl Platform {
                     .map_err(|_| SysError::Fault)?;
             }
         } else {
+            let prev = self.cvm.machine.cycles.set_bucket(Bucket::Kernel);
             let (mut hw, kernel) = self.parts();
             kernel.on_timer(&mut hw);
+            self.cvm.machine.cycles.set_bucket(prev);
         }
         // Return into the interrupted (possibly restored) user context.
         self.ensure_current(pid)?;
@@ -713,17 +711,19 @@ impl Platform {
                 ExitDecision::Handled { .. } => {}
                 ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
                 ExitDecision::ForwardToKernel { .. } => {
+                    let prev = self.cvm.machine.cycles.set_bucket(Bucket::Kernel);
                     let (mut hw, kernel) = self.parts();
-                    kernel
-                        .handle_page_fault(&mut hw, pid, va, write)
-                        .map_err(|_| SysError::Fault)?;
+                    let r = kernel.handle_page_fault(&mut hw, pid, va, write);
+                    self.cvm.machine.cycles.set_bucket(prev);
+                    r.map_err(|_| SysError::Fault)?;
                 }
             }
         } else {
+            let prev = self.cvm.machine.cycles.set_bucket(Bucket::Kernel);
             let (mut hw, kernel) = self.parts();
-            kernel
-                .handle_page_fault(&mut hw, pid, va, write)
-                .map_err(|_| SysError::Fault)?;
+            let r = kernel.handle_page_fault(&mut hw, pid, va, write);
+            self.cvm.machine.cycles.set_bucket(prev);
+            r.map_err(|_| SysError::Fault)?;
         }
         self.cvm
             .machine
@@ -793,15 +793,21 @@ impl Sys for ProcHandle<'_> {
                     .on_syscall(&mut p.cvm.machine, &mut p.cvm.tdx, p.cpu, sandbox);
             match decision {
                 ExitDecision::ForwardToKernel { .. } => {
+                    let prev = p.cvm.machine.cycles.set_bucket(Bucket::Kernel);
                     let (mut hw, kernel) = p.parts();
-                    kernel.handle_syscall(&mut hw, pid, syscall_nr, args)
+                    let rax = kernel.handle_syscall(&mut hw, pid, syscall_nr, args);
+                    p.cvm.machine.cycles.set_bucket(prev);
+                    rax
                 }
                 ExitDecision::Handled { rax } => rax,
                 ExitDecision::Killed { reason } => return Err(SysError::Killed(reason)),
             }
         } else {
+            let prev = p.cvm.machine.cycles.set_bucket(Bucket::Kernel);
             let (mut hw, kernel) = p.parts();
-            kernel.handle_syscall(&mut hw, pid, syscall_nr, args)
+            let rax = kernel.handle_syscall(&mut hw, pid, syscall_nr, args);
+            p.cvm.machine.cycles.set_bucket(prev);
+            rax
         };
         p.cvm.machine.sysret(p.cpu).map_err(|_| SysError::Fault)?;
         let signed = rax as i64;
@@ -877,8 +883,14 @@ impl Sys for ProcHandle<'_> {
     }
 
     fn compute(&mut self, units: u64) -> Result<(), SysError> {
-        let cost = units * self.platform.cvm.machine.costs.compute_unit;
-        self.platform.cvm.machine.cycles.charge(cost);
+        // Saturating: a pathological `units` must pin the charge, not
+        // wrap it into a tiny (or debug-panicking) cost.
+        let cost = units.saturating_mul(self.platform.cvm.machine.costs.compute_unit);
+        self.platform
+            .cvm
+            .machine
+            .cycles
+            .charge_to(Bucket::Sandbox, cost);
         self.platform.tick(self.pid)
     }
 
@@ -909,8 +921,10 @@ impl Sys for ProcHandle<'_> {
                 ExitDecision::ForwardToKernel { .. } => {
                     // Native path: kernel #VE handler delegates the GHCI
                     // round trip to the monitor.
+                    let prev = p.cvm.machine.cycles.set_bucket(Bucket::Kernel);
                     let (mut hw, kernel) = p.parts();
                     kernel.handle_ve_native(&mut hw);
+                    hw.machine.cycles.set_bucket(prev);
                     match hw.monitor.emc(
                         hw.machine,
                         hw.tdx,
@@ -925,8 +939,10 @@ impl Sys for ProcHandle<'_> {
         } else if p.cvm.monitor.cfg.monitor_present() {
             // Monitor present but exit interposition disabled: the kernel's
             // #VE handler still needs the monitor for GHCI.
+            let prev = p.cvm.machine.cycles.set_bucket(Bucket::Kernel);
             let (mut hw, kernel) = p.parts();
             kernel.handle_ve_native(&mut hw);
+            hw.machine.cycles.set_bucket(prev);
             match hw.monitor.emc(
                 hw.machine,
                 hw.tdx,
@@ -939,6 +955,7 @@ impl Sys for ProcHandle<'_> {
         } else {
             // Native CVM: the privileged kernel performs the tdcall itself.
             let (mut hw, kernel) = p.parts();
+            hw.machine.cycles.set_bucket(Bucket::Kernel);
             kernel.handle_ve_native(&mut hw);
             hw.machine.cpus[hw.cpu].domain = Domain::Kernel;
             hw.machine.cpus[hw.cpu].mode = CpuMode::Supervisor;

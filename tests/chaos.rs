@@ -334,3 +334,88 @@ fn platform_injector_wiring_reaches_the_machine() {
     p.cvm.machine.tlb_shootdown(0, va).unwrap();
     assert!(p.cvm.machine.pending_shootdowns().is_empty());
 }
+
+// --- PR 4: machine-trace dump alongside chaos failures -----------------
+
+/// A case driven with injections must capture the machine's cycle-stamped
+/// trace tail, and that tail must contain the injected `ChaosFault`
+/// events — the dump situates a violation in hardware time.
+#[test]
+fn case_outcome_captures_machine_trace_with_injected_faults() {
+    let cfg = ChaosConfig {
+        rates: erebor_chaos::ChaosRates {
+            fault: 1000, // every instrumented point faults
+            ..erebor_chaos::ChaosRates::default()
+        },
+        ..ChaosConfig::default()
+    };
+    let cs = case_seed(cfg.seed, 0);
+    let ops: Vec<u8> = (0..96u32).map(|i| i as u8).collect();
+    let outcome = exec_case(&cfg, cs, &ops);
+
+    assert!(
+        !outcome.machine_trace.is_empty(),
+        "the case must capture the machine's trace tail"
+    );
+    assert!(
+        outcome
+            .trace
+            .iter()
+            .any(|e| matches!(e, erebor_chaos::ChaosEvent::Fault(_))),
+        "rate 1000 must inject faults into the schedule"
+    );
+    assert!(
+        outcome
+            .machine_trace
+            .iter()
+            .any(|r| matches!(r.event, erebor::TraceEvent::ChaosFault { .. })),
+        "the machine trace tail must contain the injected fault events: {:?}",
+        outcome.machine_trace
+    );
+    // Cycle stamps are monotone in sequence order (merged across cores).
+    for w in outcome.machine_trace.windows(2) {
+        assert!(w[0].seq < w[1].seq, "trace tail must be seq-ordered");
+    }
+}
+
+/// The failure report prints the machine-trace tail: a reader of a chaos
+/// failure sees the faulting event without re-running the case.
+#[test]
+fn failure_dump_contains_the_faulting_event() {
+    let cfg = ChaosConfig {
+        rates: erebor_chaos::ChaosRates {
+            fault: 1000,
+            ..erebor_chaos::ChaosRates::default()
+        },
+        ..ChaosConfig::default()
+    };
+    let cs = case_seed(cfg.seed, 7);
+    let ops: Vec<u8> = (0..64u32).map(|i| (i * 5) as u8).collect();
+    let outcome = exec_case(&cfg, cs, &ops);
+    // Build the failure exactly the way `run` does from a replayed case
+    // (campaigns are clean, so the violation itself is synthesized).
+    let report = erebor_chaos::ChaosReport {
+        seed: cfg.seed,
+        cases: 1,
+        total_events: outcome.trace.len() as u64,
+        digest: 0,
+        failures: vec![erebor_chaos::CaseFailure {
+            case: 7,
+            case_seed: cs,
+            ops,
+            violation: invariants::Violation {
+                invariant: "dump-format",
+                detail: "synthesized to exercise the failure dump".to_owned(),
+            },
+            trace: outcome.trace,
+            machine_trace: outcome.machine_trace,
+        }],
+    };
+    let s = report.summary();
+    assert!(s.contains("machine trace (last"), "summary must dump the tail:\n{s}");
+    assert!(
+        s.contains("ChaosFault"),
+        "dump must contain the faulting machine event:\n{s}"
+    );
+    assert!(s.contains("EREBOR_CHAOS_SEED="), "dump must keep the replay line");
+}
