@@ -1,0 +1,32 @@
+//! Workspace source lint runner: `cargo run -p erebor-analyze --bin lint`.
+//!
+//! Walks the workspace source from the manifest root (or a path given as
+//! the first argument), prints each finding, emits the machine-readable
+//! report on the `EREBOR_JSON:` marker line, and exits non-zero when any
+//! rule fired.
+
+use erebor_analyze::lint;
+use std::path::PathBuf;
+
+fn main() {
+    let root = std::env::args().nth(1).map_or_else(
+        || {
+            // The bin runs from anywhere inside the workspace; the crate
+            // manifest dir is crates/analyze, two levels below the root.
+            let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map_or(manifest.clone(), PathBuf::from)
+        },
+        PathBuf::from,
+    );
+    let findings = lint::lint_workspace(&root);
+    for f in &findings {
+        println!("lint: {f}");
+    }
+    println!("EREBOR_JSON:{}", lint::report_json(&findings));
+    if !findings.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,297 @@
+//! The hermetic source lint: token-level rules over the workspace
+//! source, with no parser dependency (`syn`-free by design — the rules
+//! are line-shaped and a full AST would buy nothing but a dependency).
+//!
+//! Rules:
+//!
+//! * `no-panic` — no `.unwrap()`, `.expect(`, or `panic!(` in *library*
+//!   code outside `#[cfg(test)]` regions. Bins, benches, examples,
+//!   integration tests, and the harness crates (`testkit`, `bench`,
+//!   `chaos` — whose contract is to abort loudly on harness misuse) are
+//!   exempt. A documented waiver is spelled `// lint:allow(panic)` on
+//!   the offending line.
+//! * `saturating-counters` — stats counters never use bare `+=`/`-=`
+//!   (the workspace convention is `saturating_add`/`saturating_sub` so
+//!   long campaigns cannot overflow-panic in debug builds). Waiver:
+//!   `lint:allow(counter)`.
+//! * `no-relaxed` — `Ordering::Relaxed` is banned on synchronization
+//!   atomics (the workspace is single-threaded-deterministic; any
+//!   atomic that appears must order). Waiver: `lint:allow(relaxed)`.
+//! * `json-marker` — every bin that serializes JSON (calls `.json()`)
+//!   must emit the `EREBOR_JSON:` marker CI greps for.
+//!
+//! The `#[cfg(test)]` handling relies on the workspace convention that
+//! test modules close out the file; everything from the first
+//! `#[cfg(test)]` line onward is skipped.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One lint rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number (0 for whole-file rules).
+    pub line: usize,
+    /// Stable rule name.
+    pub rule: &'static str,
+    /// The offending line, trimmed.
+    pub excerpt: String,
+}
+
+impl LintFinding {
+    /// Deterministic JSON object.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
+            self.file, self.line, self.rule
+        );
+        s
+    }
+}
+
+impl core::fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.excerpt)
+    }
+}
+
+/// How a source file is classified for rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// Shipped library code: every rule applies.
+    Library,
+    /// A `src/bin/` entry point: panic rule relaxed, JSON-marker rule on.
+    Bin,
+    /// Tests, benches, examples, and harness crates: only the atomic and
+    /// counter rules apply.
+    Harness,
+}
+
+/// Crates whose whole purpose is driving tests/benches/chaos; their
+/// libraries abort on harness misuse by contract.
+const HARNESS_CRATES: [&str; 3] = ["crates/testkit", "crates/bench", "crates/chaos"];
+
+/// Classify a workspace-relative path.
+#[must_use]
+pub fn classify(rel: &str) -> FileClass {
+    let unixy = rel.replace('\\', "/");
+    if unixy.contains("/bin/") {
+        return FileClass::Bin; // bins stay bins even inside harness crates
+    }
+    if HARNESS_CRATES.iter().any(|c| unixy.starts_with(c)) {
+        return FileClass::Harness;
+    }
+    if unixy.starts_with("tests/")
+        || unixy.contains("/tests/")
+        || unixy.contains("/benches/")
+        || unixy.starts_with("examples/")
+        || unixy.contains("/examples/")
+    {
+        return FileClass::Harness;
+    }
+    FileClass::Library
+}
+
+fn has_waiver(line: &str, what: &str) -> bool {
+    line.contains("lint:allow(") && line.contains(what)
+}
+
+/// Lint one file's content. `rel` is the workspace-relative path used in
+/// findings and for classification.
+#[must_use]
+pub fn lint_source(rel: &str, content: &str) -> Vec<LintFinding> {
+    let class = classify(rel);
+    let mut findings = Vec::new();
+    let mut in_test_region = false;
+    for (idx, raw) in content.lines().enumerate() {
+        let line = idx + 1;
+        if raw.contains("#[cfg(test)]") {
+            in_test_region = true;
+        }
+        // Comments carry waivers and prose; strip them for token scans
+        // but keep the raw line for waiver detection.
+        let code = raw.split("//").next().unwrap_or("");
+        let excerpt = || raw.trim().chars().take(120).collect::<String>();
+
+        if class == FileClass::Library
+            && !in_test_region
+            && !has_waiver(raw, "panic")
+            && (code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!("))
+        {
+            findings.push(LintFinding {
+                file: rel.to_owned(),
+                line,
+                rule: "no-panic",
+                excerpt: excerpt(),
+            });
+        }
+        if !in_test_region
+            && !has_waiver(raw, "counter")
+            && code.contains("stats.")
+            && (code.contains("+=") || code.contains("-="))
+        {
+            findings.push(LintFinding {
+                file: rel.to_owned(),
+                line,
+                rule: "saturating-counters",
+                excerpt: excerpt(),
+            });
+        }
+        // Token split so the lint does not flag its own rule definition.
+        let relaxed_tok = concat!("Ordering::", "Relaxed");
+        if code.contains(relaxed_tok) && !has_waiver(raw, "relaxed") {
+            findings.push(LintFinding {
+                file: rel.to_owned(),
+                line,
+                rule: "no-relaxed",
+                excerpt: excerpt(),
+            });
+        }
+    }
+    if class == FileClass::Bin && content.contains(".json()") && !content.contains("EREBOR_JSON") {
+        findings.push(LintFinding {
+            file: rel.to_owned(),
+            line: 0,
+            rule: "json-marker",
+            excerpt: "bin serializes JSON without the EREBOR_JSON: marker".to_owned(),
+        });
+    }
+    findings
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            collect_rs_files(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Lint every `.rs` file under the workspace root's `src/` and
+/// `crates/*/src/` trees (the shipped source; integration tests and
+/// examples are classified, not skipped, so the counter/atomic rules
+/// still see them). Results are sorted by path for determinism.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("src"), &mut files);
+    collect_rs_files(&root.join("tests"), &mut files);
+    collect_rs_files(&root.join("examples"), &mut files);
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        let mut dirs: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        dirs.sort();
+        for d in dirs {
+            collect_rs_files(&d.join("src"), &mut files);
+            collect_rs_files(&d.join("benches"), &mut files);
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let Ok(content) = fs::read_to_string(&f) else {
+            continue;
+        };
+        findings.extend(lint_source(&rel, &content));
+    }
+    findings
+}
+
+/// Deterministic JSON report over a finding set.
+#[must_use]
+pub fn report_json(findings: &[LintFinding]) -> String {
+    let mut s = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&f.json());
+    }
+    let _ = write!(s, "],\"count\":{}}}", findings.len());
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classifies_paths() {
+        assert_eq!(classify("crates/core/src/monitor.rs"), FileClass::Library);
+        assert_eq!(classify("crates/analyze/src/bin/lint.rs"), FileClass::Bin);
+        assert_eq!(classify("crates/testkit/src/prop.rs"), FileClass::Harness);
+        assert_eq!(classify("tests/chaos.rs"), FileClass::Harness);
+        assert_eq!(classify("crates/bench/benches/paging.rs"), FileClass::Harness);
+    }
+
+    #[test]
+    fn flags_panics_in_library_code_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_source("crates/core/src/a.rs", src).len(), 1);
+        assert!(lint_source("tests/a.rs", src).is_empty());
+        assert!(lint_source("crates/testkit/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_region_and_waiver_are_exempt() {
+        let src = "fn f() { a.expect(\"x\") } // lint:allow(panic)\n\
+                   #[cfg(test)]\nmod tests { fn g() { b.unwrap(); } }\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn flags_bare_counter_arithmetic_everywhere() {
+        let src = "self.stats.tlb_hits += 1;\n";
+        let f = lint_source("crates/hw/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "saturating-counters");
+        // Applies in harness code too: overflow aborts a campaign.
+        assert_eq!(lint_source("crates/chaos/src/a.rs", src).len(), 1);
+        let ok = "self.stats.tlb_hits = self.stats.tlb_hits.saturating_add(1);\n";
+        assert!(lint_source("crates/hw/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn flags_relaxed_ordering() {
+        let src = concat!("a.fetch_add(1, Ordering::", "Relaxed);\n");
+        let f = lint_source("crates/hw/src/a.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "no-relaxed");
+    }
+
+    #[test]
+    fn flags_json_bins_without_marker() {
+        let src = "fn main() { println!(\"{}\", report.json()); }\n";
+        let f = lint_source("crates/bench/src/bin/out.rs", src);
+        assert!(f.iter().any(|f| f.rule == "json-marker"));
+        let ok = "fn main() { println!(\"EREBOR_JSON:{}\", report.json()); }\n";
+        assert!(lint_source("crates/bench/src/bin/out.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn report_json_counts() {
+        let f = lint_source("crates/core/src/a.rs", "x.unwrap();\n");
+        let j = report_json(&f);
+        assert!(j.contains("\"count\":1"));
+        assert!(j.contains("\"rule\":\"no-panic\""));
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion: cost of the static analysis passes, plus the audit-work
+//! meta counters the CI smoke stage budgets.
+//!
+//! The auditor is meant to run after boot and inside every chaos case,
+//! so its cost must stay bounded: the `audit_*` meta entries pin the
+//! amount of state it walks on a freshly booted Full platform (PTE
+//! reads, TLB entries, IDT entries), and CI asserts the total stays
+//! under a fixed budget with zero findings.
+
+use erebor::eanalyze::detect_races;
+use erebor::{Mode, Platform, TraceEvent, TraceRecord};
+use erebor_testkit::bench::Criterion;
+use erebor_testkit::{criterion_group, criterion_main};
+
+fn bench_audit(c: &mut Criterion) {
+    let p = Platform::boot(Mode::Full).expect("boot");
+    let report = p.audit();
+    c.meta("audit_findings", report.findings.len() as f64);
+    c.meta("audit_roots_walked", report.roots_walked as f64);
+    c.meta("audit_leaf_mappings", report.leaf_mappings as f64);
+    c.meta("audit_pte_reads", report.pte_reads as f64);
+    c.meta("audit_work", report.work() as f64);
+    c.bench_function("audit_boot_snapshot", |b| {
+        b.iter(|| p.audit());
+    });
+}
+
+fn bench_race_detector(c: &mut Criterion) {
+    // A synthetic 4-core trace mixing revocations, acks, and hits —
+    // the same shapes a chaos case produces, at a fixed size.
+    let cores = 4;
+    let mut records = Vec::new();
+    for i in 0u64..4096 {
+        let cpu = (i % cores as u64) as u32;
+        let event = match i % 5 {
+            0 => TraceEvent::TlbShootdown {
+                root: 7,
+                page: i % 64,
+            },
+            1 => TraceEvent::IpiSent {
+                to: (cpu + 1) % cores as u32,
+            },
+            2 => TraceEvent::IpiReceived {
+                from: (cpu + cores as u32 - 1) % cores as u32,
+            },
+            3 => TraceEvent::TlbInvlpg { page: i % 64 },
+            _ => TraceEvent::TlbHit {
+                root: 7,
+                page: i % 64,
+            },
+        };
+        records.push(TraceRecord {
+            seq: i,
+            cycles: i * 10,
+            cpu,
+            event,
+        });
+    }
+    c.meta("race_trace_records", records.len() as f64);
+    c.bench_function("race_detect_4k_records", |b| {
+        b.iter(|| detect_races(&records, cores));
+    });
+}
+
+criterion_group!(benches, bench_audit, bench_race_detector);
+criterion_main!(benches);

@@ -20,6 +20,10 @@
 //! - `EREBOR_CHAOS_CASES` — number of cases.
 //! - `EREBOR_CHAOS_OPS`   — op bytes per case.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
 pub mod invariants;
 pub mod plan;
 pub mod world;
@@ -28,14 +32,21 @@ pub use invariants::Violation;
 pub use plan::{ChaosEvent, ChaosPlan, ChaosRates};
 pub use world::ChaosWorld;
 
+use erebor_analyze::{detect_races, Finding, MachineView, RaceFinding};
 use erebor_hw::inject::InjectorHandle;
 use erebor_testkit::rng::TestRng;
-use erebor_trace::TraceRecord;
+use erebor_trace::{TraceEvent, TraceRecord};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Machine-trace records retained with a failing case (the tail of the
 /// per-core ring buffers at violation time).
 pub const FAILURE_TRACE_DEPTH: usize = 32;
+
+/// Per-core trace ring capacity for chaos cases. MMU tracing is on so the
+/// race detector sees every revocation/invalidation/hit edge; the rings
+/// must hold a whole case or an evicted invalidation could leave a stale
+/// window "open" forever (a false positive, not just lost data).
+pub const TRACE_RING_DEPTH: usize = 8192;
 
 /// Lock the shared plan, recovering from poisoning: a panicking invariant
 /// check inside the injector must not wedge trace collection — the
@@ -114,8 +125,31 @@ pub struct CaseOutcome {
     pub violation: Option<Violation>,
     /// The machine's last [`FAILURE_TRACE_DEPTH`] trace records at the end
     /// of the case — cycle-stamped hardware events (gates, IPIs, faults,
-    /// injections) that situate the violation in simulated time.
+    /// injections) that situate the violation in simulated time. MMU
+    /// bookkeeping events (TLB hits/invalidations) are filtered out so
+    /// the tail stays readable; the race detector sees the full ring.
     pub machine_trace: Vec<TraceRecord>,
+    /// End-of-case state-audit findings (C1–C8 over the world's root,
+    /// gate, and sEPT). Any finding is a violation: no op sequence, with
+    /// or without injected faults, may leave the state machine bent.
+    pub audit_findings: Vec<Finding>,
+    /// Stale-permission windows the happens-before race detector found in
+    /// the case's MMU trace. Windows caused by an *injected* IPI drop
+    /// (`dropped == true`) are the fault model doing its job; an
+    /// unexplained window is a violation.
+    pub race_findings: Vec<RaceFinding>,
+}
+
+/// Whether a trace record is MMU-bookkeeping chatter (kept out of the
+/// human-facing failure tail, still fed to the race detector).
+fn is_mmu_noise(r: &TraceRecord) -> bool {
+    matches!(
+        r.event,
+        TraceEvent::TlbHit { .. }
+            | TraceEvent::TlbInvlpg { .. }
+            | TraceEvent::TlbFlush
+            | TraceEvent::TlbShootdown { .. }
+    )
 }
 
 /// Execute one case: build a fresh world (2–4 cores, derived from the
@@ -125,6 +159,10 @@ pub struct CaseOutcome {
 pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
     let cores = 2 + (case_seed % 3) as usize;
     let mut world = ChaosWorld::new(cores);
+    // Deep rings + MMU tracing: the end-of-case race detector needs every
+    // revocation/invalidation/access edge, not just the readable tail.
+    world.machine.trace = erebor_trace::TraceBuffer::with_capacity(cores, TRACE_RING_DEPTH);
+    world.machine.mmu_trace = true;
     let plan = Arc::new(Mutex::new(ChaosPlan::new(case_seed, cfg.rates)));
     let handle: InjectorHandle = plan.clone();
     world.machine.set_injector(handle);
@@ -150,12 +188,51 @@ pub fn exec_case(cfg: &ChaosConfig, case_seed: u64, ops: &[u8]) -> CaseOutcome {
         }
     }
     world.machine.clear_injector();
-    let machine_trace = world.machine.trace.last_n(FAILURE_TRACE_DEPTH);
+    let full_trace = world.machine.trace.last_n(usize::MAX);
+    let machine_trace: Vec<TraceRecord> = full_trace
+        .iter()
+        .filter(|r| !is_mmu_noise(r))
+        .copied()
+        .collect();
+    let machine_trace = machine_trace
+        .split_at(machine_trace.len().saturating_sub(FAILURE_TRACE_DEPTH))
+        .1
+        .to_vec();
+
+    // End-of-case static passes: the state auditor over the settled world
+    // and the happens-before race detector over the whole MMU trace.
+    let view = MachineView {
+        machine: &world.machine,
+        roots: &[world.root],
+        gate: Some(&world.gate),
+        monitor: None,
+        sept: Some(&world.module.sept),
+    };
+    let audit_findings = erebor_analyze::audit::audit(&view).findings;
+    let race_findings = detect_races(&full_trace, cores);
+    if violation.is_none() {
+        if let Some(f) = audit_findings.first() {
+            violation = Some(Violation {
+                invariant: "state-audit",
+                detail: f.to_string(),
+            });
+        } else if let Some(r) = race_findings.iter().find(|r| !r.dropped) {
+            // An injected IPI drop (dropped == true) legitimately leaves a
+            // stale window — that is the fault being modeled. A window with
+            // the IPI *delivered* means an invalidation edge went missing.
+            violation = Some(Violation {
+                invariant: "race-detector",
+                detail: r.to_string(),
+            });
+        }
+    }
     let trace = lock_plan(&plan).take_trace();
     CaseOutcome {
         trace,
         violation,
         machine_trace,
+        audit_findings,
+        race_findings,
     }
 }
 

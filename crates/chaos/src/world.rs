@@ -44,6 +44,7 @@ const ALLOC_RING: usize = 8;
 /// A kernel data page with two backing frames the remap op toggles
 /// between (each toggle makes every cached translation stale until the
 /// accompanying shootdown lands).
+#[derive(Debug)]
 struct DataPage {
     va: VirtAddr,
     frames: [Frame; 2],
@@ -51,6 +52,7 @@ struct DataPage {
 }
 
 /// The world under test.
+#[derive(Debug)]
 pub struct ChaosWorld {
     /// The machine (install the injector on this).
     pub machine: Machine,

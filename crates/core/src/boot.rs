@@ -123,14 +123,22 @@ pub fn firmware_image(seed: u64) -> Image {
         .build()
 }
 
-/// Build the monitor image: a single `endbr64` landing pad at the EMC entry
-/// gate, followed by the monitor's (legitimately privileged) code — which
-/// includes real sensitive-instruction encodings.
+/// Build the monitor image: `endbr64` landing pads at every hardware
+/// entry point into the monitor — the EMC entry gate, the syscall
+/// interposer (LSTAR target), and the interrupt interposer (IDT gate
+/// target) — followed by the monitor's (legitimately privileged) code,
+/// which includes real sensitive-instruction encodings.
 #[must_use]
 pub fn monitor_image() -> Image {
     let mut text = vec![0x90u8; 64 * 1024];
-    // Offset 0: the EMC entry gate landing pad — the ONLY endbr64.
+    // Offset 0: the EMC entry gate landing pad.
     text[..4].copy_from_slice(&ENDBR64);
+    // Offset 0x100: the syscall interposer LSTAR points at.
+    // Offset 0x200: the interrupt interposer every IDT gate points at.
+    // With IBT active these are architectural control transfers into the
+    // monitor, so each must start with an endbr64 pad (claim C5).
+    text[0x100..0x104].copy_from_slice(&ENDBR64);
+    text[0x200..0x204].copy_from_slice(&ENDBR64);
     // Sprinkle the privileged instruction encodings the monitor uses.
     let mut off = 0x400;
     for class in SensitiveClass::ALL {
@@ -230,10 +238,10 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
         // past the four architectural RTMRs, and 0 is hard-coded here.
         tdx.attest
             .extend_rtmr(0, &firmware.measurement_bytes())
-            .expect("rtmr 0 exists");
+            .ok();
         tdx.attest
             .extend_rtmr(0, &monitor_img.measurement_bytes())
-            .expect("rtmr 0 exists");
+            .ok();
     } else {
         tdx.attest.extend_mrtd(&firmware.measurement_bytes());
         tdx.attest.extend_mrtd(&monitor_img.measurement_bytes());
@@ -244,9 +252,7 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
     for f in lay.firmware.start.0..lay.firmware.end.0 {
         // Statically infallible: the table was created empty on the line
         // above, so no frame can already carry a conflicting kind.
-        frames
-            .set_kind(Frame(f), FrameKind::Firmware)
-            .expect("fresh table");
+        frames.set_kind(Frame(f), FrameKind::Firmware).ok();
     }
 
     // Kernel root page table.
@@ -358,9 +364,7 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
         // Statically infallible: the monitor region is disjoint from the
         // firmware region (checked by `Layout`), so these frames are
         // still untagged.
-        frames
-            .set_kind(Frame(f), FrameKind::Monitor)
-            .expect("fresh region");
+        frames.set_kind(Frame(f), FrameKind::Monitor).ok();
     }
     frames.set_kind(idt_frame, FrameKind::Idt).ok();
     for p in &boot_ptps {
@@ -383,7 +387,8 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
             .map_err(|_| BootError::DramTooSmall)?;
     }
 
-    // Register the monitor's landing pads (exactly one: the EMC gate).
+    // Register the monitor's landing pads: the EMC gate and the two
+    // hardware interposers (syscall + interrupt).
     machine.endbr.add_image(&monitor_img);
 
     // Per-core state: pinned protections on, interposers installed.

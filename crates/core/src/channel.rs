@@ -234,7 +234,7 @@ impl Monitor {
             Ok(TdcallResult::Quote(q)) => *q,
             _ => return Err("quote failed"),
         };
-        self.stats.ghci_ops += 2;
+        self.stats.ghci_ops = self.stats.ghci_ops.saturating_add(2);
 
         let shared = x25519::shared_secret(&private, &hello.client_pub);
         let keys = kx::derive_session_keys(&shared, &hello.client_pub, &monitor_pub);
@@ -310,7 +310,7 @@ impl Monitor {
         // The teardown path (unmap → scrub → release) is shared with the
         // kill path; only the reason differs.
         self.kill_sandbox(machine, sandbox, "session ended");
-        self.stats.sandboxes_killed -= 1; // graceful end, not a kill
+        self.stats.sandboxes_killed = self.stats.sandboxes_killed.saturating_sub(1); // graceful end, not a kill
     }
 
     /// Proxy pickup of the next sealed output record. With quantized

@@ -1,7 +1,9 @@
 //! EMC entry/exit gates and the interrupt gate (§5.3, Fig. 5).
 //!
-//! The entry gate is the *only* `endbr64` landing pad in the monitor, so
-//! CET-IBT forces every indirect transfer into the monitor through it. The
+//! The entry gate is the only *software-callable* `endbr64` landing pad in
+//! the monitor (the syscall and interrupt interposers are reached solely by
+//! hardware transfers), so CET-IBT forces every indirect transfer into the
+//! monitor through it. The
 //! gate grants the core read-write access to monitor memory by writing
 //! `IA32_PKRS`, switches to a protected per-core stack, and records the
 //! in-EMC state that the interrupt gate consults: if the OS (or the host)
@@ -19,8 +21,8 @@ use erebor_trace::{Bucket, TraceEvent};
 /// Per-core gate state plus the gate addresses inside the monitor image.
 #[derive(Debug)]
 pub struct EmcGate {
-    /// The `endbr64`-tagged entry address (the only legal indirect target
-    /// in the monitor).
+    /// The `endbr64`-tagged entry address (the only legal *software*
+    /// indirect target in the monitor).
     pub entry: VirtAddr,
     /// Per-core secure stack tops.
     pub secure_stacks: Vec<VirtAddr>,
@@ -204,7 +206,7 @@ impl EmcGate {
     fn interrupt_entry_gate(&mut self, machine: &mut Machine, cpu: usize) -> Result<(), Fault> {
         // Register save/restore cost of the gate.
         machine.cycles.charge(16 * machine.costs.mem_op);
-        self.int_depth[cpu] += 1;
+        self.int_depth[cpu] = self.int_depth[cpu].saturating_add(1);
         if self.in_emc[cpu] && self.saved_pkrs[cpu].is_none() {
             let revoked = machine
                 .rdmsr(cpu, Msr::Pkrs)

@@ -164,6 +164,17 @@ impl Monitor {
         root == self.kernel_root || self.address_spaces.contains_key(&root.0)
     }
 
+    /// Every address-space root the monitor knows about: the kernel root
+    /// plus every registered user root. Sandbox roots are *not* included —
+    /// walk [`Monitor::sandboxes`] for those. Used by the state auditor to
+    /// enumerate all page-table trees reachable from a saved CR3.
+    #[must_use]
+    pub fn address_space_roots(&self) -> Vec<Frame> {
+        let mut roots = vec![self.kernel_root];
+        roots.extend(self.address_spaces.keys().map(|&r| Frame(r)));
+        roots
+    }
+
     // ==================================================================
     // Stage-two boot: kernel verification and loading (§5.1)
     // ==================================================================
@@ -278,10 +289,10 @@ impl Monitor {
     ) -> Result<EmcResponse, EmcError> {
         let return_to = self.kernel_return;
         self.gate.enter(machine, cpu).map_err(EmcError::Fault)?;
-        self.stats.emc_calls += 1;
+        self.stats.emc_calls = self.stats.emc_calls.saturating_add(1);
         let res = self.dispatch(machine, tdx, cpu, req);
         if res.is_err() {
-            self.stats.emc_denied += 1;
+            self.stats.emc_denied = self.stats.emc_denied.saturating_add(1);
             machine.trace_event(cpu, TraceEvent::Emc { op: "deny", arg: 0 });
         }
         self.gate
@@ -307,7 +318,7 @@ impl Monitor {
                 if !self.address_space_registered(root) {
                     return Err(EmcError::Denied("unregistered address-space root"));
                 }
-                self.stats.cr_writes += 1;
+                self.stats.cr_writes = self.stats.cr_writes.saturating_add(1);
                 machine.write_cr3(cpu, root)?;
                 Ok(EmcResponse::Ok)
             }
@@ -369,7 +380,7 @@ impl Monitor {
                 .map_err(map_err)?;
                 match self.frames.kind(old.frame()) {
                     FrameKind::UserAnon { .. } => {
-                        self.stats.pte_updates += 1;
+                        self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
                         if !writable {
                             // Downgrades must be visible on every core
                             // running this address space; upgrades can
@@ -396,7 +407,7 @@ impl Monitor {
                 }
             }
             EmcRequest::WriteCr { which, value } => {
-                self.stats.cr_writes += 1;
+                self.stats.cr_writes = self.stats.cr_writes.saturating_add(1);
                 match which {
                     0 => {
                         let required = Cr0::WP | Cr0::PG;
@@ -417,7 +428,7 @@ impl Monitor {
                 Ok(EmcResponse::Ok)
             }
             EmcRequest::WrMsr { msr, value } => {
-                self.stats.msr_writes += 1;
+                self.stats.msr_writes = self.stats.msr_writes.saturating_add(1);
                 match msr {
                     Msr::Pkrs | Msr::SCet | Msr::Pl0Ssp => {
                         Err(EmcError::Denied("monitor-private MSR"))
@@ -449,7 +460,7 @@ impl Monitor {
                 if !self.kernel_text_contains(handler) {
                     return Err(EmcError::Denied("vector handler outside kernel text"));
                 }
-                self.stats.idt_writes += 1;
+                self.stats.idt_writes = self.stats.idt_writes.saturating_add(1);
                 self.vec_handlers[vec as usize] = Some(handler);
                 // With exit protection the hardware IDT entry points at the
                 // interposer; otherwise at the kernel handler directly.
@@ -499,7 +510,7 @@ impl Monitor {
                 Ok(EmcResponse::Region(id))
             }
             EmcRequest::AttestReport { report_data } => {
-                self.stats.ghci_ops += 1;
+                self.stats.ghci_ops = self.stats.ghci_ops.saturating_add(1);
                 match tdcall(tdx, machine, cpu, TdcallLeaf::TdReport { report_data }) {
                     Ok(TdcallResult::Report(r)) => Ok(EmcResponse::Report(r)),
                     Ok(_) => Err(EmcError::BadRequest("unexpected tdcall result")),
@@ -509,11 +520,11 @@ impl Monitor {
             EmcRequest::CpuidEmulate { leaf } => {
                 let value = match self.cpuid_cache.get(&leaf) {
                     Some(v) => {
-                        self.stats.cpuid_cached += 1;
+                        self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
                         *v
                     }
                     None => {
-                        self.stats.ghci_ops += 1;
+                        self.stats.ghci_ops = self.stats.ghci_ops.saturating_add(1);
                         // Only successful emulations enter the cache: a
                         // faulted or module-declined tdcall must not pin
                         // zeros for the leaf forever.
@@ -616,7 +627,7 @@ impl Monitor {
         )
         .map_err(map_err)?;
         self.frames.inc_map(f);
-        self.stats.pte_updates += 1;
+        self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
         Ok(f)
     }
 
@@ -640,6 +651,16 @@ impl Monitor {
         }
         mmu_guard::checked_update_leaf(machine, cpu, root, va, |_| Pte::empty())
             .map_err(map_err)?;
+        // Revocation anchor for the trace race detector: the PTE is gone
+        // from this point on, so any core's cached use of the page without
+        // an intervening invalidation is a stale-permission window.
+        machine.trace_event(
+            cpu,
+            TraceEvent::Emc {
+                op: "unmap",
+                arg: va.0 >> 12,
+            },
+        );
         // Close the stale-translation window before the frame can be
         // reused: every core running this address space may hold a cached
         // translation for `va`.
@@ -647,7 +668,7 @@ impl Monitor {
             .tlb_shootdown_mm(cpu, root, &[va])
             .map_err(EmcError::Fault)?;
         self.frames.dec_map(f);
-        self.stats.pte_updates += 1;
+        self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
         if self.frames.mapcount(f) == 0 && matches!(self.frames.kind(f), FrameKind::UserAnon { .. })
         {
             machine.mem.free_frame(f).ok();
@@ -683,7 +704,7 @@ impl Monitor {
                 off += PAGE_SIZE as u64;
             }
         }
-        self.stats.user_copies += 1;
+        self.stats.user_copies = self.stats.user_copies.saturating_add(1);
         let saved_root = machine.cpus[cpu].cr3;
         let switch = saved_root != root;
         if switch {
@@ -719,7 +740,7 @@ impl Monitor {
         if !self.device.contains(frame) {
             return Err(EmcError::Denied("conversion outside the device window"));
         }
-        self.stats.ghci_ops += 1;
+        self.stats.ghci_ops = self.stats.ghci_ops.saturating_add(1);
         if shared {
             self.frames
                 .set_kind(frame, FrameKind::SharedDevice)
@@ -847,7 +868,7 @@ impl Monitor {
             )
             .map_err(map_err)?;
         }
-        self.stats.pte_updates += pages as u64;
+        self.stats.pte_updates = self.stats.pte_updates.saturating_add(pages as u64);
         Ok(EmcResponse::Ok)
     }
 
@@ -987,7 +1008,7 @@ impl Monitor {
             sandbox.confined.push((page_va, frame));
             sandbox.logical_confined_bytes += PAGE_SIZE as u64;
         }
-        self.stats.pte_updates += pages;
+        self.stats.pte_updates = self.stats.pte_updates.saturating_add(pages);
         Ok(())
     }
 
@@ -1083,7 +1104,7 @@ impl Monitor {
         write: bool,
     ) -> ExitDecision {
         self.charge_interpose(machine);
-        self.stats.sandbox_pf_exits += 1;
+        self.stats.sandbox_pf_exits = self.stats.sandbox_pf_exits.saturating_add(1);
         let Some(sandbox) = self.sandboxes.get(&id.0) else {
             return ExitDecision::Killed {
                 reason: "no such sandbox",
@@ -1157,7 +1178,7 @@ impl Monitor {
         match res {
             Ok(()) => {
                 self.frames.inc_map(frame);
-                self.stats.pte_updates += 1;
+                self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
                 machine.cycles.charge(machine.costs.pf_fixed);
                 if let Some(s) = self.sandboxes.get_mut(&id.0) {
                     s.common_mapped.push((rid, page));
@@ -1244,7 +1265,7 @@ impl Monitor {
                     seal_res = Err(EmcError::Fault(e));
                     break;
                 }
-                self.stats.pte_updates += 1;
+                self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
             }
             guard.exit(machine, cpu);
             seal_res?;
@@ -1309,7 +1330,7 @@ impl Monitor {
                         }
                     }
                     reclaimed += 1;
-                    self.stats.pte_updates += 1;
+                    self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
                 }
             }
             guard.exit(machine, cpu);
@@ -1337,7 +1358,7 @@ impl Monitor {
     }
 
     fn kill_sandbox_body(&mut self, machine: &mut Machine, id: SandboxId, reason: &'static str) {
-        self.stats.sandboxes_killed += 1;
+        self.stats.sandboxes_killed = self.stats.sandboxes_killed.saturating_add(1);
         let Some(sandbox) = self.sandboxes.get_mut(&id.0) else {
             return;
         };
@@ -1420,7 +1441,7 @@ impl Monitor {
             if state == Some(SandboxState::DataLoaded) {
                 // The monitor I/O channel is always monitor-handled (§6.3).
                 if nr == SYS_IOCTL && fd == EREBOR_IO_FD {
-                    self.stats.sandbox_syscall_exits += 1;
+                    self.stats.sandbox_syscall_exits = self.stats.sandbox_syscall_exits.saturating_add(1);
                     return self.handle_io_ioctl(machine, tdx, cpu, id);
                 }
                 // Any other software-controlled exit is fatal — when exit
@@ -1480,8 +1501,8 @@ impl Monitor {
         if let Some(id) = sandbox {
             if self.cfg.exit_protection() {
                 match vec {
-                    idt::vector::TIMER => self.stats.sandbox_timer_exits += 1,
-                    idt::vector::PF => self.stats.sandbox_pf_exits += 1,
+                    idt::vector::TIMER => self.stats.sandbox_timer_exits = self.stats.sandbox_timer_exits.saturating_add(1),
+                    idt::vector::PF => self.stats.sandbox_pf_exits = self.stats.sandbox_pf_exits.saturating_add(1),
                     idt::vector::DEVICE => {}
                     _ => {}
                 }
@@ -1561,11 +1582,11 @@ impl Monitor {
             if self.cfg.exit_protection()
                 && self.sandboxes.get(&id.0).map(|s| s.state) == Some(SandboxState::DataLoaded)
             {
-                self.stats.sandbox_ve_exits += 1;
+                self.stats.sandbox_ve_exits = self.stats.sandbox_ve_exits.saturating_add(1);
                 if reason == VeReason::Cpuid {
                     let value = match self.cpuid_cache.get(&cpuid_leaf) {
                         Some(v) => {
-                            self.stats.cpuid_cached += 1;
+                            self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
                             *v
                         }
                         None => {

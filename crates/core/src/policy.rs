@@ -180,7 +180,7 @@ impl FrameTable {
     /// Record a new mapping.
     pub fn inc_map(&mut self, frame: Frame) {
         if let Some(c) = self.mapcount.get_mut(frame.0 as usize) {
-            *c += 1;
+            *c = c.saturating_add(1);
         }
     }
 

@@ -24,6 +24,13 @@ pub struct Sha256 {
     total_len: u64,
 }
 
+// Opaque on purpose: the running state digests possibly-private input.
+impl core::fmt::Debug for Sha256 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sha256").finish_non_exhaustive()
+    }
+}
+
 impl Default for Sha256 {
     fn default() -> Self {
         Sha256::new()

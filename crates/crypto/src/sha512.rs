@@ -103,6 +103,13 @@ pub struct Sha512 {
     total_len: u128,
 }
 
+// Opaque on purpose: the running state digests possibly-private input.
+impl core::fmt::Debug for Sha512 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sha512").finish_non_exhaustive()
+    }
+}
+
 impl Default for Sha512 {
     fn default() -> Self {
         Sha512::new()

@@ -170,6 +170,13 @@ pub struct Machine {
     /// Fast-path switch: `false` forces every translation through the
     /// walker (ablation + the TLB-equivalence property test).
     pub tlb_enabled: bool,
+    /// MMU-trace switch: when set, TLB maintenance and cached-translation
+    /// hits record gated trace events ([`TraceEvent::TlbShootdown`],
+    /// [`TraceEvent::TlbInvlpg`], [`TraceEvent::TlbFlush`],
+    /// [`TraceEvent::TlbHit`]) that the `erebor-analyze` race detector
+    /// consumes. Off by default so ordinary traces (and the byte-stable
+    /// `--trace` CI export) are unchanged.
+    pub mmu_trace: bool,
     sensitive_domains: BTreeSet<Domain>,
     injector: Option<InjectorHandle>,
     /// `(cpu, page-number)` pairs whose invalidation IPI was dropped by an
@@ -199,6 +206,7 @@ impl Machine {
             stats: HwStats::default(),
             trace: TraceBuffer::new(cores),
             tlb_enabled: true,
+            mmu_trace: false,
             sensitive_domains: BTreeSet::new(),
             injector: None,
             pending_shootdowns: BTreeSet::new(),
@@ -382,8 +390,17 @@ impl Machine {
                         self.trace_fault(cpu, va, kind);
                         return Err(f);
                     }
-                    self.stats.tlb_hits += 1;
+                    self.stats.tlb_hits = self.stats.tlb_hits.saturating_add(1);
                     self.cycles.charge_to(Bucket::PageWalk, self.costs.tlb_hit);
+                    if self.mmu_trace {
+                        self.trace_event(
+                            cpu,
+                            TraceEvent::TlbHit {
+                                root: env.root.0,
+                                page: va.0 >> 12,
+                            },
+                        );
+                    }
                     return Ok(crate::PhysAddr(entry.frame.base().0 + va.page_offset()));
                 }
             }
@@ -398,7 +415,7 @@ impl Machine {
         self.cycles
             .charge_to(Bucket::PageWalk, u64::from(t.levels_walked) * self.costs.walk_level);
         if self.tlb_enabled {
-            self.stats.tlb_misses += 1;
+            self.stats.tlb_misses = self.stats.tlb_misses.saturating_add(1);
             self.tlbs[cpu].insert(env.root, va, kind, &t);
         }
         Ok(t.pa)
@@ -507,8 +524,11 @@ impl Machine {
     /// [`Machine::write_cr3`]).
     pub fn flush_tlb(&mut self, cpu: usize) {
         self.tlbs[cpu].flush_all();
-        self.stats.tlb_flushes += 1;
+        self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
         self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+        if self.mmu_trace {
+            self.trace_event(cpu, TraceEvent::TlbFlush);
+        }
     }
 
     /// `invlpg`-equivalent: drop `cpu`'s cached translation for `va`'s
@@ -523,8 +543,11 @@ impl Machine {
         }
         self.cycles.charge(self.costs.invlpg);
         self.tlbs[cpu].invalidate_page(va);
-        self.stats.tlb_page_invalidations += 1;
+        self.stats.tlb_page_invalidations = self.stats.tlb_page_invalidations.saturating_add(1);
         self.pending_shootdowns.remove(&(cpu, va.0 >> 12));
+        if self.mmu_trace {
+            self.trace_event(cpu, TraceEvent::TlbInvlpg { page: va.0 >> 12 });
+        }
         Ok(())
     }
 
@@ -595,6 +618,21 @@ impl Machine {
             return Ok(());
         }
         let full = vas.len() > Self::SHOOTDOWN_FULL_FLUSH_CEILING;
+        if self.mmu_trace {
+            // Revocation edge for the happens-before race detector: the
+            // permission change is published *before* any remote ack, so
+            // a later cached use without an intervening invalidation on
+            // that core is a stale-permission window.
+            for va in vas {
+                self.trace_event(
+                    initiator,
+                    TraceEvent::TlbShootdown {
+                        root: root.map_or(0, |r| r.0),
+                        page: va.0 >> 12,
+                    },
+                );
+            }
+        }
         for cpu in 0..self.cpus.len() {
             if cpu != initiator {
                 if root.is_some_and(|r| self.cpus[cpu].cr3 != r) {
@@ -603,7 +641,7 @@ impl Machine {
                 // The remote handler's invalidation work is folded into
                 // the IPI delivery cost.
                 self.cycles.charge(self.costs.interrupt_delivery);
-                self.stats.tlb_shootdown_ipis += 1;
+                self.stats.tlb_shootdown_ipis = self.stats.tlb_shootdown_ipis.saturating_add(1);
                 self.trace_event(initiator, TraceEvent::IpiSent { to: cpu as u32 });
                 let dropped = self
                     .injector
@@ -632,16 +670,23 @@ impl Machine {
                     self.cycles.charge(self.costs.mov_cr);
                 }
                 self.tlbs[cpu].flush_all();
-                self.stats.tlb_flushes += 1;
+                self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
                 self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+                if self.mmu_trace {
+                    self.trace_event(cpu, TraceEvent::TlbFlush);
+                }
             } else {
                 for va in vas {
                     if cpu == initiator {
                         self.cycles.charge(self.costs.invlpg);
-                        self.stats.tlb_page_invalidations += 1;
+                        self.stats.tlb_page_invalidations =
+                            self.stats.tlb_page_invalidations.saturating_add(1);
                     }
                     self.tlbs[cpu].invalidate_page(*va);
                     self.pending_shootdowns.remove(&(cpu, va.0 >> 12));
+                    if self.mmu_trace {
+                        self.trace_event(cpu, TraceEvent::TlbInvlpg { page: va.0 >> 12 });
+                    }
                 }
             }
         }
@@ -655,11 +700,14 @@ impl Machine {
                     .is_some_and(|h| inject::lock(h).spurious_shootdown(cpu));
                 if spurious {
                     self.cycles.charge(self.costs.interrupt_delivery);
-                    self.stats.tlb_shootdown_ipis += 1;
+                    self.stats.tlb_shootdown_ipis = self.stats.tlb_shootdown_ipis.saturating_add(1);
                     self.trace_event(cpu, TraceEvent::IpiSpurious);
                     self.tlbs[cpu].flush_all();
-                    self.stats.tlb_flushes += 1;
+                    self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
                     self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+                    if self.mmu_trace {
+                        self.trace_event(cpu, TraceEvent::TlbFlush);
+                    }
                 }
             }
         }
@@ -902,7 +950,7 @@ impl Machine {
         self.cpus[cpu].mode = CpuMode::Supervisor;
         self.cpus[cpu].domain = domain_of(handler);
         self.cpus[cpu].ctx.rip = handler.0;
-        self.interrupt_depth[cpu] += 1;
+        self.interrupt_depth[cpu] = self.interrupt_depth[cpu].saturating_add(1);
         Ok((handler, saved))
     }
 

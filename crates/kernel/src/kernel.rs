@@ -33,6 +33,12 @@ pub struct Hw<'a> {
     pub cpu: usize,
 }
 
+impl core::fmt::Debug for Hw<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Hw").field("cpu", &self.cpu).finish_non_exhaustive()
+    }
+}
+
 /// Kernel event counters (Fig. 8 / Table 6 raw material).
 #[derive(Debug, Default, Clone, Copy)]
 pub struct KernelStats {
@@ -253,7 +259,7 @@ impl Kernel {
         let root = self.tasks.get(&pid.0).ok_or(Errno::Esrch)?.root;
         let cpu = hw.cpu;
         if self.current.get(&cpu) != Some(&pid) {
-            self.stats.ctx_switches += 1;
+            self.stats.ctx_switches = self.stats.ctx_switches.saturating_add(1);
             vm::switch_address_space(hw, root)?;
             if let Some(prev) = self.current.get(&cpu).copied() {
                 if let Some(t) = self.tasks.get_mut(&prev.0) {
@@ -319,7 +325,7 @@ impl Kernel {
     /// The scheduler tick (timer interrupt body): round-robin.
     /// Returns the task to run next.
     pub fn on_timer(&mut self, hw: &mut Hw<'_>) -> Option<Pid> {
-        self.stats.timer_ticks += 1;
+        self.stats.timer_ticks = self.stats.timer_ticks.saturating_add(1);
         self.housekeeping(hw);
         // Deliver any pending signals of the current task.
         if let Some(pid) = self.current_on(hw.cpu) {
@@ -362,7 +368,7 @@ impl Kernel {
         let pending = std::mem::take(&mut t.pending_signals);
         for sig in pending {
             if t.sig_handlers.contains_key(&sig) {
-                self.stats.signals_delivered += 1;
+                self.stats.signals_delivered = self.stats.signals_delivered.saturating_add(1);
                 if t.state == TaskState::Blocked {
                     t.state = TaskState::Ready;
                 }
@@ -438,7 +444,7 @@ impl Kernel {
         va: VirtAddr,
         write: bool,
     ) -> Result<(), Errno> {
-        self.stats.page_faults += 1;
+        self.stats.page_faults = self.stats.page_faults.saturating_add(1);
         hw.machine.cycles.charge(hw.machine.costs.pf_fixed);
         let (root, writable, executable) = {
             let t = self.tasks.get(&pid.0).ok_or(Errno::Esrch)?;
@@ -467,7 +473,7 @@ impl Kernel {
     /// (`ConvertShared`) or is monitor-handled; native kernels tdcall
     /// directly — both paths are exercised by the Fig. 10 workloads.
     pub fn handle_ve_native(&mut self, _hw: &mut Hw<'_>) {
-        self.stats.ve_handled += 1;
+        self.stats.ve_handled = self.stats.ve_handled.saturating_add(1);
     }
 
     // =================================================================
@@ -484,7 +490,7 @@ impl Kernel {
         args: [u64; 6],
     ) -> u64 {
         debug_assert!(self.initialized, "kernel entries not registered");
-        self.stats.syscalls += 1;
+        self.stats.syscalls = self.stats.syscalls.saturating_add(1);
         hw.machine.cycles.charge(hw.machine.costs.syscall_dispatch);
         match self.do_syscall(hw, pid, syscall_nr, args) {
             Ok(v) => v,
@@ -804,7 +810,7 @@ impl Kernel {
     }
 
     fn do_fork(&mut self, hw: &mut Hw<'_>, pid: Pid) -> Result<u64, Errno> {
-        self.stats.forks += 1;
+        self.stats.forks = self.stats.forks.saturating_add(1);
         let asid = self.next_asid;
         self.next_asid += 1;
         let child_root = vm::create_address_space(hw, asid)?;

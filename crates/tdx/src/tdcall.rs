@@ -234,7 +234,7 @@ impl TdxModule {
         cpu: usize,
         _reason: VeReason,
     ) -> Result<(VirtAddr, GprContext), Fault> {
-        self.stats.ve_injected += 1;
+        self.stats.ve_injected = self.stats.ve_injected.saturating_add(1);
         machine.deliver_interrupt(cpu, vector::VE)
     }
 
@@ -288,7 +288,7 @@ fn tdcall_body(
     cpu: usize,
     leaf: TdcallLeaf,
 ) -> Result<TdcallResult, Fault> {
-    module.stats.tdcalls += 1;
+    module.stats.tdcalls = module.stats.tdcalls.saturating_add(1);
     let c = &machine.costs;
     machine
         .cycles
@@ -301,7 +301,7 @@ fn tdcall_body(
 
     match leaf {
         TdcallLeaf::MapGpa { frame, shared } => {
-            module.stats.mapgpa += 1;
+            module.stats.mapgpa = module.stats.mapgpa.saturating_add(1);
             let to = if shared {
                 GpaState::Shared
             } else {
@@ -338,7 +338,7 @@ fn tdcall_body(
             }
         }
         TdcallLeaf::VmCall(op) => {
-            module.stats.vmcalls += 1;
+            module.stats.vmcalls = module.stats.vmcalls.saturating_add(1);
             machine.cycles.charge(machine.costs.vmm_dispatch / 2);
             match op {
                 VmcallOp::Cpuid { leaf } => {
@@ -355,7 +355,7 @@ fn tdcall_body(
             }
         }
         TdcallLeaf::TdReport { report_data } => {
-            module.stats.tdreports += 1;
+            module.stats.tdreports = module.stats.tdreports.saturating_add(1);
             machine.cycles.charge(machine.costs.tdreport_generate);
             Ok(TdcallResult::Report(Box::new(
                 module.attest.tdreport(*report_data),

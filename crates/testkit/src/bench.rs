@@ -127,6 +127,14 @@ pub struct Bencher {
     result: Option<(u64, Vec<f64>)>,
 }
 
+impl core::fmt::Debug for Bencher {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Bencher")
+            .field("samples", &self.samples)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Bencher {
     /// Run `f` under warmup + calibrated sampling; records the result.
     pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
@@ -164,6 +172,14 @@ pub struct Criterion {
     warmup: Duration,
     sample_target: Duration,
     samples: usize,
+}
+
+impl core::fmt::Debug for Criterion {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Criterion")
+            .field("records", &self.records.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Criterion {
@@ -286,6 +302,12 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
     sample_size: Option<usize>,
+}
+
+impl core::fmt::Debug for BenchmarkGroup<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BenchmarkGroup").finish_non_exhaustive()
+    }
 }
 
 impl BenchmarkGroup<'_> {

@@ -34,6 +34,16 @@ pub struct Source {
     rng: Option<TestRng>,
 }
 
+impl core::fmt::Debug for Source {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Source")
+            .field("len", &self.data.len())
+            .field("pos", &self.pos)
+            .field("generative", &self.rng.is_some())
+            .finish()
+    }
+}
+
 impl Source {
     /// A generative source: fresh bytes from `rng`, recorded as consumed.
     #[must_use]
@@ -143,6 +153,12 @@ pub trait Strategy {
 /// A type-erased strategy.
 pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut Source) -> T>);
 
+impl<T> core::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BoxedStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
         BoxedStrategy(Rc::clone(&self.0))
@@ -174,6 +190,12 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> core::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S, F, U> Strategy for Map<S, F>
 where
     S: Strategy,
@@ -189,6 +211,14 @@ where
 pub struct OneOf<T> {
     /// The alternatives.
     pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> core::fmt::Debug for OneOf<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OneOf")
+            .field("options", &self.options.len())
+            .finish()
+    }
 }
 
 impl<T> Strategy for OneOf<T> {
@@ -299,6 +329,12 @@ impl<const N: usize> Arbitrary for [u8; N] {
 
 /// Strategy for an [`Arbitrary`] type.
 pub struct Any<T>(PhantomData<T>);
+
+impl<T> core::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Any").finish_non_exhaustive()
+    }
+}
 
 impl<T> Clone for Any<T> {
     fn clone(&self) -> Self {
@@ -438,6 +474,12 @@ pub mod collection {
         size: SizeRange,
     }
 
+    impl<S> core::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("VecStrategy").finish_non_exhaustive()
+        }
+    }
+
     impl<S: Strategy> Strategy for VecStrategy<S> {
         type Value = Vec<S::Value>;
         fn generate(&self, src: &mut Source) -> Vec<S::Value> {
@@ -464,6 +506,12 @@ pub mod collection {
     pub struct BTreeSetStrategy<S> {
         elem: S,
         size: SizeRange,
+    }
+
+    impl<S> core::fmt::Debug for BTreeSetStrategy<S> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("BTreeSetStrategy").finish_non_exhaustive()
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>
@@ -507,6 +555,12 @@ pub mod collection {
         key: K,
         value: V,
         size: SizeRange,
+    }
+
+    impl<K, V> core::fmt::Debug for BTreeMapStrategy<K, V> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("BTreeMapStrategy").finish_non_exhaustive()
+        }
     }
 
     impl<K, V> Strategy for BTreeMapStrategy<K, V>

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -169,8 +170,9 @@ pub enum TraceEvent {
     /// EMC exit gate taken (PKRS revoked, control returned).
     GateExit,
     /// An EMC lifecycle transition: `op` is one of
-    /// `create`/`seal`/`downgrade`/`reclaim`/`kill`/`deny`; `arg` is the
-    /// sandbox id, region id, or page count the op concerns.
+    /// `create`/`seal`/`downgrade`/`unmap`/`reclaim`/`kill`/`deny`; `arg`
+    /// is the sandbox id, region id, page number, or page count the op
+    /// concerns.
     Emc {
         /// Lifecycle operation name.
         op: &'static str,
@@ -217,6 +219,35 @@ pub enum TraceEvent {
         /// Injection-point name.
         point: &'static str,
     },
+    /// MMU-trace (gated): the initiator committed a translation
+    /// revocation for `page` under `root` (`0` = every root) and now owes
+    /// the invalidation round. Recorded once per page per shootdown,
+    /// before any core invalidates — the opening edge of a
+    /// stale-permission window.
+    TlbShootdown {
+        /// Targeted page-table root (`Frame.0`; `0` for a broadcast).
+        root: u64,
+        /// Revoked page number (VA >> 12).
+        page: u64,
+    },
+    /// MMU-trace (gated): this core dropped its cached translation(s)
+    /// for `page` — the closing edge of any open window for the page.
+    TlbInvlpg {
+        /// Invalidated page number.
+        page: u64,
+    },
+    /// MMU-trace (gated): this core flushed its entire TLB, closing
+    /// every open window on the core.
+    TlbFlush,
+    /// MMU-trace (gated): a translation on this core was served from its
+    /// TLB rather than a fresh walk — the access edge the race detector
+    /// checks against open revocation windows.
+    TlbHit {
+        /// Page-table root the cached entry is tagged with (`Frame.0`).
+        root: u64,
+        /// Accessed page number.
+        page: u64,
+    },
 }
 
 impl TraceEvent {
@@ -235,12 +266,25 @@ impl TraceEvent {
             TraceEvent::IpiDropped { .. } => "ipi_dropped",
             TraceEvent::IpiSpurious => "ipi_spurious",
             TraceEvent::ChaosFault { .. } => "chaos_fault",
+            TraceEvent::TlbShootdown { .. } => "tlb_shootdown",
+            TraceEvent::TlbInvlpg { .. } => "tlb_invlpg",
+            TraceEvent::TlbFlush => "tlb_flush",
+            TraceEvent::TlbHit { .. } => "tlb_hit",
         }
     }
 
     fn write_extra(&self, s: &mut String) {
         match self {
-            TraceEvent::GateEnter | TraceEvent::GateExit | TraceEvent::IpiSpurious => {}
+            TraceEvent::GateEnter
+            | TraceEvent::GateExit
+            | TraceEvent::IpiSpurious
+            | TraceEvent::TlbFlush => {}
+            TraceEvent::TlbShootdown { root, page } | TraceEvent::TlbHit { root, page } => {
+                let _ = write!(s, ",\"root\":{root},\"page\":{page}");
+            }
+            TraceEvent::TlbInvlpg { page } => {
+                let _ = write!(s, ",\"page\":{page}");
+            }
             TraceEvent::Emc { op, arg } => {
                 let _ = write!(s, ",\"op\":\"{op}\",\"arg\":{arg}");
             }
@@ -520,3 +564,4 @@ mod tests {
         assert_eq!(t.core(0)[0].cpu, 9, "original core id preserved");
     }
 }
+

@@ -123,6 +123,15 @@ pub struct SandboxEnv<'a> {
     private_pages: u64,
 }
 
+impl core::fmt::Debug for SandboxEnv<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SandboxEnv")
+            .field("private_base", &self.private_base)
+            .field("private_pages", &self.private_pages)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<'a> SandboxEnv<'a> {
     /// Wrap a LibOS + platform handle. `private_base` is a confined
     /// allocation covering the workload's private pages.
@@ -263,6 +272,12 @@ pub struct NativeEnv<'a> {
     pub state: &'a mut NativeState,
 }
 
+impl core::fmt::Debug for NativeEnv<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NativeEnv").finish_non_exhaustive()
+    }
+}
+
 impl<'a> NativeEnv<'a> {
     /// Bind a handle to a prepared process.
     #[must_use]
@@ -324,6 +339,14 @@ impl Env for NativeEnv<'_> {
 pub struct SandboxedWorkload<W: Workload> {
     /// The wrapped workload.
     pub inner: W,
+}
+
+impl<W: Workload> core::fmt::Debug for SandboxedWorkload<W> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SandboxedWorkload")
+            .field("name", &self.inner.name())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<W: Workload> SandboxedWorkload<W> {

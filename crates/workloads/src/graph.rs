@@ -87,9 +87,9 @@ impl Workload for GraphRank {
         let top = rank
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(v, r)| (v, *r))
-            .expect("non-empty");
+            .unwrap_or((0, 0.0));
         Ok(format!("sum={total:.4} top={} rank={:.6}", top.0, top.1).into_bytes())
     }
 }

@@ -18,6 +18,14 @@
 #                          schema, byte-identical across two runs, a
 #                          non-empty monitor bucket, and attribution
 #                          buckets summing to the cycle total.
+#   scripts/ci.sh --analyze  additionally run the static-analysis
+#                          passes: the state auditor over the boot
+#                          snapshot (zero findings, bounded work), the
+#                          red-team auditor/race-detector suite, and a
+#                          100-case chaos campaign with the auditor and
+#                          the happens-before race detector as per-case
+#                          invariants. The source lint always runs in
+#                          the default gate.
 #
 # Machine-readable output convention: every JSON-emitting binary prints
 # its document on a single stdout line prefixed `EREBOR_JSON:`. CI greps
@@ -32,13 +40,15 @@ cd "$(dirname "$0")/.."
 SMOKE=0
 CHAOS=0
 TRACE=0
+ANALYZE=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
         --chaos) CHAOS=1 ;;
         --trace) TRACE=1 ;;
+        --analyze) ANALYZE=1 ;;
         *)
-            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace]" >&2
+            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze]" >&2
             exit 2
             ;;
     esac
@@ -54,6 +64,12 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> cargo test -q"
 cargo test -q
+
+# The hermetic source lint is part of the default gate: panic-free
+# library code, saturating counters, no relaxed atomics, EREBOR_JSON:
+# markers in every JSON-emitting bin. Non-zero exit on any finding.
+echo "==> lint: cargo run --release -p erebor-analyze --bin lint"
+cargo run --release -q -p erebor-analyze --bin lint
 
 # Extract the EREBOR_JSON:-marked document from a command's stdout.
 # Fails the run loudly when the marker is missing — a binary that stopped
@@ -189,6 +205,56 @@ PY
         fi
         echo "    paging: hit=$hit cold=$cold sim cycles/probe"
     fi
+fi
+
+if [[ "$ANALYZE" == 1 ]]; then
+    # Static-analysis stage (see DESIGN.md §9). Three passes:
+    #   1. state auditor over a freshly booted Full snapshot — zero
+    #      findings, and the walked state must stay under a fixed
+    #      simulated-work budget so the per-chaos-case audit stays cheap;
+    #   2. the red-team suite (tests/analyze.rs): one corrupted snapshot
+    #      per auditor check asserting exactly that finding, plus the
+    #      synthetic and end-to-end stale-TLB races;
+    #   3. a fixed-seed chaos campaign with the auditor and the
+    #      happens-before race detector wired in as per-case invariants.
+    echo "==> analyze: cargo bench analyze (auditor budget)"
+    analyze_raw="$(EREBOR_BENCH_SMOKE=1 cargo bench -p erebor-bench --bench analyze 2>/dev/null)"
+    analyze_out="$(extract_json "$analyze_raw" "analyze")"
+    check_json "$analyze_out" "analyze"
+    if command -v python3 >/dev/null 2>&1; then
+        EREBOR_ANALYZE_JSON="$analyze_out" python3 - <<'PY'
+import json, os
+meta = json.loads(os.environ["EREBOR_ANALYZE_JSON"])["meta"]
+findings = meta["audit_findings"]
+work = meta["audit_work"]
+assert findings == 0, f"boot snapshot audit not clean: {findings} finding(s)"
+assert work <= 120_000, f"audit walked too much state: work={work} > 120000"
+assert meta["audit_roots_walked"] >= 1, "auditor walked no page-table roots"
+assert meta["race_trace_records"] > 0, "race-detector bench trace is empty"
+print(f"    analyze: audit clean, work {work:.0f}/120000 "
+      f"({meta['audit_pte_reads']:.0f} PTE reads, "
+      f"{meta['audit_leaf_mappings']:.0f} leaf mappings, "
+      f"{meta['audit_roots_walked']:.0f} roots)")
+PY
+    else
+        # Fallback without python3: extract the integer meta fields with
+        # sed and compare directly.
+        findings="$(echo "$analyze_out" | sed -n 's/.*"audit_findings":\([0-9]*\).*/\1/p')"
+        work="$(echo "$analyze_out" | sed -n 's/.*"audit_work":\([0-9]*\).*/\1/p')"
+        if [[ -z "$findings" || "$findings" != 0 ]]; then
+            echo "error: boot snapshot audit not clean (findings=$findings)" >&2
+            exit 1
+        fi
+        if [[ -z "$work" || "$work" -gt 120000 ]]; then
+            echo "error: audit walked too much state (work=$work > 120000)" >&2
+            exit 1
+        fi
+        echo "    analyze: audit clean, work $work/120000"
+    fi
+
+    echo "==> analyze: cargo test --release --test analyze (red team + campaign)"
+    EREBOR_CHAOS_CASES="${EREBOR_CHAOS_CASES:-100}" \
+        cargo test --release -q --test analyze
 fi
 
 echo "==> ci.sh: all checks passed"

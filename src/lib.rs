@@ -18,6 +18,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 pub mod platform;
 pub mod runner;
@@ -28,6 +29,7 @@ pub use erebor_trace::{Attribution, Bucket, TraceBuffer, TraceEvent, TraceRecord
 pub use platform::{Platform, PlatformError, ProcHandle, ServiceInstance, Snapshot};
 pub use runner::{run_workload, run_workload_on, RunReport};
 
+pub use erebor_analyze as eanalyze;
 pub use erebor_core as ecore;
 pub use erebor_crypto as crypto;
 pub use erebor_hw as ehw;

@@ -43,6 +43,8 @@ pub enum PlatformError {
     Client(ClientError),
     /// LibOS failure.
     LibOs(String),
+    /// The post-boot state audit found violated security claims.
+    Audit(erebor_analyze::AuditReport),
 }
 
 impl core::fmt::Display for PlatformError {
@@ -54,6 +56,10 @@ impl core::fmt::Display for PlatformError {
             PlatformError::Channel(e) => write!(f, "channel: {e}"),
             PlatformError::Client(e) => write!(f, "client: {e}"),
             PlatformError::LibOs(e) => write!(f, "libos: {e}"),
+            PlatformError::Audit(r) => match r.findings.first() {
+                Some(first) => write!(f, "audit: {} finding(s), first: {first}", r.findings.len()),
+                None => write!(f, "audit: clean"),
+            },
         }
     }
 }
@@ -215,7 +221,36 @@ impl Platform {
         kernel.init(&mut hw).map_err(PlatformError::Errno)?;
         let now = platform.cvm.machine.cycles.total();
         platform.last_timer.fill(now);
+        // Post-boot state audit: a freshly booted platform must satisfy
+        // every security claim (C1–C8) before any workload touches it.
+        let report = platform.audit();
+        if !report.is_clean() {
+            return Err(PlatformError::Audit(report));
+        }
         Ok(platform)
+    }
+
+    /// Run the state auditor over the live machine: every page-table
+    /// tree the monitor tracks (kernel, registered user address spaces,
+    /// sandboxes), the sEPT, the IDT, the gate descriptors, and the
+    /// pinned MSRs, checked against the paper's claims C1–C8
+    /// (DESIGN.md §9). Read-only and side-effect free; callable at any
+    /// point, not just post-boot.
+    #[must_use]
+    pub fn audit(&self) -> erebor_analyze::AuditReport {
+        // Monitor-dependent claims (pkey tagging, gate/IDT landing pads,
+        // MSR pinning, sEPT typing) only hold where the monitor actually
+        // deprivileged the kernel; native and LibOS-only modes run
+        // without those protections by design.
+        let deprivileged = self.cvm.monitor.cfg.monitor_present();
+        let view = erebor_analyze::MachineView {
+            machine: &self.cvm.machine,
+            roots: &[],
+            gate: deprivileged.then_some(&self.cvm.monitor.gate),
+            monitor: deprivileged.then_some(&self.cvm.monitor),
+            sept: deprivileged.then_some(&self.cvm.tdx.sept),
+        };
+        erebor_analyze::audit::audit(&view)
     }
 
     /// Install a chaos injector on the booted machine: every instrumented

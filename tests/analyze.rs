@@ -1,0 +1,447 @@
+//! Red-team tests for `erebor-analyze`: every auditor check is exercised
+//! with a deliberately corrupted snapshot (asserting exactly that check
+//! fires) next to a clean snapshot (asserting none do), and the
+//! happens-before race detector is shown reproducing the hand-written
+//! stale-TLB attack from `tests/tlb_shootdown.rs` unprompted, from the
+//! machine trace alone.
+
+use erebor::eanalyze::{detect_races, Finding};
+use erebor::ecore::emc::{EmcRequest, EmcResponse};
+use erebor::ecore::policy::{self, FrameKind};
+use erebor::ehw::cpu::Domain;
+use erebor::ehw::fault::AccessKind;
+use erebor::ehw::idt::{self, vector, Idtr};
+use erebor::ehw::layout;
+use erebor::ehw::paging::{self, intermediate_for, map_raw, Pte, PteFlags};
+use erebor::ehw::regs::Cr0;
+use erebor::ehw::{CpuMode, Frame, VirtAddr};
+use erebor::{Mode, Platform, TraceEvent, TraceRecord};
+
+/// A kernel-half VA far from anything boot maps (text, data, direct map).
+const SCRATCH_VA: VirtAddr = VirtAddr(layout::KERNEL_BASE.0 + 0x4000_0000);
+const USER_VA: VirtAddr = VirtAddr(0x40_0000);
+
+fn booted() -> Platform {
+    // `boot` itself runs the auditor and fails on findings, so every
+    // successful boot doubles as the clean-snapshot half of each test.
+    Platform::boot(Mode::Full).expect("boot")
+}
+
+fn only_check(findings: &[Finding], check: &str) {
+    assert!(
+        findings.iter().any(|f| f.check == check),
+        "expected a {check} finding, got {findings:?}"
+    );
+    assert!(
+        findings.iter().all(|f| f.check == check),
+        "expected only {check} findings, got {findings:?}"
+    );
+}
+
+// ====================================================================
+// Clean snapshots
+// ====================================================================
+
+#[test]
+fn boot_snapshot_audits_clean() {
+    let p = booted();
+    let report = p.audit();
+    assert!(report.is_clean(), "{}", report.json());
+    assert!(report.roots_walked >= 1);
+    assert!(report.leaf_mappings > 0);
+    assert!(report.idt_entries > 0);
+    assert!(report.work() > 0);
+}
+
+/// Regression for the seed bug the auditor caught: the syscall and
+/// interrupt interposers are hardware entry points into the monitor and
+/// must be `endbr64` landing pads (the monitor image only tagged the EMC
+/// gate).
+#[test]
+fn hardware_entry_points_are_endbr_pads() {
+    let p = booted();
+    let mon = &p.cvm.monitor;
+    for (what, va) in [
+        ("gate entry", mon.gate.entry),
+        ("syscall interposer", mon.syscall_interposer),
+        ("interrupt interposer", mon.interrupt_interposer),
+    ] {
+        assert!(
+            p.cvm.machine.endbr.is_target(va),
+            "{what} {va:?} must be an ENDBR pad"
+        );
+    }
+}
+
+// ====================================================================
+// Corrupted snapshots: one per auditor check
+// ====================================================================
+
+#[test]
+fn c1_writable_executable_mapping_is_flagged() {
+    let mut p = booted();
+    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+    // present + writable + executable (nx unset): the W^X violation.
+    let wx = PteFlags {
+        present: true,
+        writable: true,
+        ..PteFlags::default()
+    };
+    map_raw(
+        &mut p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        SCRATCH_VA,
+        Pte::encode(f, wx),
+        intermediate_for(PteFlags::kernel_rw(0)),
+    )
+    .expect("map");
+    only_check(&p.audit().findings, "wx-exclusive");
+}
+
+#[test]
+fn c2_monitor_frame_under_default_key_is_flagged() {
+    let mut p = booted();
+    // Alias the monitor's text frame into the kernel half read-only under
+    // the *default* key — normal mode could then read monitor memory.
+    let mon_frame = paging::lookup_raw(
+        &p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        layout::MONITOR_BASE,
+    )
+    .expect("walk")
+    .expect("monitor text mapped")
+    .frame();
+    assert_eq!(p.cvm.monitor.frames.kind(mon_frame), FrameKind::Monitor);
+    map_raw(
+        &mut p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        SCRATCH_VA,
+        Pte::encode(mon_frame, PteFlags::kernel_ro(policy::PK_DEFAULT)),
+        intermediate_for(PteFlags::kernel_ro(0)),
+    )
+    .expect("map");
+    only_check(&p.audit().findings, "pkey-tagging");
+}
+
+#[test]
+fn c3_confined_frame_reachable_from_kernel_root_is_flagged() {
+    let mut p = booted();
+    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+    p.cvm
+        .monitor
+        .frames
+        .set_kind(f, FrameKind::Confined { sandbox: 9 })
+        .expect("typed");
+    map_raw(
+        &mut p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        SCRATCH_VA,
+        Pte::encode(f, PteFlags::kernel_ro(policy::PK_DEFAULT)),
+        intermediate_for(PteFlags::kernel_ro(0)),
+    )
+    .expect("map");
+    only_check(&p.audit().findings, "confined-unreachable");
+}
+
+#[test]
+fn c4_writable_shadow_stack_frame_is_flagged() {
+    let mut p = booted();
+    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+    p.cvm
+        .monitor
+        .frames
+        .set_kind(f, FrameKind::ShadowStack)
+        .expect("typed");
+    // Retag the frame's direct-map alias the way boot does for real
+    // shadow-stack frames, so only the corrupted scratch mapping below
+    // is wrong.
+    let dm_slot = paging::leaf_slot(
+        &p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        layout::direct_map(erebor::ehw::PhysAddr(f.0 << 12)),
+    )
+    .expect("walk")
+    .expect("direct-map leaf");
+    p.cvm
+        .machine
+        .mem
+        .write_u64(dm_slot, Pte::encode(f, PteFlags::kernel_ro(policy::PK_SSTK)).0)
+        .expect("retag");
+    // Writable under a non-SSTK, non-monitor key (kernel-text key keeps
+    // the weak pkey-tagging check quiet, isolating the sstk finding).
+    map_raw(
+        &mut p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        SCRATCH_VA,
+        Pte::encode(f, PteFlags::kernel_rw(policy::PK_KTEXT)),
+        intermediate_for(PteFlags::kernel_rw(0)),
+    )
+    .expect("map");
+    only_check(&p.audit().findings, "sstk-protected");
+}
+
+#[test]
+fn c5_idt_vector_rewritten_into_kernel_half_is_flagged() {
+    let mut p = booted();
+    let idtr = Idtr {
+        base: p.cvm.monitor.idt_base,
+    };
+    // A DMA-style backdoor store retargets the timer vector at kernel
+    // text — delivery would bypass the monitor's #INT interposer.
+    idt::write_entry_raw(
+        &mut p.cvm.machine.mem,
+        p.cvm.monitor.kernel_root,
+        idtr,
+        vector::TIMER,
+        VirtAddr(layout::KERNEL_BASE.0 + 0x100),
+    )
+    .expect("backdoor IDT store");
+    only_check(&p.audit().findings, "control-transfer");
+}
+
+#[test]
+fn c6_cleared_wp_is_flagged() {
+    let mut p = booted();
+    p.cvm.machine.cpus[1].cr0 = Cr0(Cr0::PG); // WP off under paging
+    only_check(&p.audit().findings, "msr-pinning");
+}
+
+#[test]
+fn c7_shared_device_frame_still_private_is_flagged() {
+    let mut p = booted();
+    // A frame typed SharedDevice that is still sEPT-private: the frame
+    // table and the sEPT disagree, and the direct-map alias already makes
+    // it a mapped frame the walk visits.
+    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+    p.cvm
+        .monitor
+        .frames
+        .set_kind(f, FrameKind::SharedDevice)
+        .expect("typed");
+    p.cvm.tdx.sept.accept_private(f);
+    only_check(&p.audit().findings, "sept-consistency");
+}
+
+#[test]
+fn c8_stale_tlb_entry_after_backdoor_unmap_is_flagged() {
+    let (mut p, root) = platform_with_user_page();
+    run_user(&mut p, 0, root);
+    p.cvm
+        .machine
+        .probe(0, USER_VA, AccessKind::Read)
+        .expect("cache the translation");
+    // Zero the PTE without any shootdown: the cached entry is now a
+    // ledger inconsistency (no pending-shootdown record explains it).
+    let slot = paging::leaf_slot(&p.cvm.machine.mem, root, USER_VA)
+        .expect("walk")
+        .expect("leaf");
+    p.cvm.machine.mem.write_u64(slot, 0).expect("backdoor store");
+    only_check(&p.audit().findings, "ledger-consistency");
+}
+
+// ====================================================================
+// The trace race detector
+// ====================================================================
+
+fn rec(seq: u64, cpu: u32, event: TraceEvent) -> TraceRecord {
+    TraceRecord {
+        seq,
+        cycles: seq * 100,
+        cpu,
+        event,
+    }
+}
+
+#[test]
+fn synthetic_unmap_without_invalidation_is_a_race() {
+    let records = vec![
+        rec(0, 1, TraceEvent::TlbHit { root: 7, page: 5 }),
+        rec(1, 0, TraceEvent::Emc { op: "unmap", arg: 5 }),
+        rec(2, 1, TraceEvent::TlbHit { root: 7, page: 5 }),
+    ];
+    let findings = detect_races(&records, 2);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].cpu, 1);
+    assert_eq!(findings[0].page, 5);
+    assert!(!findings[0].dropped, "no injected drop explains this window");
+}
+
+#[test]
+fn synthetic_acked_shootdown_is_clean() {
+    let records = vec![
+        rec(0, 1, TraceEvent::TlbHit { root: 7, page: 5 }),
+        rec(1, 0, TraceEvent::TlbShootdown { root: 7, page: 5 }),
+        rec(2, 0, TraceEvent::IpiSent { to: 1 }),
+        rec(3, 1, TraceEvent::IpiReceived { from: 0 }),
+        rec(4, 1, TraceEvent::TlbInvlpg { page: 5 }),
+        rec(5, 1, TraceEvent::TlbHit { root: 7, page: 6 }),
+    ];
+    assert!(detect_races(&records, 2).is_empty());
+}
+
+/// Boot Full, create a fresh user address space through EMC, and map one
+/// writable page at [`USER_VA`] (the `tests/tlb_shootdown.rs` setup).
+fn platform_with_user_page() -> (Platform, Frame) {
+    let mut p = booted();
+    p.enter_kernel_mode();
+    let root = match p.cvm.monitor.emc(
+        &mut p.cvm.machine,
+        &mut p.cvm.tdx,
+        0,
+        EmcRequest::CreateAddressSpace { asid: 77 },
+    ) {
+        Ok(EmcResponse::Root(r)) => r,
+        other => panic!("create address space: {other:?}"),
+    };
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::MapUserPage {
+                root,
+                va: USER_VA,
+                frame: None,
+                writable: true,
+                executable: false,
+            },
+        )
+        .expect("map user page");
+    (p, root)
+}
+
+fn run_user(p: &mut Platform, cpu: usize, root: Frame) {
+    p.cvm.machine.cpus[cpu].cr3 = root;
+    p.cvm.machine.flush_tlb(cpu);
+    p.cvm.machine.cpus[cpu].mode = CpuMode::User;
+    p.cvm.machine.cpus[cpu].domain = Domain::User;
+}
+
+/// The headline claim: given only the machine trace of the cross-core
+/// stale-TLB attack (monitor unmaps, the shootdown IPI is dropped, the
+/// victim core keeps reading), the vector-clock pass flags the exact
+/// core, page, and revocation — no hand-written assertion about TLB
+/// internals required.
+#[test]
+fn race_detector_reproduces_dropped_ipi_stale_read_unprompted() {
+    struct DropAllIpis;
+    impl erebor::ehw::inject::Injector for DropAllIpis {
+        fn drop_shootdown_ipi(&mut self, _initiator: usize, _target: usize) -> bool {
+            true
+        }
+    }
+
+    let (mut p, root) = platform_with_user_page();
+    p.cvm.machine.mmu_trace = true;
+    // Victim core 1 runs the sandbox and caches the translation.
+    run_user(&mut p, 1, root);
+    p.cvm
+        .machine
+        .probe(1, USER_VA, AccessKind::Read)
+        .expect("mapped page readable on core 1");
+
+    // The monitor revokes the page, but the host eats the IPI.
+    p.enter_kernel_mode();
+    p.install_injector(erebor::ehw::inject::handle(DropAllIpis));
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::UnmapUserPage { root, va: USER_VA },
+        )
+        .expect("delegated unmap");
+    p.clear_injector();
+
+    // The victim still reads through the dead mapping...
+    p.cvm.machine.cpus[1].mode = CpuMode::User;
+    p.cvm.machine.cpus[1].domain = Domain::User;
+    p.cvm
+        .machine
+        .probe(1, USER_VA, AccessKind::Read)
+        .expect("stale TLB entry still serves the unmapped page");
+
+    // ...and the detector reconstructs the whole attack from the trace.
+    let records = p.cvm.machine.trace.last_n(usize::MAX);
+    let findings = detect_races(&records, p.cvm.machine.cpus.len());
+    let hit = findings
+        .iter()
+        .find(|f| f.cpu == 1 && f.page == USER_VA.0 >> 12)
+        .unwrap_or_else(|| panic!("no stale-window finding for core 1: {findings:?}"));
+    assert_eq!(hit.root, root.0, "window names the revoked address space");
+    assert!(hit.dropped, "attributed to the dropped shootdown IPI");
+    assert!(hit.access_seq > hit.revoke_seq);
+}
+
+/// Same schedule without the drop: the shootdown lands, the stale read
+/// faults, the detector stays quiet — no false positives on the honest
+/// path.
+#[test]
+fn race_detector_quiet_when_shootdown_lands() {
+    let (mut p, root) = platform_with_user_page();
+    p.cvm.machine.mmu_trace = true;
+    run_user(&mut p, 1, root);
+    p.cvm
+        .machine
+        .probe(1, USER_VA, AccessKind::Read)
+        .expect("mapped page readable on core 1");
+
+    p.enter_kernel_mode();
+    p.cvm
+        .monitor
+        .emc(
+            &mut p.cvm.machine,
+            &mut p.cvm.tdx,
+            0,
+            EmcRequest::UnmapUserPage { root, va: USER_VA },
+        )
+        .expect("delegated unmap");
+
+    p.cvm.machine.cpus[1].mode = CpuMode::User;
+    p.cvm.machine.cpus[1].domain = Domain::User;
+    p.cvm
+        .machine
+        .probe(1, USER_VA, AccessKind::Read)
+        .expect_err("shootdown landed; the unmap is visible");
+
+    let records = p.cvm.machine.trace.last_n(usize::MAX);
+    let findings = detect_races(&records, p.cvm.machine.cpus.len());
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+// ====================================================================
+// The chaos campaign with auditor + race detector as invariants
+// ====================================================================
+
+/// The CI `--analyze` campaign: every case ends with a full state audit
+/// and a happens-before pass over its MMU trace; any audit finding or
+/// un-injected stale window is a violation. Honors `EREBOR_CHAOS_CASES`
+/// (default 100).
+#[test]
+fn chaos_campaign_under_audit_and_race_invariants_is_clean() {
+    let cases = std::env::var("EREBOR_CHAOS_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let report = erebor_chaos::run(&erebor_chaos::ChaosConfig {
+        cases,
+        ..erebor_chaos::ChaosConfig::default()
+    });
+    assert!(report.passed(), "{}", report.summary());
+}
+
+/// Every chaos outcome carries the analyze results, clean or not.
+#[test]
+fn case_outcome_carries_audit_and_race_results() {
+    let cfg = erebor_chaos::ChaosConfig::default();
+    let outcome = erebor_chaos::exec_case(&cfg, erebor_chaos::case_seed(cfg.seed, 0), &[4, 11, 25]);
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(outcome.audit_findings.is_empty(), "{:?}", outcome.audit_findings);
+    assert!(
+        outcome.race_findings.iter().all(|r| r.dropped),
+        "{:?}",
+        outcome.race_findings
+    );
+}

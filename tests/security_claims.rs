@@ -223,8 +223,15 @@ fn c4_indirect_jump_into_monitor_body_is_cp() {
     // The entry gate works...
     let pad = p.cvm.monitor.gate.entry;
     p.cvm.machine.indirect_branch(0, pad).expect("gate entry");
+    // ...and so do the hardware interposer pads (like Linux's IBT
+    // idtentry stubs, they begin with endbr64 because interrupt and
+    // syscall delivery are tracked transfers)...
+    for off in [0x100u64, 0x200] {
+        p.cvm.machine.cpus[0].domain = Domain::Kernel;
+        p.cvm.machine.indirect_branch(0, pad.add(off)).expect("interposer pad");
+    }
     // ...but any other monitor address is not a landing pad.
-    for off in [4u64, 0x40, 0x100, 0x200, 0x1000] {
+    for off in [4u64, 0x40, 0x104, 0x204, 0x1000] {
         p.cvm.machine.cpus[0].domain = Domain::Kernel;
         let err = p
             .cvm
