@@ -353,6 +353,25 @@ mod tests {
     }
 
     #[test]
+    fn batched_accesses_register_individually() {
+        // A batch fast path replays one TlbHit per access — never a
+        // coalesced summary event — so distinct stale pages touched by
+        // the same batch each produce their own finding, and the access
+        // sequence numbers identify the individual ops inside the batch.
+        let t = vec![
+            rec(0, 0, TraceEvent::TlbShootdown { root: 7, page: 0x40 }),
+            rec(1, 0, TraceEvent::TlbShootdown { root: 7, page: 0x41 }),
+            rec(2, 1, TraceEvent::TlbHit { root: 7, page: 0x40 }),
+            rec(3, 1, TraceEvent::TlbHit { root: 7, page: 0x41 }),
+            rec(4, 1, TraceEvent::TlbHit { root: 7, page: 0x40 }),
+        ];
+        let f = detect_races(&t, 2);
+        assert_eq!(f.len(), 2, "one finding per stale page, none hidden");
+        assert_eq!(f[0].access_seq, 2, "first batched access, not a summary");
+        assert_eq!(f[1].access_seq, 3);
+    }
+
+    #[test]
     fn each_window_reports_once() {
         let t = vec![
             rec(0, 0, TraceEvent::Emc { op: "downgrade", arg: 0x40 }),

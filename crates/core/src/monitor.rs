@@ -628,6 +628,10 @@ impl Monitor {
         .map_err(map_err)?;
         self.frames.inc_map(f);
         self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
+        // EMC mapping lifecycle: a fresh PTE install needs no shootdown
+        // (faults are never cached), but it still pins an MMU epoch so
+        // batch fast paths revalidate at the next opportunity.
+        machine.bump_mmu_epoch();
         Ok(f)
     }
 

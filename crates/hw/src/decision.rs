@@ -1,0 +1,326 @@
+//! Flattened permission-decision cache backing the batched fast path.
+//!
+//! A decision memoizes the *entire* outcome of one allowed access — TLB
+//! lookup, [`crate::mmu::check_access`] pipeline, frame resolution — for a
+//! `(CR3, PKRS, mode, CR0, CR4, RFLAGS.AC)` register context, so the batch
+//! executor ([`crate::cpu::Machine::run_batch`]) can replay hot straight-line
+//! access sequences without rebuilding the MMU environment or re-running the
+//! permission pipeline per access.
+//!
+//! Soundness is an equivalence argument, enforced by construction and
+//! verified by the differential suite (`tests/fastpath_equivalence.rs`):
+//! a cached decision may serve an access **only when the slow path would
+//! have TLB-hit with the same verdict, frame, cycle charges, counters and
+//! trace events**. Three mechanisms pin that down:
+//!
+//! 1. **Context key** ([`CachedCtx`]): the cache is valid only while every
+//!    register the permission pipeline consults is byte-identical to the
+//!    state it was filled under. Any CR/MSR/mode/AC change — including raw
+//!    field pokes that bypass [`crate::cpu::Machine`] methods — is caught by
+//!    comparison, not by write hooks.
+//! 2. **MMU epoch**: every TLB-maintenance action (flush, `invlpg`,
+//!    shootdown, pending-shootdown ledger change) bumps a machine-global
+//!    epoch; a cache filled under an older epoch is dead. The epoch
+//!    piggybacks on the same events that maintain the
+//!    `pending_shootdowns` tolerated-stale ledger.
+//! 3. **Slot coupling**: decisions are direct-mapped with the *same* index
+//!    function as the TLB, and every TLB fill clears the decision slots at
+//!    that index first — so a conflict eviction or same-page refill in the
+//!    TLB can never leave a decision pointing at state the TLB no longer
+//!    holds.
+//!
+//! Faults are never cached: a miss falls back to the slow path, which
+//! raises the architecturally precise fault itself.
+
+use crate::fault::AccessKind;
+use crate::phys::Frame;
+use crate::tlb::TLB_ENTRIES;
+use crate::VirtAddr;
+
+/// The register context a decision cache was filled under: everything
+/// [`crate::mmu::check_access`] and [`crate::cpu::Machine`]'s environment
+/// builder consult. Compared wholesale against live state before any
+/// cached decision is served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CachedCtx {
+    /// Page-table root (CR3).
+    pub root: Frame,
+    /// Raw CR0 (WP participates in write checks).
+    pub cr0: u64,
+    /// Raw CR4 (SMEP/SMAP/PKS enables).
+    pub cr4: u64,
+    /// Raw `IA32_PKRS` (supervisor protection-key rights).
+    pub pkrs: u64,
+    /// Privilege mode encoded as a bit (`true` = supervisor).
+    pub supervisor: bool,
+    /// RFLAGS.AC (SMAP override).
+    pub ac: bool,
+}
+
+/// One cached allow-verdict: the access at `page` of the cached context's
+/// address space resolved to `frame` and passed every permission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Virtual page number (`va >> 12`).
+    pub page: u64,
+    /// Resolved physical frame.
+    pub frame: Frame,
+}
+
+fn index(va: VirtAddr) -> usize {
+    // Must match the TLB's index function: slot coupling relies on a TLB
+    // fill and a decision for the same VA landing on the same index.
+    ((va.0 >> 12) as usize) & (TLB_ENTRIES - 1)
+}
+
+/// A single core's permission-decision cache: separate direct-mapped
+/// verdict arrays per access kind (reads and writes are distinct verdicts
+/// — write additionally requires a dirty TLB entry — and execute mirrors
+/// the TLB's instruction class).
+#[derive(Debug, Clone)]
+pub struct DecisionCache {
+    ctx: Option<CachedCtx>,
+    epoch: u64,
+    read: [Option<Decision>; TLB_ENTRIES],
+    write: [Option<Decision>; TLB_ENTRIES],
+    exec: [Option<Decision>; TLB_ENTRIES],
+}
+
+impl Default for DecisionCache {
+    fn default() -> DecisionCache {
+        DecisionCache::new()
+    }
+}
+
+impl DecisionCache {
+    /// An empty cache with no context.
+    #[must_use]
+    pub fn new() -> DecisionCache {
+        DecisionCache {
+            ctx: None,
+            epoch: 0,
+            read: [None; TLB_ENTRIES],
+            write: [None; TLB_ENTRIES],
+            exec: [None; TLB_ENTRIES],
+        }
+    }
+
+    /// The context the cache is currently valid for, if any.
+    #[must_use]
+    pub fn ctx(&self) -> Option<CachedCtx> {
+        self.ctx
+    }
+
+    /// The MMU epoch the cache was (re)keyed under.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the cache is live for exactly `(ctx, epoch)`. A mismatch on
+    /// either component means every stored decision is stale.
+    #[must_use]
+    pub fn valid_for(&self, ctx: &CachedCtx, epoch: u64) -> bool {
+        self.epoch == epoch && self.ctx.as_ref() == Some(ctx)
+    }
+
+    /// Drop every decision and re-key the cache to `(ctx, epoch)`.
+    pub fn rekey(&mut self, ctx: CachedCtx, epoch: u64) {
+        self.ctx = Some(ctx);
+        self.epoch = epoch;
+        self.read = [None; TLB_ENTRIES];
+        self.write = [None; TLB_ENTRIES];
+        self.exec = [None; TLB_ENTRIES];
+    }
+
+    fn class(&self, kind: AccessKind) -> &[Option<Decision>; TLB_ENTRIES] {
+        match kind {
+            AccessKind::Read => &self.read,
+            AccessKind::Write => &self.write,
+            AccessKind::Execute => &self.exec,
+        }
+    }
+
+    fn class_mut(&mut self, kind: AccessKind) -> &mut [Option<Decision>; TLB_ENTRIES] {
+        match kind {
+            AccessKind::Read => &mut self.read,
+            AccessKind::Write => &mut self.write,
+            AccessKind::Execute => &mut self.exec,
+        }
+    }
+
+    /// Cached verdict for `va`/`kind`, if one is stored. The caller is
+    /// responsible for having checked [`DecisionCache::valid_for`] first.
+    #[must_use]
+    pub fn lookup(&self, va: VirtAddr, kind: AccessKind) -> Option<Decision> {
+        let page = va.0 >> 12;
+        self.class(kind)[index(va)].filter(|d| d.page == page)
+    }
+
+    /// Store an allow-verdict for `va`/`kind` resolving to `frame`.
+    pub fn fill(&mut self, va: VirtAddr, kind: AccessKind, frame: Frame) {
+        let page = va.0 >> 12;
+        self.class_mut(kind)[index(va)] = Some(Decision { page, frame });
+    }
+
+    /// A TLB fill is about to land at `va`'s slot for `kind`'s class:
+    /// clear the decision slots that slot backs, so no decision outlives
+    /// the TLB entry it was derived from. Reads and writes share the TLB
+    /// data class, so a data fill clears both verdict arrays.
+    pub fn on_tlb_fill(&mut self, va: VirtAddr, kind: AccessKind) {
+        let idx = index(va);
+        if kind == AccessKind::Execute {
+            self.exec[idx] = None;
+        } else {
+            self.read[idx] = None;
+            self.write[idx] = None;
+        }
+    }
+
+    /// Iterate every stored decision as `(kind, decision)` — the state
+    /// auditor's C9 check re-validates each against the live TLB.
+    pub fn entries(&self) -> impl Iterator<Item = (AccessKind, &Decision)> + '_ {
+        let r = self.read.iter().flatten().map(|d| (AccessKind::Read, d));
+        let w = self.write.iter().flatten().map(|d| (AccessKind::Write, d));
+        let x = self.exec.iter().flatten().map(|d| (AccessKind::Execute, d));
+        r.chain(w).chain(x)
+    }
+
+    /// Number of stored decisions (diagnostics / tests).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.read
+            .iter()
+            .chain(self.write.iter())
+            .chain(self.exec.iter())
+            .flatten()
+            .count()
+    }
+}
+
+/// Fast-path observability counters. Deliberately **not** part of
+/// [`crate::tlb::HwStats`]: the differential suite requires fastpath-on and
+/// fastpath-off runs to produce byte-identical snapshots, so these live
+/// outside every snapshot-visible structure.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FastpathStats {
+    /// Batches submitted to [`crate::cpu::Machine::run_batch`].
+    pub batches: u64,
+    /// Accesses served from a cached decision.
+    pub decision_hits: u64,
+    /// Batch ops that took the slow path (decision miss, privileged op,
+    /// cross-page access, or the fast path disabled entirely).
+    pub slow_ops: u64,
+    /// Cache re-keys forced by a context or epoch mismatch.
+    pub rekeys: u64,
+}
+
+impl FastpathStats {
+    /// Fraction of batch accesses served from a cached decision.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        // Widen before adding so saturated counters cannot wrap the sum.
+        let total = u128::from(self.decision_hits) + u128::from(self.slow_ops);
+        if total == 0 {
+            0.0
+        } else {
+            self.decision_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> CachedCtx {
+        CachedCtx {
+            root: Frame(1),
+            cr0: 0x8001_0001,
+            cr4: 0x60_0000,
+            pkrs: 0,
+            supervisor: true,
+            ac: false,
+        }
+    }
+
+    #[test]
+    fn lookup_keyed_by_page_and_kind() {
+        let mut d = DecisionCache::new();
+        d.rekey(ctx(), 7);
+        let va = VirtAddr(0xffff_8000_0000_3000);
+        d.fill(va, AccessKind::Read, Frame(9));
+        assert_eq!(
+            d.lookup(va, AccessKind::Read),
+            Some(Decision {
+                page: va.0 >> 12,
+                frame: Frame(9)
+            })
+        );
+        assert!(d.lookup(va, AccessKind::Write).is_none(), "kinds separate");
+        assert!(d.lookup(VirtAddr(va.0 + 0x1000), AccessKind::Read).is_none());
+        // Offsets within the page share the decision.
+        assert!(d.lookup(VirtAddr(va.0 + 0x42), AccessKind::Read).is_some());
+    }
+
+    #[test]
+    fn validity_requires_both_ctx_and_epoch() {
+        let mut d = DecisionCache::new();
+        d.rekey(ctx(), 7);
+        assert!(d.valid_for(&ctx(), 7));
+        assert!(!d.valid_for(&ctx(), 8), "epoch bump invalidates");
+        let mut other = ctx();
+        other.pkrs = 0b1100;
+        assert!(!d.valid_for(&other, 7), "register change invalidates");
+        assert!(!DecisionCache::new().valid_for(&ctx(), 0), "empty is invalid");
+    }
+
+    #[test]
+    fn rekey_drops_all_decisions() {
+        let mut d = DecisionCache::new();
+        d.rekey(ctx(), 1);
+        d.fill(VirtAddr(0x1000), AccessKind::Read, Frame(2));
+        d.fill(VirtAddr(0x2000), AccessKind::Execute, Frame(3));
+        assert_eq!(d.occupancy(), 2);
+        d.rekey(ctx(), 2);
+        assert_eq!(d.occupancy(), 0);
+        assert_eq!(d.epoch(), 2);
+    }
+
+    #[test]
+    fn tlb_fill_clears_both_data_classes_but_not_exec() {
+        let mut d = DecisionCache::new();
+        d.rekey(ctx(), 1);
+        let va = VirtAddr(0x5000);
+        d.fill(va, AccessKind::Read, Frame(2));
+        d.fill(va, AccessKind::Write, Frame(2));
+        d.fill(va, AccessKind::Execute, Frame(2));
+        // A *different* page landing on the same slot index evicts the
+        // data decisions (conflict in the TLB) but leaves the instruction
+        // class alone.
+        let conflict = VirtAddr(va.0 + (TLB_ENTRIES as u64) * 0x1000);
+        d.on_tlb_fill(conflict, AccessKind::Read);
+        assert!(d.lookup(va, AccessKind::Read).is_none());
+        assert!(d.lookup(va, AccessKind::Write).is_none());
+        assert!(d.lookup(va, AccessKind::Execute).is_some());
+        d.on_tlb_fill(conflict, AccessKind::Execute);
+        assert!(d.lookup(va, AccessKind::Execute).is_none());
+    }
+
+    #[test]
+    fn hit_rate_math_and_saturation() {
+        let s = FastpathStats {
+            decision_hits: 3,
+            slow_ops: 1,
+            ..FastpathStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(FastpathStats::default().hit_rate(), 0.0);
+        let sat = FastpathStats {
+            decision_hits: u64::MAX,
+            slow_ops: u64::MAX,
+            ..FastpathStats::default()
+        };
+        assert!(sat.hit_rate().is_finite());
+    }
+}

@@ -23,6 +23,7 @@
 pub mod cet;
 pub mod cpu;
 pub mod cycles;
+pub mod decision;
 pub mod fault;
 pub mod idt;
 pub mod image;
@@ -35,8 +36,9 @@ pub mod phys;
 pub mod regs;
 pub mod tlb;
 
-pub use cpu::{Cpu, CpuMode};
+pub use cpu::{BatchOp, BatchOutcome, Cpu, CpuMode};
 pub use cycles::{Costs, CycleCounter};
+pub use decision::{CachedCtx, Decision, DecisionCache, FastpathStats};
 pub use fault::{AccessKind, Fault, PfReason};
 pub use inject::{CoreView, InjectionPoint, Injector, InjectorHandle};
 pub use paging::{Pte, PteFlags};

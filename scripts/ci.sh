@@ -26,6 +26,15 @@
 #                          the happens-before race detector as per-case
 #                          invariants. The source lint always runs in
 #                          the default gate.
+#   scripts/ci.sh --fastpath  additionally run the batched-execution
+#                          fast-path gate: the differential equivalence
+#                          suite (cache on vs off, byte-identical
+#                          snapshots/traces/attribution across platform
+#                          modes) and the fastpath bench, persisting its
+#                          JSON to BENCH_fastpath.json and asserting the
+#                          meta floors (>=5x events/sec over the slow
+#                          path on the paging workload, >=0.9 decision
+#                          hit rate, a true ablation on the off run).
 #
 # Machine-readable output convention: every JSON-emitting binary prints
 # its document on a single stdout line prefixed `EREBOR_JSON:`. CI greps
@@ -41,14 +50,16 @@ SMOKE=0
 CHAOS=0
 TRACE=0
 ANALYZE=0
+FASTPATH=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
         --chaos) CHAOS=1 ;;
         --trace) TRACE=1 ;;
         --analyze) ANALYZE=1 ;;
+        --fastpath) FASTPATH=1 ;;
         *)
-            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze]" >&2
+            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath]" >&2
             exit 2
             ;;
     esac
@@ -255,6 +266,57 @@ PY
     echo "==> analyze: cargo test --release --test analyze (red team + campaign)"
     EREBOR_CHAOS_CASES="${EREBOR_CHAOS_CASES:-100}" \
         cargo test --release -q --test analyze
+fi
+
+if [[ "$FASTPATH" == 1 ]]; then
+    # Batched-execution fast-path gate (see DESIGN.md §10). Two halves:
+    #   1. the differential equivalence suite — cache on vs off must be
+    #      byte-identical in snapshots, traces and attribution across
+    #      platform modes (the soundness proof for the memoization);
+    #   2. the fastpath bench — persists BENCH_fastpath.json and asserts
+    #      the perf floors both in-process (the bench panics below its
+    #      own floors) and here from the persisted document.
+    echo "==> fastpath: cargo test --release --test fastpath_equivalence"
+    cargo test --release -q --test fastpath_equivalence
+
+    echo "==> fastpath: cargo bench fastpath (persisting BENCH_fastpath.json)"
+    fastpath_raw="$(EREBOR_BENCH_SMOKE=1 EREBOR_BENCH_JSON="$PWD/BENCH_fastpath.json" \
+        cargo bench -p erebor-bench --bench fastpath 2>/dev/null)"
+    fastpath_out="$(extract_json "$fastpath_raw" "fastpath")"
+    check_json "$fastpath_out" "fastpath"
+    if [[ ! -s BENCH_fastpath.json ]]; then
+        echo "error: bench did not persist BENCH_fastpath.json" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+meta = json.load(open("BENCH_fastpath.json"))["meta"]
+speedup = meta["fastpath_speedup"]
+hit_rate = meta["decision_hit_rate"]
+fast = meta["fastpath_events_per_sec"]
+slow = meta["slowpath_events_per_sec"]
+assert speedup >= 5.0, f"fast path not >=5x the slow path: {speedup:.2f}x"
+assert hit_rate >= 0.9, f"decision-cache hit rate too low: {hit_rate}"
+assert fast > slow > 0, f"throughput numbers inconsistent: {fast} vs {slow}"
+print(f"    fastpath: {fast:,.0f} vs {slow:,.0f} events/sec "
+      f"({speedup:.2f}x, hit rate {hit_rate:.4f})")
+PY
+    else
+        # Fallback without python3: integer-part comparison with sed.
+        fast="$(echo "$fastpath_out" | sed -n 's/.*"fastpath_events_per_sec":\([0-9]*\).*/\1/p')"
+        slow="$(echo "$fastpath_out" | sed -n 's/.*"slowpath_events_per_sec":\([0-9]*\).*/\1/p')"
+        if [[ -z "$fast" || -z "$slow" || "$fast" -lt $((5 * slow)) ]]; then
+            echo "error: fast path not >=5x the slow path (fast=$fast slow=$slow)" >&2
+            exit 1
+        fi
+        rate_tenths="$(echo "$fastpath_out" | sed -n 's/.*"decision_hit_rate":0\.\([0-9]\).*/\1/p')"
+        if [[ -n "$rate_tenths" && "$rate_tenths" -lt 9 ]]; then
+            echo "error: decision-cache hit rate too low" >&2
+            exit 1
+        fi
+        echo "    fastpath: fast=$fast slow=$slow events/sec"
+    fi
 fi
 
 echo "==> ci.sh: all checks passed"

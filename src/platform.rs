@@ -14,7 +14,7 @@ use erebor_hw::cycles::CLOCK_HZ;
 use erebor_hw::fault::{AccessKind, Fault, PfReason, VeReason};
 use erebor_hw::idt::vector;
 use erebor_hw::inject::InjectorHandle;
-use erebor_hw::{HwStats, VirtAddr};
+use erebor_hw::{BatchOp, BatchOutcome, FastpathStats, HwStats, VirtAddr};
 use erebor_kernel::image::benign_kernel;
 use erebor_kernel::kernel::KernelStats;
 use erebor_kernel::{Hw, Kernel, Pid};
@@ -222,7 +222,7 @@ impl Platform {
         let now = platform.cvm.machine.cycles.total();
         platform.last_timer.fill(now);
         // Post-boot state audit: a freshly booted platform must satisfy
-        // every security claim (C1–C8) before any workload touches it.
+        // every security claim (C1–C9) before any workload touches it.
         let report = platform.audit();
         if !report.is_clean() {
             return Err(PlatformError::Audit(report));
@@ -233,7 +233,7 @@ impl Platform {
     /// Run the state auditor over the live machine: every page-table
     /// tree the monitor tracks (kernel, registered user address spaces,
     /// sandboxes), the sEPT, the IDT, the gate descriptors, and the
-    /// pinned MSRs, checked against the paper's claims C1–C8
+    /// pinned MSRs, checked against the paper's claims C1–C9
     /// (DESIGN.md §9). Read-only and side-effect free; callable at any
     /// point, not just post-boot.
     #[must_use]
@@ -264,6 +264,31 @@ impl Platform {
     /// Remove any installed chaos injector.
     pub fn clear_injector(&mut self) {
         self.cvm.machine.clear_injector();
+    }
+
+    /// Enable or disable the batched-execution permission-decision cache
+    /// (on by default). The differential equivalence suite runs identical
+    /// programs both ways and asserts byte-identical snapshots, traces
+    /// and attribution; disabling is also the ablation baseline for the
+    /// fastpath bench.
+    pub fn set_fastpath(&mut self, enabled: bool) {
+        self.cvm.machine.fastpath_enabled = enabled;
+    }
+
+    /// Fast-path observability counters (hits, slow ops, re-keys). These
+    /// live outside [`Snapshot`] by design: they differ between
+    /// fastpath-on and fastpath-off runs that are otherwise identical.
+    #[must_use]
+    pub fn fastpath_stats(&self) -> FastpathStats {
+        self.cvm.machine.fastpath
+    }
+
+    /// Execute a straight-line access batch on the active vCPU through
+    /// the machine's batched fast path
+    /// ([`erebor_hw::cpu::Machine::run_batch`]). Stops at the first
+    /// fault, exactly like issuing the ops one by one.
+    pub fn run_batch(&mut self, ops: &[BatchOp]) -> BatchOutcome {
+        self.cvm.machine.run_batch(self.cpu, ops)
     }
 
     /// Enter kernel execution context on the driving core (ring 0, kernel

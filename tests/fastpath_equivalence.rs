@@ -1,0 +1,507 @@
+//! Differential equivalence suite for the batched permission-decision
+//! fast path: for any access program, a machine (or whole platform)
+//! running with the decision cache enabled and one with it disabled must
+//! produce byte-identical snapshots, traces, cycle attribution and
+//! per-batch outcomes. The cache is a pure memoization — any observable
+//! divergence is a soundness bug, not a tuning knob.
+//!
+//! Three layers:
+//!  - a machine-level property test over a rich op alphabet (probes,
+//!    loads, stores, `wrmsr`, CR writes, `invlpg`, `stac`/`clac`, raw
+//!    register/mode pokes, flushes, cross-core shootdowns);
+//!  - a platform-level property test across *all* execution modes,
+//!    comparing [`erebor::Snapshot`], `trace_json` and attribution;
+//!  - deterministic regressions: a fixed program across every mode,
+//!    epoch rollover, and invalidation-during-batch.
+//!
+//! Reproducible via `EREBOR_PT_SEED` like every other property test.
+
+use erebor::eanalyze::{audit, MachineView};
+use erebor::ehw::cpu::{Domain, Machine};
+use erebor::ehw::fault::AccessKind;
+use erebor::ehw::paging::{self, Pte, PteFlags};
+use erebor::ehw::regs::{Cr0, Cr4, Msr};
+use erebor::ehw::{BatchOp, Frame, VirtAddr};
+use erebor::{Mode, Platform};
+use erebor_testkit::collection;
+use erebor_testkit::prelude::*;
+
+// ====================================================================
+// Machine-level differential property
+// ====================================================================
+
+/// Mapped VA pool: three consecutive kernel pages, one page 64 pages
+/// later (same direct-mapped TLB/decision slot as the first — the
+/// conflict-eviction case), and one that stays unmapped.
+const KVAS: [u64; 5] = [
+    0xffff_8000_0000_0000,
+    0xffff_8000_0000_1000,
+    0xffff_8000_0000_2000,
+    0xffff_8000_0004_0000,
+    0xffff_8000_0100_0000,
+];
+
+fn arb_flags() -> impl Strategy<Value = PteFlags> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), 0u8..4).prop_map(
+        |(writable, dirty, nx, pkey)| PteFlags {
+            present: true,
+            writable,
+            user: false,
+            accessed: false,
+            dirty,
+            nx,
+            pkey,
+        },
+    )
+}
+
+fn build(flags: &[PteFlags]) -> (Machine, Frame) {
+    let mut m = Machine::new(2, 32 * 1024 * 1024);
+    let root = m.mem.alloc_frame().unwrap();
+    for (va, f) in KVAS.iter().take(4).zip(flags) {
+        let frame = m.mem.alloc_frame().unwrap();
+        paging::map_raw(
+            &mut m.mem,
+            root,
+            VirtAddr(*va),
+            Pte::encode(frame, *f),
+            paging::intermediate_for(*f),
+        )
+        .unwrap();
+    }
+    for c in &mut m.cpus {
+        c.cr3 = root;
+        c.cr0 = Cr0(Cr0::WP | Cr0::PG);
+        c.cr4 = Cr4(Cr4::SMEP | Cr4::SMAP | Cr4::PKS);
+        c.domain = Domain::Monitor;
+    }
+    m.allow_sensitive(Domain::Monitor);
+    m.mmu_trace = true;
+    (m, root)
+}
+
+/// One batch op decoded from raw bytes. The alphabet covers every
+/// fallback trigger: register writes through the architectural methods,
+/// in-batch invalidation, AC flips, and cross-page `u64` accesses (via
+/// unaligned offsets).
+fn decode_op(sel: u8, va_idx: u8, seed: u32, root: Frame) -> BatchOp {
+    let base = KVAS[va_idx as usize % KVAS.len()];
+    let va = VirtAddr(base + u64::from(seed) % 4096);
+    match sel % 13 {
+        0..=3 => BatchOp::Probe {
+            va,
+            kind: [AccessKind::Read, AccessKind::Write, AccessKind::Execute][seed as usize % 3],
+        },
+        4 | 5 => BatchOp::ReadU64 { va },
+        6 | 7 => BatchOp::WriteU64 {
+            va,
+            v: u64::from(seed) ^ 0xdead_beef,
+        },
+        8 => BatchOp::Wrmsr {
+            msr: Msr::Pkrs,
+            v: u64::from(seed) & 0xffff,
+        },
+        9 => BatchOp::WriteCr0 {
+            v: Cr0::PG | if seed & 1 == 0 { Cr0::WP } else { 0 },
+        },
+        10 => BatchOp::WriteCr4 {
+            v: [
+                Cr4::SMEP | Cr4::SMAP | Cr4::PKS,
+                Cr4::SMEP | Cr4::PKS,
+                Cr4::SMAP,
+                Cr4::PKS,
+            ][seed as usize % 4],
+        },
+        11 => BatchOp::Invlpg {
+            va: VirtAddr(base),
+        },
+        12 if seed & 1 == 0 => BatchOp::Stac,
+        12 => BatchOp::Clac,
+        _ => BatchOp::WriteCr3 { root },
+    }
+}
+
+/// Apply one between-batch maintenance/perturbation op to a machine —
+/// including *raw* register and mode pokes that bypass every `Machine`
+/// method (the context-comparison catch case).
+fn meta(m: &mut Machine, sel: u8, seed: u32) {
+    let va = VirtAddr(KVAS[seed as usize % KVAS.len()]);
+    match sel % 5 {
+        0 => {}
+        1 => m.flush_tlb(0),
+        2 => {
+            let _ = m.invalidate_page(0, va);
+        }
+        3 => {
+            let _ = m.tlb_shootdown(0, va);
+        }
+        _ => {
+            // Raw PKRS poke through the MSR file would need the msr map;
+            // poke CR4 instead — same class of bypass.
+            let c = &mut m.cpus[0];
+            c.cr4 = Cr4(c.cr4.0 ^ Cr4::SMAP);
+        }
+    }
+}
+
+fn assert_machines_equal(on: &Machine, off: &Machine, root: Frame) -> Result<(), erebor_testkit::prop::CaseError> {
+    prop_assert_eq!(on.cycles.total(), off.cycles.total(), "cycle totals diverged");
+    prop_assert_eq!(on.stats, off.stats, "HwStats diverged");
+    prop_assert_eq!(
+        on.cycles.attribution().json(),
+        off.cycles.attribution().json(),
+        "attribution diverged"
+    );
+    prop_assert_eq!(on.trace.json(), off.trace.json(), "trace diverged");
+    for (i, (a, b)) in on.tlbs.iter().zip(off.tlbs.iter()).enumerate() {
+        prop_assert_eq!(a.occupancy(), b.occupancy(), "TLB occupancy diverged on cpu {}", i);
+    }
+    for va in KVAS {
+        let l_on = paging::lookup_raw(&on.mem, root, VirtAddr(va)).unwrap();
+        let l_off = paging::lookup_raw(&off.mem, root, VirtAddr(va)).unwrap();
+        prop_assert_eq!(l_on, l_off, "PTE state (A/D bits) diverged at {:#x}", va);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn machine_fastpath_on_and_off_evolve_identically(
+        flags in collection::vec(arb_flags(), 4..=4),
+        batches in collection::vec(
+            (
+                any::<u8>(),
+                any::<u32>(),
+                collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..12),
+            ),
+            1..16,
+        ),
+    ) {
+        let (mut on, root) = build(&flags);
+        let (mut off, _) = build(&flags);
+        off.fastpath_enabled = false;
+        prop_assert!(on.fastpath_enabled);
+
+        for (i, (meta_sel, meta_seed, ops)) in batches.iter().enumerate() {
+            let prog: Vec<BatchOp> = ops
+                .iter()
+                .map(|&(sel, va_idx, seed)| decode_op(sel, va_idx, seed, root))
+                .collect();
+            let a = on.run_batch(0, &prog);
+            let b = off.run_batch(0, &prog);
+            prop_assert_eq!(&a, &b, "batch {} outcome diverged: {:?}", i, prog);
+            meta(&mut on, *meta_sel, *meta_seed);
+            meta(&mut off, *meta_sel, *meta_seed);
+        }
+
+        assert_machines_equal(&on, &off, root)?;
+        // The disabled machine must never have consulted the cache, and
+        // the enabled one must leave a cache the auditor (C9) accepts.
+        prop_assert_eq!(off.fastpath.decision_hits, 0);
+        prop_assert_eq!(off.decision_cache(0).occupancy(), 0);
+        let view = MachineView {
+            machine: &on,
+            roots: &[root],
+            gate: None,
+            monitor: None,
+            sept: None,
+        };
+        let report = audit::audit(&view);
+        prop_assert!(
+            report.by_check("decision-consistency").is_empty(),
+            "stale decision survived the program: {}",
+            report.json()
+        );
+    }
+
+    // Same property with MMU tracing off: this is the deferred-side-
+    // effect fast loop (hit charges accumulate locally and flush at
+    // batch boundaries), and the totals must still commute exactly.
+    #[test]
+    fn machine_fastpath_equivalence_with_deferred_effects(
+        flags in collection::vec(arb_flags(), 4..=4),
+        batches in collection::vec(
+            (
+                any::<u8>(),
+                any::<u32>(),
+                collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..24),
+            ),
+            1..10,
+        ),
+    ) {
+        let (mut on, root) = build(&flags);
+        let (mut off, _) = build(&flags);
+        on.mmu_trace = false;
+        off.mmu_trace = false;
+        off.fastpath_enabled = false;
+
+        for (meta_sel, meta_seed, ops) in &batches {
+            let prog: Vec<BatchOp> = ops
+                .iter()
+                .map(|&(sel, va_idx, seed)| decode_op(sel, va_idx, seed, root))
+                .collect();
+            let a = on.run_batch(0, &prog);
+            let b = off.run_batch(0, &prog);
+            prop_assert_eq!(&a, &b);
+            meta(&mut on, *meta_sel, *meta_seed);
+            meta(&mut off, *meta_sel, *meta_seed);
+        }
+        assert_machines_equal(&on, &off, root)?;
+    }
+}
+
+// ====================================================================
+// Platform-level differential property (all execution modes)
+// ====================================================================
+
+/// Scratch pages mapped into the live kernel root, clear of anything
+/// boot maps. The fifth aliases the first's cache slot (64 pages away).
+const SCRATCH: u64 = 0xffff_8000_4000_0000;
+
+fn scratch_vas() -> [VirtAddr; 5] {
+    [
+        VirtAddr(SCRATCH),
+        VirtAddr(SCRATCH + 0x1000),
+        VirtAddr(SCRATCH + 0x2000),
+        VirtAddr(SCRATCH + 0x3000),
+        VirtAddr(SCRATCH + 64 * 0x1000),
+    ]
+}
+
+fn scratch_platform(mode: Mode, fast: bool) -> Platform {
+    let mut p = Platform::boot(mode).expect("boot");
+    p.set_fastpath(fast);
+    p.cvm.machine.mmu_trace = true;
+    let root = p.cvm.machine.cpus[0].cr3;
+    let flags = PteFlags::kernel_rw(0);
+    for va in scratch_vas() {
+        let frame = p.cvm.machine.mem.alloc_frame().expect("frame");
+        paging::map_raw(
+            &mut p.cvm.machine.mem,
+            root,
+            va,
+            Pte::encode(frame, flags),
+            paging::intermediate_for(flags),
+        )
+        .expect("map scratch");
+    }
+    p.enter_kernel_mode();
+    p
+}
+
+/// Platform-level access alphabet: probes, aligned and unaligned `u64`
+/// loads/stores over the scratch pool plus one unmapped page. Register
+/// writes stay out — on deprivileged modes they all #GP at op 0, which
+/// would starve the program; the machine-level property covers them.
+fn decode_platform_op(sel: u8, va_idx: u8, seed: u32) -> BatchOp {
+    let pool = scratch_vas();
+    let base = if va_idx as usize % 8 == 7 {
+        SCRATCH + 0x100_0000 // unmapped: deterministic fault coverage
+    } else {
+        pool[va_idx as usize % pool.len()].0
+    };
+    let va = VirtAddr(base + u64::from(seed) % 4096);
+    match sel % 6 {
+        0 | 1 => BatchOp::Probe {
+            va,
+            kind: [AccessKind::Read, AccessKind::Write][seed as usize % 2],
+        },
+        2 | 3 => BatchOp::ReadU64 { va },
+        4 => BatchOp::WriteU64 {
+            va,
+            v: u64::from(seed).wrapping_mul(0x9e37_79b9),
+        },
+        _ => BatchOp::WriteU64 {
+            va: VirtAddr(base),
+            v: u64::from(seed),
+        },
+    }
+}
+
+/// A platform-level program: per batch, a between-batch maintenance
+/// selector plus the encoded `(sel, va_idx, seed)` op tuples.
+type PlatformProgram = Vec<(u8, Vec<(u8, u8, u32)>)>;
+
+fn run_platform_program(
+    p: &mut Platform,
+    batches: &PlatformProgram,
+) -> Vec<erebor::ehw::BatchOutcome> {
+    let mut outs = Vec::new();
+    for (meta_sel, ops) in batches {
+        let prog: Vec<BatchOp> = ops
+            .iter()
+            .map(|&(sel, va_idx, seed)| decode_platform_op(sel, va_idx, seed))
+            .collect();
+        outs.push(p.run_batch(&prog));
+        match meta_sel % 4 {
+            0 => {}
+            1 => p.cvm.machine.flush_tlb(0),
+            2 => {
+                // Maintenance runs from the monitor's domain (on
+                // deprivileged modes the kernel may not issue invlpg).
+                let saved = p.cvm.machine.cpus[0].domain;
+                p.cvm.machine.cpus[0].domain = Domain::Monitor;
+                let _ = p.cvm.machine.invalidate_page(0, scratch_vas()[0]);
+                p.cvm.machine.cpus[0].domain = saved;
+            }
+            _ => {
+                let saved = p.cvm.machine.cpus[0].domain;
+                p.cvm.machine.cpus[0].domain = Domain::Monitor;
+                let _ = p
+                    .cvm
+                    .machine
+                    .tlb_shootdown(0, scratch_vas()[*meta_sel as usize % 5]);
+                p.cvm.machine.cpus[0].domain = saved;
+            }
+        }
+    }
+    outs
+}
+
+fn assert_platforms_equal(on: &Platform, off: &Platform) -> Result<(), erebor_testkit::prop::CaseError> {
+    prop_assert_eq!(
+        format!("{:?}", on.snapshot()),
+        format!("{:?}", off.snapshot()),
+        "snapshot diverged"
+    );
+    prop_assert_eq!(on.trace_json(), off.trace_json(), "trace JSON diverged");
+    prop_assert_eq!(
+        on.cvm.machine.cycles.attribution().json(),
+        off.cvm.machine.cycles.attribution().json(),
+        "attribution buckets diverged"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn platform_fastpath_equivalence_across_modes(
+        mode_sel in any::<u8>(),
+        batches in collection::vec(
+            (any::<u8>(), collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 1..10)),
+            1..12,
+        ),
+    ) {
+        let mode = Mode::ALL[mode_sel as usize % Mode::ALL.len()];
+        let mut on = scratch_platform(mode, true);
+        let mut off = scratch_platform(mode, false);
+        let outs_on = run_platform_program(&mut on, &batches);
+        let outs_off = run_platform_program(&mut off, &batches);
+        prop_assert_eq!(outs_on, outs_off, "batch outcomes diverged in {:?}", mode);
+        assert_platforms_equal(&on, &off)?;
+        prop_assert_eq!(off.fastpath_stats().decision_hits, 0);
+    }
+}
+
+// ====================================================================
+// Deterministic regressions
+// ====================================================================
+
+/// A fixed paging-heavy program: two warm passes over the pool, stores
+/// for dirty promotion, a conflict-slot alternation, an in-batch
+/// invalidation, and a faulting access to an unmapped page.
+fn fixed_program() -> PlatformProgram {
+    let mut batches = Vec::new();
+    for round in 0u32..6 {
+        let mut ops = Vec::new();
+        for i in 0u8..5 {
+            ops.push((2, i, round * 8)); // ReadU64 over the pool
+            ops.push((4, i, round * 8 + 1)); // WriteU64 (dirty promotion)
+            ops.push((0, i, 0)); // Probe read
+        }
+        ops.push((2, 7, 0)); // unmapped: deterministic fault
+        batches.push(((round % 4) as u8, ops));
+    }
+    batches
+}
+
+/// The acceptance claim: the differential suite is byte-identical across
+/// every platform mode (≥3 required; all 5 run) on a fixed program, and
+/// the fast run actually exercised the cache.
+#[test]
+fn fixed_program_identical_across_all_modes() {
+    for mode in Mode::ALL {
+        let mut on = scratch_platform(mode, true);
+        let mut off = scratch_platform(mode, false);
+        let batches = fixed_program();
+        let outs_on = run_platform_program(&mut on, &batches);
+        let outs_off = run_platform_program(&mut off, &batches);
+        assert_eq!(outs_on, outs_off, "outcomes diverged in {mode:?}");
+        assert_eq!(
+            format!("{:?}", on.snapshot()),
+            format!("{:?}", off.snapshot()),
+            "snapshot diverged in {mode:?}"
+        );
+        assert_eq!(on.trace_json(), off.trace_json(), "trace diverged in {mode:?}");
+        let fp = on.fastpath_stats();
+        assert!(fp.decision_hits > 0, "{mode:?}: cache never hit: {fp:?}");
+        assert_eq!(off.fastpath_stats().decision_hits, 0);
+        // The post-run audit (including C9 over the live caches) is clean.
+        let report = on.audit();
+        assert!(report.is_clean(), "{mode:?}: {}", report.json());
+    }
+}
+
+/// Epoch rollover: pin the epoch counter at `u64::MAX`, force a wrap via
+/// a flush, and verify invalidation still bites and both runs agree —
+/// the cache compares epochs for equality, so wrapping to an old
+/// numerical value must not revive anything.
+#[test]
+fn epoch_rollover_regression() {
+    let mut on = scratch_platform(Mode::Full, true);
+    let mut off = scratch_platform(Mode::Full, false);
+    on.cvm.machine.force_mmu_epoch(u64::MAX);
+    off.cvm.machine.force_mmu_epoch(u64::MAX);
+    let batches = fixed_program();
+    let outs_on = run_platform_program(&mut on, &batches);
+    let outs_off = run_platform_program(&mut off, &batches);
+    assert_eq!(outs_on, outs_off);
+    assert_eq!(
+        format!("{:?}", on.snapshot()),
+        format!("{:?}", off.snapshot())
+    );
+    assert_eq!(on.trace_json(), off.trace_json());
+    assert!(
+        on.cvm.machine.mmu_epoch() < u64::MAX,
+        "the fixed program's flushes wrapped the epoch"
+    );
+    assert!(on.fastpath_stats().decision_hits > 0);
+    assert!(on.audit().is_clean());
+}
+
+/// Invalidation during a batch: an `invlpg` between two reads of the
+/// same page forces the second read back to the slow path (re-walk), on
+/// both machines identically.
+#[test]
+fn invalidation_during_batch_regression() {
+    let mut on = scratch_platform(Mode::Full, true);
+    let mut off = scratch_platform(Mode::Full, false);
+    let va = scratch_vas()[0];
+    // invlpg from the kernel domain would #GP on Full; run the batch
+    // from the monitor's.
+    for p in [&mut on, &mut off] {
+        p.cvm.machine.cpus[0].domain = Domain::Monitor;
+    }
+    let prog = [
+        BatchOp::ReadU64 { va },
+        BatchOp::ReadU64 { va }, // decision hit on the fast machine
+        BatchOp::Invlpg { va },
+        BatchOp::ReadU64 { va }, // must re-walk, not replay
+    ];
+    let before_on = on.cvm.machine.stats;
+    let before_off = off.cvm.machine.stats;
+    let a = on.run_batch(&prog);
+    let b = off.run_batch(&prog);
+    assert_eq!(a, b);
+    assert!(a.fault.is_none(), "{a:?}");
+    let d_on = on.cvm.machine.stats.delta(&before_on);
+    let d_off = off.cvm.machine.stats.delta(&before_off);
+    assert_eq!(d_on, d_off);
+    assert_eq!(d_on.tlb_misses, 2, "initial walk + forced re-walk after invlpg");
+    assert_eq!(d_on.tlb_hits, 1, "the pre-invalidation repeat");
+    assert_eq!(
+        format!("{:?}", on.snapshot()),
+        format!("{:?}", off.snapshot())
+    );
+}
