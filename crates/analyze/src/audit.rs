@@ -497,7 +497,7 @@ fn check_ledger_consistency(view: &MachineView, leaves: &[LeafMapping], report: 
     for (cpu, tlb) in machine.tlbs.iter().enumerate() {
         for e in tlb.entries() {
             saturating_bump(&mut report.tlb_entries);
-            if machine.pending_shootdowns().contains(&(cpu, e.page)) {
+            if machine.shootdown_pending(cpu, e.root, e.page) {
                 continue; // recorded (tolerated) staleness
             }
             let va = VirtAddr(e.page << 12);
@@ -564,7 +564,7 @@ fn check_decision_consistency(view: &MachineView, report: &mut AuditReport) {
         };
         for (kind, d) in cache.entries() {
             saturating_bump(&mut report.decision_entries);
-            if machine.pending_shootdowns().contains(&(cpu, d.page)) {
+            if machine.shootdown_pending(cpu, ctx.root, d.page) {
                 continue; // recorded (tolerated) staleness
             }
             let va = VirtAddr(d.page << 12);

@@ -218,7 +218,7 @@ pub fn shadow_stack_balance(machine: &Machine) -> Result<(), Violation> {
 pub fn tlb_coherence(machine: &Machine) -> Result<(), Violation> {
     for (cpu, tlb) in machine.tlbs.iter().enumerate() {
         for e in tlb.entries() {
-            if machine.pending_shootdowns().contains(&(cpu, e.page)) {
+            if machine.shootdown_pending(cpu, e.root, e.page) {
                 continue; // a modelled IPI loss: staleness is expected here
             }
             let va = VirtAddr(e.page << 12);

@@ -11,9 +11,9 @@ use crate::gate::EmcGate;
 use crate::mmu_guard::{self, MapError};
 use crate::policy::{FrameKind, FrameTable, PK_IDT};
 use crate::rng::DetRng;
-use crate::sandbox::{CommonRegion, ExitDecision, Sandbox, SandboxId, SandboxState};
+use crate::sandbox::{CommonRegion, ExitDecision, Sandbox, SandboxId, SandboxState, SandboxTable};
 use crate::scan;
-use crate::stats::MonitorStats;
+use crate::stats::{LookupStats, MonitorStats};
 use erebor_hw::cpu::Machine;
 use erebor_hw::fault::{Fault, VeReason};
 use erebor_hw::idt;
@@ -26,7 +26,7 @@ use erebor_hw::{Frame, VirtAddr, PAGE_SIZE};
 use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, VmcallOp};
 use erebor_tdx::TdxModule;
 use erebor_trace::{Bucket, TraceEvent};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The reserved file descriptor of the monitor I/O channel (§6.3).
 pub const EREBOR_IO_FD: u64 = 1023;
@@ -91,16 +91,37 @@ pub struct Monitor {
     /// Hardware IDT base (monitor-owned page).
     pub idt_base: VirtAddr,
     /// All live sandboxes.
-    pub sandboxes: BTreeMap<u32, Sandbox>,
+    pub sandboxes: SandboxTable,
     /// All common regions.
     pub common_regions: BTreeMap<u32, CommonRegion>,
+    /// Use the O(1) indexes (root→sandbox, address-space mirror, cpuid
+    /// MRU) on the gate hot path. Off = the seed's linear scans and
+    /// ordered-map lookups, with identical results; the fleet bench
+    /// ablation and the equivalence suite flip this.
+    pub fast_lookup: bool,
+    /// Coalesce the teardown/seal/reclaim shootdown traffic into one
+    /// IPI per (core, mm) maintenance window instead of per-page
+    /// round trips. Off by default: unlike `fast_lookup`, this changes
+    /// the *modeled* IPI cost (fewer interrupt deliveries), so it is an
+    /// explicit fleet-mode optimization, not a transparent fast path.
+    pub coalesce_shootdowns: bool,
+    /// Lookup fast-path counters — deliberately outside
+    /// [`MonitorStats`]/snapshots (see [`LookupStats`]).
+    pub lookup_stats: LookupStats,
     kernel_text: Option<(VirtAddr, Vec<Frame>)>,
     kernel_syscall_entry: Option<VirtAddr>,
     vec_handlers: Vec<Option<VirtAddr>>,
     address_spaces: BTreeMap<u64, u32>,
+    /// Hash mirror of `address_spaces` for O(1) gate-path lookups; the
+    /// ordered map stays authoritative for enumeration/snapshots.
+    as_index: HashMap<u64, u32>,
+    /// Root-frame → sandbox id over *live* sandboxes only (entries are
+    /// removed on kill, so a hit is always current).
+    root_index: HashMap<u64, u32>,
     cma: Region,
     device: Region,
     cpuid_cache: BTreeMap<u32, [u32; 4]>,
+    cpuid_mru: Option<(u32, [u32; 4])>,
     kernel_return: VirtAddr,
     next_sandbox: u32,
     next_region: u32,
@@ -131,15 +152,21 @@ impl Monitor {
             syscall_interposer: VirtAddr(layout::MONITOR_BASE.0 + 0x100),
             interrupt_interposer: VirtAddr(layout::MONITOR_BASE.0 + 0x200),
             idt_base,
-            sandboxes: BTreeMap::new(),
+            sandboxes: SandboxTable::new(),
             common_regions: BTreeMap::new(),
+            fast_lookup: true,
+            coalesce_shootdowns: false,
+            lookup_stats: LookupStats::default(),
             kernel_text: None,
             kernel_syscall_entry: None,
             vec_handlers: vec![None; 256],
             address_spaces: BTreeMap::new(),
+            as_index: HashMap::new(),
+            root_index: HashMap::new(),
             cma,
             device,
             cpuid_cache: BTreeMap::new(),
+            cpuid_mru: None,
             kernel_return: layout::KERNEL_BASE,
             next_sandbox: 1,
             next_region: 1,
@@ -161,7 +188,14 @@ impl Monitor {
     /// Whether `root` is a monitor-registered address space.
     #[must_use]
     pub fn address_space_registered(&self, root: Frame) -> bool {
-        root == self.kernel_root || self.address_spaces.contains_key(&root.0)
+        if root == self.kernel_root {
+            return true;
+        }
+        if self.fast_lookup {
+            self.lookup_stats.bump_as_index();
+            return self.as_index.contains_key(&root.0);
+        }
+        self.address_spaces.contains_key(&root.0)
     }
 
     /// Every address-space root the monitor knows about: the kernel root
@@ -518,16 +552,10 @@ impl Monitor {
                 }
             }
             EmcRequest::CpuidEmulate { leaf } => {
-                let value = match self.cpuid_cache.get(&leaf) {
-                    Some(v) => {
-                        self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
-                        *v
-                    }
+                let value = match self.cpuid_cache_get(leaf) {
+                    Some(v) => v,
                     None => {
                         self.stats.ghci_ops = self.stats.ghci_ops.saturating_add(1);
-                        // Only successful emulations enter the cache: a
-                        // faulted or module-declined tdcall must not pin
-                        // zeros for the leaf forever.
                         match tdcall(
                             tdx,
                             machine,
@@ -535,7 +563,7 @@ impl Monitor {
                             TdcallLeaf::VmCall(VmcallOp::Cpuid { leaf }),
                         ) {
                             Ok(TdcallResult::Cpuid(v)) => {
-                                self.cpuid_cache.insert(leaf, v);
+                                self.cpuid_cache_put(leaf, v);
                                 v
                             }
                             _ => [0; 4],
@@ -544,6 +572,40 @@ impl Monitor {
                 };
                 Ok(EmcResponse::Cpuid(value))
             }
+        }
+    }
+
+    /// cpuid cache probe shared by the EMC and `#VE` emulation paths.
+    /// The one-entry MRU slot in front of the ordered map catches the
+    /// common repeated-leaf pattern; `stats.cpuid_cached` counts every
+    /// cache hit identically in both modes, so snapshots stay
+    /// byte-identical across the `fast_lookup` toggle.
+    fn cpuid_cache_get(&mut self, leaf: u32) -> Option<[u32; 4]> {
+        if self.fast_lookup {
+            if let Some((l, v)) = self.cpuid_mru {
+                if l == leaf {
+                    self.lookup_stats.bump_cpuid_mru();
+                    self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
+                    return Some(v);
+                }
+            }
+        }
+        let v = self.cpuid_cache.get(&leaf).copied();
+        if let Some(v) = v {
+            self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
+            if self.fast_lookup {
+                self.cpuid_mru = Some((leaf, v));
+            }
+        }
+        v
+    }
+
+    /// Record a freshly emulated cpuid leaf (successful tdcalls only —
+    /// a faulted or module-declined round trip must not pin zeros).
+    fn cpuid_cache_put(&mut self, leaf: u32, value: [u32; 4]) {
+        self.cpuid_cache.insert(leaf, value);
+        if self.fast_lookup {
+            self.cpuid_mru = Some((leaf, value));
         }
     }
 
@@ -568,6 +630,7 @@ impl Monitor {
             }
         }
         self.address_spaces.insert(root.0, asid);
+        self.as_index.insert(root.0, asid);
         Ok(root)
     }
 
@@ -594,7 +657,12 @@ impl Monitor {
         if writable && executable {
             return Err(EmcError::Denied("W^X: writable+executable refused"));
         }
-        let asid = self.address_spaces.get(&root.0).copied().unwrap_or(0);
+        let asid = if self.fast_lookup {
+            self.lookup_stats.bump_as_index();
+            self.as_index.get(&root.0).copied().unwrap_or(0)
+        } else {
+            self.address_spaces.get(&root.0).copied().unwrap_or(0)
+        };
         let f = match frame {
             None => {
                 let f = machine.mem.alloc_frame().map_err(|_| EmcError::NoMemory)?;
@@ -924,6 +992,7 @@ impl Monitor {
         let root = root?;
         self.sandboxes
             .insert(id.0, Sandbox::new(id, root, budget_pages));
+        self.root_index.insert(root.0, id.0);
         machine.trace_event(
             cpu,
             TraceEvent::Emc {
@@ -934,9 +1003,21 @@ impl Monitor {
         Ok(id)
     }
 
-    /// The sandbox owning `root`, if any.
+    /// The sandbox owning `root`, if any (the CR3→sandbox lookup of the
+    /// gate path: every kernel-requested mapping consults it). With
+    /// `fast_lookup` this is one hash probe validated against the slab
+    /// entry — roots are unique and dead sandboxes leave the index, so
+    /// the validation can only confirm, never miscorrect; without it,
+    /// the seed's linear scan over every sandbox ever created.
     #[must_use]
     pub fn sandbox_by_root(&self, root: Frame) -> Option<SandboxId> {
+        if self.fast_lookup {
+            self.lookup_stats.bump_root_index();
+            return self.root_index.get(&root.0).and_then(|id| {
+                let s = self.sandboxes.get(id)?;
+                (s.root == root && s.state != SandboxState::Dead).then_some(s.id)
+            });
+        }
         self.sandboxes
             .values()
             .find(|s| s.root == root && s.state != SandboxState::Dead)
@@ -966,11 +1047,19 @@ impl Monitor {
             return Err(EmcError::BadRequest("unaligned or non-user VA"));
         }
         let root = sandbox.root;
-        for p in 0..pages {
-            let frame = machine
-                .mem
-                .alloc_frame_in(self.cma)
-                .map_err(|_| EmcError::NoMemory)?;
+        // Arena path for sandbox boot: grab the whole confined window from
+        // the CMA in one batch. `alloc_frames_in` yields exactly the frames
+        // the seed's per-page `alloc_frame_in` loop would (CMA frames and
+        // page-table frames come from disjoint, reserved-separated pools,
+        // so hoisting the data-frame allocations cannot renumber either
+        // stream), but costs one bitmap pass instead of `pages` rescans.
+        let mut arena: Vec<Frame> = Vec::with_capacity(pages as usize);
+        machine
+            .mem
+            .alloc_frames_in(self.cma, pages, &mut arena)
+            .map_err(|_| EmcError::NoMemory)?;
+        for (p, frame) in arena.into_iter().enumerate() {
+            let p = p as u64;
             // Single-mapping policy: the frame must be fresh.
             if self.frames.mapcount(frame) != 0 {
                 return Err(EmcError::Denied("confined frame already mapped"));
@@ -1258,18 +1347,39 @@ impl Monitor {
             };
             let guard = PrivGuard::enter(machine, cpu).map_err(EmcError::Fault)?;
             let mut seal_res = Ok(());
-            for page in pages {
-                if let Err(e) =
-                    mmu_guard::checked_update_leaf(machine, cpu, root, page, Pte::read_only)
-                {
-                    seal_res = Err(map_err(e));
-                    break;
+            if self.coalesce_shootdowns {
+                // Downgrade every materialized leaf, then one coalesced
+                // shootdown for the sandbox's whole window.
+                let mut downgraded: Vec<VirtAddr> = Vec::with_capacity(pages.len());
+                for page in pages {
+                    if let Err(e) =
+                        mmu_guard::checked_update_leaf(machine, cpu, root, page, Pte::read_only)
+                    {
+                        seal_res = Err(map_err(e));
+                        break;
+                    }
+                    downgraded.push(page);
+                    self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
                 }
-                if let Err(e) = machine.tlb_shootdown_mm(cpu, root, &[page]) {
-                    seal_res = Err(EmcError::Fault(e));
-                    break;
+                if !downgraded.is_empty() {
+                    if let Err(e) = machine.tlb_shootdown_mm(cpu, root, &downgraded) {
+                        seal_res = seal_res.and(Err(EmcError::Fault(e)));
+                    }
                 }
-                self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
+            } else {
+                for page in pages {
+                    if let Err(e) =
+                        mmu_guard::checked_update_leaf(machine, cpu, root, page, Pte::read_only)
+                    {
+                        seal_res = Err(map_err(e));
+                        break;
+                    }
+                    if let Err(e) = machine.tlb_shootdown_mm(cpu, root, &[page]) {
+                        seal_res = Err(EmcError::Fault(e));
+                        break;
+                    }
+                    self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
+                }
             }
             guard.exit(machine, cpu);
             seal_res?;
@@ -1316,6 +1426,40 @@ impl Monitor {
             let Ok(guard) = PrivGuard::enter(machine, cpu) else {
                 return reclaimed;
             };
+            if self.coalesce_shootdowns {
+                // Clear all victim leaves, one coalesced shootdown for the
+                // address space, then the per-page mapcount bookkeeping.
+                let mut cleared: Vec<(u32, VirtAddr)> = Vec::with_capacity(victims.len());
+                for (rid, page) in victims {
+                    if mmu_guard::checked_update_leaf(machine, cpu, root, page, |_| Pte::empty())
+                        .is_ok()
+                    {
+                        cleared.push((rid, page));
+                    }
+                }
+                if !cleared.is_empty() {
+                    let vas: Vec<VirtAddr> = cleared.iter().map(|&(_, p)| p).collect();
+                    machine.tlb_shootdown_mm(cpu, root, &vas).ok();
+                }
+                for (rid, page) in cleared {
+                    if let Some(region) = self.common_regions.get(&rid) {
+                        let idx = region
+                            .attached
+                            .iter()
+                            .find(|(sid, _)| sid.0 == id)
+                            .map(|(_, base)| ((page.0 - base.0) / PAGE_SIZE as u64) as usize);
+                        if let Some(idx) = idx {
+                            if let Some(f) = region.frames.get(idx) {
+                                self.frames.dec_map(*f);
+                            }
+                        }
+                    }
+                    reclaimed += 1;
+                    self.stats.pte_updates = self.stats.pte_updates.saturating_add(1);
+                }
+                guard.exit(machine, cpu);
+                continue;
+            }
             for (rid, page) in victims {
                 if mmu_guard::checked_update_leaf(machine, cpu, root, page, |_| Pte::empty())
                     .is_ok()
@@ -1373,9 +1517,50 @@ impl Monitor {
         let root = sandbox.root;
         let confined: Vec<(VirtAddr, Frame)> = sandbox.confined.drain(..).collect();
         let commons: Vec<(u32, VirtAddr)> = sandbox.common_mapped.drain(..).collect();
+        self.root_index.remove(&root.0);
         let Ok(guard) = PrivGuard::enter(machine, 0) else {
             return;
         };
+        if self.coalesce_shootdowns {
+            // Two-phase teardown: clear every leaf first, then close the
+            // whole stale-translation window with a single coalesced
+            // shootdown (one IPI per remote core; past the full-flush
+            // ceiling each core takes one full flush instead of per-page
+            // invalidations). Frames are still scrubbed/freed only
+            // *after* the shootdown — same safety order as the per-page
+            // path below.
+            let mut vas: Vec<VirtAddr> = Vec::with_capacity(confined.len() + commons.len());
+            for (va, _) in &confined {
+                mmu_guard::checked_update_leaf(machine, 0, root, *va, |_| Pte::empty()).ok();
+                vas.push(*va);
+            }
+            for (_, page) in &commons {
+                mmu_guard::checked_update_leaf(machine, 0, root, *page, |_| Pte::empty()).ok();
+                vas.push(*page);
+            }
+            if !vas.is_empty() {
+                machine.tlb_shootdown_mm(0, root, &vas).ok();
+            }
+            for (_, frame) in &confined {
+                self.frames.dec_map(*frame);
+                machine.mem.zero_frame(*frame).ok();
+                machine.mem.free_frame(*frame).ok();
+                self.frames.release(*frame).ok();
+            }
+            for (rid, page) in &commons {
+                if let Some(region) = self.common_regions.get(rid) {
+                    if let Some((_, base)) = region.attached.iter().find(|(sid, _)| sid.0 == id.0)
+                    {
+                        let idx = ((page.0 - base.0) / PAGE_SIZE as u64) as usize;
+                        if let Some(f) = region.frames.get(idx) {
+                            self.frames.dec_map(*f);
+                        }
+                    }
+                }
+            }
+            guard.exit(machine, 0);
+            return;
+        }
         for (va, frame) in confined {
             mmu_guard::checked_update_leaf(machine, 0, root, va, |_| Pte::empty()).ok();
             // Shoot down *before* scrub/free: a stale translation to a
@@ -1588,11 +1773,8 @@ impl Monitor {
             {
                 self.stats.sandbox_ve_exits = self.stats.sandbox_ve_exits.saturating_add(1);
                 if reason == VeReason::Cpuid {
-                    let value = match self.cpuid_cache.get(&cpuid_leaf) {
-                        Some(v) => {
-                            self.stats.cpuid_cached = self.stats.cpuid_cached.saturating_add(1);
-                            *v
-                        }
+                    let value = match self.cpuid_cache_get(cpuid_leaf) {
+                        Some(v) => v,
                         None => {
                             let res = tdcall(
                                 tdx,
@@ -1605,7 +1787,7 @@ impl Monitor {
                             // with zeros for every later caller.
                             match res {
                                 Ok(TdcallResult::Cpuid(v)) => {
-                                    self.cpuid_cache.insert(cpuid_leaf, v);
+                                    self.cpuid_cache_put(cpuid_leaf, v);
                                     v
                                 }
                                 _ => [0; 4],

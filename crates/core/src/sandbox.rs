@@ -112,6 +112,106 @@ impl Sandbox {
     }
 }
 
+/// Dense slab of sandboxes keyed by [`SandboxId`].
+///
+/// Ids are assigned monotonically from 1 and never reused, so slot
+/// `id - 1` holds sandbox `id` for the whole platform lifetime — dead
+/// sandboxes stay in place, exactly like the ordered map this replaces
+/// (kills mark [`SandboxState::Dead`], they never remove entries). Point
+/// lookups are O(1) array indexing and iteration runs in id order, so
+/// every observable behaviour (contents, iteration order, Debug output
+/// derived from it) is byte-identical to the `BTreeMap<u32, Sandbox>`
+/// seed representation. Because ids are never reused, the slot index
+/// itself acts as the generation: a stale id can only miss (point past
+/// the end) or land on the one sandbox that ever owned it.
+#[derive(Default)]
+pub struct SandboxTable {
+    slots: Vec<Sandbox>,
+}
+
+impl SandboxTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> SandboxTable {
+        SandboxTable { slots: Vec::new() }
+    }
+
+    fn slot_of(&self, id: u32) -> Option<usize> {
+        (id >= 1)
+            .then(|| (id - 1) as usize)
+            .filter(|&i| i < self.slots.len())
+    }
+
+    /// The sandbox with this id, if one was ever created.
+    #[must_use]
+    pub fn get(&self, id: &u32) -> Option<&Sandbox> {
+        self.slot_of(*id).map(|i| &self.slots[i])
+    }
+
+    /// Mutable access to the sandbox with this id.
+    pub fn get_mut(&mut self, id: &u32) -> Option<&mut Sandbox> {
+        self.slot_of(*id).map(move |i| &mut self.slots[i])
+    }
+
+    /// Whether this id names a (live or dead) sandbox.
+    #[must_use]
+    pub fn contains_key(&self, id: &u32) -> bool {
+        self.slot_of(*id).is_some()
+    }
+
+    /// Insert the next sandbox. Ids are dense and monotonic by
+    /// construction ([`crate::monitor::Monitor::create_sandbox`] is the
+    /// only caller); the map-compatible return is always `None`.
+    ///
+    /// # Panics
+    /// If `id` is not exactly one past the current highest id.
+    pub fn insert(&mut self, id: u32, sandbox: Sandbox) -> Option<Sandbox> {
+        assert_eq!(
+            id as usize,
+            self.slots.len() + 1,
+            "sandbox ids are dense and monotonic"
+        );
+        self.slots.push(sandbox);
+        None
+    }
+
+    /// All sandboxes in id order.
+    pub fn values(&self) -> impl Iterator<Item = &Sandbox> {
+        self.slots.iter()
+    }
+
+    /// All ids in order (map-compatible `&u32` items).
+    pub fn keys(&self) -> impl Iterator<Item = &u32> {
+        self.slots.iter().map(|s| &s.id.0)
+    }
+
+    /// Number of sandboxes ever created (dead ones included).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no sandbox was ever created.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+impl core::ops::Index<&u32> for SandboxTable {
+    type Output = Sandbox;
+
+    fn index(&self, id: &u32) -> &Sandbox {
+        self.get(id).expect("no such sandbox") // lint:allow(panic) — Index's contract is to panic on a missing key
+    }
+}
+
+impl core::fmt::Debug for SandboxTable {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_map().entries(self.keys().zip(self.values())).finish()
+    }
+}
+
 impl core::fmt::Debug for Sandbox {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Sandbox")

@@ -191,9 +191,16 @@ pub struct Machine {
     injector: Option<InjectorHandle>,
     /// `(cpu, page-number)` pairs whose invalidation IPI was dropped by an
     /// injector: the core may hold a stale entry for the page until its
-    /// next flush. The TLB-coherence invariant treats these as the only
-    /// tolerated stale set.
+    /// next flush. Together with `pending_asid_shootdowns` this is the
+    /// tolerated stale set for the TLB-coherence checks.
     pending_shootdowns: BTreeSet<(usize, u64)>,
+    /// `(cpu, root-frame-number)` pairs whose *coalesced* (full-ASID)
+    /// invalidation IPI was dropped: the core may hold stale entries for
+    /// any page of that address space until its next full flush. Root
+    /// `0` records a dropped broadcast flush (all roots). One entry
+    /// stands in for what would otherwise be hundreds of per-page
+    /// ledger rows from a batched teardown.
+    pending_asid_shootdowns: BTreeSet<(usize, u64)>,
     interrupt_depth: Vec<u32>,
     /// Per-core permission-decision caches for the batch fast path.
     decisions: Vec<DecisionCache>,
@@ -228,6 +235,7 @@ impl Machine {
             sensitive_domains: BTreeSet::new(),
             injector: None,
             pending_shootdowns: BTreeSet::new(),
+            pending_asid_shootdowns: BTreeSet::new(),
             interrupt_depth: vec![0; cores],
             decisions: (0..cores).map(|_| DecisionCache::new()).collect(),
             mmu_epoch: 0,
@@ -321,6 +329,24 @@ impl Machine {
     #[must_use]
     pub fn pending_shootdowns(&self) -> &BTreeSet<(usize, u64)> {
         &self.pending_shootdowns
+    }
+
+    /// Address spaces whose coalesced invalidation IPI was dropped,
+    /// keyed `(cpu, root-frame-number)` (`0` = a dropped broadcast):
+    /// the full-ASID rows of the tolerated-stale ledger.
+    #[must_use]
+    pub fn pending_asid_shootdowns(&self) -> &BTreeSet<(usize, u64)> {
+        &self.pending_asid_shootdowns
+    }
+
+    /// Whether staleness of `cpu`'s cached translation for `page` under
+    /// `root` is recorded (tolerated) in either ledger: a per-page row,
+    /// a full-ASID row for the entry's root, or a dropped broadcast row.
+    #[must_use]
+    pub fn shootdown_pending(&self, cpu: usize, root: Frame, page: u64) -> bool {
+        self.pending_shootdowns.contains(&(cpu, page))
+            || self.pending_asid_shootdowns.contains(&(cpu, root.0))
+            || self.pending_asid_shootdowns.contains(&(cpu, 0))
     }
 
     /// Current MMU epoch (see [`Machine::bump_mmu_epoch`]).
@@ -598,6 +624,7 @@ impl Machine {
         self.tlbs[cpu].flush_all();
         self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
         self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+        self.pending_asid_shootdowns.retain(|&(c, _)| c != cpu);
         if self.mmu_trace {
             self.trace_event(cpu, TraceEvent::TlbFlush);
         }
@@ -728,8 +755,17 @@ impl Machine {
                     // stale entries. Record the staleness so invariant
                     // checks can tell a modelled loss from a real bug.
                     self.trace_event(initiator, TraceEvent::IpiDropped { to: cpu as u32 });
-                    for va in vas {
-                        self.pending_shootdowns.insert((cpu, va.0 >> 12));
+                    if full {
+                        // A dropped coalesced flush strands the whole
+                        // address space: one full-ASID ledger row covers
+                        // every page the batch (and anything else under
+                        // that root) may have left stale.
+                        self.pending_asid_shootdowns
+                            .insert((cpu, root.map_or(0, |r| r.0)));
+                    } else {
+                        for va in vas {
+                            self.pending_shootdowns.insert((cpu, va.0 >> 12));
+                        }
                     }
                     continue;
                 }
@@ -748,6 +784,7 @@ impl Machine {
                 self.tlbs[cpu].flush_all();
                 self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
                 self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+                self.pending_asid_shootdowns.retain(|&(c, _)| c != cpu);
                 if self.mmu_trace {
                     self.trace_event(cpu, TraceEvent::TlbFlush);
                 }
@@ -781,6 +818,7 @@ impl Machine {
                     self.tlbs[cpu].flush_all();
                     self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
                     self.pending_shootdowns.retain(|&(c, _)| c != cpu);
+                    self.pending_asid_shootdowns.retain(|&(c, _)| c != cpu);
                     if self.mmu_trace {
                         self.trace_event(cpu, TraceEvent::TlbFlush);
                     }

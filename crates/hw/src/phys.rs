@@ -4,6 +4,13 @@
 //! Frames are 4 KiB (the paper's prototype disables huge pages, §7, so the
 //! simulator only models 4 KiB mappings). Backing storage is allocated
 //! lazily so a multi-GiB simulated machine is cheap to construct.
+//!
+//! The allocator keeps a two-level free bitmap (one bit per frame, one
+//! summary bit per 64-frame word) so first-fit allocation is amortized
+//! O(1) at fleet scale, while producing *exactly* the frame order of the
+//! original linear scan. `fast_scan = false` ablates back to the literal
+//! per-frame probe loop (same results, seed-shaped cost) so the fleet
+//! bench can measure what the bitmap buys.
 
 use crate::inject::InjectorHandle;
 use std::collections::BTreeMap;
@@ -118,6 +125,27 @@ impl Region {
     }
 }
 
+/// Host-side scan-work counters for the frame allocator.
+///
+/// These describe the *simulator's own* search effort — not simulated
+/// cycles — so they live outside every snapshot/trace structure and may
+/// differ between a bitmap-scan and an ablated linear-scan run without
+/// breaking determinism suites. The fleet bench asserts the bitmap path
+/// keeps `words_scanned` within a fixed budget where the linear path's
+/// `frames_scanned` explodes quadratically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Successful frame allocations (either path).
+    pub allocs: u64,
+    /// Per-frame probes performed by the ablated linear scan.
+    pub frames_scanned: u64,
+    /// Bitmap words (frame words + summary words) examined by the fast
+    /// scan.
+    pub words_scanned: u64,
+}
+
+const WORD_BITS: u64 = 64;
+
 /// Simulated DRAM plus a first-fit frame allocator.
 ///
 /// Backing pages are allocated lazily on first write; reads of untouched
@@ -125,10 +153,27 @@ impl Region {
 pub struct PhysMemory {
     total_frames: u64,
     pages: BTreeMap<u64, Box<[u8; PAGE_SIZE]>>,
-    allocated: Vec<bool>,
+    /// Free bitmap: bit set ⇔ frame is NOT allocated. Bits past
+    /// `total_frames` in the last word stay clear so scans cannot
+    /// overrun DRAM.
+    free: Vec<u64>,
+    /// Summary: bit `w % 64` of word `w / 64` set ⇔ `free[w] != 0`.
+    free_summary: Vec<u64>,
+    /// Reserved bitmap: bit set ⇔ frame is inside a reserved region
+    /// (mirrors `reserved`, which stays authoritative for membership
+    /// semantics).
+    reserved_mask: Vec<u64>,
+    /// Summary over `free & !reserved_mask` (the generic-alloc view).
+    avail_summary: Vec<u64>,
+    allocated_count: u64,
     reserved: Vec<Region>,
     next_hint: u64,
     injector: Option<InjectorHandle>,
+    /// When false, allocation falls back to the original per-frame
+    /// linear probe loop (identical results, pre-bitmap cost shape).
+    pub fast_scan: bool,
+    /// Host-side scan-work counters (not part of any snapshot).
+    pub alloc_stats: AllocStats,
 }
 
 impl PhysMemory {
@@ -140,14 +185,31 @@ impl PhysMemory {
     pub fn new(bytes: u64) -> PhysMemory {
         let total_frames = bytes >> PAGE_SHIFT;
         assert!(total_frames > 0, "need at least one frame of DRAM");
-        PhysMemory {
+        let words = total_frames.div_ceil(WORD_BITS) as usize;
+        let summary_words = (words as u64).div_ceil(WORD_BITS) as usize;
+        let mut free = vec![!0u64; words];
+        let tail = total_frames % WORD_BITS;
+        if tail != 0 {
+            free[words - 1] = (1u64 << tail) - 1;
+        }
+        let mut mem = PhysMemory {
             total_frames,
             pages: BTreeMap::new(),
-            allocated: vec![false; total_frames as usize],
+            free,
+            free_summary: vec![0; summary_words],
+            reserved_mask: vec![0; words],
+            avail_summary: vec![0; summary_words],
+            allocated_count: 0,
             reserved: Vec::new(),
             next_hint: 0,
             injector: None,
+            fast_scan: true,
+            alloc_stats: AllocStats::default(),
+        };
+        for w in 0..words {
+            mem.refresh_summaries(w);
         }
+        mem
     }
 
     /// Install a chaos injector for allocation-failure injection
@@ -172,6 +234,22 @@ impl PhysMemory {
     /// Used for the CMA confined pool and the device-shared window.
     pub fn reserve_region(&mut self, region: Region) {
         self.reserved.push(region);
+        let end = region.end.0.min(self.total_frames);
+        let mut f = region.start.0.min(end);
+        while f < end {
+            let w = (f / WORD_BITS) as usize;
+            let bit = f % WORD_BITS;
+            // Fill this word's covered span in one mask.
+            let span = (WORD_BITS - bit).min(end - f);
+            let mask = if span == WORD_BITS {
+                !0u64
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.reserved_mask[w] |= mask;
+            self.refresh_summaries(w);
+            f += span;
+        }
     }
 
     fn is_reserved(&self, frame: Frame) -> bool {
@@ -184,10 +262,10 @@ impl PhysMemory {
         self.total_frames
     }
 
-    /// Number of currently allocated frames.
+    /// Number of currently allocated frames (O(1): a maintained counter).
     #[must_use]
     pub fn allocated_frames(&self) -> u64 {
-        self.allocated.iter().filter(|a| **a).count() as u64
+        self.allocated_count
     }
 
     fn check(&self, pa: PhysAddr, len: usize) -> Result<(), PhysError> {
@@ -200,17 +278,133 @@ impl PhysMemory {
         Ok(())
     }
 
+    #[inline]
+    fn frame_free(&self, idx: u64) -> bool {
+        self.free[(idx / WORD_BITS) as usize] >> (idx % WORD_BITS) & 1 != 0
+    }
+
+    /// Re-derive both summary bits for frame word `w`.
+    fn refresh_summaries(&mut self, w: usize) {
+        let (sw, sbit) = (w / WORD_BITS as usize, (w % WORD_BITS as usize) as u64);
+        if self.free[w] != 0 {
+            self.free_summary[sw] |= 1 << sbit;
+        } else {
+            self.free_summary[sw] &= !(1 << sbit);
+        }
+        if self.free[w] & !self.reserved_mask[w] != 0 {
+            self.avail_summary[sw] |= 1 << sbit;
+        } else {
+            self.avail_summary[sw] &= !(1 << sbit);
+        }
+    }
+
+    #[inline]
+    fn mark_allocated(&mut self, idx: u64) {
+        let w = (idx / WORD_BITS) as usize;
+        self.free[w] &= !(1 << (idx % WORD_BITS));
+        self.refresh_summaries(w);
+        self.allocated_count += 1;
+    }
+
+    #[inline]
+    fn mark_free(&mut self, idx: u64) {
+        let w = (idx / WORD_BITS) as usize;
+        self.free[w] |= 1 << (idx % WORD_BITS);
+        self.refresh_summaries(w);
+        self.allocated_count -= 1;
+    }
+
+    /// First frame `>= start` and `< end` whose bit is set in `view of
+    /// free`, using the chosen summary to skip empty words. `reserved`
+    /// selects the generic-alloc view (`free & !reserved_mask`).
+    fn scan_range(&mut self, start: u64, end: u64, skip_reserved: bool) -> Option<u64> {
+        if start >= end {
+            return None;
+        }
+        let word_of = |f: u64| (f / WORD_BITS) as usize;
+        let view = |m: &PhysMemory, w: usize| {
+            if skip_reserved {
+                m.free[w] & !m.reserved_mask[w]
+            } else {
+                m.free[w]
+            }
+        };
+        let summary = |m: &PhysMemory, sw: usize| {
+            if skip_reserved {
+                m.avail_summary[sw]
+            } else {
+                m.free_summary[sw]
+            }
+        };
+        let first_word = word_of(start);
+        let last_word = word_of(end - 1);
+
+        // Partial first word.
+        self.alloc_stats.words_scanned = self.alloc_stats.words_scanned.saturating_add(1);
+        let mask = !0u64 << (start % WORD_BITS);
+        let cand = view(self, first_word) & mask;
+        if cand != 0 {
+            let idx = first_word as u64 * WORD_BITS + u64::from(cand.trailing_zeros());
+            if idx < end {
+                return Some(idx);
+            }
+            return None; // first set bit already past `end`
+        }
+        // Full words, hopping via the summary.
+        let mut w = first_word + 1;
+        while w <= last_word {
+            let sw = w / WORD_BITS as usize;
+            self.alloc_stats.words_scanned = self.alloc_stats.words_scanned.saturating_add(1);
+            let smask = !0u64 << (w % WORD_BITS as usize);
+            let scand = summary(self, sw) & smask;
+            if scand == 0 {
+                // No candidate word in this summary span; skip it whole.
+                w = (sw + 1) * WORD_BITS as usize;
+                continue;
+            }
+            let cw = sw * WORD_BITS as usize + scand.trailing_zeros() as usize;
+            if cw > last_word {
+                return None;
+            }
+            self.alloc_stats.words_scanned = self.alloc_stats.words_scanned.saturating_add(1);
+            let cand = view(self, cw);
+            debug_assert!(cand != 0, "summary bit set on empty word");
+            let idx = cw as u64 * WORD_BITS + u64::from(cand.trailing_zeros());
+            if idx < end {
+                return Some(idx);
+            }
+            return None;
+        }
+        None
+    }
+
     /// Allocate one free frame anywhere in DRAM.
     pub fn alloc_frame(&mut self) -> Result<Frame, PhysError> {
         if self.alloc_injected() {
             return Err(PhysError::OutOfMemory);
         }
         let n = self.total_frames;
+        if self.fast_scan {
+            // First-fit from the hint with wraparound, exactly the
+            // linear scan's circular visit order.
+            let found = self
+                .scan_range(self.next_hint, n, true)
+                .or_else(|| self.scan_range(0, self.next_hint, true));
+            if let Some(idx) = found {
+                self.mark_allocated(idx);
+                self.next_hint = (idx + 1) % n;
+                self.alloc_stats.allocs = self.alloc_stats.allocs.saturating_add(1);
+                return Ok(Frame(idx));
+            }
+            return Err(PhysError::OutOfMemory);
+        }
         for i in 0..n {
             let idx = (self.next_hint + i) % n;
-            if !self.allocated[idx as usize] && !self.is_reserved(Frame(idx)) {
-                self.allocated[idx as usize] = true;
+            self.alloc_stats.frames_scanned = self.alloc_stats.frames_scanned.saturating_add(1);
+            if self.frame_free(idx) && !self.is_reserved(Frame(idx)) {
+                self.mark_allocated(idx);
                 self.next_hint = (idx + 1) % n;
+                self.alloc_stats.allocs = self.alloc_stats.allocs.saturating_add(1);
                 return Ok(Frame(idx));
             }
         }
@@ -222,16 +416,66 @@ impl PhysMemory {
         if self.alloc_injected() {
             return Err(PhysError::OutOfMemory);
         }
-        for f in region.start.0..region.end.0 {
-            if f >= self.total_frames {
-                break;
+        let end = region.end.0.min(self.total_frames);
+        if self.fast_scan {
+            if let Some(idx) = self.scan_range(region.start.0, end, false) {
+                self.mark_allocated(idx);
+                self.alloc_stats.allocs = self.alloc_stats.allocs.saturating_add(1);
+                return Ok(Frame(idx));
             }
-            if !self.allocated[f as usize] {
-                self.allocated[f as usize] = true;
+            return Err(PhysError::OutOfMemory);
+        }
+        for f in region.start.0..end {
+            self.alloc_stats.frames_scanned = self.alloc_stats.frames_scanned.saturating_add(1);
+            if self.frame_free(f) {
+                self.mark_allocated(f);
+                self.alloc_stats.allocs = self.alloc_stats.allocs.saturating_add(1);
                 return Ok(Frame(f));
             }
         }
         Err(PhysError::OutOfMemory)
+    }
+
+    /// Arena path for sandbox boot: allocate `count` frames inside
+    /// `region` in first-fit order, carrying the scan cursor across
+    /// frames so a batch costs one pass instead of `count` rescans.
+    ///
+    /// Identical to `count` successive [`PhysMemory::alloc_frame_in`]
+    /// calls in every observable way: same frames in the same order,
+    /// same per-frame injected-failure consultation, and on failure the
+    /// earlier frames of the batch stay allocated (the caller's teardown
+    /// path owns them, exactly as with the loop it replaces).
+    ///
+    /// # Errors
+    /// `OutOfMemory` when the region exhausts mid-batch or an injected
+    /// allocation failure fires.
+    pub fn alloc_frames_in(
+        &mut self,
+        region: Region,
+        count: u64,
+        out: &mut Vec<Frame>,
+    ) -> Result<(), PhysError> {
+        if !self.fast_scan {
+            for _ in 0..count {
+                out.push(self.alloc_frame_in(region)?);
+            }
+            return Ok(());
+        }
+        let end = region.end.0.min(self.total_frames);
+        let mut cursor = region.start.0;
+        for _ in 0..count {
+            if self.alloc_injected() {
+                return Err(PhysError::OutOfMemory);
+            }
+            let idx = self
+                .scan_range(cursor, end, false)
+                .ok_or(PhysError::OutOfMemory)?;
+            self.mark_allocated(idx);
+            self.alloc_stats.allocs = self.alloc_stats.allocs.saturating_add(1);
+            out.push(Frame(idx));
+            cursor = idx + 1;
+        }
+        Ok(())
     }
 
     /// Mark a specific frame allocated (used when reserving fixed regions).
@@ -239,10 +483,10 @@ impl PhysMemory {
         if frame.0 >= self.total_frames {
             return Err(PhysError::OutOfRange(frame.base()));
         }
-        if self.allocated[frame.0 as usize] {
+        if !self.frame_free(frame.0) {
             return Err(PhysError::AlreadyAllocated(frame));
         }
-        self.allocated[frame.0 as usize] = true;
+        self.mark_allocated(frame.0);
         Ok(())
     }
 
@@ -259,10 +503,10 @@ impl PhysMemory {
         if frame.0 >= self.total_frames {
             return Err(PhysError::OutOfRange(frame.base()));
         }
-        if !self.allocated[frame.0 as usize] {
+        if self.frame_free(frame.0) {
             return Err(PhysError::NotAllocated(frame));
         }
-        self.allocated[frame.0 as usize] = false;
+        self.mark_free(frame.0);
         self.pages.remove(&frame.0);
         Ok(())
     }
@@ -270,7 +514,7 @@ impl PhysMemory {
     /// Whether the frame is currently allocated.
     #[must_use]
     pub fn is_allocated(&self, frame: Frame) -> bool {
-        frame.0 < self.total_frames && self.allocated[frame.0 as usize]
+        frame.0 < self.total_frames && !self.frame_free(frame.0)
     }
 
     /// Zero an entire frame (used by the monitor's teardown scrubbing).
@@ -420,5 +664,165 @@ mod tests {
             mem.claim_region(Region::new(3, 5)),
             Err(PhysError::AlreadyAllocated(Frame(3)))
         );
+    }
+
+    /// Deterministic xorshift for the equivalence drills below.
+    fn xorshift(s: &mut u64) -> u64 {
+        *s ^= *s << 13;
+        *s ^= *s >> 7;
+        *s ^= *s << 17;
+        *s
+    }
+
+    /// The bitmap scan and the ablated linear scan must hand out the
+    /// exact same frames in the exact same order across a randomized
+    /// alloc/free/claim/reserve workout — the fast path is pure
+    /// acceleration, never a policy change.
+    #[test]
+    fn fast_and_linear_scans_are_frame_identical() {
+        for seed in [3u64, 0x5eed, 0xdead_beef] {
+            let mut fast = PhysMemory::new(4096 * PAGE_SIZE as u64);
+            let mut slow = PhysMemory::new(4096 * PAGE_SIZE as u64);
+            slow.fast_scan = false;
+            fast.reserve_region(Region::new(100, 300));
+            slow.reserve_region(Region::new(100, 300));
+            let cma = Region::new(1000, 2000);
+            let mut live: Vec<Frame> = Vec::new();
+            let mut s = seed;
+            for _ in 0..4000 {
+                match xorshift(&mut s) % 5 {
+                    0 | 1 => {
+                        let a = fast.alloc_frame();
+                        let b = slow.alloc_frame();
+                        assert_eq!(a, b);
+                        if let Ok(f) = a {
+                            live.push(f);
+                        }
+                    }
+                    2 => {
+                        let a = fast.alloc_frame_in(cma);
+                        let b = slow.alloc_frame_in(cma);
+                        assert_eq!(a, b);
+                        if let Ok(f) = a {
+                            live.push(f);
+                        }
+                    }
+                    3 => {
+                        let n = xorshift(&mut s) % 8;
+                        let mut av = Vec::new();
+                        let mut bv = Vec::new();
+                        let a = fast.alloc_frames_in(cma, n, &mut av);
+                        let b = slow.alloc_frames_in(cma, n, &mut bv);
+                        assert_eq!(a, b);
+                        assert_eq!(av, bv);
+                        live.extend(av);
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let i = (xorshift(&mut s) as usize) % live.len();
+                            let f = live.swap_remove(i);
+                            assert_eq!(fast.free_frame(f), slow.free_frame(f));
+                        }
+                    }
+                }
+                assert_eq!(fast.allocated_frames(), slow.allocated_frames());
+            }
+            // Exhaustive agreement at the end: every frame's state matches.
+            for f in 0..fast.total_frames() {
+                assert_eq!(
+                    fast.is_allocated(Frame(f)),
+                    slow.is_allocated(Frame(f)),
+                    "frame {f} diverged (seed {seed:#x})"
+                );
+            }
+        }
+    }
+
+    /// The arena path must equal a loop of single allocations, including
+    /// the partial-batch state left behind by region exhaustion.
+    #[test]
+    fn arena_batch_equals_single_alloc_loop() {
+        let region = Region::new(8, 20);
+        let mut batched = PhysMemory::new(64 * PAGE_SIZE as u64);
+        let mut looped = PhysMemory::new(64 * PAGE_SIZE as u64);
+        // Pre-fragment both the same way.
+        for m in [&mut batched, &mut looped] {
+            for f in [9u64, 12, 13, 17] {
+                m.claim_frame(Frame(f)).unwrap();
+            }
+        }
+        let mut got = Vec::new();
+        let err = batched.alloc_frames_in(region, 20, &mut got).unwrap_err();
+        assert_eq!(err, PhysError::OutOfMemory);
+        let mut expect = Vec::new();
+        loop {
+            match looped.alloc_frame_in(region) {
+                Ok(f) => expect.push(f),
+                Err(e) => {
+                    assert_eq!(e, PhysError::OutOfMemory);
+                    break;
+                }
+            }
+        }
+        assert_eq!(got, expect, "partial batch must match the loop's frames");
+        for f in 0..batched.total_frames() {
+            assert_eq!(
+                batched.is_allocated(Frame(f)),
+                looped.is_allocated(Frame(f))
+            );
+        }
+    }
+
+    /// O(1) claim: allocating 100k frames must stay within a fixed
+    /// scan-work budget on the bitmap path (a handful of words per
+    /// alloc), while the ablated path's per-frame probes blow through it
+    /// — the deterministic core of the fleet bench's perf-meta assert.
+    #[test]
+    fn bitmap_alloc_100k_stays_in_scan_budget() {
+        let mut mem = PhysMemory::new(200_000 * PAGE_SIZE as u64);
+        for _ in 0..100_000 {
+            mem.alloc_frame().unwrap();
+        }
+        let budget = 4 * 100_000;
+        assert!(
+            mem.alloc_stats.words_scanned <= budget,
+            "bitmap path scanned {} words for 100k allocs (budget {budget})",
+            mem.alloc_stats.words_scanned
+        );
+        assert_eq!(mem.alloc_stats.frames_scanned, 0, "fast path must not probe per frame");
+
+        // Red counterpart: the ablated region scan pays a quadratic
+        // number of per-frame probes for a small fraction of the work.
+        let mut abl = PhysMemory::new(200_000 * PAGE_SIZE as u64);
+        abl.fast_scan = false;
+        let region = Region::new(0, 200_000);
+        for _ in 0..2_000 {
+            abl.alloc_frame_in(region).unwrap();
+        }
+        assert!(
+            abl.alloc_stats.frames_scanned > budget as u64,
+            "ablated scan did only {} probes for 2k region allocs — the \
+             ablation toggle is not biting",
+            abl.alloc_stats.frames_scanned
+        );
+    }
+
+    /// Summary bitmaps stay coherent with the free words across
+    /// reserve/claim/free churn at word boundaries.
+    #[test]
+    fn summaries_stay_coherent_at_boundaries() {
+        let mut mem = PhysMemory::new(130 * PAGE_SIZE as u64); // 3 words, ragged tail
+        mem.reserve_region(Region::new(60, 70)); // straddles word 0/1
+        let mut got = Vec::new();
+        while let Ok(f) = mem.alloc_frame() {
+            got.push(f.0);
+        }
+        // Every non-reserved frame handed out exactly once, in order.
+        let expect: Vec<u64> = (0..130).filter(|f| !(60..70).contains(f)).collect();
+        assert_eq!(got, expect);
+        assert_eq!(mem.allocated_frames(), expect.len() as u64);
+        // Reserved span still reachable through the region path.
+        let f = mem.alloc_frame_in(Region::new(60, 70)).unwrap();
+        assert_eq!(f.0, 60);
     }
 }

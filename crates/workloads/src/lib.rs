@@ -25,6 +25,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod env;
+pub mod fleet;
 pub mod gen;
 pub mod graph;
 pub mod hello;

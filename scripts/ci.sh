@@ -35,6 +35,15 @@
 #                          meta floors (>=5x events/sec over the slow
 #                          path on the paging workload, >=0.9 decision
 #                          hit rate, a true ablation on the off run).
+#   scripts/ci.sh --fleet  additionally run the fleet-scale serving
+#                          gate: the fleet equivalence suite (allocator
+#                          and lookup toggles on vs off, byte-identical
+#                          campaigns), the coalesced-shootdown chaos
+#                          campaign, and the fleet bench in smoke shape,
+#                          persisting its JSON to BENCH_fleet.json and
+#                          re-asserting the meta floors (determinism
+#                          == 1.0, speedup >= the JSON's self-described
+#                          floor, a measured gate-latency tail).
 #
 # Machine-readable output convention: every JSON-emitting binary prints
 # its document on a single stdout line prefixed `EREBOR_JSON:`. CI greps
@@ -51,6 +60,7 @@ CHAOS=0
 TRACE=0
 ANALYZE=0
 FASTPATH=0
+FLEET=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
@@ -58,8 +68,9 @@ for arg in "$@"; do
         --trace) TRACE=1 ;;
         --analyze) ANALYZE=1 ;;
         --fastpath) FASTPATH=1 ;;
+        --fleet) FLEET=1 ;;
         *)
-            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath]" >&2
+            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath] [--fleet]" >&2
             exit 2
             ;;
     esac
@@ -316,6 +327,66 @@ PY
             exit 1
         fi
         echo "    fastpath: fast=$fast slow=$slow events/sec"
+    fi
+fi
+
+if [[ "$FLEET" == 1 ]]; then
+    # Fleet-scale serving gate (see DESIGN.md §11). Three halves:
+    #   1. the fleet equivalence suite — seeded campaigns with the
+    #      allocator/lookup toggles on vs off must match byte for byte,
+    #      and the coalesced mode must be same-seed deterministic;
+    #   2. the coalesced-shootdown chaos campaign — dropped/spurious
+    #      IPIs under churn, staleness accounted in the per-ASID ledger;
+    #   3. the fleet bench in smoke shape — persists BENCH_fleet.json
+    #      and re-asserts the meta floors here from the persisted
+    #      document (the bench itself panics below its own floors).
+    echo "==> fleet: cargo test --release --test fleet_equivalence"
+    cargo test --release -q --test fleet_equivalence
+
+    echo "==> fleet: cargo test --release --test chaos fleet_coalesced"
+    cargo test --release -q --test chaos fleet_coalesced
+
+    echo "==> fleet: cargo bench fleet (persisting BENCH_fleet.json)"
+    fleet_raw="$(EREBOR_BENCH_SMOKE=1 EREBOR_BENCH_JSON="$PWD/BENCH_fleet.json" \
+        cargo bench -p erebor-bench --bench fleet 2>/dev/null)"
+    fleet_out="$(extract_json "$fleet_raw" "fleet")"
+    check_json "$fleet_out" "fleet"
+    if [[ ! -s BENCH_fleet.json ]]; then
+        echo "error: bench did not persist BENCH_fleet.json" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+meta = json.load(open("BENCH_fleet.json"))["meta"]
+det = meta["fleet_determinism"]
+speedup = meta["fleet_speedup"]
+floor = meta["fleet_speedup_floor"]
+p999 = meta["fleet_gate_p999_cycles"]
+assert det == 1.0, f"fleet campaign not deterministic: {det}"
+assert speedup >= floor, \
+    f"fleet fast paths below their floor: {speedup:.2f}x < {floor}x"
+assert p999 > 0, "gate latency tail not measured"
+assert meta["fleet_lookup_hits"] > 0 and meta["fleet_words_scanned"] > 0, \
+    "fleet campaign never exercised a fast path"
+print(f"    fleet: {meta['fleet_sandboxes']:.0f} sandboxes, "
+      f"{meta['fleet_requests']:.0f} requests, {speedup:.2f}x "
+      f"(floor {floor}x), p999 gate {p999:,.0f} cycles, "
+      f"{meta['fleet_throughput_rps']:,.0f} req/s")
+PY
+    else
+        # Fallback without python3: integer-part checks with sed.
+        det="$(echo "$fleet_out" | sed -n 's/.*"fleet_determinism":\([0-9]*\).*/\1/p')"
+        p999="$(echo "$fleet_out" | sed -n 's/.*"fleet_gate_p999_cycles":\([0-9]*\).*/\1/p')"
+        if [[ -z "$det" || "$det" != 1 ]]; then
+            echo "error: fleet campaign not deterministic (det=$det)" >&2
+            exit 1
+        fi
+        if [[ -z "$p999" || "$p999" -lt 1 ]]; then
+            echo "error: gate latency tail not measured (p999=$p999)" >&2
+            exit 1
+        fi
+        echo "    fleet: deterministic, p999 gate $p999 cycles"
     fi
 fi
 

@@ -700,3 +700,184 @@ fn injected_midbatch_wrmsr_fault_forces_slowpath_fallback() {
     w.machine.cpus[0].domain = Domain::Kernel;
     invariants::check_all(&w.machine, &w.gate, &[w.root]).unwrap();
 }
+
+// --- fleet campaign: coalesced shootdowns under IPI chaos -------------
+
+/// Seeded injector for the fleet campaign: drops a deterministic
+/// quarter of shootdown IPIs in flight and sprinkles spurious full
+/// flushes — the adversarial host mistreating the coalesced batches.
+struct FleetIpiChaos {
+    rng: u64,
+}
+
+impl FleetIpiChaos {
+    fn new(seed: u64) -> FleetIpiChaos {
+        FleetIpiChaos { rng: seed }
+    }
+
+    fn roll(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl Injector for FleetIpiChaos {
+    fn drop_shootdown_ipi(&mut self, _initiator: usize, _target: usize) -> bool {
+        self.roll().is_multiple_of(4)
+    }
+
+    fn spurious_shootdown(&mut self, _cpu: usize) -> bool {
+        self.roll().is_multiple_of(16)
+    }
+}
+
+/// Fleet-scale chaos campaign (≥64 sandboxes, coalesced shootdowns on):
+/// kill/redeploy churn issues full-mm coalesced batches while the
+/// injector drops IPIs and delivers spurious flushes. The dropped
+/// full-flush batches must land in the per-ASID pending ledger, the
+/// TLB-coherence invariant and the full audit must stay green (every
+/// stale window is accounted), and every race-detector finding must be
+/// explained by an injected drop.
+#[test]
+fn fleet_coalesced_campaign_under_ipi_chaos() {
+    use erebor::ehw::inject::handle as inject_handle;
+    use erebor_workloads::env::SandboxedWorkload;
+    use erebor_workloads::fleet::FleetClass;
+
+    let cfg = erebor::BootConfig {
+        cores: 4,
+        dram_bytes: 512 * 1024 * 1024,
+        ..erebor::BootConfig::default()
+    };
+    let mut p = Platform::boot_with(cfg).unwrap();
+    p.set_fleet_mode(true);
+    assert!(p.cvm.monitor.coalesce_shootdowns);
+    p.install_injector(inject_handle(FleetIpiChaos::new(0xf1ee_7caf)));
+
+    // 40 confined pages per server: past the full-flush ceiling (32),
+    // so every churn kill coalesces into one full-mm batch per core.
+    const PAGES: u64 = 40;
+    let mut svcs = Vec::new();
+    for slot in 0..64usize {
+        let class = if slot.is_multiple_of(2) {
+            FleetClass::Nginx
+        } else {
+            FleetClass::Openssh
+        };
+        let program = SandboxedWorkload::new(class.workload(PAGES));
+        svcs.push(p.deploy(Box::new(program), 4096).unwrap());
+    }
+    let mut clients = Vec::new();
+    for (slot, svc) in svcs.iter().take(8).enumerate() {
+        clients.push(p.connect_client(svc, [slot as u8; 32]).unwrap());
+    }
+    let mut rng = FleetIpiChaos::new(0x5eed);
+    for i in 0..96usize {
+        let c = rng.roll() as usize % clients.len();
+        p.serve_request(&mut svcs[c], &mut clients[c], b"f=4096")
+            .unwrap();
+        if i % 4 == 3 {
+            // Churn a non-client slot: coalesced kill + redeploy.
+            let victim = 8 + rng.roll() as usize % (svcs.len() - 8);
+            let id = svcs[victim].sandbox;
+            p.cvm.monitor.kill_sandbox(&mut p.cvm.machine, id, "chaos churn");
+            let class = if rng.roll().is_multiple_of(2) {
+                FleetClass::Nginx
+            } else {
+                FleetClass::Openssh
+            };
+            let program = SandboxedWorkload::new(class.workload(PAGES));
+            svcs[victim] = p.deploy(Box::new(program), 4096).unwrap();
+        }
+    }
+
+    // The chaos must have actually happened: IPIs dropped during the
+    // seeded phase.
+    let records = p
+        .cvm
+        .machine
+        .trace
+        .last_n(p.cvm.machine.trace.len());
+    let dropped = records
+        .iter()
+        .filter(|r| matches!(r.event, TraceEvent::IpiDropped { .. }))
+        .count();
+    assert!(dropped > 0, "campaign never dropped a shootdown IPI");
+
+    // A kill whose coalesced full-mm batch is dropped on a remote core
+    // still holding the victim's CR3 must land in the per-ASID pending
+    // ledger (the coalesced ledger, not the per-page one). Park the
+    // victim's address space on core 1 by serving its client there,
+    // then kill from core 0 with every IPI lost. MMU tracing is on from
+    // here so the race detector sees the revocation edges.
+    p.clear_injector();
+    p.cvm.machine.mmu_trace = true;
+    p.set_active_cpu(1);
+    p.serve_request(&mut svcs[5], &mut clients[5], b"f=4096")
+        .unwrap();
+    p.set_active_cpu(0);
+    p.install_injector(inject_handle(DropAllIpis));
+    let id = svcs[5].sandbox;
+    p.cvm
+        .monitor
+        .kill_sandbox(&mut p.cvm.machine, id, "ledger probe");
+    assert!(
+        !p.cvm.machine.pending_asid_shootdowns().is_empty(),
+        "dropped coalesced kill must land in the per-ASID ledger"
+    );
+
+    // Staleness is *detectable*, not hidden: re-park core 1 on a live
+    // root, warm its TLB on a kernel page, then drop a coalesced
+    // broadcast batch (33 pages > the full-flush ceiling) from core 0.
+    // Core 1's subsequent TLB-served access is exactly the stale window
+    // the race detector must flag — and attribute to the injected drop.
+    p.clear_injector();
+    p.set_active_cpu(1);
+    p.serve_request(&mut svcs[6], &mut clients[6], b"f=4096")
+        .unwrap();
+    p.set_active_cpu(0);
+    let kva = VirtAddr(layout::DIRECT_MAP_BASE.0 + 0x1000);
+    p.cvm.machine.cpus[0].mode = erebor::ehw::CpuMode::Supervisor;
+    p.cvm.machine.cpus[1].mode = erebor::ehw::CpuMode::Supervisor;
+    p.cvm
+        .machine
+        .probe(1, kva, erebor::ehw::fault::AccessKind::Read)
+        .unwrap();
+    p.install_injector(inject_handle(DropAllIpis));
+    let vas: Vec<VirtAddr> = (0..33).map(|i| VirtAddr(kva.0 + i * 4096)).collect();
+    p.cvm.machine.tlb_shootdown_batch(0, &vas).unwrap();
+    p.cvm
+        .machine
+        .probe(1, kva, erebor::ehw::fault::AccessKind::Read)
+        .unwrap();
+
+    // Staleness is accounted, not hidden: coherence invariant, full
+    // audit (C1–C9), and every race finding explained by a drop.
+    invariants::tlb_coherence(&p.cvm.machine).unwrap();
+    let report = p.audit();
+    assert!(report.is_clean(), "{}", report.json());
+    let records = p.cvm.machine.trace.last_n(p.cvm.machine.trace.len());
+    let findings = detect_races(&records, p.cvm.machine.cpus.len());
+    assert!(
+        !findings.is_empty(),
+        "the dropped coalesced batches must leave detectable stale windows"
+    );
+    for f in &findings {
+        assert!(
+            f.dropped,
+            "race finding not explained by an injected drop: {f:?}"
+        );
+    }
+
+    // A landed full flush on every core clears the ledgers.
+    p.clear_injector();
+    for cpu in 0..p.cvm.machine.cpus.len() {
+        p.cvm.machine.flush_tlb(cpu);
+    }
+    assert!(p.cvm.machine.pending_shootdowns().is_empty());
+    assert!(p.cvm.machine.pending_asid_shootdowns().is_empty());
+    invariants::tlb_coherence(&p.cvm.machine).unwrap();
+}
