@@ -18,6 +18,7 @@ use erebor_core::gate::EmcGate;
 use erebor_core::monitor::Monitor;
 use erebor_core::policy::{self, FrameKind};
 use erebor_hw::cpu::{Domain, Machine};
+use erebor_hw::isolation::IsolationBackend;
 use erebor_hw::paging::Pte;
 use erebor_hw::phys::PhysMemory;
 use erebor_hw::regs::Msr;
@@ -128,7 +129,7 @@ fn walk_effective(
     root: Frame,
     va: VirtAddr,
     report: &mut AuditReport,
-) -> Option<(Frame, bool, bool, u8)> {
+) -> Option<(Frame, bool, bool, u8, u16)> {
     let mut tbl = root;
     let mut writable = true;
     let mut nx = false;
@@ -147,11 +148,17 @@ fn walk_effective(
     if !leaf.present() {
         return None;
     }
+    if leaf.keyid() != mem.frame_key(leaf.frame()) {
+        // A fresh walk would fault with `KeyMismatch` (TME-MK): the
+        // mapping's key-ID no longer matches the frame's programmed key.
+        return None;
+    }
     Some((
         leaf.frame(),
         writable && leaf.writable(),
         nx || leaf.nx(),
         leaf.pkey(),
+        leaf.keyid(),
     ))
 }
 
@@ -219,7 +226,14 @@ fn check_wx(view: &MachineView, leaves: &[LeafMapping], report: &mut AuditReport
             e.0 = Some(i);
         }
         let pk = m.pte.pkey();
-        if m.writable && !normal.access_disabled(pk) && !normal.write_disabled(pk) && e.1.is_none()
+        // A write path only counts if normal-mode PKRS permits it *and*
+        // the mapping's key-ID matches the frame's programmed key (a
+        // keyed mismatch faults the walk under TME-MK).
+        if m.writable
+            && !normal.access_disabled(pk)
+            && !normal.write_disabled(pk)
+            && m.pte.keyid() == view.machine.mem.frame_key(m.pte.frame())
+            && e.1.is_none()
         {
             e.1 = Some(i);
         }
@@ -262,6 +276,34 @@ fn check_pkey_tagging(view: &MachineView, leaves: &[LeafMapping], report: &mut A
                 ),
             ));
         }
+        // Confined frames: every supervisor view must carry exactly the
+        // tag the owning sandbox's isolation domain prescribes — the
+        // sandbox pkey under PKS, the monitor pkey plus the sandbox
+        // key-ID under TME-MK. Re-derived from the backend, so the check
+        // states the same claim generically over mechanisms.
+        if let FrameKind::Confined { sandbox } = kind {
+            if !m.user {
+                if let Some(s) = mon.sandboxes.get(&sandbox) {
+                    let tag = mon.backend.frame_tag(s.domain);
+                    if m.pte.pkey() != tag.pkey || m.pte.keyid() != tag.keyid {
+                        report.findings.push(Finding::new(
+                            "pkey-tagging",
+                            "C2",
+                            format!(
+                                "confined frame of sandbox {sandbox} demands tag \
+                                 (pk{}, key {}) but a supervisor view carries \
+                                 (pk{}, key {}): {}",
+                                tag.pkey,
+                                tag.keyid,
+                                m.pte.pkey(),
+                                m.pte.keyid(),
+                                m.detail()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -275,8 +317,11 @@ fn check_confined_unreachable(view: &MachineView, leaves: &[LeafMapping], report
         let FrameKind::Confined { sandbox } = mon.frames.kind(m.pte.frame()) else {
             continue;
         };
-        if m.pte.pkey() == policy::PK_MONITOR {
-            continue; // the monitor's own (normal-mode-inaccessible) view
+        if !m.user && policy::normal_mode_pkrs().access_disabled(m.pte.pkey()) {
+            // A supervisor alias normal mode cannot touch: the monitor
+            // key (TME-MK aliases) or a sandbox domain key (PKS aliases)
+            // — both access-disabled outside an EMC.
+            continue;
         }
         let owner_root = mon.sandboxes.get(&sandbox).map(|s| s.root);
         if owner_root != Some(m.root) {
@@ -504,7 +549,7 @@ fn check_ledger_consistency(view: &MachineView, leaves: &[LeafMapping], report: 
             let fresh = walk_effective(&machine.mem, e.root, va, report);
             // Dirty state excluded: a clean cached entry over a dirty PTE
             // re-walks on write, so it can never grant anything stale.
-            let cached = Some((e.frame, e.eff.writable, e.eff.nx, e.eff.pkey));
+            let cached = Some((e.frame, e.eff.writable, e.eff.nx, e.eff.pkey, e.eff.keyid));
             if fresh != cached {
                 report.findings.push(Finding::new(
                     "ledger-consistency",

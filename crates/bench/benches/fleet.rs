@@ -52,6 +52,11 @@ fn boot_fleet_platform(fleet_mode: bool) -> Platform {
     let mut config = erebor_core::config::ExecConfig::new(Mode::Full);
     // Small pad quantum keeps reply sealing cheap at request volume.
     config.output_pad_quantum = 512;
+    // 64–768 concurrent sandboxes is far past the 10 usable PKS keys:
+    // fleet scale runs on the keyed TME-MK backend (create_sandbox now
+    // fails typed at capacity instead of silently wrapping onto a live
+    // key, so the old config would refuse the campaign outright).
+    config.backend = erebor::ehw::isolation::BackendKind::TmeMk;
     let cfg = BootConfig {
         cores: 32,
         dram_bytes: 10 * 1024 * 1024 * 1024,

@@ -1,6 +1,8 @@
 //! Execution configurations for the paper's ablation study (§9,
 //! "Evaluation settings").
 
+use erebor_hw::isolation::BackendKind;
+
 /// Which protection layers are active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -62,6 +64,10 @@ pub struct ExecConfig {
     /// Batched MMU updates (§9.1's suggested optimization): range requests
     /// amortize one EMC over many PTE installs.
     pub batched_mmu: bool,
+    /// Which isolation backend tags confined memory: PKS protection keys
+    /// (the paper's mechanism, ≤16 domains) or TME-MK keyed memory
+    /// (per-frame key-IDs, ≤4096 domains).
+    pub backend: BackendKind,
 }
 
 impl ExecConfig {
@@ -76,6 +82,7 @@ impl ExecConfig {
             output_pad_quantum: 4096,
             output_interval_cycles: None,
             batched_mmu: false,
+            backend: BackendKind::Pks,
         }
     }
 

@@ -212,6 +212,14 @@ pub enum EmcError {
     Fault(Fault),
     /// Out of physical memory / budget.
     NoMemory,
+    /// Sandbox creation exceeded the isolation backend's domain capacity
+    /// (16 pkeys under PKS, 4096 key-IDs under TME-MK). First-class so
+    /// the LibOS can surface it instead of silently reusing a live key.
+    DomainsExhausted {
+        /// Total domains (including the monitor's reserved keys) the
+        /// active backend supports.
+        capacity: u16,
+    },
 }
 
 impl From<Fault> for EmcError {
@@ -227,6 +235,9 @@ impl core::fmt::Display for EmcError {
             EmcError::BadRequest(why) => write!(f, "EMC bad request: {why}"),
             EmcError::Fault(fault) => write!(f, "EMC fault: {fault}"),
             EmcError::NoMemory => write!(f, "EMC: out of memory"),
+            EmcError::DomainsExhausted { capacity } => {
+                write!(f, "EMC: isolation domains exhausted ({capacity} total)")
+            }
         }
     }
 }
@@ -243,5 +254,7 @@ mod tests {
         assert!(e.to_string().contains("denied"));
         let f: EmcError = Fault::GeneralProtection("x").into();
         assert!(matches!(f, EmcError::Fault(_)));
+        let x = EmcError::DomainsExhausted { capacity: 16 };
+        assert!(x.to_string().contains("exhausted") && x.to_string().contains("16"));
     }
 }

@@ -46,6 +46,25 @@ pub fn retag_direct_map(
     frame: Frame,
     kind: FrameKind,
 ) -> Result<(), Fault> {
+    retag_direct_map_tagged(machine, cpu, kernel_root, frame, pkey_for(kind), 0)
+}
+
+/// Rewrite the direct-map leaf for `frame` with an *explicit* isolation
+/// tag — protection key plus TME-MK key-ID — rather than one derived
+/// from a frame kind. Confined-memory aliases use this: under the PKS
+/// backend the tag is the owning sandbox's pkey (key-ID 0), under the
+/// TME-MK backend it is `PK_MONITOR` plus the sandbox's key-ID.
+///
+/// # Errors
+/// Propagates checked-write faults.
+pub fn retag_direct_map_tagged(
+    machine: &mut Machine,
+    cpu: usize,
+    kernel_root: Frame,
+    frame: Frame,
+    pkey: u8,
+    keyid: u16,
+) -> Result<(), Fault> {
     let dm_va = direct_map(frame.base());
     let slot = paging::leaf_slot(&machine.mem, kernel_root, dm_va)
         .map_err(|_| Fault::Unrecoverable("direct-map walk left DRAM"))?
@@ -55,18 +74,19 @@ pub fn retag_direct_map(
         present: true,
         writable: true,
         nx: true,
-        pkey: pkey_for(kind),
+        pkey,
         ..PteFlags::default()
     };
-    pte_write(machine, cpu, slot, Pte::encode(frame, flags))?;
-    if old.present() && old.pkey() != pkey_for(kind) {
-        // The retype changed the frame's protection key: a cached
-        // direct-map translation carrying the old key on any core would
+    pte_write(machine, cpu, slot, Pte::encode(frame, flags).with_keyid(keyid))?;
+    if old.present() && (old.pkey() != pkey || old.keyid() != keyid) {
+        // The retype changed the frame's isolation tag: a cached
+        // direct-map translation carrying the old tag on any core would
         // let the kernel keep writing a frame that just became trusted
-        // (PTP/monitor) state — the stale-sEPT hazard class. Shoot it
-        // down everywhere. Key-preserving retypes (e.g. free → user
-        // data, both PK_DEFAULT) need no flush: the cached permissions
-        // are still exact.
+        // (PTP/monitor/confined) state — the stale-sEPT hazard class.
+        // Shoot it down everywhere. Tag-preserving retypes (e.g. free →
+        // user data, both PK_DEFAULT) need no flush: the cached
+        // permissions are still exact. A key-ID change is the PCONFIG
+        // reprogramming case and needs the same flush discipline.
         machine.tlb_shootdown(cpu, dm_va)?;
     }
     Ok(())

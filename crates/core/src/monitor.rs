@@ -9,7 +9,7 @@ use crate::config::ExecConfig;
 use crate::emc::{CopyDir, EmcError, EmcRequest, EmcResponse};
 use crate::gate::EmcGate;
 use crate::mmu_guard::{self, MapError};
-use crate::policy::{FrameKind, FrameTable, PK_IDT};
+use crate::policy::{FrameKind, FrameTable, PK_DEFAULT, PK_IDT, PK_MONITOR, RESERVED_PKEYS};
 use crate::rng::DetRng;
 use crate::sandbox::{CommonRegion, ExitDecision, Sandbox, SandboxId, SandboxState, SandboxTable};
 use crate::scan;
@@ -17,6 +17,7 @@ use crate::stats::{LookupStats, MonitorStats};
 use erebor_hw::cpu::Machine;
 use erebor_hw::fault::{Fault, VeReason};
 use erebor_hw::idt;
+use erebor_hw::isolation::{Backend, DomainId, IsolationBackend, IsolationError};
 use erebor_hw::image::{Image, SectionKind};
 use erebor_hw::layout::{self, direct_map};
 use erebor_hw::paging::{self, Pte, PteFlags};
@@ -78,6 +79,15 @@ pub struct Monitor {
     pub stats: MonitorStats,
     /// The physical frame table (ground truth for mapping policy).
     pub frames: FrameTable,
+    /// The isolation backend confining sandbox memory: PKS protection
+    /// keys (≤16 domains) or TME-MK keyed memory (≤4096). Selected by
+    /// [`ExecConfig::backend`].
+    pub backend: Backend,
+    /// Run the post-teardown isolation fence in [`Monitor::kill_sandbox`]
+    /// (alias retag-back, domain revocation, MMU-epoch bump, cpuid-MRU
+    /// drop). Always on in production; the stale-decision regression
+    /// test ablates it to reproduce the bug class.
+    pub kill_fence: bool,
     /// EMC gate state.
     pub gate: EmcGate,
     /// Deterministic randomness for channel keys.
@@ -146,6 +156,8 @@ impl Monitor {
             cfg,
             stats: MonitorStats::default(),
             frames,
+            backend: Backend::new(cfg.backend, RESERVED_PKEYS, PK_MONITOR),
+            kill_fence: true,
             gate,
             rng: DetRng::new(rng_seed),
             kernel_root,
@@ -977,8 +989,22 @@ impl Monitor {
         budget_pages: u64,
     ) -> Result<SandboxId, EmcError> {
         let prev_bucket = machine.cycles.set_bucket(Bucket::Monitor);
+        // Allocate the isolation domain *before* consuming a sandbox id:
+        // exhaustion must be a clean typed error, never a half-created
+        // sandbox (the dense-id slab would panic on the next insert) and
+        // never a silent reuse of a live key.
+        let domain = match self.backend.alloc_domain() {
+            Ok(d) => d,
+            Err(IsolationError::DomainsExhausted { capacity }) => {
+                machine.cycles.set_bucket(prev_bucket);
+                return Err(EmcError::DomainsExhausted { capacity });
+            }
+            Err(IsolationError::InvalidDomain(_)) => {
+                machine.cycles.set_bucket(prev_bucket);
+                return Err(EmcError::BadRequest("isolation backend state"));
+            }
+        };
         let id = SandboxId(self.next_sandbox);
-        self.next_sandbox += 1;
         // Container creation is monitor code: raise privileges for the
         // page-table work (same pattern as the interposers).
         let root = PrivGuard::enter(machine, cpu)
@@ -989,9 +1015,19 @@ impl Monitor {
                 root
             });
         machine.cycles.set_bucket(prev_bucket);
-        let root = root?;
-        self.sandboxes
-            .insert(id.0, Sandbox::new(id, root, budget_pages));
+        let root = match root {
+            Ok(r) => r,
+            Err(e) => {
+                // Failed before the sandbox existed: the domain must not
+                // leak, and the id was never consumed.
+                self.backend.free_domain(domain).ok();
+                return Err(e);
+            }
+        };
+        self.next_sandbox += 1;
+        let mut sandbox = Sandbox::new(id, root, budget_pages);
+        sandbox.domain = domain;
+        self.sandboxes.insert(id.0, sandbox);
         self.root_index.insert(root.0, id.0);
         machine.trace_event(
             cpu,
@@ -1047,6 +1083,14 @@ impl Monitor {
             return Err(EmcError::BadRequest("unaligned or non-user VA"));
         }
         let root = sandbox.root;
+        let domain = sandbox.domain;
+        // How this sandbox's confined memory is tagged: under PKS the
+        // alias carries the sandbox's own pkey (access-disabled in
+        // normal mode); under TME-MK it keeps the monitor pkey and adds
+        // the sandbox's key-ID, programmed into the frame table below
+        // (the PCONFIG analogue).
+        let tag = self.backend.frame_tag(domain);
+        let frame_key = self.backend.frame_key(domain);
         // Arena path for sandbox boot: grab the whole confined window from
         // the CMA in one batch. `alloc_frames_in` yields exactly the frames
         // the seed's per-page `alloc_frame_in` loop would (CMA frames and
@@ -1067,9 +1111,20 @@ impl Monitor {
             self.frames
                 .set_kind(frame, FrameKind::Confined { sandbox: id.0 })
                 .map_err(|_| EmcError::Denied("frame kind conflict"))?;
-            // Remove the kernel's direct-map view of the frame: retag to
-            // the monitor key (the "not even the kernel" rule, §6.1).
-            mmu_guard::retag_direct_map(machine, cpu, self.kernel_root, frame, FrameKind::Monitor)?;
+            // Program the frame's key (TME-MK; no-op key 0 under PKS),
+            // then remove the kernel's direct-map view of the frame by
+            // retagging the alias with the backend's confined tag (the
+            // "not even the kernel" rule, §6.1 — normal-mode PKRS
+            // access-disables the tag's pkey under both backends).
+            machine.mem.set_frame_key(frame, frame_key);
+            mmu_guard::retag_direct_map_tagged(
+                machine,
+                cpu,
+                self.kernel_root,
+                frame,
+                tag.pkey,
+                tag.keyid,
+            )?;
             let page_va = va.add(p * PAGE_SIZE as u64);
             let flags = if executable {
                 PteFlags::user_rx()
@@ -1083,7 +1138,7 @@ impl Monitor {
                 self.kernel_root,
                 root,
                 page_va,
-                Pte::encode(frame, flags),
+                Pte::encode(frame, flags).with_keyid(tag.keyid),
             )
             .map_err(map_err)?;
             self.frames.inc_map(frame);
@@ -1515,6 +1570,7 @@ impl Monitor {
         sandbox.pending_input.clear();
         sandbox.session = None;
         let root = sandbox.root;
+        let domain = sandbox.domain;
         let confined: Vec<(VirtAddr, Frame)> = sandbox.confined.drain(..).collect();
         let commons: Vec<(u32, VirtAddr)> = sandbox.common_mapped.drain(..).collect();
         self.root_index.remove(&root.0);
@@ -1558,18 +1614,19 @@ impl Monitor {
                     }
                 }
             }
+            self.kill_fence_epilogue(machine, &confined, domain);
             guard.exit(machine, 0);
             return;
         }
-        for (va, frame) in confined {
-            mmu_guard::checked_update_leaf(machine, 0, root, va, |_| Pte::empty()).ok();
+        for (va, frame) in &confined {
+            mmu_guard::checked_update_leaf(machine, 0, root, *va, |_| Pte::empty()).ok();
             // Shoot down *before* scrub/free: a stale translation to a
             // freed frame is a cross-tenant leak.
-            machine.tlb_shootdown_mm(0, root, &[va]).ok();
-            self.frames.dec_map(frame);
-            machine.mem.zero_frame(frame).ok();
-            machine.mem.free_frame(frame).ok();
-            self.frames.release(frame).ok();
+            machine.tlb_shootdown_mm(0, root, &[*va]).ok();
+            self.frames.dec_map(*frame);
+            machine.mem.zero_frame(*frame).ok();
+            machine.mem.free_frame(*frame).ok();
+            self.frames.release(*frame).ok();
         }
         for (rid, page) in commons {
             mmu_guard::checked_update_leaf(machine, 0, root, page, |_| Pte::empty()).ok();
@@ -1583,7 +1640,44 @@ impl Monitor {
                 }
             }
         }
+        self.kill_fence_epilogue(machine, &confined, domain);
         guard.exit(machine, 0);
+    }
+
+    /// Post-teardown isolation fence, run with monitor privileges after
+    /// the dead sandbox's frames are scrubbed and freed:
+    ///
+    /// 1. Retag every confined direct-map alias back to the default tag
+    ///    (pkey 0, key-ID 0). `free_frame` already dropped the frame's
+    ///    programmed key, so a surviving keyed alias would fault the
+    ///    frame's *next* owner; the sandbox-pkey alias would silently
+    ///    pin a now-free pkey under PKS.
+    /// 2. Revoke the sandbox's isolation domain so the backend can
+    ///    reuse it.
+    /// 3. Bump the machine MMU epoch and drop the cpuid MRU: no core
+    ///    may serve a cached permission decision (or cpuid answer) for
+    ///    the dead sandbox's (CR3, domain) pair. The per-VA shootdowns
+    ///    above close the TLB, but a zero-confined-page sandbox issues
+    ///    none — the epoch bump is what makes the fence unconditional.
+    ///
+    /// `kill_fence = false` ablates all of it; the stale-decision
+    /// regression test reproduces the bug class that way.
+    fn kill_fence_epilogue(
+        &mut self,
+        machine: &mut Machine,
+        confined: &[(VirtAddr, Frame)],
+        domain: DomainId,
+    ) {
+        if !self.kill_fence {
+            return;
+        }
+        for (_, frame) in confined {
+            mmu_guard::retag_direct_map_tagged(machine, 0, self.kernel_root, *frame, PK_DEFAULT, 0)
+                .ok();
+        }
+        self.backend.free_domain(domain).ok();
+        self.cpuid_mru = None;
+        machine.bump_mmu_epoch();
     }
 
     // ==================================================================

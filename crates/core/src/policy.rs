@@ -21,18 +21,30 @@ pub const PK_KTEXT: u8 = 3;
 pub const PK_SSTK: u8 = 4;
 /// Protection key for the hardware IDT pages: write-disabled.
 pub const PK_IDT: u8 = 5;
+/// First protection key available to sandbox domains under the PKS
+/// backend (keys 0..=5 are the monitor's reserved policy keys above).
+pub const PK_SANDBOX_FIRST: u8 = 6;
+/// Number of reserved low pkeys (handed to
+/// [`erebor_hw::isolation::PksBackend::new`]).
+pub const RESERVED_PKEYS: u16 = PK_SANDBOX_FIRST as u16;
 
 /// The PKRS value the monitor programs for *normal* (deprivileged kernel)
 /// execution: monitor memory inaccessible; PTPs, kernel text, shadow
-/// stacks and the IDT readable but not writable.
+/// stacks and the IDT readable but not writable; every sandbox domain
+/// key (6..=15, PKS backend) access-disabled so confined direct-map
+/// aliases are invisible outside an EMC.
 #[must_use]
 pub fn normal_mode_pkrs() -> PkrsPerms {
-    PkrsPerms::GRANT_ALL
+    let mut p = PkrsPerms::GRANT_ALL
         .with_access_disabled(PK_MONITOR)
         .with_write_disabled(PK_PTP)
         .with_write_disabled(PK_KTEXT)
         .with_write_disabled(PK_SSTK)
-        .with_write_disabled(PK_IDT)
+        .with_write_disabled(PK_IDT);
+    for key in PK_SANDBOX_FIRST..PkrsPerms::KEY_COUNT {
+        p = p.with_access_disabled(key);
+    }
+    p
 }
 
 /// The PKRS value inside an EMC (monitor privileged execution).
@@ -224,6 +236,10 @@ mod tests {
         assert!(p.write_disabled(PK_KTEXT) && !p.access_disabled(PK_KTEXT));
         assert!(p.write_disabled(PK_IDT));
         assert!(!p.access_disabled(PK_DEFAULT) && !p.write_disabled(PK_DEFAULT));
+        // Every sandbox domain key is access-disabled in normal mode.
+        for key in PK_SANDBOX_FIRST..16 {
+            assert!(p.access_disabled(key), "sandbox key {key} must be blocked");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use erebor_crypto::kx::SecureChannel;
 use erebor_hw::fault::VeReason;
+use erebor_hw::isolation::DomainId;
 use erebor_hw::regs::GprContext;
 use erebor_hw::{Frame, VirtAddr};
 use std::collections::VecDeque;
@@ -52,6 +53,9 @@ pub struct Sandbox {
     pub id: SandboxId,
     /// The sandbox's page-table root.
     pub root: Frame,
+    /// Isolation domain the backend allocated for this sandbox (a pkey
+    /// under PKS, a TME-MK key-ID under keyed memory). Freed on kill.
+    pub domain: DomainId,
     /// Lifecycle state.
     pub state: SandboxState,
     /// Confined mappings `(va, frame)`, pinned for the sandbox lifetime.
@@ -84,6 +88,7 @@ impl Sandbox {
         Sandbox {
             id,
             root,
+            domain: DomainId::DEFAULT,
             state: SandboxState::Setup,
             confined: Vec::new(),
             budget_pages,

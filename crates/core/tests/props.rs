@@ -109,14 +109,16 @@ proptest! {
 
     #[test]
     fn normal_pkrs_blocks_every_trusted_key(key_extra in 6u8..16) {
-        // Keys 1..6 are the monitor's; anything the monitor hands the
-        // kernel (key 0 and unassigned keys) stays accessible.
+        // Keys 1..6 are the monitor's; keys 6..16 are sandbox isolation
+        // domains (PKS backend) and must be access-disabled too —
+        // confined direct-map aliases carry them. Only key 0 (ordinary
+        // kernel data) stays fully accessible.
         let p = normal_mode_pkrs();
         prop_assert!(p.access_disabled(erebor_core::policy::PK_MONITOR));
         prop_assert!(p.write_disabled(erebor_core::policy::PK_PTP));
         prop_assert!(p.write_disabled(erebor_core::policy::PK_KTEXT));
         prop_assert!(p.write_disabled(erebor_core::policy::PK_IDT));
         prop_assert!(!p.access_disabled(0));
-        prop_assert!(!p.access_disabled(key_extra) && !p.write_disabled(key_extra));
+        prop_assert!(p.access_disabled(key_extra));
     }
 }

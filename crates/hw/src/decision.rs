@@ -31,6 +31,17 @@
 //!
 //! Faults are never cached: a miss falls back to the slow path, which
 //! raises the architecturally precise fault itself.
+//!
+//! **Keyed-memory (TME-MK) soundness.** The walk's key-ID comparison
+//! ([`crate::mmu::translate`]) is covered by the same three mechanisms
+//! without a dedicated field: a decision only exists for an access that
+//! passed the keyed check at fill time, PKRS-grant changes are caught by
+//! the [`CachedCtx`] compare, and *key revocation* (reprogramming a
+//! frame's key via `set_frame_key`) is always accompanied by a
+//! shootdown/epoch bump under the monitor's teardown discipline — the
+//! same obligation real PCONFIG imposes (key changes require a TLB
+//! flush). The chaos campaigns run the keyed backend against dropped
+//! shootdown IPIs to check exactly that coupling.
 
 use crate::fault::AccessKind;
 use crate::phys::Frame;

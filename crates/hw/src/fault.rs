@@ -45,6 +45,10 @@ pub enum PfReason {
     PksAccessDisabled,
     /// Supervisor protection-key *write-disable* denial (PKS).
     PksWriteDisabled,
+    /// TME-MK keyed-memory denial: the mapping's key-ID does not match
+    /// the key programmed for the target frame (the simulated analogue
+    /// of decrypting under the wrong tweak key).
+    KeyMismatch,
     /// Non-canonical virtual address.
     NonCanonical,
 }

@@ -1,0 +1,521 @@
+//! Pluggable isolation backends: how the monitor tags frames with a
+//! protection domain and how the hardware checks an access against the
+//! current CPU's domain-permission state.
+//!
+//! The paper's mechanism is PKS: a 4-bit supervisor protection key in
+//! every PTE checked against the per-CPU PKRS register — fast domain
+//! switches (one `wrmsr`, no TLB flush) but a hard ceiling of 16 domains.
+//! The TME-MK backend (TME-Box-style) lifts that ceiling: each frame
+//! carries a 12-bit *encryption key-ID* in high PA bits of its PTE, and
+//! the MMU walk compares the key-ID in the mapping against the key the
+//! platform programmed for the frame (the simulated analogue of fetching
+//! ciphertext under the wrong AES-XTS tweak key). Up to 4096 concurrent
+//! domains, at the cost of a walk-time check and PCONFIG-style key
+//! management.
+//!
+//! Both backends expose the same contract — allocate a domain, tag a
+//! frame, revoke the domain — so the monitor's confinement plumbing, the
+//! C1–C8 auditor and the chaos campaigns run generically over
+//! `Backend = Pks | TmeMk`.
+
+use crate::regs::PkrsPerms;
+
+/// Which isolation mechanism a platform runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// PKS/PKRS supervisor protection keys (the paper's mechanism).
+    Pks,
+    /// TME-MK keyed memory: per-frame key-IDs in high PA bits.
+    TmeMk,
+}
+
+impl BackendKind {
+    /// Short label used in bench output and JSON metas.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Pks => "pks",
+            BackendKind::TmeMk => "tmemk",
+        }
+    }
+}
+
+/// An allocated isolation domain. For PKS the value is the pkey
+/// (6..=15 after the monitor's reserved keys); for TME-MK it is the
+/// key-ID (1..=4095; key-ID 0 means "untagged / kernel default").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub u16);
+
+impl DomainId {
+    /// The kernel/default domain: pkey 0, key-ID 0. Never allocated.
+    pub const DEFAULT: DomainId = DomainId(0);
+}
+
+/// Typed failures from domain management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsolationError {
+    /// Every allocatable domain is live; `capacity` is the backend's
+    /// total (reserved domains included).
+    DomainsExhausted {
+        /// Total domain capacity of the backend.
+        capacity: u16,
+    },
+    /// The domain is not currently live (double free, reserved id, or
+    /// never allocated).
+    InvalidDomain(DomainId),
+}
+
+impl core::fmt::Display for IsolationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IsolationError::DomainsExhausted { capacity } => {
+                write!(f, "isolation domains exhausted (capacity {capacity})")
+            }
+            IsolationError::InvalidDomain(d) => write!(f, "invalid domain {}", d.0),
+        }
+    }
+}
+
+impl std::error::Error for IsolationError {}
+
+/// What the monitor programs into a confined frame's mappings: the PTE
+/// protection key and the PTE/frame-table key-ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameTag {
+    /// 4-bit PKS protection key for the supervisor alias mapping.
+    pub pkey: u8,
+    /// 12-bit TME-MK key-ID (0 = untagged).
+    pub keyid: u16,
+}
+
+/// The common contract both mechanisms implement: domain lifecycle,
+/// frame tagging, and the access predicate the auditor re-derives.
+pub trait IsolationBackend {
+    /// Which mechanism this is.
+    fn kind(&self) -> BackendKind;
+
+    /// Total domain capacity, reserved domains included.
+    fn capacity(&self) -> u16;
+
+    /// Domains reserved by the platform (monitor/PTP/... for PKS; the
+    /// untagged key-ID 0 for TME-MK). Never allocatable.
+    fn reserved(&self) -> u16;
+
+    /// Currently live (allocated, unrevoked) domains.
+    fn live_domains(&self) -> u16;
+
+    /// Allocate a domain. Revoked domains are reused (most recently
+    /// revoked first); a live domain is never handed out twice.
+    ///
+    /// # Errors
+    /// [`IsolationError::DomainsExhausted`] at capacity.
+    fn alloc_domain(&mut self) -> Result<DomainId, IsolationError>;
+
+    /// Revoke a live domain, returning it to the free pool.
+    ///
+    /// # Errors
+    /// [`IsolationError::InvalidDomain`] unless `d` is live.
+    fn free_domain(&mut self, d: DomainId) -> Result<(), IsolationError>;
+
+    /// How mappings of a frame assigned to domain `d` are tagged.
+    fn frame_tag(&self, d: DomainId) -> FrameTag;
+
+    /// The key programmed into the physical frame table for domain `d`
+    /// (the PCONFIG analogue). Always 0 for PKS.
+    fn frame_key(&self, d: DomainId) -> u16;
+
+    /// The model-level access predicate: would a supervisor data access
+    /// under `pkrs` to a mapping tagged (`pte_pkey`, `pte_keyid`) of a
+    /// frame whose programmed key is `frame_key` be permitted? This is
+    /// exactly the conjunction the MMU walk enforces
+    /// ([`crate::mmu::check_access`] for the PKRS half, the walk's
+    /// key-ID comparison for the keyed half); the auditor uses it to
+    /// state C2/C3 generically over backends.
+    fn access_allowed(
+        &self,
+        pkrs: PkrsPerms,
+        write: bool,
+        pte_pkey: u8,
+        pte_keyid: u16,
+        frame_key: u16,
+    ) -> bool {
+        let pkrs_ok = if write {
+            !pkrs.access_disabled(pte_pkey) && !pkrs.write_disabled(pte_pkey)
+        } else {
+            !pkrs.access_disabled(pte_pkey)
+        };
+        pkrs_ok && pte_keyid == frame_key
+    }
+}
+
+/// Shared domain-pool bookkeeping: dense id range `[first, capacity)`,
+/// fresh ids handed out in ascending order, revoked ids reused LIFO.
+#[derive(Debug, Clone)]
+struct DomainPool {
+    first: u16,
+    capacity: u16,
+    next_fresh: u16,
+    free_list: Vec<u16>,
+    live: std::collections::BTreeSet<u16>,
+}
+
+impl DomainPool {
+    fn new(first: u16, capacity: u16) -> DomainPool {
+        DomainPool {
+            first,
+            capacity,
+            next_fresh: first,
+            free_list: Vec::new(),
+            live: std::collections::BTreeSet::new(),
+        }
+    }
+
+    fn alloc(&mut self) -> Result<DomainId, IsolationError> {
+        let id = if let Some(id) = self.free_list.pop() {
+            id
+        } else if self.next_fresh < self.capacity {
+            let id = self.next_fresh;
+            self.next_fresh += 1;
+            id
+        } else {
+            return Err(IsolationError::DomainsExhausted {
+                capacity: self.capacity,
+            });
+        };
+        self.live.insert(id);
+        Ok(DomainId(id))
+    }
+
+    fn free(&mut self, d: DomainId) -> Result<(), IsolationError> {
+        if d.0 < self.first || !self.live.remove(&d.0) {
+            return Err(IsolationError::InvalidDomain(d));
+        }
+        self.free_list.push(d.0);
+        Ok(())
+    }
+}
+
+/// The paper's PKS mechanism: 16 pkeys total, the low 6 reserved by the
+/// monitor (default/monitor/PTP/kernel-text/shadow-stack/IDT), sandbox
+/// domains drawn from pkeys 6..=15. A sandbox's confined direct-map
+/// aliases are retagged to its own pkey, which normal-mode PKRS
+/// access-disables.
+#[derive(Debug, Clone)]
+pub struct PksBackend {
+    pool: DomainPool,
+}
+
+/// Number of PKS protection keys (4-bit field).
+pub const PKS_KEY_COUNT: u16 = 16;
+
+impl PksBackend {
+    /// A PKS backend with `reserved` low pkeys held back for the
+    /// platform (the monitor passes its 6 policy keys).
+    #[must_use]
+    pub fn new(reserved: u16) -> PksBackend {
+        assert!(reserved <= PKS_KEY_COUNT, "more reserved keys than exist");
+        PksBackend {
+            pool: DomainPool::new(reserved, PKS_KEY_COUNT),
+        }
+    }
+}
+
+impl IsolationBackend for PksBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Pks
+    }
+
+    fn capacity(&self) -> u16 {
+        PKS_KEY_COUNT
+    }
+
+    fn reserved(&self) -> u16 {
+        self.pool.first
+    }
+
+    fn live_domains(&self) -> u16 {
+        self.pool.live.len() as u16
+    }
+
+    fn alloc_domain(&mut self) -> Result<DomainId, IsolationError> {
+        self.pool.alloc()
+    }
+
+    fn free_domain(&mut self, d: DomainId) -> Result<(), IsolationError> {
+        self.pool.free(d)
+    }
+
+    fn frame_tag(&self, d: DomainId) -> FrameTag {
+        FrameTag {
+            pkey: (d.0 & 0xf) as u8,
+            keyid: 0,
+        }
+    }
+
+    fn frame_key(&self, _d: DomainId) -> u16 {
+        0
+    }
+}
+
+/// Number of TME-MK key-IDs (12 high PA bits in this model).
+pub const TMEMK_KEY_COUNT: u16 = 4096;
+
+/// TME-MK keyed memory: domains are key-IDs 1..=4095; key-ID 0 is the
+/// untagged kernel default. Confined direct-map aliases keep the
+/// monitor's PKS pkey (so the PKRS grant check still gates them) and
+/// additionally carry the sandbox's key-ID, which the walk compares
+/// against the frame table's programmed key.
+#[derive(Debug, Clone)]
+pub struct TmeMkBackend {
+    pool: DomainPool,
+    alias_pkey: u8,
+}
+
+impl TmeMkBackend {
+    /// A TME-MK backend whose confined aliases carry `alias_pkey` (the
+    /// monitor passes its own pkey so normal-mode PKRS still
+    /// access-disables the aliases).
+    #[must_use]
+    pub fn new(alias_pkey: u8) -> TmeMkBackend {
+        TmeMkBackend {
+            pool: DomainPool::new(1, TMEMK_KEY_COUNT),
+            alias_pkey,
+        }
+    }
+}
+
+impl IsolationBackend for TmeMkBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::TmeMk
+    }
+
+    fn capacity(&self) -> u16 {
+        TMEMK_KEY_COUNT
+    }
+
+    fn reserved(&self) -> u16 {
+        1
+    }
+
+    fn live_domains(&self) -> u16 {
+        self.pool.live.len() as u16
+    }
+
+    fn alloc_domain(&mut self) -> Result<DomainId, IsolationError> {
+        self.pool.alloc()
+    }
+
+    fn free_domain(&mut self, d: DomainId) -> Result<(), IsolationError> {
+        self.pool.free(d)
+    }
+
+    fn frame_tag(&self, d: DomainId) -> FrameTag {
+        FrameTag {
+            pkey: self.alias_pkey,
+            keyid: d.0,
+        }
+    }
+
+    fn frame_key(&self, d: DomainId) -> u16 {
+        d.0
+    }
+}
+
+/// Enum dispatch over the two mechanisms (no trait objects: the monitor
+/// stores the backend by value and the chaos/bench suites match on it).
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// PKS/PKRS protection keys.
+    Pks(PksBackend),
+    /// TME-MK keyed memory.
+    TmeMk(TmeMkBackend),
+}
+
+impl Backend {
+    /// Construct the backend for `kind`. `reserved_pkeys` is the
+    /// platform's reserved low pkey count; `alias_pkey` tags TME-MK
+    /// confined aliases.
+    #[must_use]
+    pub fn new(kind: BackendKind, reserved_pkeys: u16, alias_pkey: u8) -> Backend {
+        match kind {
+            BackendKind::Pks => Backend::Pks(PksBackend::new(reserved_pkeys)),
+            BackendKind::TmeMk => Backend::TmeMk(TmeMkBackend::new(alias_pkey)),
+        }
+    }
+
+    fn inner(&self) -> &dyn IsolationBackend {
+        match self {
+            Backend::Pks(b) => b,
+            Backend::TmeMk(b) => b,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn IsolationBackend {
+        match self {
+            Backend::Pks(b) => b,
+            Backend::TmeMk(b) => b,
+        }
+    }
+}
+
+impl IsolationBackend for Backend {
+    fn kind(&self) -> BackendKind {
+        self.inner().kind()
+    }
+
+    fn capacity(&self) -> u16 {
+        self.inner().capacity()
+    }
+
+    fn reserved(&self) -> u16 {
+        self.inner().reserved()
+    }
+
+    fn live_domains(&self) -> u16 {
+        self.inner().live_domains()
+    }
+
+    fn alloc_domain(&mut self) -> Result<DomainId, IsolationError> {
+        self.inner_mut().alloc_domain()
+    }
+
+    fn free_domain(&mut self, d: DomainId) -> Result<(), IsolationError> {
+        self.inner_mut().free_domain(d)
+    }
+
+    fn frame_tag(&self, d: DomainId) -> FrameTag {
+        self.inner().frame_tag(d)
+    }
+
+    fn frame_key(&self, d: DomainId) -> u16 {
+        self.inner().frame_key(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pks_pool_is_sixteen_minus_reserved() {
+        let mut b = PksBackend::new(6);
+        assert_eq!(b.capacity(), 16);
+        assert_eq!(b.reserved(), 6);
+        let mut got = Vec::new();
+        while let Ok(d) = b.alloc_domain() {
+            got.push(d.0);
+        }
+        assert_eq!(got, (6..16).collect::<Vec<u16>>());
+        assert_eq!(
+            b.alloc_domain(),
+            Err(IsolationError::DomainsExhausted { capacity: 16 })
+        );
+        assert_eq!(b.live_domains(), 10);
+    }
+
+    #[test]
+    fn freed_domain_is_reused_never_while_live() {
+        let mut b = PksBackend::new(6);
+        let a = b.alloc_domain().unwrap();
+        let c = b.alloc_domain().unwrap();
+        assert_ne!(a, c);
+        b.free_domain(a).unwrap();
+        assert_eq!(b.free_domain(a), Err(IsolationError::InvalidDomain(a)));
+        let again = b.alloc_domain().unwrap();
+        assert_eq!(again, a, "most recently revoked id is reused first");
+        // Both live now: the next alloc must be a fresh id.
+        let fresh = b.alloc_domain().unwrap();
+        assert!(fresh != a && fresh != c);
+    }
+
+    #[test]
+    fn reserved_ids_are_never_handed_out_or_freed() {
+        let mut b = PksBackend::new(6);
+        assert_eq!(
+            b.free_domain(DomainId(3)),
+            Err(IsolationError::InvalidDomain(DomainId(3)))
+        );
+        assert_eq!(
+            b.free_domain(DomainId::DEFAULT),
+            Err(IsolationError::InvalidDomain(DomainId(0)))
+        );
+        for _ in 0..10 {
+            assert!(b.alloc_domain().unwrap().0 >= 6);
+        }
+    }
+
+    #[test]
+    fn tmemk_supports_hundreds_of_domains() {
+        let mut b = TmeMkBackend::new(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..512 {
+            let d = b.alloc_domain().unwrap();
+            assert!(d.0 >= 1, "key-ID 0 is reserved");
+            assert!(seen.insert(d.0), "live key-ID handed out twice");
+        }
+        assert_eq!(b.live_domains(), 512);
+        assert_eq!(b.capacity(), 4096);
+    }
+
+    #[test]
+    fn tmemk_exhausts_at_capacity_with_typed_error() {
+        let mut b = TmeMkBackend::new(1);
+        for _ in 0..4095 {
+            b.alloc_domain().unwrap();
+        }
+        assert_eq!(
+            b.alloc_domain(),
+            Err(IsolationError::DomainsExhausted { capacity: 4096 })
+        );
+    }
+
+    #[test]
+    fn frame_tags_match_mechanism() {
+        let pks = PksBackend::new(6);
+        assert_eq!(
+            pks.frame_tag(DomainId(7)),
+            FrameTag { pkey: 7, keyid: 0 }
+        );
+        assert_eq!(pks.frame_key(DomainId(7)), 0);
+        let tme = TmeMkBackend::new(1);
+        assert_eq!(
+            tme.frame_tag(DomainId(300)),
+            FrameTag {
+                pkey: 1,
+                keyid: 300
+            }
+        );
+        assert_eq!(tme.frame_key(DomainId(300)), 300);
+    }
+
+    #[test]
+    fn access_predicate_conjoins_pkrs_and_key() {
+        let pks = PksBackend::new(6);
+        let deny7 = PkrsPerms::GRANT_ALL.with_access_disabled(7);
+        assert!(!pks.access_allowed(deny7, false, 7, 0, 0));
+        assert!(pks.access_allowed(PkrsPerms::GRANT_ALL, false, 7, 0, 0));
+        let wd = PkrsPerms::GRANT_ALL.with_write_disabled(7);
+        assert!(pks.access_allowed(wd, false, 7, 0, 0));
+        assert!(!pks.access_allowed(wd, true, 7, 0, 0));
+        let tme = TmeMkBackend::new(1);
+        // Key mismatch denies even with full PKRS grants.
+        assert!(!tme.access_allowed(PkrsPerms::GRANT_ALL, false, 1, 0, 44));
+        assert!(tme.access_allowed(PkrsPerms::GRANT_ALL, false, 1, 44, 44));
+    }
+
+    #[test]
+    fn enum_backend_delegates() {
+        let mut b = Backend::new(BackendKind::TmeMk, 6, 1);
+        assert_eq!(b.kind(), BackendKind::TmeMk);
+        assert_eq!(b.capacity(), 4096);
+        let d = b.alloc_domain().unwrap();
+        assert_eq!(b.frame_tag(d).keyid, d.0);
+        b.free_domain(d).unwrap();
+        assert_eq!(b.live_domains(), 0);
+        let mut p = Backend::new(BackendKind::Pks, 6, 1);
+        assert_eq!(p.kind(), BackendKind::Pks);
+        assert_eq!(p.alloc_domain().unwrap().0, 6);
+        assert_eq!(BackendKind::Pks.label(), "pks");
+        assert_eq!(BackendKind::TmeMk.label(), "tmemk");
+    }
+}

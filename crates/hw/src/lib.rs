@@ -29,6 +29,7 @@ pub mod idt;
 pub mod image;
 pub mod inject;
 pub mod insn;
+pub mod isolation;
 pub mod layout;
 pub mod mmu;
 pub mod paging;
@@ -41,6 +42,7 @@ pub use cycles::{Costs, CycleCounter};
 pub use decision::{CachedCtx, Decision, DecisionCache, FastpathStats};
 pub use fault::{AccessKind, Fault, PfReason};
 pub use inject::{CoreView, InjectionPoint, Injector, InjectorHandle};
+pub use isolation::{Backend, BackendKind, DomainId, FrameTag, IsolationBackend, IsolationError};
 pub use paging::{Pte, PteFlags};
 pub use phys::{Frame, PhysAddr, PhysMemory, PAGE_SHIFT, PAGE_SIZE};
 pub use regs::{Cr0, Cr4, Msr, PkrsPerms, Rflags};

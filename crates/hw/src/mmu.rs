@@ -43,6 +43,11 @@ pub struct EffPerms {
     pub nx: bool,
     /// Leaf supervisor protection key.
     pub pkey: u8,
+    /// Leaf TME-MK key-ID (0 = untagged). Checked against the frame's
+    /// programmed key at *walk* time, not on every hit: key changes
+    /// require a flush (PCONFIG semantics), which the shootdown/epoch
+    /// discipline already provides.
+    pub keyid: u16,
 }
 
 /// Result of a successful translation.
@@ -173,9 +178,18 @@ pub fn translate(
         user: eff_user,
         nx: eff_nx,
         pkey: leaf.pkey(),
+        keyid: leaf.keyid(),
     };
 
     check_access(env, va, access, eff)?;
+
+    // TME-MK keyed-memory check: the mapping's key-ID must match the
+    // key programmed for the frame. Walk-time only — a TLB hit reuses
+    // the verdict, exactly like hardware caching a translation made
+    // under the current key programming.
+    if leaf.keyid() != mem.frame_key(leaf.frame()) {
+        return Err(pf(va, access, PfReason::KeyMismatch));
+    }
 
     // Hardware A/D update (bypasses permission checks).
     let updated = leaf.with_ad(access == AccessKind::Write);
@@ -423,6 +437,45 @@ mod tests {
             .is_ok(),
             "PKS off means keys are inert — why Erebor pins CR4.PKS"
         );
+    }
+
+    #[test]
+    fn keyid_mismatch_faults_match_passes() {
+        let (mut m, root) = setup();
+        let va = 0xffff_8000_0000_0000u64;
+        let f = map(&mut m, root, va, PteFlags::kernel_rw(1));
+        // Retag the leaf with key-ID 99 without programming the frame.
+        let slot = crate::paging::leaf_slot(&m, root, VirtAddr(va)).unwrap().unwrap();
+        let leaf = Pte(m.read_u64(slot).unwrap()).with_keyid(99);
+        m.write_u64(slot, leaf.0).unwrap();
+        let err = translate(&mut m, &env(root), VirtAddr(va), AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(PfReason::KeyMismatch));
+        // Program the matching key: access flows again, eff carries it.
+        m.set_frame_key(f, 99);
+        let t = translate(&mut m, &env(root), VirtAddr(va), AccessKind::Write).unwrap();
+        assert_eq!(t.eff.keyid, 99);
+        // An untagged mapping of a keyed frame is equally dead — the
+        // kernel's own alias cannot read confined plaintext.
+        m.write_u64(slot, leaf.with_keyid(0).0).unwrap();
+        let err = translate(&mut m, &env(root), VirtAddr(va), AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(PfReason::KeyMismatch));
+    }
+
+    #[test]
+    fn keyid_check_runs_after_architectural_checks() {
+        let (mut m, root) = setup();
+        let va = 0xffff_8000_0000_0000u64;
+        let f = map(&mut m, root, va, PteFlags::kernel_ro(5));
+        m.set_frame_key(f, 7); // mapping still has key-ID 0: mismatched
+        // PKS denial wins over the key mismatch (check order matches the
+        // walk pipeline: architectural checks, then the keyed fetch).
+        let mut e = env(root);
+        e.pkrs = PkrsPerms::GRANT_ALL.with_access_disabled(5);
+        let err = translate(&mut m, &e, VirtAddr(va), AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(PfReason::PksAccessDisabled));
+        // With PKRS granted the mismatch surfaces.
+        let err = translate(&mut m, &env(root), VirtAddr(va), AccessKind::Read).unwrap_err();
+        assert!(err.is_pf(PfReason::KeyMismatch));
     }
 
     #[test]

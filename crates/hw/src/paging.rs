@@ -112,7 +112,14 @@ impl Pte {
     const USER: u64 = 1 << 2;
     const ACCESSED: u64 = 1 << 5;
     const DIRTY: u64 = 1 << 6;
-    const FRAME_MASK: u64 = 0x000f_ffff_ffff_f000;
+    /// PA bits 39:12. The model's DRAM tops out well below 1 TiB, so
+    /// the high PA bits 51:40 are repurposed as the TME-MK key-ID field
+    /// — exactly how the hardware steals physical-address bits for
+    /// MKTME key-IDs.
+    const FRAME_MASK: u64 = 0x0000_00ff_ffff_f000;
+    /// 12-bit TME-MK key-ID in PA bits 51:40 (0 = untagged).
+    const KEYID_SHIFT: u64 = 40;
+    const KEYID_MASK: u64 = 0xfff;
     const PKEY_SHIFT: u64 = 59;
     const NX: u64 = 1 << 63;
 
@@ -182,6 +189,19 @@ impl Pte {
     #[must_use]
     pub fn pkey(self) -> u8 {
         ((self.0 >> Self::PKEY_SHIFT) & 0xf) as u8
+    }
+
+    /// The TME-MK key-ID carried in high PA bits (0 = untagged).
+    #[must_use]
+    pub fn keyid(self) -> u16 {
+        ((self.0 >> Self::KEYID_SHIFT) & Self::KEYID_MASK) as u16
+    }
+
+    /// Copy with the TME-MK key-ID set (low 12 bits of `keyid`).
+    #[must_use]
+    pub fn with_keyid(self, keyid: u16) -> Pte {
+        let v = self.0 & !(Self::KEYID_MASK << Self::KEYID_SHIFT);
+        Pte(v | (u64::from(keyid) & Self::KEYID_MASK) << Self::KEYID_SHIFT)
     }
 
     /// Target frame.
@@ -360,6 +380,19 @@ mod tests {
         assert_eq!(pte.pkey(), 9);
         assert_eq!(pte.frame(), Frame(0x1234));
         assert_eq!(pte.flags(), flags);
+    }
+
+    #[test]
+    fn keyid_roundtrip_and_frame_isolation() {
+        let pte = Pte::encode(Frame(0x1234), PteFlags::kernel_rw(1)).with_keyid(0xabc);
+        assert_eq!(pte.keyid(), 0xabc);
+        assert_eq!(pte.frame(), Frame(0x1234), "key-ID must not corrupt the PA");
+        assert_eq!(pte.pkey(), 1);
+        assert!(pte.present() && pte.writable() && pte.nx());
+        // Re-tagging replaces, truncates to 12 bits, and 0 clears.
+        assert_eq!(pte.with_keyid(0x1fff).keyid(), 0xfff);
+        assert_eq!(pte.with_keyid(0).keyid(), 0);
+        assert_eq!(Pte::encode(Frame(7), PteFlags::user_rw()).keyid(), 0);
     }
 
     #[test]

@@ -169,6 +169,10 @@ pub struct PhysMemory {
     reserved: Vec<Region>,
     next_hint: u64,
     injector: Option<InjectorHandle>,
+    /// TME-MK key programming (the PCONFIG analogue): frame → key-ID.
+    /// Sparse — absent means key-ID 0 (untagged). A mapping whose PTE
+    /// key-ID disagrees with this table faults on the walk.
+    frame_keys: BTreeMap<u64, u16>,
     /// When false, allocation falls back to the original per-frame
     /// linear probe loop (identical results, pre-bitmap cost shape).
     pub fast_scan: bool,
@@ -203,6 +207,7 @@ impl PhysMemory {
             reserved: Vec::new(),
             next_hint: 0,
             injector: None,
+            frame_keys: BTreeMap::new(),
             fast_scan: true,
             alloc_stats: AllocStats::default(),
         };
@@ -498,7 +503,9 @@ impl PhysMemory {
         Ok(())
     }
 
-    /// Free a previously allocated frame and scrub its contents.
+    /// Free a previously allocated frame and scrub its contents. Any
+    /// TME-MK key programmed for the frame is revoked with it — a stale
+    /// key must never survive into the frame's next owner.
     pub fn free_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
         if frame.0 >= self.total_frames {
             return Err(PhysError::OutOfRange(frame.base()));
@@ -508,7 +515,32 @@ impl PhysMemory {
         }
         self.mark_free(frame.0);
         self.pages.remove(&frame.0);
+        self.frame_keys.remove(&frame.0);
         Ok(())
+    }
+
+    /// Program the TME-MK key for a frame (the PCONFIG analogue).
+    /// Key-ID 0 clears the entry back to "untagged". Like real PCONFIG,
+    /// this does not flush translations — callers owe the same shootdown
+    /// discipline as any permission revocation.
+    pub fn set_frame_key(&mut self, frame: Frame, keyid: u16) {
+        if keyid == 0 {
+            self.frame_keys.remove(&frame.0);
+        } else {
+            self.frame_keys.insert(frame.0, keyid);
+        }
+    }
+
+    /// The TME-MK key currently programmed for a frame (0 = untagged).
+    #[must_use]
+    pub fn frame_key(&self, frame: Frame) -> u16 {
+        self.frame_keys.get(&frame.0).copied().unwrap_or(0)
+    }
+
+    /// Number of frames with a non-zero key programmed.
+    #[must_use]
+    pub fn keyed_frames(&self) -> usize {
+        self.frame_keys.len()
     }
 
     /// Whether the frame is currently allocated.
@@ -644,6 +676,22 @@ mod tests {
         let mut b = [0u8; 6];
         mem.read(f.base(), &mut b).unwrap();
         assert_eq!(&b, &[0u8; 6], "freed frame must be scrubbed");
+    }
+
+    #[test]
+    fn frame_keys_default_zero_set_clear_and_revoke_on_free() {
+        let mut mem = PhysMemory::new(8 * PAGE_SIZE as u64);
+        let f = mem.alloc_frame().unwrap();
+        assert_eq!(mem.frame_key(f), 0);
+        mem.set_frame_key(f, 777);
+        assert_eq!(mem.frame_key(f), 777);
+        assert_eq!(mem.keyed_frames(), 1);
+        mem.set_frame_key(f, 0);
+        assert_eq!(mem.keyed_frames(), 0, "key-ID 0 clears the entry");
+        mem.set_frame_key(f, 42);
+        mem.free_frame(f).unwrap();
+        assert_eq!(mem.frame_key(f), 0, "free must revoke the key");
+        assert_eq!(mem.keyed_frames(), 0);
     }
 
     #[test]

@@ -1,6 +1,28 @@
 //! Control registers, model-specific registers, RFLAGS and the PKS
 //! permission register — the state the paper's Table 2 instructions mutate.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Out-of-range protection-key sightings (key ≥ 16 handed to a
+/// [`PkrsPerms`] accessor or builder). The seed guarded these paths with
+/// `debug_assert!` only, so a release build silently shifted by
+/// `2·key mod 64` and aliased a low key's permission bits; the hard check
+/// now fails closed and records the event here instead. A non-zero delta
+/// across a test or campaign is a red flag: some layer is minting pkeys
+/// past the PKS ceiling instead of taking the typed domain-exhaustion
+/// path.
+static PKRS_RED_ASSERTS: AtomicU64 = AtomicU64::new(0);
+
+/// Current count of out-of-range-pkey sightings (process-wide).
+#[must_use]
+pub fn pkrs_red_asserts() -> u64 {
+    PKRS_RED_ASSERTS.load(Ordering::SeqCst)
+}
+
+fn note_pkey_out_of_range() {
+    PKRS_RED_ASSERTS.fetch_add(1, Ordering::SeqCst);
+}
+
 /// `CR0` bits used by the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Cr0(pub u64);
@@ -180,35 +202,64 @@ impl PkrsPerms {
     /// All keys fully accessible.
     pub const GRANT_ALL: PkrsPerms = PkrsPerms(0);
 
+    /// Number of protection keys the 4-bit PTE field can name.
+    pub const KEY_COUNT: u8 = 16;
+
     /// Whether reads/writes under key `key` are disabled entirely.
+    /// An out-of-range key fails closed (treated as disabled) and bumps
+    /// the red-assert counter — release builds must not let a wild key
+    /// alias domain 0–15 permissions via a wrapping shift.
     #[must_use]
     pub fn access_disabled(self, key: u8) -> bool {
-        debug_assert!(key < 16);
+        if key >= Self::KEY_COUNT {
+            note_pkey_out_of_range();
+            return true;
+        }
         self.0 >> (2 * key) & 1 != 0
     }
 
-    /// Whether writes under key `key` are disabled.
+    /// Whether writes under key `key` are disabled. Out-of-range keys
+    /// fail closed, as for [`PkrsPerms::access_disabled`].
     #[must_use]
     pub fn write_disabled(self, key: u8) -> bool {
-        debug_assert!(key < 16);
+        if key >= Self::KEY_COUNT {
+            note_pkey_out_of_range();
+            return true;
+        }
         self.0 >> (2 * key + 1) & 1 != 0
     }
 
-    /// Return a copy with `key` set to access-disabled.
+    /// Return a copy with `key` set to access-disabled. An out-of-range
+    /// key is recorded and leaves the register unchanged (it must not
+    /// flip some low key's bits).
     #[must_use]
     pub fn with_access_disabled(self, key: u8) -> PkrsPerms {
+        if key >= Self::KEY_COUNT {
+            note_pkey_out_of_range();
+            return self;
+        }
         PkrsPerms(self.0 | 1 << (2 * key))
     }
 
     /// Return a copy with `key` set to write-disabled (reads allowed).
+    /// Out-of-range keys are recorded and ignored.
     #[must_use]
     pub fn with_write_disabled(self, key: u8) -> PkrsPerms {
+        if key >= Self::KEY_COUNT {
+            note_pkey_out_of_range();
+            return self;
+        }
         PkrsPerms(self.0 | 1 << (2 * key + 1))
     }
 
-    /// Return a copy with `key` fully granted.
+    /// Return a copy with `key` fully granted. Out-of-range keys are
+    /// recorded and ignored.
     #[must_use]
     pub fn with_granted(self, key: u8) -> PkrsPerms {
+        if key >= Self::KEY_COUNT {
+            note_pkey_out_of_range();
+            return self;
+        }
         PkrsPerms(self.0 & !(0b11 << (2 * key)))
     }
 }
@@ -268,6 +319,45 @@ mod tests {
         assert!(!p.access_disabled(3));
         assert!(!p.write_disabled(3));
         assert!(p.access_disabled(4));
+    }
+
+    /// Regression for the silent pkey-overflow bug: in the seed, these
+    /// paths guarded `key < 16` with `debug_assert!` only, so a release
+    /// build computed `1 << (2·32 mod 64)` and aliased key 0 — e.g.
+    /// `with_access_disabled(32)` access-disabled the *default* domain,
+    /// and `access_disabled(32)` leaked key 0's bit. Now: builders are
+    /// recorded no-ops, accessors fail closed, and the red-assert
+    /// counter ticks for each sighting.
+    /// (Single test on purpose: the counter is process-wide, and this is
+    /// the only test in the binary that touches out-of-range keys, so
+    /// in-test sequencing keeps the deltas race-free.)
+    #[test]
+    fn out_of_range_key_cannot_alias_low_domains() {
+        // In-range keys never tick the counter.
+        let before = pkrs_red_asserts();
+        let q = PkrsPerms::GRANT_ALL
+            .with_access_disabled(15)
+            .with_write_disabled(15);
+        assert!(q.access_disabled(15) && q.write_disabled(15));
+        assert!(!q.with_granted(15).access_disabled(15));
+        assert_eq!(pkrs_red_asserts(), before);
+        // Builders: no low-key bit may move.
+        let p = PkrsPerms::GRANT_ALL
+            .with_access_disabled(32) // seed: 2·32 mod 64 = bit 0 → key 0 AD
+            .with_write_disabled(16) // seed: bit 33 → key 16 "WD" garbage
+            .with_granted(48); // seed: cleared key 0's bits
+        assert_eq!(p, PkrsPerms::GRANT_ALL, "out-of-range builders must not touch the register");
+        assert!(!p.access_disabled(0), "key 0 must stay granted");
+        // Accessors: out-of-range keys fail closed, not via aliasing.
+        let deny0 = PkrsPerms::GRANT_ALL.with_access_disabled(0);
+        assert!(deny0.access_disabled(16), "out-of-range key must fail closed");
+        assert!(PkrsPerms::GRANT_ALL.access_disabled(255));
+        assert!(PkrsPerms::GRANT_ALL.write_disabled(16));
+        // And every sighting was recorded.
+        assert!(
+            pkrs_red_asserts() >= before + 6,
+            "red-assert counter must record each out-of-range pkey"
+        );
     }
 
     #[test]

@@ -210,6 +210,7 @@ mod tests {
                 user: false,
                 nx: true,
                 pkey: 3,
+                keyid: 0,
             },
         }
     }

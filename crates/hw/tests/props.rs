@@ -37,21 +37,25 @@ fn arb_canonical_user_va() -> impl Strategy<Value = VirtAddr> {
 }
 
 proptest! {
+    // Frame numbers top out at 2^28 (1 TiB of DRAM): PA bits 51:40 are
+    // the TME-MK key-ID field, the same PA-space trade real MKTME makes.
     #[test]
-    fn pte_encode_decode_roundtrip(frame in 0u64..(1 << 36), flags in arb_flags()) {
-        let pte = Pte::encode(Frame(frame), flags);
+    fn pte_encode_decode_roundtrip(frame in 0u64..(1 << 28), flags in arb_flags(), keyid in 0u16..4096) {
+        let pte = Pte::encode(Frame(frame), flags).with_keyid(keyid);
         prop_assert_eq!(pte.frame(), Frame(frame));
         prop_assert_eq!(pte.flags(), flags);
+        prop_assert_eq!(pte.keyid(), keyid);
     }
 
     #[test]
-    fn pte_read_only_preserves_everything_but_w(frame in 0u64..(1 << 36), flags in arb_flags()) {
-        let pte = Pte::encode(Frame(frame), flags).read_only();
+    fn pte_read_only_preserves_everything_but_w(frame in 0u64..(1 << 28), flags in arb_flags(), keyid in 0u16..4096) {
+        let pte = Pte::encode(Frame(frame), flags).with_keyid(keyid).read_only();
         prop_assert!(!pte.writable());
         prop_assert_eq!(pte.frame(), Frame(frame));
         prop_assert_eq!(pte.nx(), flags.nx);
         prop_assert_eq!(pte.pkey(), flags.pkey);
         prop_assert_eq!(pte.user(), flags.user);
+        prop_assert_eq!(pte.keyid(), keyid);
     }
 
     #[test]

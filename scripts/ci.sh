@@ -44,6 +44,15 @@
 #                          re-asserting the meta floors (determinism
 #                          == 1.0, speedup >= the JSON's self-described
 #                          floor, a measured gate-latency tail).
+#   scripts/ci.sh --keyed  additionally run the isolation-backend gate:
+#                          the keyed integration suite (PKS exhaustion
+#                          boundary, 256-sandbox TME-MK confinement,
+#                          the kill-fence ablation) and the keyed bench,
+#                          persisting BENCH_keyed.json and re-asserting
+#                          its floors (>= 256 concurrently-live keyed
+#                          domains; TME-MK gate cost within the JSON's
+#                          self-described ceiling of the PKS gate cost
+#                          at the same shape).
 #
 # Machine-readable output convention: every JSON-emitting binary prints
 # its document on a single stdout line prefixed `EREBOR_JSON:`. CI greps
@@ -61,6 +70,7 @@ TRACE=0
 ANALYZE=0
 FASTPATH=0
 FLEET=0
+KEYED=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
@@ -69,8 +79,9 @@ for arg in "$@"; do
         --analyze) ANALYZE=1 ;;
         --fastpath) FASTPATH=1 ;;
         --fleet) FLEET=1 ;;
+        --keyed) KEYED=1 ;;
         *)
-            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath] [--fleet]" >&2
+            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath] [--fleet] [--keyed]" >&2
             exit 2
             ;;
     esac
@@ -387,6 +398,63 @@ PY
             exit 1
         fi
         echo "    fleet: deterministic, p999 gate $p999 cycles"
+    fi
+fi
+
+if [[ "$KEYED" == 1 ]]; then
+    # Isolation-backend gate (see DESIGN.md §12). Two halves:
+    #   1. the keyed integration suite — the PKS exhaustion boundary
+    #      (typed DomainsExhausted at capacity, domain recycling), the
+    #      256-sandbox TME-MK confinement run with a clean audit, and
+    #      the kill-teardown fence with its ablation;
+    #   2. the keyed bench — gate cost vs resident-sandbox count per
+    #      backend, persisting BENCH_keyed.json; floors re-asserted here
+    #      from the persisted document (the bench panics below its own
+    #      floors too).
+    echo "==> keyed: cargo test --release --test keyed"
+    cargo test --release -q --test keyed
+
+    echo "==> keyed: cargo bench keyed (persisting BENCH_keyed.json)"
+    keyed_raw="$(EREBOR_BENCH_SMOKE=1 EREBOR_BENCH_JSON="$PWD/BENCH_keyed.json" \
+        cargo bench -p erebor-bench --bench keyed 2>/dev/null)"
+    keyed_out="$(extract_json "$keyed_raw" "keyed")"
+    check_json "$keyed_out" "keyed"
+    if [[ ! -s BENCH_keyed.json ]]; then
+        echo "error: bench did not persist BENCH_keyed.json" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+meta = json.load(open("BENCH_keyed.json"))["meta"]
+live = meta["keyed_max_live"]
+floor = meta["keyed_max_live_floor"]
+overhead = meta["keyed_gate_overhead"]
+ceiling = meta["keyed_gate_overhead_ceiling"]
+assert live >= floor, \
+    f"keyed backend confined too few concurrent sandboxes: {live} < {floor}"
+assert overhead <= ceiling, \
+    f"keyed gate overhead above its ceiling: {overhead:.3f}x > {ceiling}x"
+pks16 = meta["keyed_gate_cycles_pks_16"]
+tm256 = meta["keyed_gate_cycles_tmemk_256"]
+assert pks16 > 0 and tm256 > 0, "gate cost matrix not measured"
+print(f"    keyed: {live:.0f} live domains (floor {floor:.0f}), gate "
+      f"overhead {overhead:.3f}x (ceiling {ceiling}x), "
+      f"{pks16:.0f} vs {tm256:.0f} cycles/request at 16-PKS vs 256-TME-MK")
+PY
+    else
+        # Fallback without python3: integer-part checks with sed.
+        live="$(echo "$keyed_out" | sed -n 's/.*"keyed_max_live":\([0-9]*\).*/\1/p')"
+        if [[ -z "$live" || "$live" -lt 256 ]]; then
+            echo "error: keyed backend confined too few sandboxes (live=$live)" >&2
+            exit 1
+        fi
+        overhead_int="$(echo "$keyed_out" | sed -n 's/.*"keyed_gate_overhead":\([0-9]*\).*/\1/p')"
+        if [[ -z "$overhead_int" || "$overhead_int" -gt 1 ]]; then
+            echo "error: keyed gate overhead above its ceiling ($overhead_int)" >&2
+            exit 1
+        fi
+        echo "    keyed: $live live domains, gate overhead ~${overhead_int}x"
     fi
 fi
 

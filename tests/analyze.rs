@@ -11,6 +11,7 @@ use erebor::ecore::policy::{self, FrameKind};
 use erebor::ehw::cpu::Domain;
 use erebor::ehw::fault::AccessKind;
 use erebor::ehw::idt::{self, vector, Idtr};
+use erebor::ehw::isolation::BackendKind;
 use erebor::ehw::layout;
 use erebor::ehw::paging::{self, intermediate_for, map_raw, Pte, PteFlags};
 use erebor::ehw::regs::Cr0;
@@ -25,6 +26,28 @@ fn booted() -> Platform {
     // `boot` itself runs the auditor and fails on findings, so every
     // successful boot doubles as the clean-snapshot half of each test.
     Platform::boot(Mode::Full).expect("boot")
+}
+
+/// Boot Full under a specific isolation backend (the corrupted-snapshot
+/// suite runs generically over `Pks | TmeMk`).
+fn booted_with(backend: BackendKind) -> Platform {
+    let mut config = erebor::ExecConfig::new(Mode::Full);
+    config.backend = backend;
+    let cfg = erebor::BootConfig {
+        config,
+        ..erebor::BootConfig::default()
+    };
+    Platform::boot_with(cfg).expect("boot")
+}
+
+/// Run a corrupted-snapshot body under both backends: the findings
+/// semantics (which check fires, and that only it fires) must be
+/// identical whether confinement is PKS pkeys or TME-MK key-IDs.
+fn for_both_backends(body: impl Fn(&mut Platform)) {
+    for backend in [BackendKind::Pks, BackendKind::TmeMk] {
+        let mut p = booted_with(backend);
+        body(&mut p);
+    }
 }
 
 fn only_check(findings: &[Finding], check: &str) {
@@ -44,13 +67,14 @@ fn only_check(findings: &[Finding], check: &str) {
 
 #[test]
 fn boot_snapshot_audits_clean() {
-    let p = booted();
-    let report = p.audit();
-    assert!(report.is_clean(), "{}", report.json());
-    assert!(report.roots_walked >= 1);
-    assert!(report.leaf_mappings > 0);
-    assert!(report.idt_entries > 0);
-    assert!(report.work() > 0);
+    for_both_backends(|p| {
+        let report = p.audit();
+        assert!(report.is_clean(), "{}", report.json());
+        assert!(report.roots_walked >= 1);
+        assert!(report.leaf_mappings > 0);
+        assert!(report.idt_entries > 0);
+        assert!(report.work() > 0);
+    });
 }
 
 /// Regression for the seed bug the auditor caught: the syscall and
@@ -79,147 +103,198 @@ fn hardware_entry_points_are_endbr_pads() {
 
 #[test]
 fn c1_writable_executable_mapping_is_flagged() {
-    let mut p = booted();
-    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
-    // present + writable + executable (nx unset): the W^X violation.
-    let wx = PteFlags {
-        present: true,
-        writable: true,
-        ..PteFlags::default()
-    };
-    map_raw(
-        &mut p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        SCRATCH_VA,
-        Pte::encode(f, wx),
-        intermediate_for(PteFlags::kernel_rw(0)),
-    )
-    .expect("map");
-    only_check(&p.audit().findings, "wx-exclusive");
+    for_both_backends(|p| {
+        let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+        // present + writable + executable (nx unset): the W^X violation.
+        let wx = PteFlags {
+            present: true,
+            writable: true,
+            ..PteFlags::default()
+        };
+        map_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            SCRATCH_VA,
+            Pte::encode(f, wx),
+            intermediate_for(PteFlags::kernel_rw(0)),
+        )
+        .expect("map");
+        only_check(&p.audit().findings, "wx-exclusive");
+    });
 }
 
 #[test]
 fn c2_monitor_frame_under_default_key_is_flagged() {
-    let mut p = booted();
-    // Alias the monitor's text frame into the kernel half read-only under
-    // the *default* key — normal mode could then read monitor memory.
-    let mon_frame = paging::lookup_raw(
-        &p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        layout::MONITOR_BASE,
-    )
-    .expect("walk")
-    .expect("monitor text mapped")
-    .frame();
-    assert_eq!(p.cvm.monitor.frames.kind(mon_frame), FrameKind::Monitor);
-    map_raw(
-        &mut p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        SCRATCH_VA,
-        Pte::encode(mon_frame, PteFlags::kernel_ro(policy::PK_DEFAULT)),
-        intermediate_for(PteFlags::kernel_ro(0)),
-    )
-    .expect("map");
-    only_check(&p.audit().findings, "pkey-tagging");
+    for_both_backends(|p| {
+        // Alias the monitor's text frame into the kernel half read-only
+        // under the *default* key — normal mode could then read monitor
+        // memory.
+        let mon_frame = paging::lookup_raw(
+            &p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            layout::MONITOR_BASE,
+        )
+        .expect("walk")
+        .expect("monitor text mapped")
+        .frame();
+        assert_eq!(p.cvm.monitor.frames.kind(mon_frame), FrameKind::Monitor);
+        map_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            SCRATCH_VA,
+            Pte::encode(mon_frame, PteFlags::kernel_ro(policy::PK_DEFAULT)),
+            intermediate_for(PteFlags::kernel_ro(0)),
+        )
+        .expect("map");
+        only_check(&p.audit().findings, "pkey-tagging");
+    });
+}
+
+/// C2, keyed half: a live sandbox's confined frame aliased with the right
+/// pkey but the *wrong key-ID* (or wrong pkey under PKS) is a tagging
+/// violation — the backend decides what the correct `(pkey, keyid)` tag
+/// is, and the auditor holds every confined alias to it.
+#[test]
+fn c2_confined_frame_with_wrong_domain_tag_is_flagged() {
+    for_both_backends(|p| {
+        p.enter_kernel_mode();
+        let budget = 4;
+        let id = p
+            .cvm
+            .monitor
+            .create_sandbox(&mut p.cvm.machine, 0, budget)
+            .expect("create sandbox");
+        let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+        p.cvm
+            .monitor
+            .frames
+            .set_kind(f, FrameKind::Confined { sandbox: id.0 })
+            .expect("typed");
+        // Tag the alias as ordinary kernel data with key-ID zero: under
+        // PKS the pkey is wrong, under TME-MK the key-ID is wrong (the
+        // frame's hardware key was never programmed, so the keyed walk
+        // check also sees a mismatch). Both must surface as findings.
+        map_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            SCRATCH_VA,
+            Pte::encode(f, PteFlags::kernel_ro(policy::PK_DEFAULT)),
+            intermediate_for(PteFlags::kernel_ro(0)),
+        )
+        .expect("map");
+        let findings = p.audit().findings;
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.check == "pkey-tagging" || f.check == "confined-unreachable"),
+            "wrong domain tag must be flagged: {findings:?}"
+        );
+    });
 }
 
 #[test]
 fn c3_confined_frame_reachable_from_kernel_root_is_flagged() {
-    let mut p = booted();
-    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
-    p.cvm
-        .monitor
-        .frames
-        .set_kind(f, FrameKind::Confined { sandbox: 9 })
-        .expect("typed");
-    map_raw(
-        &mut p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        SCRATCH_VA,
-        Pte::encode(f, PteFlags::kernel_ro(policy::PK_DEFAULT)),
-        intermediate_for(PteFlags::kernel_ro(0)),
-    )
-    .expect("map");
-    only_check(&p.audit().findings, "confined-unreachable");
+    for_both_backends(|p| {
+        let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+        p.cvm
+            .monitor
+            .frames
+            .set_kind(f, FrameKind::Confined { sandbox: 9 })
+            .expect("typed");
+        map_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            SCRATCH_VA,
+            Pte::encode(f, PteFlags::kernel_ro(policy::PK_DEFAULT)),
+            intermediate_for(PteFlags::kernel_ro(0)),
+        )
+        .expect("map");
+        only_check(&p.audit().findings, "confined-unreachable");
+    });
 }
 
 #[test]
 fn c4_writable_shadow_stack_frame_is_flagged() {
-    let mut p = booted();
-    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
-    p.cvm
-        .monitor
-        .frames
-        .set_kind(f, FrameKind::ShadowStack)
-        .expect("typed");
-    // Retag the frame's direct-map alias the way boot does for real
-    // shadow-stack frames, so only the corrupted scratch mapping below
-    // is wrong.
-    let dm_slot = paging::leaf_slot(
-        &p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        layout::direct_map(erebor::ehw::PhysAddr(f.0 << 12)),
-    )
-    .expect("walk")
-    .expect("direct-map leaf");
-    p.cvm
-        .machine
-        .mem
-        .write_u64(dm_slot, Pte::encode(f, PteFlags::kernel_ro(policy::PK_SSTK)).0)
-        .expect("retag");
-    // Writable under a non-SSTK, non-monitor key (kernel-text key keeps
-    // the weak pkey-tagging check quiet, isolating the sstk finding).
-    map_raw(
-        &mut p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        SCRATCH_VA,
-        Pte::encode(f, PteFlags::kernel_rw(policy::PK_KTEXT)),
-        intermediate_for(PteFlags::kernel_rw(0)),
-    )
-    .expect("map");
-    only_check(&p.audit().findings, "sstk-protected");
+    for_both_backends(|p| {
+        let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+        p.cvm
+            .monitor
+            .frames
+            .set_kind(f, FrameKind::ShadowStack)
+            .expect("typed");
+        // Retag the frame's direct-map alias the way boot does for real
+        // shadow-stack frames, so only the corrupted scratch mapping
+        // below is wrong.
+        let dm_slot = paging::leaf_slot(
+            &p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            layout::direct_map(erebor::ehw::PhysAddr(f.0 << 12)),
+        )
+        .expect("walk")
+        .expect("direct-map leaf");
+        p.cvm
+            .machine
+            .mem
+            .write_u64(dm_slot, Pte::encode(f, PteFlags::kernel_ro(policy::PK_SSTK)).0)
+            .expect("retag");
+        // Writable under a non-SSTK, non-monitor key (kernel-text key
+        // keeps the weak pkey-tagging check quiet, isolating the sstk
+        // finding).
+        map_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            SCRATCH_VA,
+            Pte::encode(f, PteFlags::kernel_rw(policy::PK_KTEXT)),
+            intermediate_for(PteFlags::kernel_rw(0)),
+        )
+        .expect("map");
+        only_check(&p.audit().findings, "sstk-protected");
+    });
 }
 
 #[test]
 fn c5_idt_vector_rewritten_into_kernel_half_is_flagged() {
-    let mut p = booted();
-    let idtr = Idtr {
-        base: p.cvm.monitor.idt_base,
-    };
-    // A DMA-style backdoor store retargets the timer vector at kernel
-    // text — delivery would bypass the monitor's #INT interposer.
-    idt::write_entry_raw(
-        &mut p.cvm.machine.mem,
-        p.cvm.monitor.kernel_root,
-        idtr,
-        vector::TIMER,
-        VirtAddr(layout::KERNEL_BASE.0 + 0x100),
-    )
-    .expect("backdoor IDT store");
-    only_check(&p.audit().findings, "control-transfer");
+    for_both_backends(|p| {
+        let idtr = Idtr {
+            base: p.cvm.monitor.idt_base,
+        };
+        // A DMA-style backdoor store retargets the timer vector at kernel
+        // text — delivery would bypass the monitor's #INT interposer.
+        idt::write_entry_raw(
+            &mut p.cvm.machine.mem,
+            p.cvm.monitor.kernel_root,
+            idtr,
+            vector::TIMER,
+            VirtAddr(layout::KERNEL_BASE.0 + 0x100),
+        )
+        .expect("backdoor IDT store");
+        only_check(&p.audit().findings, "control-transfer");
+    });
 }
 
 #[test]
 fn c6_cleared_wp_is_flagged() {
-    let mut p = booted();
-    p.cvm.machine.cpus[1].cr0 = Cr0(Cr0::PG); // WP off under paging
-    only_check(&p.audit().findings, "msr-pinning");
+    for_both_backends(|p| {
+        p.cvm.machine.cpus[1].cr0 = Cr0(Cr0::PG); // WP off under paging
+        only_check(&p.audit().findings, "msr-pinning");
+    });
 }
 
 #[test]
 fn c7_shared_device_frame_still_private_is_flagged() {
-    let mut p = booted();
-    // A frame typed SharedDevice that is still sEPT-private: the frame
-    // table and the sEPT disagree, and the direct-map alias already makes
-    // it a mapped frame the walk visits.
-    let f = p.cvm.machine.mem.alloc_frame().expect("frame");
-    p.cvm
-        .monitor
-        .frames
-        .set_kind(f, FrameKind::SharedDevice)
-        .expect("typed");
-    p.cvm.tdx.sept.accept_private(f);
-    only_check(&p.audit().findings, "sept-consistency");
+    for_both_backends(|p| {
+        // A frame typed SharedDevice that is still sEPT-private: the
+        // frame table and the sEPT disagree, and the direct-map alias
+        // already makes it a mapped frame the walk visits.
+        let f = p.cvm.machine.mem.alloc_frame().expect("frame");
+        p.cvm
+            .monitor
+            .frames
+            .set_kind(f, FrameKind::SharedDevice)
+            .expect("typed");
+        p.cvm.tdx.sept.accept_private(f);
+        only_check(&p.audit().findings, "sept-consistency");
+    });
 }
 
 /// The decision-cache red test: after an honest downgrade (delegated
@@ -231,7 +306,13 @@ fn c7_shared_device_frame_still_private_is_flagged() {
 /// check.
 #[test]
 fn c9_revived_stale_decision_cache_is_flagged() {
-    let (mut p, root) = platform_with_user_page();
+    for backend in [BackendKind::Pks, BackendKind::TmeMk] {
+        c9_revived_stale_decision_cache_body(backend);
+    }
+}
+
+fn c9_revived_stale_decision_cache_body(backend: BackendKind) {
+    let (mut p, root) = platform_with_user_page_on(backend);
     run_user(&mut p, 1, root);
     // Warm the decision cache on the victim core: the first probe walks
     // and fills, the second is served from the cached decision.
@@ -270,19 +351,21 @@ fn c9_revived_stale_decision_cache_is_flagged() {
 
 #[test]
 fn c8_stale_tlb_entry_after_backdoor_unmap_is_flagged() {
-    let (mut p, root) = platform_with_user_page();
-    run_user(&mut p, 0, root);
-    p.cvm
-        .machine
-        .probe(0, USER_VA, AccessKind::Read)
-        .expect("cache the translation");
-    // Zero the PTE without any shootdown: the cached entry is now a
-    // ledger inconsistency (no pending-shootdown record explains it).
-    let slot = paging::leaf_slot(&p.cvm.machine.mem, root, USER_VA)
-        .expect("walk")
-        .expect("leaf");
-    p.cvm.machine.mem.write_u64(slot, 0).expect("backdoor store");
-    only_check(&p.audit().findings, "ledger-consistency");
+    for backend in [BackendKind::Pks, BackendKind::TmeMk] {
+        let (mut p, root) = platform_with_user_page_on(backend);
+        run_user(&mut p, 0, root);
+        p.cvm
+            .machine
+            .probe(0, USER_VA, AccessKind::Read)
+            .expect("cache the translation");
+        // Zero the PTE without any shootdown: the cached entry is now a
+        // ledger inconsistency (no pending-shootdown record explains it).
+        let slot = paging::leaf_slot(&p.cvm.machine.mem, root, USER_VA)
+            .expect("walk")
+            .expect("leaf");
+        p.cvm.machine.mem.write_u64(slot, 0).expect("backdoor store");
+        only_check(&p.audit().findings, "ledger-consistency");
+    }
 }
 
 // ====================================================================
@@ -328,7 +411,11 @@ fn synthetic_acked_shootdown_is_clean() {
 /// Boot Full, create a fresh user address space through EMC, and map one
 /// writable page at [`USER_VA`] (the `tests/tlb_shootdown.rs` setup).
 fn platform_with_user_page() -> (Platform, Frame) {
-    let mut p = booted();
+    platform_with_user_page_on(BackendKind::Pks)
+}
+
+fn platform_with_user_page_on(backend: BackendKind) -> (Platform, Frame) {
+    let mut p = booted_with(backend);
     p.enter_kernel_mode();
     let root = match p.cvm.monitor.emc(
         &mut p.cvm.machine,

@@ -734,24 +734,26 @@ impl Injector for FleetIpiChaos {
     }
 }
 
-/// Fleet-scale chaos campaign (≥64 sandboxes, coalesced shootdowns on):
-/// kill/redeploy churn issues full-mm coalesced batches while the
-/// injector drops IPIs and delivers spurious flushes. The dropped
-/// full-flush batches must land in the per-ASID pending ledger, the
-/// TLB-coherence invariant and the full audit must stay green (every
-/// stale window is accounted), and every race-detector finding must be
-/// explained by an injected drop.
-#[test]
-fn fleet_coalesced_campaign_under_ipi_chaos() {
+/// Fleet-scale chaos campaign body (coalesced shootdowns on),
+/// parameterized over the isolation backend and fleet size: kill/redeploy
+/// churn issues full-mm coalesced batches while the injector drops IPIs
+/// and delivers spurious flushes. The dropped full-flush batches must
+/// land in the per-ASID pending ledger, the TLB-coherence invariant and
+/// the full audit must stay green (every stale window is accounted), and
+/// every race-detector finding must be explained by an injected drop —
+/// identical findings semantics under PKS and TME-MK.
+fn run_fleet_chaos_campaign(backend: erebor::ehw::isolation::BackendKind, slots: usize) {
     use erebor::ehw::inject::handle as inject_handle;
     use erebor_workloads::env::SandboxedWorkload;
     use erebor_workloads::fleet::FleetClass;
 
-    let cfg = erebor::BootConfig {
+    assert!(slots > 8, "churn needs non-client victim slots");
+    let mut cfg = erebor::BootConfig {
         cores: 4,
         dram_bytes: 512 * 1024 * 1024,
         ..erebor::BootConfig::default()
     };
+    cfg.config.backend = backend;
     let mut p = Platform::boot_with(cfg).unwrap();
     p.set_fleet_mode(true);
     assert!(p.cvm.monitor.coalesce_shootdowns);
@@ -761,7 +763,7 @@ fn fleet_coalesced_campaign_under_ipi_chaos() {
     // so every churn kill coalesces into one full-mm batch per core.
     const PAGES: u64 = 40;
     let mut svcs = Vec::new();
-    for slot in 0..64usize {
+    for slot in 0..slots {
         let class = if slot.is_multiple_of(2) {
             FleetClass::Nginx
         } else {
@@ -880,4 +882,20 @@ fn fleet_coalesced_campaign_under_ipi_chaos() {
     assert!(p.cvm.machine.pending_shootdowns().is_empty());
     assert!(p.cvm.machine.pending_asid_shootdowns().is_empty());
     invariants::tlb_coherence(&p.cvm.machine).unwrap();
+}
+
+/// The keyed-memory backend runs the campaign at full fleet scale: 64
+/// concurrent sandboxes is past the PKS pkey ceiling and needs TME-MK
+/// key-IDs.
+#[test]
+fn fleet_coalesced_campaign_under_ipi_chaos() {
+    run_fleet_chaos_campaign(erebor::ehw::isolation::BackendKind::TmeMk, 64);
+}
+
+/// The PKS backend runs the identical campaign at its capacity: 10
+/// sandbox pkeys (16 minus the monitor's 6 reserved keys), with churn
+/// kills recycling domains through the backend free list.
+#[test]
+fn fleet_coalesced_campaign_under_ipi_chaos_pks() {
+    run_fleet_chaos_campaign(erebor::ehw::isolation::BackendKind::Pks, 10);
 }
