@@ -9,7 +9,11 @@
 //!   integration tests, and the harness crates (`testkit`, `bench`,
 //!   `chaos` — whose contract is to abort loudly on harness misuse) are
 //!   exempt. A documented waiver is spelled `// lint:allow(panic)` on
-//!   the offending line.
+//!   the offending line. Files on the [`STRICT_NO_PANIC_FILES`] list are
+//!   held to a stronger contract: the rule applies to their *entire*
+//!   content (test regions included) and waivers are not honored —
+//!   these files sit on the migration-peer input path, where a panic is
+//!   a remote denial of service against the monitor.
 //! * `saturating-counters` — stats counters never use bare `+=`/`-=`
 //!   (the workspace convention is `saturating_add`/`saturating_sub` so
 //!   long campaigns cannot overflow-panic in debug builds). Waiver:
@@ -77,6 +81,16 @@ pub enum FileClass {
 /// libraries abort on harness misuse by contract.
 const HARNESS_CRATES: [&str; 3] = ["crates/testkit", "crates/bench", "crates/chaos"];
 
+/// Files that parse or act on migration-peer-controlled input, where a
+/// panic is a remote denial of service: the `no-panic` rule applies to
+/// their entire content — `#[cfg(test)]` regions included — and
+/// `lint:allow(panic)` waivers are not honored.
+pub const STRICT_NO_PANIC_FILES: [&str; 3] = [
+    "crates/crypto/src/kx.rs",
+    "crates/kernel/src/kernel.rs",
+    "crates/kernel/src/vfs.rs",
+];
+
 /// Classify a workspace-relative path.
 #[must_use]
 pub fn classify(rel: &str) -> FileClass {
@@ -107,6 +121,10 @@ fn has_waiver(line: &str, what: &str) -> bool {
 #[must_use]
 pub fn lint_source(rel: &str, content: &str) -> Vec<LintFinding> {
     let class = classify(rel);
+    let strict = {
+        let unixy = rel.replace('\\', "/");
+        STRICT_NO_PANIC_FILES.iter().any(|f| unixy == *f)
+    };
     let mut findings = Vec::new();
     let mut in_test_region = false;
     for (idx, raw) in content.lines().enumerate() {
@@ -119,9 +137,9 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<LintFinding> {
         let code = raw.split("//").next().unwrap_or("");
         let excerpt = || raw.trim().chars().take(120).collect::<String>();
 
-        if class == FileClass::Library
-            && !in_test_region
-            && !has_waiver(raw, "panic")
+        let panic_rule_applies =
+            strict || (class == FileClass::Library && !in_test_region && !has_waiver(raw, "panic"));
+        if panic_rule_applies
             && (code.contains(".unwrap()") || code.contains(".expect(") || code.contains("panic!("))
         {
             findings.push(LintFinding {
@@ -256,6 +274,40 @@ mod tests {
         let src = "fn f() { a.expect(\"x\") } // lint:allow(panic)\n\
                    #[cfg(test)]\nmod tests { fn g() { b.unwrap(); } }\n";
         assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strict_files_flag_panics_in_test_regions_and_ignore_waivers() {
+        // Test regions are NOT exempt on the strict list…
+        let in_tests = "#[cfg(test)]\nmod tests { fn g() { b.unwrap(); } }\n";
+        for f in STRICT_NO_PANIC_FILES {
+            let found = lint_source(f, in_tests);
+            assert_eq!(found.len(), 1, "{f} must be strict");
+            assert_eq!(found[0].rule, "no-panic");
+        }
+        // …and neither are waivers.
+        let waived = "fn f() { a.expect(\"x\") } // lint:allow(panic)\n";
+        assert_eq!(lint_source("crates/crypto/src/kx.rs", waived).len(), 1);
+        // Ordinary library files keep the relaxed contract.
+        assert!(lint_source("crates/crypto/src/ed25519.rs", waived).is_empty());
+        assert!(lint_source("crates/crypto/src/ed25519.rs", in_tests).is_empty());
+    }
+
+    #[test]
+    fn strict_file_list_holds_in_the_workspace() {
+        // The three migration-peer input files really are panic-free
+        // end to end; if this fails, a panic crept back in.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        for f in STRICT_NO_PANIC_FILES {
+            let Ok(content) = fs::read_to_string(root.join(f)) else {
+                continue; // tolerated: analyze may be vendored standalone
+            };
+            let findings: Vec<_> = lint_source(f, &content)
+                .into_iter()
+                .filter(|x| x.rule == "no-panic")
+                .collect();
+            assert!(findings.is_empty(), "{f} regressed: {findings:?}");
+        }
     }
 
     #[test]

@@ -195,6 +195,18 @@ pub const IDT_VA: VirtAddr = VirtAddr(layout::MONITOR_BASE.0 + 0x0010_0000);
 /// Virtual base of the per-core secure stacks.
 pub const SECURE_STACK_VA: VirtAddr = VirtAddr(layout::MONITOR_BASE.0 + 0x0020_0000);
 
+/// The 32-byte hardware root seed derived from the boot seed: the key
+/// the TDX module's attestation identity grows from. Live migration
+/// hands exactly these bytes to the destination (sealed, as the
+/// `ROOT_SEED` section) so the imported module re-derives the same
+/// signing keys.
+#[must_use]
+pub fn hw_root_seed(seed: u64) -> [u8; 32] {
+    let mut seed32 = [0u8; 32];
+    seed32[..8].copy_from_slice(&seed.to_le_bytes());
+    erebor_crypto::sha256(&seed32)
+}
+
 /// Stage-one boot: firmware + monitor only (see module docs).
 ///
 /// On return, every core is still in the privileged (firmware) state:
@@ -208,9 +220,7 @@ pub fn boot_stage1(cfg: BootConfig) -> Result<Cvm, BootError> {
     let lay = PhysLayout::for_frames(total)?;
 
     // The TDX module accepts all of guest DRAM as private memory.
-    let mut seed32 = [0u8; 32];
-    seed32[..8].copy_from_slice(&cfg.seed.to_le_bytes());
-    let mut tdx = TdxModule::new(erebor_crypto::sha256(&seed32));
+    let mut tdx = TdxModule::new(hw_root_seed(cfg.seed));
     for f in 0..total {
         tdx.sept.accept_private(Frame(f));
     }

@@ -208,6 +208,74 @@ impl FrameTable {
     pub fn count_kind(&self, pred: impl Fn(FrameKind) -> bool) -> u64 {
         self.kinds.iter().filter(|k| pred(**k)).count() as u64
     }
+
+    /// Serialise the table for migration: every frame's kind and mapping
+    /// count. The table is the monitor's mapping-policy ground truth, so
+    /// it must cross byte-for-byte.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = erebor_wire::WireWriter::new();
+        w.seq(self.kinds.len());
+        for (kind, count) in self.kinds.iter().zip(&self.mapcount) {
+            let (tag, arg): (u8, u32) = match kind {
+                FrameKind::Unused => (0, 0),
+                FrameKind::Firmware => (1, 0),
+                FrameKind::Monitor => (2, 0),
+                FrameKind::ShadowStack => (3, 0),
+                FrameKind::Ptp => (4, 0),
+                FrameKind::Idt => (5, 0),
+                FrameKind::KernelCode => (6, 0),
+                FrameKind::KernelData => (7, 0),
+                FrameKind::UserAnon { asid } => (8, *asid),
+                FrameKind::Confined { sandbox } => (9, *sandbox),
+                FrameKind::Common { region } => (10, *region),
+                FrameKind::SharedDevice => (11, 0),
+            };
+            w.u8(tag);
+            w.u32(arg);
+            w.u32(*count);
+        }
+        w.finish()
+    }
+
+    /// Rebuild a table from [`FrameTable::export_state`] bytes.
+    ///
+    /// # Errors
+    /// [`erebor_wire::WireError`] on truncation, an unknown kind tag, or
+    /// trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<FrameTable, erebor_wire::WireError> {
+        let mut r = erebor_wire::WireReader::new(bytes);
+        let n = r.seq(9)?;
+        let mut kinds = Vec::with_capacity(n);
+        let mut mapcount = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tag = r.u8()?;
+            let arg = r.u32()?;
+            kinds.push(match tag {
+                0 => FrameKind::Unused,
+                1 => FrameKind::Firmware,
+                2 => FrameKind::Monitor,
+                3 => FrameKind::ShadowStack,
+                4 => FrameKind::Ptp,
+                5 => FrameKind::Idt,
+                6 => FrameKind::KernelCode,
+                7 => FrameKind::KernelData,
+                8 => FrameKind::UserAnon { asid: arg },
+                9 => FrameKind::Confined { sandbox: arg },
+                10 => FrameKind::Common { region: arg },
+                11 => FrameKind::SharedDevice,
+                t => {
+                    return Err(erebor_wire::WireError::BadTag {
+                        what: "FrameKind",
+                        tag: u64::from(t),
+                    })
+                }
+            });
+            mapcount.push(r.u32()?);
+        }
+        r.finish()?;
+        Ok(FrameTable { kinds, mapcount })
+    }
 }
 
 /// The protection key the monitor assigns to a frame kind when mapping it

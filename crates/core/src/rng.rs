@@ -38,6 +38,20 @@ impl DetRng {
         self.fill(&mut b);
         b
     }
+
+    /// Raw migration parts: seed key and stream position. A migrated
+    /// generator must resume at the exact counter — rewinding would
+    /// re-issue key material the source already handed out.
+    #[must_use]
+    pub fn to_parts(&self) -> ([u8; 32], u32) {
+        (self.key, self.counter)
+    }
+
+    /// Rebuild a generator mid-stream from [`DetRng::to_parts`] output.
+    #[must_use]
+    pub fn from_parts(key: [u8; 32], counter: u32) -> DetRng {
+        DetRng { key, counter }
+    }
 }
 
 impl core::fmt::Debug for DetRng {

@@ -35,6 +35,58 @@ pub struct MonitorStats {
 }
 
 impl MonitorStats {
+    /// Serialise the counters for migration: these are part of the TD's
+    /// audit trail and travel with it.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = erebor_wire::WireWriter::new();
+        for v in [
+            self.emc_calls,
+            self.pte_updates,
+            self.cr_writes,
+            self.msr_writes,
+            self.idt_writes,
+            self.user_copies,
+            self.ghci_ops,
+            self.sandbox_pf_exits,
+            self.sandbox_timer_exits,
+            self.sandbox_ve_exits,
+            self.sandbox_syscall_exits,
+            self.sandboxes_killed,
+            self.emc_denied,
+            self.cpuid_cached,
+        ] {
+            w.u64(v);
+        }
+        w.finish()
+    }
+
+    /// Rebuild counters from [`MonitorStats::export_state`] bytes.
+    ///
+    /// # Errors
+    /// [`erebor_wire::WireError`] on truncation or trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<MonitorStats, erebor_wire::WireError> {
+        let mut r = erebor_wire::WireReader::new(bytes);
+        let s = MonitorStats {
+            emc_calls: r.u64()?,
+            pte_updates: r.u64()?,
+            cr_writes: r.u64()?,
+            msr_writes: r.u64()?,
+            idt_writes: r.u64()?,
+            user_copies: r.u64()?,
+            ghci_ops: r.u64()?,
+            sandbox_pf_exits: r.u64()?,
+            sandbox_timer_exits: r.u64()?,
+            sandbox_ve_exits: r.u64()?,
+            sandbox_syscall_exits: r.u64()?,
+            sandboxes_killed: r.u64()?,
+            emc_denied: r.u64()?,
+            cpuid_cached: r.u64()?,
+        };
+        r.finish()?;
+        Ok(s)
+    }
+
     /// Total interposed sandbox exits. Saturating: a long-running machine
     /// with counters near `u64::MAX` must report a pinned total, not a
     /// wrapped (tiny) one.

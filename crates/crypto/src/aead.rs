@@ -143,6 +143,50 @@ only one tip for the future, sunscreen would be it.";
         );
     }
 
+    /// Every length below a full tag is `Truncated`, never a panic and
+    /// never `TagMismatch` — the boundary at 16 must be exact.
+    #[test]
+    fn truncation_sweep_every_boundary() {
+        let key = [3u8; 32];
+        let nonce = [4u8; 12];
+        let sealed = seal(&key, &nonce, b"aad", b"0123456789");
+        for cut in 0..16 {
+            assert_eq!(
+                open(&key, &nonce, b"aad", &sealed[..cut]),
+                Err(AeadError::Truncated),
+                "cut at {cut} bytes"
+            );
+        }
+        // Exactly one tag's worth of bytes is *structurally* valid (an
+        // empty ciphertext) and must fail authentication, not length.
+        assert_eq!(
+            open(&key, &nonce, b"aad", &sealed[..16]),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
+    /// A record at the migration frame cap (64 MiB) seals and opens
+    /// intact, and still authenticates — the multi-block Poly1305 and
+    /// ChaCha20 counter paths hold at scale.
+    #[test]
+    fn max_length_record_roundtrip() {
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        let mut pt = vec![0u8; crate::frame::MAX_FRAME_PAYLOAD];
+        for (i, b) in pt.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let mut sealed = seal(&key, &nonce, b"max", &pt);
+        assert_eq!(sealed.len(), pt.len() + 16);
+        assert_eq!(open(&key, &nonce, b"max", &sealed).unwrap(), pt);
+        let last = sealed.len() - 17;
+        sealed[last] ^= 1;
+        assert_eq!(
+            open(&key, &nonce, b"max", &sealed),
+            Err(AeadError::TagMismatch)
+        );
+    }
+
     #[test]
     fn empty_plaintext_roundtrip() {
         let key = [9u8; 32];

@@ -1,0 +1,388 @@
+//! Sequence-numbered sealed record framing for the migration stream.
+//!
+//! The base [`crate::kx::SecureChannel`] binds its record counter as both
+//! nonce and AAD, which makes a replayed, reordered, or truncated record
+//! *indistinguishable* from a tampered one — every failure collapses to
+//! a tag mismatch. A migration stream needs better forensics: the source
+//! must abort with a *typed* reason (the chaos campaigns assert the exact
+//! fault class), and an operator debugging a torn transfer needs to know
+//! whether bytes were lost or flipped.
+//!
+//! Each frame therefore carries a cleartext header — sequence number,
+//! record type, payload length — checked *before* the AEAD open:
+//!
+//! ```text
+//! [ seq: u64 LE ][ type: u8 ][ len: u32 LE ][ ciphertext ‖ tag (len bytes) ]
+//! ```
+//!
+//! The header is also bound as the AEAD's additional data, so a forged
+//! header that passes the structural checks still dies on the tag. The
+//! nonce is the sequence number, strictly monotonic per direction by
+//! construction: [`FrameSender::seal`] refuses to wrap, and
+//! [`FrameReceiver::open`] accepts exactly the next expected sequence —
+//! a lower one is [`FrameError::Replay`], a higher one
+//! [`FrameError::OutOfOrder`], short bytes [`FrameError::Truncated`],
+//! and a bad tag [`FrameError::TagMismatch`]. Nothing advances the
+//! receive counter except a fully verified frame, so any fault leaves
+//! the stream in a known, resumable state.
+
+use crate::aead::{self, AeadError};
+
+/// Cleartext frame header size: seq (8) + type (1) + len (4).
+pub const FRAME_HEADER: usize = 13;
+
+/// AEAD tag size appended to every payload.
+pub const FRAME_TAG: usize = 16;
+
+/// Largest payload a single frame may carry (matches the wire codec's
+/// field cap so a hostile length can't force a huge allocation).
+pub const MAX_FRAME_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Typed framing failure — the migration abort reasons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes than the header + declared length require.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes present.
+        have: usize,
+    },
+    /// The frame's sequence number was already consumed.
+    Replay {
+        /// Sequence number carried by the frame.
+        got: u64,
+        /// Next sequence number the receiver will accept.
+        want: u64,
+    },
+    /// The frame skips ahead — an earlier frame was lost or withheld.
+    OutOfOrder {
+        /// Sequence number carried by the frame.
+        got: u64,
+        /// Next sequence number the receiver will accept.
+        want: u64,
+    },
+    /// Header or payload failed authentication (bit flips, a forged
+    /// header, or a payload spliced from another frame).
+    TagMismatch,
+    /// The declared length is impossible (shorter than a tag, longer
+    /// than [`MAX_FRAME_PAYLOAD`], or disagrees with the bytes present).
+    BadLength {
+        /// Declared ciphertext+tag length.
+        len: usize,
+    },
+    /// The 64-bit sequence space is exhausted.
+    CounterExhausted,
+}
+
+impl core::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FrameError::Truncated { need, have } => {
+                write!(f, "frame truncated: need {need} bytes, have {have}")
+            }
+            FrameError::Replay { got, want } => {
+                write!(f, "frame replayed: seq {got}, expected {want}")
+            }
+            FrameError::OutOfOrder { got, want } => {
+                write!(f, "frame out of order: seq {got}, expected {want}")
+            }
+            FrameError::TagMismatch => write!(f, "frame authentication failed"),
+            FrameError::BadLength { len } => write!(f, "frame declares impossible length {len}"),
+            FrameError::CounterExhausted => write!(f, "frame sequence space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+fn nonce_for(seq: u64) -> [u8; 12] {
+    let mut n = [0u8; 12];
+    n[..8].copy_from_slice(&seq.to_le_bytes());
+    n
+}
+
+fn header_for(seq: u64, rtype: u8, sealed_len: u32) -> [u8; FRAME_HEADER] {
+    let mut h = [0u8; FRAME_HEADER];
+    h[..8].copy_from_slice(&seq.to_le_bytes());
+    h[8] = rtype;
+    h[9..].copy_from_slice(&sealed_len.to_le_bytes());
+    h
+}
+
+/// The sealing half of one stream direction.
+#[derive(Clone)]
+pub struct FrameSender {
+    key: [u8; 32],
+    next: u64,
+}
+
+impl core::fmt::Debug for FrameSender {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FrameSender").field("next", &self.next).finish_non_exhaustive()
+    }
+}
+
+impl FrameSender {
+    /// A sender starting at sequence 0 under `key`.
+    #[must_use]
+    pub fn new(key: [u8; 32]) -> FrameSender {
+        FrameSender { key, next: 0 }
+    }
+
+    /// Test/rollover hook: a sender resuming at `next`.
+    #[must_use]
+    pub fn at_sequence(key: [u8; 32], next: u64) -> FrameSender {
+        FrameSender { key, next }
+    }
+
+    /// Frames sealed so far (== the next sequence number).
+    #[must_use]
+    pub fn sealed_count(&self) -> u64 {
+        self.next
+    }
+
+    /// Seal `payload` as the next frame of type `rtype`.
+    ///
+    /// # Errors
+    /// [`FrameError::BadLength`] for an oversized payload,
+    /// [`FrameError::CounterExhausted`] once the sequence space is spent.
+    pub fn seal(&mut self, rtype: u8, payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+        if payload.len() > MAX_FRAME_PAYLOAD {
+            return Err(FrameError::BadLength { len: payload.len() });
+        }
+        let seq = self.next;
+        self.next = seq.checked_add(1).ok_or(FrameError::CounterExhausted)?;
+        let sealed_len = (payload.len() + FRAME_TAG) as u32;
+        let header = header_for(seq, rtype, sealed_len);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len() + FRAME_TAG);
+        frame.extend_from_slice(&header);
+        frame.extend_from_slice(&aead::seal(&self.key, &nonce_for(seq), &header, payload));
+        Ok(frame)
+    }
+}
+
+/// The verifying half of one stream direction.
+#[derive(Clone)]
+pub struct FrameReceiver {
+    key: [u8; 32],
+    next: u64,
+}
+
+impl core::fmt::Debug for FrameReceiver {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FrameReceiver").field("next", &self.next).finish_non_exhaustive()
+    }
+}
+
+impl FrameReceiver {
+    /// A receiver expecting sequence 0 under `key`.
+    #[must_use]
+    pub fn new(key: [u8; 32]) -> FrameReceiver {
+        FrameReceiver { key, next: 0 }
+    }
+
+    /// Test/rollover hook: a receiver resuming at `next`.
+    #[must_use]
+    pub fn at_sequence(key: [u8; 32], next: u64) -> FrameReceiver {
+        FrameReceiver { key, next }
+    }
+
+    /// Frames verified so far (== the next expected sequence number).
+    #[must_use]
+    pub fn opened_count(&self) -> u64 {
+        self.next
+    }
+
+    /// Verify and open `frame`, returning `(record type, plaintext)`.
+    /// The receive counter advances only on full success.
+    ///
+    /// # Errors
+    /// The typed [`FrameError`] for exactly what went wrong — see the
+    /// module docs for the taxonomy.
+    pub fn open(&mut self, frame: &[u8]) -> Result<(u8, Vec<u8>), FrameError> {
+        if frame.len() < FRAME_HEADER {
+            return Err(FrameError::Truncated {
+                need: FRAME_HEADER,
+                have: frame.len(),
+            });
+        }
+        let mut seq8 = [0u8; 8];
+        seq8.copy_from_slice(&frame[..8]);
+        let seq = u64::from_le_bytes(seq8);
+        let rtype = frame[8];
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(&frame[9..13]);
+        let sealed_len = u32::from_le_bytes(len4) as usize;
+        if !(FRAME_TAG..=MAX_FRAME_PAYLOAD + FRAME_TAG).contains(&sealed_len) {
+            return Err(FrameError::BadLength { len: sealed_len });
+        }
+        let total = FRAME_HEADER + sealed_len;
+        if frame.len() < total {
+            return Err(FrameError::Truncated {
+                need: total,
+                have: frame.len(),
+            });
+        }
+        if frame.len() > total {
+            // Trailing bytes mean the stream is desynchronized — a
+            // spliced or corrupted length, not a short read.
+            return Err(FrameError::BadLength { len: sealed_len });
+        }
+        // Sequence check before the expensive open: replay and reorder
+        // get their own verdicts even though the tag would also fail
+        // (the nonce/AAD differ).
+        if seq < self.next {
+            return Err(FrameError::Replay {
+                got: seq,
+                want: self.next,
+            });
+        }
+        if seq > self.next {
+            return Err(FrameError::OutOfOrder {
+                got: seq,
+                want: self.next,
+            });
+        }
+        let header = header_for(seq, rtype, sealed_len as u32);
+        let pt = aead::open(&self.key, &nonce_for(seq), &header, &frame[FRAME_HEADER..])
+            .map_err(|e| match e {
+                AeadError::TagMismatch => FrameError::TagMismatch,
+                AeadError::Truncated => FrameError::Truncated {
+                    need: FRAME_TAG,
+                    have: sealed_len,
+                },
+            })?;
+        self.next = seq.checked_add(1).ok_or(FrameError::CounterExhausted)?;
+        Ok((rtype, pt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [7u8; 32];
+
+    #[test]
+    fn roundtrip_preserves_type_and_payload() -> Result<(), FrameError> {
+        let mut tx = FrameSender::new(KEY);
+        let mut rx = FrameReceiver::new(KEY);
+        for (t, p) in [(1u8, &b"alpha"[..]), (2, b""), (9, &[0xAA; 4096])] {
+            let f = tx.seal(t, p)?;
+            let (rt, rp) = rx.open(&f)?;
+            assert_eq!((rt, rp.as_slice()), (t, p));
+        }
+        assert_eq!(tx.sealed_count(), 3);
+        assert_eq!(rx.opened_count(), 3);
+        Ok(())
+    }
+
+    #[test]
+    fn replay_and_reorder_get_distinct_verdicts() -> Result<(), FrameError> {
+        let mut tx = FrameSender::new(KEY);
+        let mut rx = FrameReceiver::new(KEY);
+        let f0 = tx.seal(1, b"zero")?;
+        let f1 = tx.seal(1, b"one")?;
+        let f2 = tx.seal(1, b"two")?;
+        rx.open(&f0)?;
+        assert_eq!(
+            rx.open(&f0),
+            Err(FrameError::Replay { got: 0, want: 1 }),
+            "replay must be typed as replay, not tag mismatch"
+        );
+        assert_eq!(
+            rx.open(&f2),
+            Err(FrameError::OutOfOrder { got: 2, want: 1 }),
+            "skip must be typed as out-of-order"
+        );
+        // The stream is still resumable at the right frame.
+        rx.open(&f1)?;
+        rx.open(&f2)?;
+        Ok(())
+    }
+
+    #[test]
+    fn truncation_at_every_boundary_is_typed() -> Result<(), FrameError> {
+        let mut tx = FrameSender::new(KEY);
+        let f = tx.seal(3, b"truncate me")?;
+        for cut in 0..f.len() {
+            let mut rx = FrameReceiver::new(KEY);
+            let err = rx.open(&f[..cut]).expect_err("short frame accepted");
+            assert!(
+                matches!(err, FrameError::Truncated { .. }),
+                "cut {cut}: got {err:?}"
+            );
+            assert_eq!(rx.opened_count(), 0, "counter moved on a bad frame");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn every_flipped_bit_in_header_or_body_is_rejected() -> Result<(), FrameError> {
+        let mut tx = FrameSender::new(KEY);
+        let f = tx.seal(5, b"bits")?;
+        for byte in 0..f.len() {
+            let mut evil = f.clone();
+            evil[byte] ^= 0x01;
+            let mut rx = FrameReceiver::new(KEY);
+            assert!(rx.open(&evil).is_err(), "flip at byte {byte} accepted");
+        }
+        // The pristine frame still opens.
+        let mut rx = FrameReceiver::new(KEY);
+        rx.open(&f)?;
+        Ok(())
+    }
+
+    #[test]
+    fn wrong_key_is_tag_mismatch() -> Result<(), FrameError> {
+        let mut tx = FrameSender::new(KEY);
+        let f = tx.seal(1, b"payload")?;
+        let mut rx = FrameReceiver::new([8u8; 32]);
+        assert_eq!(rx.open(&f), Err(FrameError::TagMismatch));
+        Ok(())
+    }
+
+    #[test]
+    fn hostile_length_rejected_without_allocation() {
+        // A header declaring a huge payload over 13 real bytes must be
+        // refused by the length cap, not by attempting the read.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&0u64.to_le_bytes());
+        evil.push(1);
+        evil.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut rx = FrameReceiver::new(KEY);
+        assert!(matches!(
+            rx.open(&evil),
+            Err(FrameError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn sequence_rollover_refused_on_both_ends() {
+        let mut tx = FrameSender::at_sequence(KEY, u64::MAX);
+        assert_eq!(tx.seal(1, b"last"), Err(FrameError::CounterExhausted));
+        // Receiver at the edge: a frame built for seq MAX verifies but
+        // cannot advance — the stream ends rather than wrapping.
+        let mut forge = FrameSender::at_sequence(KEY, u64::MAX - 1);
+        let f = forge
+            .seal(1, b"edge")
+            .expect("MAX-1 is the last valid sequence");
+        let mut rx = FrameReceiver::at_sequence(KEY, u64::MAX - 1);
+        rx.open(&f).expect("edge frame is valid");
+        assert_eq!(rx.opened_count(), u64::MAX);
+    }
+
+    #[test]
+    fn oversized_payload_refused_at_seal() {
+        let mut tx = FrameSender::new(KEY);
+        let big = vec![0u8; MAX_FRAME_PAYLOAD + 1];
+        assert_eq!(
+            tx.seal(1, &big),
+            Err(FrameError::BadLength {
+                len: MAX_FRAME_PAYLOAD + 1
+            })
+        );
+        assert_eq!(tx.sealed_count(), 0, "failed seal must not burn a sequence");
+    }
+}

@@ -28,9 +28,11 @@ pub fn expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
         out[done..done + take].copy_from_slice(&block[..take]);
         t = block.to_vec();
         done += take;
-        // RFC 5869 caps L at 255 blocks; every in-tree caller derives a
-        // few dozen bytes at most.
-        counter = counter.checked_add(1).expect("HKDF counter overflow"); // lint:allow(panic)
+        // The length assert above caps the loop at 255 blocks, so the
+        // counter never wraps into a *used* value — the final increment
+        // (255 → 0 at exactly 8160 bytes) is dead, making wrapping the
+        // precise, panic-free semantics.
+        counter = counter.wrapping_add(1);
     }
 }
 

@@ -167,6 +167,26 @@ impl SecureChannel {
     pub fn records_sent(&self) -> u64 {
         self.send_ctr
     }
+
+    /// Raw migration parts: keys, role, send counter, receive counter. A
+    /// migrated channel must resume at the *exact* counters — rewinding
+    /// would reuse a nonce, skipping would deadlock the peer.
+    #[must_use]
+    pub fn to_parts(&self) -> (&SessionKeys, Role, u64, u64) {
+        (&self.keys, self.role, self.send_ctr, self.recv_ctr)
+    }
+
+    /// Rebuild a channel mid-stream from [`SecureChannel::to_parts`]
+    /// output (migration import, and the counter-rollover tests).
+    #[must_use]
+    pub fn from_parts(keys: SessionKeys, role: Role, send_ctr: u64, recv_ctr: u64) -> SecureChannel {
+        SecureChannel {
+            keys,
+            role,
+            send_ctr,
+            recv_ctr,
+        }
+    }
 }
 
 impl core::fmt::Debug for SecureChannel {
@@ -201,47 +221,85 @@ mod tests {
     }
 
     #[test]
-    fn bidirectional_roundtrip() {
+    fn bidirectional_roundtrip() -> Result<(), ChannelError> {
         let (mut client, mut monitor) = handshake();
-        let r1 = client.send(b"the prompt").unwrap();
-        assert_eq!(monitor.recv(&r1).unwrap(), b"the prompt");
-        let r2 = monitor.send(b"the result").unwrap();
-        assert_eq!(client.recv(&r2).unwrap(), b"the result");
+        let r1 = client.send(b"the prompt")?;
+        assert_eq!(monitor.recv(&r1)?, b"the prompt");
+        let r2 = monitor.send(b"the result")?;
+        assert_eq!(client.recv(&r2)?, b"the result");
+        Ok(())
     }
 
     #[test]
-    fn replay_rejected() {
+    fn replay_rejected() -> Result<(), ChannelError> {
         let (mut client, mut monitor) = handshake();
-        let r1 = client.send(b"msg-0").unwrap();
-        monitor.recv(&r1).unwrap();
+        let r1 = client.send(b"msg-0")?;
+        monitor.recv(&r1)?;
         assert!(monitor.recv(&r1).is_err(), "replayed record must fail");
+        Ok(())
     }
 
     #[test]
-    fn reorder_rejected() {
+    fn reorder_rejected() -> Result<(), ChannelError> {
         let (mut client, mut monitor) = handshake();
-        let r0 = client.send(b"msg-0").unwrap();
-        let r1 = client.send(b"msg-1").unwrap();
+        let r0 = client.send(b"msg-0")?;
+        let r1 = client.send(b"msg-1")?;
         assert!(monitor.recv(&r1).is_err(), "out-of-order record must fail");
-        monitor.recv(&r0).unwrap();
-        monitor.recv(&r1).unwrap();
+        monitor.recv(&r0)?;
+        monitor.recv(&r1)?;
+        Ok(())
     }
 
     #[test]
-    fn directions_use_distinct_keys() {
+    fn directions_use_distinct_keys() -> Result<(), ChannelError> {
         let (mut client, mut monitor) = handshake();
-        let from_client = client.send(b"x").unwrap();
-        let from_monitor = monitor.send(b"x").unwrap();
+        let from_client = client.send(b"x")?;
+        let from_monitor = monitor.send(b"x")?;
         assert_ne!(from_client, from_monitor);
+        Ok(())
     }
 
     #[test]
-    fn ciphertext_hides_plaintext() {
+    fn ciphertext_hides_plaintext() -> Result<(), ChannelError> {
         let (mut client, _monitor) = handshake();
-        let record = client.send(b"super secret healthcare data").unwrap();
+        let record = client.send(b"super secret healthcare data")?;
         // The proxy sees this record; the plaintext must not appear in it.
         let needle = b"healthcare";
         assert!(!record.windows(needle.len()).any(|w| w == needle));
+        Ok(())
+    }
+
+    /// Counter rollover: the 2⁶⁴−1'th record is the last — both sides
+    /// refuse to wrap the nonce sequence rather than reuse a nonce.
+    #[test]
+    fn counter_rollover_rejected() {
+        let (client, monitor) = handshake();
+        let (keys, role, _, _) = client.to_parts();
+        let mut c = SecureChannel::from_parts(keys.clone(), role, u64::MAX, 0);
+        assert_eq!(c.send(b"one too many"), Err(ChannelError::CounterExhausted));
+        let (keys, role, _, _) = monitor.to_parts();
+        let mut m = SecureChannel::from_parts(keys.clone(), role, 0, u64::MAX);
+        // The peer can't even produce record 2⁶⁴−1, but a forged one must
+        // not advance the counter past the edge: recv fails closed.
+        assert!(m.recv(b"junk").is_err());
+    }
+
+    /// A migrated channel resumes at the exact counters: the next record
+    /// sealed on the destination opens on the unmoved peer.
+    #[test]
+    fn channel_parts_resume_mid_stream() -> Result<(), ChannelError> {
+        let (mut client, mut monitor) = handshake();
+        for i in 0..5u8 {
+            let r = client.send(&[i])?;
+            monitor.recv(&r)?;
+        }
+        let (keys, role, s, rr) = monitor.to_parts();
+        let mut migrated = SecureChannel::from_parts(keys.clone(), role, s, rr);
+        let r = client.send(b"post-migration")?;
+        assert_eq!(migrated.recv(&r)?, b"post-migration");
+        let back = migrated.send(b"ack")?;
+        assert_eq!(client.recv(&back)?, b"ack");
+        Ok(())
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod aead;
 pub mod chacha20;
 pub mod ct;
 pub mod ed25519;
+pub mod frame;
 pub mod hkdf;
 pub mod hmac;
 pub mod kx;
@@ -36,6 +37,7 @@ pub mod x25519;
 
 pub use aead::{open, seal, AeadError};
 pub use ed25519::{SigningKey, VerifyingKey};
+pub use frame::{FrameError, FrameReceiver, FrameSender};
 pub use kx::{SecureChannel, SessionKeys};
 pub use sha256::sha256;
 pub use sha512::sha512;

@@ -428,6 +428,44 @@ impl Machine {
         self.sensitive_domains.contains(&domain)
     }
 
+    /// The registered sensitive-capable domains (migration export).
+    #[must_use]
+    pub fn sensitive_domains(&self) -> &BTreeSet<Domain> {
+        &self.sensitive_domains
+    }
+
+    /// Drain both staleness ledgers before the source of a migration is
+    /// quiesced, returning `(per-page rows, full-asid rows)` drained.
+    ///
+    /// A migrated snapshot must not carry *tolerated* staleness: the
+    /// ledgers exist to tell a modelled IPI loss from a real bug, and an
+    /// importer has no way to re-establish that tolerance. Draining
+    /// delivers the lost invalidations host-side — per-page rows drop
+    /// the one cached translation, full-ASID rows flush the whole core —
+    /// exactly what the in-flight IPI would have done had it arrived.
+    /// On a machine with empty ledgers (every non-chaos run) this is a
+    /// complete no-op: no cycles, no counters, no trace, no epoch bump,
+    /// so migration stays invisible to same-seed equivalence.
+    pub fn quiesce_for_migration(&mut self) -> (usize, usize) {
+        if self.pending_shootdowns.is_empty() && self.pending_asid_shootdowns.is_empty() {
+            return (0, 0);
+        }
+        let pages = core::mem::take(&mut self.pending_shootdowns);
+        let asids = core::mem::take(&mut self.pending_asid_shootdowns);
+        for (cpu, page) in &pages {
+            self.tlbs[*cpu].invalidate_page(VirtAddr(page << 12));
+        }
+        for (cpu, _root) in &asids {
+            // Conservative: a full flush covers every page the stranded
+            // address space (or dropped broadcast) may have left stale.
+            self.tlbs[*cpu].flush_all();
+        }
+        // The TLBs changed under the decision caches: kill any cached
+        // verdict derived from the dropped entries.
+        self.bump_mmu_epoch();
+        (pages.len(), asids.len())
+    }
+
     fn env(&self, cpu: usize) -> MmuEnv {
         let c = &self.cpus[cpu];
         MmuEnv {
@@ -1498,6 +1536,66 @@ impl Machine {
             }
         }
     }
+}
+
+/// Crate-internal constructor for the migration importer: `Cpu` keeps
+/// its MSR map private, so rebuilding one lives here.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cpu_from_parts(
+    id: usize,
+    mode: CpuMode,
+    domain: Domain,
+    ctx: GprContext,
+    cr0: Cr0,
+    cr3: Frame,
+    cr4: Cr4,
+    idtr: Option<Idtr>,
+    msrs: BTreeMap<Msr, u64>,
+) -> Cpu {
+    Cpu {
+        id,
+        mode,
+        domain,
+        ctx,
+        cr0,
+        cr3,
+        cr4,
+        idtr,
+        msrs,
+    }
+}
+
+/// Crate-internal setter for the migration importer: installs the
+/// private `Machine` fields in one shot (the importer builds the public
+/// fields directly and hands the rest here).
+pub(crate) fn machine_set_private(
+    m: &mut Machine,
+    sensitive_domains: BTreeSet<Domain>,
+    pending_shootdowns: BTreeSet<(usize, u64)>,
+    pending_asid_shootdowns: BTreeSet<(usize, u64)>,
+    interrupt_depth: Vec<u32>,
+    decisions: Vec<DecisionCache>,
+    mmu_epoch: u64,
+) {
+    m.sensitive_domains = sensitive_domains;
+    m.injector = None;
+    m.pending_shootdowns = pending_shootdowns;
+    m.pending_asid_shootdowns = pending_asid_shootdowns;
+    m.interrupt_depth = interrupt_depth;
+    m.decisions = decisions;
+    m.mmu_epoch = mmu_epoch;
+}
+
+/// Test hook: plant staleness-ledger rows the way a chaos-dropped IPI
+/// would, so quiesce-drain behaviour is testable without an injector.
+#[cfg(test)]
+pub(crate) fn machine_seed_ledgers_for_test(
+    m: &mut Machine,
+    pages: BTreeSet<(usize, u64)>,
+    asids: BTreeSet<(usize, u64)>,
+) {
+    m.pending_shootdowns = pages;
+    m.pending_asid_shootdowns = asids;
 }
 
 impl core::fmt::Debug for Machine {

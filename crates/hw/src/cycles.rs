@@ -213,6 +213,48 @@ impl CycleCounter {
     pub fn seconds(&self) -> f64 {
         self.cycles as f64 / CLOCK_HZ as f64
     }
+
+    /// Decompose into raw migration parts: total cycles, per-bucket
+    /// totals in [`Bucket::ALL`] order, and the current bucket's index.
+    #[must_use]
+    pub fn to_parts(&self) -> (u64, [u64; Bucket::ALL.len()], usize) {
+        let mut totals = [0u64; Bucket::ALL.len()];
+        for (slot, b) in totals.iter_mut().zip(Bucket::ALL) {
+            *slot = self.attr.get(b);
+        }
+        let current = Bucket::ALL
+            .iter()
+            .position(|b| *b == self.current)
+            .unwrap_or(0);
+        (self.cycles, totals, current)
+    }
+
+    /// Rebuild from [`CycleCounter::to_parts`] output. Returns `None` if
+    /// the current-bucket index is out of range or the per-bucket totals
+    /// do not sum to the cycle total (the counter's core invariant).
+    #[must_use]
+    pub fn from_parts(
+        cycles: u64,
+        totals: [u64; Bucket::ALL.len()],
+        current: usize,
+    ) -> Option<CycleCounter> {
+        let bucket = *Bucket::ALL.get(current)?;
+        let sum = totals
+            .iter()
+            .try_fold(0u64, |acc, t| acc.checked_add(*t))?;
+        if sum != cycles {
+            return None;
+        }
+        let mut attr = Attribution::default();
+        for (b, t) in Bucket::ALL.into_iter().zip(totals) {
+            attr.charge(b, t);
+        }
+        Some(CycleCounter {
+            cycles,
+            attr,
+            current: bucket,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 //! `Backend = Pks | TmeMk`.
 
 use crate::regs::PkrsPerms;
+use erebor_wire::{WireError, WireReader, WireWriter};
 
 /// Which isolation mechanism a platform runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -193,6 +194,64 @@ impl DomainPool {
         self.free_list.push(d.0);
         Ok(())
     }
+
+    fn export(&self, w: &mut WireWriter) {
+        w.u16(self.next_fresh);
+        w.seq(self.free_list.len());
+        for id in &self.free_list {
+            w.u16(*id);
+        }
+        w.seq(self.live.len());
+        for id in &self.live {
+            w.u16(*id);
+        }
+    }
+
+    /// Rebuild a pool over the same `[first, capacity)` range. The
+    /// imported state must be one this pool could actually be in:
+    /// `free_list` (order-preserved — LIFO reuse is architectural) and
+    /// `live` must exactly partition `[first, next_fresh)`, so a
+    /// tampered export can neither double-allocate a live id nor leak
+    /// one out of existence.
+    fn import(r: &mut WireReader, first: u16, capacity: u16) -> Result<DomainPool, WireError> {
+        let next_fresh = r.u16()?;
+        if next_fresh < first || next_fresh > capacity {
+            return Err(WireError::BadValue { what: "next_fresh" });
+        }
+        let nfree = r.seq(2)?;
+        let mut free_list = Vec::with_capacity(nfree);
+        for _ in 0..nfree {
+            free_list.push(r.u16()?);
+        }
+        let nlive = r.seq(2)?;
+        let mut live = std::collections::BTreeSet::new();
+        for _ in 0..nlive {
+            if !live.insert(r.u16()?) {
+                return Err(WireError::BadValue { what: "dup live" });
+            }
+        }
+        let mut seen = live.clone();
+        for id in &free_list {
+            if !seen.insert(*id) {
+                return Err(WireError::BadValue {
+                    what: "domain both live and free",
+                });
+            }
+        }
+        let handed_out: std::collections::BTreeSet<u16> = (first..next_fresh).collect();
+        if seen != handed_out {
+            return Err(WireError::BadValue {
+                what: "domain pool partition",
+            });
+        }
+        Ok(DomainPool {
+            first,
+            capacity,
+            next_fresh,
+            free_list,
+            live,
+        })
+    }
 }
 
 /// The paper's PKS mechanism: 16 pkeys total, the low 6 reserved by the
@@ -341,6 +400,71 @@ impl Backend {
             BackendKind::Pks => Backend::Pks(PksBackend::new(reserved_pkeys)),
             BackendKind::TmeMk => Backend::TmeMk(TmeMkBackend::new(alias_pkey)),
         }
+    }
+
+    /// Serialize the domain-pool state (live set, LIFO recycle list,
+    /// fresh-id cursor) for migration. The mechanism kind and its fixed
+    /// parameters are included so import can refuse a cross-mechanism
+    /// transplant.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Backend::Pks(b) => {
+                w.u8(0);
+                w.u16(b.pool.first);
+                b.pool.export(&mut w);
+            }
+            Backend::TmeMk(b) => {
+                w.u8(1);
+                w.u8(b.alias_pkey);
+                b.pool.export(&mut w);
+            }
+        }
+        w.finish()
+    }
+
+    /// Replace this backend's pool with an exported one. The export must
+    /// be for the same mechanism with the same fixed parameters, and its
+    /// pool state must satisfy the allocator invariants — see
+    /// `DomainPool::import`.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, kind/parameter mismatch, or an
+    /// inconsistent pool (a live id also on the free list, ids outside
+    /// the handed-out range, ...).
+    pub fn import_state(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = WireReader::new(bytes);
+        let kind = r.u8()?;
+        match (&mut *self, kind) {
+            (Backend::Pks(b), 0) => {
+                let first = r.u16()?;
+                if first != b.pool.first {
+                    return Err(WireError::BadValue {
+                        what: "reserved pkeys",
+                    });
+                }
+                let pool = DomainPool::import(&mut r, b.pool.first, b.pool.capacity)?;
+                r.finish()?;
+                b.pool = pool;
+            }
+            (Backend::TmeMk(b), 1) => {
+                let alias = r.u8()?;
+                if alias != b.alias_pkey {
+                    return Err(WireError::BadValue { what: "alias pkey" });
+                }
+                let pool = DomainPool::import(&mut r, b.pool.first, b.pool.capacity)?;
+                r.finish()?;
+                b.pool = pool;
+            }
+            _ => {
+                return Err(WireError::BadTag {
+                    what: "backend kind",
+                    tag: u64::from(kind),
+                });
+            }
+        }
+        Ok(())
     }
 
     fn inner(&self) -> &dyn IsolationBackend {
@@ -501,6 +625,71 @@ mod tests {
         // Key mismatch denies even with full PKRS grants.
         assert!(!tme.access_allowed(PkrsPerms::GRANT_ALL, false, 1, 0, 44));
         assert!(tme.access_allowed(PkrsPerms::GRANT_ALL, false, 1, 44, 44));
+    }
+
+    /// Satellite: an imported pool must reuse exactly the ids the source
+    /// would have — LIFO order preserved, live ids never re-handed-out —
+    /// under both mechanisms.
+    #[test]
+    fn pool_state_roundtrips_exactly_under_both_backends() {
+        for kind in [BackendKind::Pks, BackendKind::TmeMk] {
+            let mut src = Backend::new(kind, 6, 1);
+            let a = src.alloc_domain().unwrap();
+            let b = src.alloc_domain().unwrap();
+            let c = src.alloc_domain().unwrap();
+            src.free_domain(a).unwrap();
+            src.free_domain(c).unwrap(); // free list now [a, c] — pop gives c first
+
+            let mut dst = Backend::new(kind, 6, 1);
+            dst.import_state(&src.export_state()).unwrap();
+            assert_eq!(dst.live_domains(), 1, "{kind:?}");
+            // Killing the surviving sandbox and re-creating must reuse the
+            // exact freed ids in source order: c, then a, then b, then fresh.
+            dst.free_domain(b).unwrap();
+            assert_eq!(dst.alloc_domain().unwrap(), b);
+            assert_eq!(dst.alloc_domain().unwrap(), c);
+            assert_eq!(dst.alloc_domain().unwrap(), a);
+            let fresh = dst.alloc_domain().unwrap();
+            assert!(fresh != a && fresh != b && fresh != c, "{kind:?}");
+            // And a live id is never double-allocated.
+            let mut seen = std::collections::BTreeSet::new();
+            seen.extend([a.0, b.0, c.0, fresh.0]);
+            while let Ok(d) = dst.alloc_domain() {
+                assert!(seen.insert(d.0), "{kind:?}: live id handed out twice");
+                if seen.len() > 64 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Tampered pool exports land as typed errors, not corrupted pools.
+    #[test]
+    fn pool_import_rejects_inconsistent_state() {
+        let mut src = Backend::new(BackendKind::Pks, 6, 1);
+        let a = src.alloc_domain().unwrap();
+        src.alloc_domain().unwrap();
+        src.free_domain(a).unwrap();
+        let good = src.export_state();
+
+        let mut dst = Backend::new(BackendKind::Pks, 6, 1);
+        // Truncation at every boundary.
+        for cut in 0..good.len() {
+            assert!(dst.import_state(&good[..cut]).is_err(), "cut {cut}");
+        }
+        // Cross-mechanism transplant.
+        let mut tme = Backend::new(BackendKind::TmeMk, 6, 1);
+        assert!(tme.import_state(&good).is_err());
+        // A live id duplicated onto the free list must be refused: craft
+        // by exporting, then flipping the free-list entry to the live id.
+        let mut evil = good.clone();
+        // Layout: kind u8, first u16, next_fresh u16, seq(len) u64, id u16...
+        // The single free-list id sits right after the 8-byte count.
+        let free_pos = 1 + 2 + 2 + 8;
+        evil[free_pos..free_pos + 2].copy_from_slice(&7u16.to_le_bytes());
+        assert!(dst.import_state(&evil).is_err(), "live+free id accepted");
+        // The untampered export still imports.
+        dst.import_state(&good).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod inject;
 pub mod insn;
 pub mod isolation;
 pub mod layout;
+pub mod migrate;
 pub mod mmu;
 pub mod paging;
 pub mod phys;

@@ -13,7 +13,8 @@
 //! bench can measure what the bitmap buys.
 
 use crate::inject::InjectorHandle;
-use std::collections::BTreeMap;
+use erebor_wire::{WireError, WireReader, WireWriter};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Page size in bytes (4 KiB; huge pages are disabled per paper §7).
 pub const PAGE_SIZE: usize = 4096;
@@ -178,6 +179,13 @@ pub struct PhysMemory {
     pub fast_scan: bool,
     /// Host-side scan-work counters (not part of any snapshot).
     pub alloc_stats: AllocStats,
+    /// Frames whose contents changed since the last
+    /// [`PhysMemory::take_dirty`] drain. Only maintained while
+    /// `dirty_tracking` is on (the migration pre-copy window), so the
+    /// hot write path costs one branch otherwise.
+    dirty: BTreeSet<u64>,
+    /// Whether the dirty ledger is being maintained.
+    dirty_tracking: bool,
 }
 
 impl PhysMemory {
@@ -210,6 +218,8 @@ impl PhysMemory {
             frame_keys: BTreeMap::new(),
             fast_scan: true,
             alloc_stats: AllocStats::default(),
+            dirty: BTreeSet::new(),
+            dirty_tracking: false,
         };
         for w in 0..words {
             mem.refresh_summaries(w);
@@ -516,6 +526,7 @@ impl PhysMemory {
         self.mark_free(frame.0);
         self.pages.remove(&frame.0);
         self.frame_keys.remove(&frame.0);
+        self.mark_dirty(frame.0);
         Ok(())
     }
 
@@ -529,6 +540,7 @@ impl PhysMemory {
         } else {
             self.frame_keys.insert(frame.0, keyid);
         }
+        self.mark_dirty(frame.0);
     }
 
     /// The TME-MK key currently programmed for a frame (0 = untagged).
@@ -553,6 +565,7 @@ impl PhysMemory {
     pub fn zero_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
         self.check(frame.base(), PAGE_SIZE)?;
         self.pages.remove(&frame.0);
+        self.mark_dirty(frame.0);
         Ok(())
     }
 
@@ -589,10 +602,164 @@ impl PhysMemory {
                 .entry(frame)
                 .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
             page[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            self.mark_dirty(frame);
             addr += chunk as u64;
             done += chunk;
         }
         Ok(())
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, frame: u64) {
+        if self.dirty_tracking {
+            self.dirty.insert(frame);
+        }
+    }
+
+    // ----- dirty tracking + migration export ---------------------------
+
+    /// Switch the dirty-page ledger on or off. Turning it on clears any
+    /// previous ledger (a migration pre-copy starts from a full sweep, so
+    /// older dirt is already covered).
+    pub fn set_dirty_tracking(&mut self, on: bool) {
+        self.dirty_tracking = on;
+        self.dirty.clear();
+    }
+
+    /// Whether the dirty ledger is being maintained.
+    #[must_use]
+    pub fn dirty_tracking(&self) -> bool {
+        self.dirty_tracking
+    }
+
+    /// Frames dirtied since the last drain (ledger size).
+    #[must_use]
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Drain the dirty ledger, returning the dirtied frame numbers in
+    /// ascending order. Subsequent writes start a fresh ledger.
+    pub fn take_dirty(&mut self) -> Vec<u64> {
+        core::mem::take(&mut self.dirty).into_iter().collect()
+    }
+
+    /// Every resident (materialized, non-zero-backed) page, in ascending
+    /// frame order — the migration pre-copy sweep. Pages never written
+    /// read as zeroes on both ends, so only resident pages transfer.
+    pub fn resident_pages(&self) -> impl Iterator<Item = (u64, &[u8; PAGE_SIZE])> + '_ {
+        self.pages.iter().map(|(f, p)| (*f, &**p))
+    }
+
+    /// The resident page backing `frame`, if any.
+    #[must_use]
+    pub fn page_if_resident(&self, frame: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&frame).map(|p| &**p)
+    }
+
+    /// Serialize everything **except** page contents: DRAM geometry,
+    /// allocator bitmap + hint, reserved regions, TME-MK frame keys and
+    /// the scan-mode flag. Page contents travel separately as per-frame
+    /// migration records so the pre-copy loop can resend only dirty ones.
+    #[must_use]
+    pub fn export_meta(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.total_frames);
+        w.bool(self.fast_scan);
+        w.u64(self.next_hint);
+        w.seq(self.free.len());
+        for word in &self.free {
+            w.u64(*word);
+        }
+        w.seq(self.reserved.len());
+        for r in &self.reserved {
+            w.u64(r.start.0);
+            w.u64(r.end.0);
+        }
+        w.seq(self.frame_keys.len());
+        for (f, k) in &self.frame_keys {
+            w.u64(*f);
+            w.u16(*k);
+        }
+        w.finish()
+    }
+
+    /// Rebuild a memory from [`PhysMemory::export_meta`] bytes plus the
+    /// staged page set. Summaries, the reserved mask and the allocated
+    /// count are re-derived; host-side `alloc_stats` start at zero on the
+    /// destination (they describe simulator scan work, not architecture).
+    ///
+    /// # Errors
+    /// [`WireError`] on any truncation, trailing bytes, geometry
+    /// mismatch, out-of-range frame, or wrongly-sized page.
+    pub fn from_export(meta: &[u8], pages: &[(u64, Vec<u8>)]) -> Result<PhysMemory, WireError> {
+        let mut r = WireReader::new(meta);
+        let total_frames = r.u64()?;
+        if total_frames == 0 || total_frames > (1 << 40) {
+            return Err(WireError::BadValue {
+                what: "total_frames",
+            });
+        }
+        let fast_scan = r.bool()?;
+        let next_hint = r.u64()?;
+        if next_hint >= total_frames {
+            return Err(WireError::BadValue { what: "next_hint" });
+        }
+        let mut mem = PhysMemory::new(total_frames << PAGE_SHIFT);
+        mem.fast_scan = fast_scan;
+        mem.next_hint = next_hint;
+        let nwords = r.seq(8)?;
+        if nwords != mem.free.len() {
+            return Err(WireError::BadValue { what: "free words" });
+        }
+        let mut free = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            free.push(r.u64()?);
+        }
+        // Bits past the last real frame must stay clear.
+        let tail = total_frames % WORD_BITS;
+        if tail != 0 && free[nwords - 1] & !((1u64 << tail) - 1) != 0 {
+            return Err(WireError::BadValue { what: "free tail" });
+        }
+        let nregions = r.seq(16)?;
+        for _ in 0..nregions {
+            let start = r.u64()?;
+            let end = r.u64()?;
+            if start > end {
+                return Err(WireError::BadValue { what: "region" });
+            }
+            mem.reserve_region(Region::new(start, end));
+        }
+        let nkeys = r.seq(10)?;
+        for _ in 0..nkeys {
+            let f = r.u64()?;
+            let k = r.u16()?;
+            if f >= total_frames || k == 0 {
+                return Err(WireError::BadValue { what: "frame key" });
+            }
+            mem.frame_keys.insert(f, k);
+        }
+        r.finish()?;
+        // Install the allocator bitmap last and re-derive everything that
+        // hangs off it.
+        let free_bits: u64 = free.iter().map(|w| u64::from(w.count_ones())).sum();
+        mem.free = free;
+        mem.allocated_count = total_frames - free_bits;
+        for w in 0..mem.free.len() {
+            mem.refresh_summaries(w);
+        }
+        for (frame, bytes) in pages {
+            if *frame >= total_frames {
+                return Err(WireError::BadValue { what: "page frame" });
+            }
+            if bytes.len() != PAGE_SIZE {
+                return Err(WireError::BadValue { what: "page size" });
+            }
+            let mut boxed = Box::new([0u8; PAGE_SIZE]);
+            boxed.copy_from_slice(bytes);
+            mem.pages.insert(*frame, boxed);
+        }
+        Ok(mem)
     }
 
     /// Read a little-endian u64.
@@ -872,5 +1039,81 @@ mod tests {
         // Reserved span still reachable through the region path.
         let f = mem.alloc_frame_in(Region::new(60, 70)).unwrap();
         assert_eq!(f.0, 60);
+    }
+
+    /// Dirty tracking records exactly the frames written after the
+    /// ledger is enabled, and take_dirty drains it.
+    #[test]
+    fn dirty_ledger_tracks_writes_only_while_enabled() {
+        let mut mem = PhysMemory::new(64 * PAGE_SIZE as u64);
+        mem.write(PhysAddr(0), &[1, 2, 3]).unwrap();
+        assert_eq!(mem.dirty_count(), 0, "ledger off: no dirt recorded");
+        mem.set_dirty_tracking(true);
+        mem.write(PhysAddr(5 * PAGE_SIZE as u64), &[9]).unwrap();
+        // A write straddling a page boundary dirties both frames.
+        mem.write(PhysAddr(7 * PAGE_SIZE as u64 + 4090), &[0xAA; 16]).unwrap();
+        let dirty = mem.take_dirty();
+        assert_eq!(dirty, vec![5, 7, 8]);
+        assert_eq!(mem.dirty_count(), 0, "take_dirty drains the ledger");
+        mem.set_frame_key(Frame(3), 42);
+        mem.zero_frame(Frame(5));
+        let dirty = mem.take_dirty();
+        assert_eq!(dirty, vec![3, 5], "key changes and zeroing count as dirt");
+    }
+
+    /// export_meta + resident pages round-trips allocator state exactly:
+    /// the rebuilt memory hands out the same frames in the same order.
+    #[test]
+    fn export_import_roundtrip_is_exact() {
+        let mut src = PhysMemory::new(200 * PAGE_SIZE as u64);
+        src.reserve_region(Region::new(16, 24));
+        let mut held = Vec::new();
+        for _ in 0..40 {
+            held.push(src.alloc_frame().unwrap());
+        }
+        // Free a few out of order to put structure in the bitmap/hint.
+        src.free_frame(held[7]);
+        src.free_frame(held[3]);
+        src.write(PhysAddr(held[0].0 * PAGE_SIZE as u64), b"migrate-me").unwrap();
+        src.set_frame_key(held[1], 7);
+
+        let meta = src.export_meta();
+        let pages: Vec<(u64, Vec<u8>)> =
+            src.resident_pages().map(|(f, p)| (f, p.to_vec())).collect();
+        let mut dst = PhysMemory::from_export(&meta, &pages).unwrap();
+
+        assert_eq!(dst.total_frames(), src.total_frames());
+        assert_eq!(dst.allocated_frames(), src.allocated_frames());
+        assert_eq!(dst.frame_key(held[1]), src.frame_key(held[1]));
+        let mut buf = [0u8; 10];
+        dst.read(PhysAddr(held[0].0 * PAGE_SIZE as u64), &mut buf).unwrap();
+        assert_eq!(&buf, b"migrate-me");
+        // Same allocation sequence on both sides from here on.
+        for _ in 0..20 {
+            assert_eq!(src.alloc_frame().ok(), dst.alloc_frame().ok());
+        }
+    }
+
+    /// Hostile import inputs land as typed errors, never panics.
+    #[test]
+    fn import_rejects_malformed_meta() {
+        let mut src = PhysMemory::new(64 * PAGE_SIZE as u64);
+        let f = src.alloc_frame().unwrap();
+        let meta = src.export_meta();
+
+        // Truncation at every byte boundary of the meta blob.
+        for cut in 0..meta.len() {
+            assert!(
+                PhysMemory::from_export(&meta[..cut], &[]).is_err(),
+                "truncated meta at {cut} must be rejected"
+            );
+        }
+        // Trailing garbage.
+        let mut long = meta.clone();
+        long.push(0);
+        assert!(PhysMemory::from_export(&long, &[]).is_err());
+        // Out-of-range page frame and short page.
+        assert!(PhysMemory::from_export(&meta, &[(64, vec![0; PAGE_SIZE])]).is_err());
+        assert!(PhysMemory::from_export(&meta, &[(f.0, vec![0; 17])]).is_err());
     }
 }

@@ -136,6 +136,34 @@ impl Tlb {
     pub fn entries(&self) -> impl Iterator<Item = &TlbEntry> + '_ {
         self.instr.iter().chain(self.data.iter()).flatten()
     }
+
+    /// Raw slot arrays `(instr, data)` for migration export. Slot
+    /// position matters — the TLB is direct-mapped, so an entry must
+    /// land back in the same index on the destination.
+    #[must_use]
+    pub fn to_parts(&self) -> (&[Option<TlbEntry>; TLB_ENTRIES], &[Option<TlbEntry>; TLB_ENTRIES]) {
+        (&self.instr, &self.data)
+    }
+
+    /// Rebuild from exported slot arrays. Returns `None` if any entry
+    /// sits in the wrong direct-mapped slot for its page number — an
+    /// imported TLB must be one the hardware could actually have built.
+    #[must_use]
+    pub fn from_parts(
+        instr: [Option<TlbEntry>; TLB_ENTRIES],
+        data: [Option<TlbEntry>; TLB_ENTRIES],
+    ) -> Option<Tlb> {
+        for class in [&instr, &data] {
+            for (idx, entry) in class.iter().enumerate() {
+                if let Some(e) = entry {
+                    if (e.page as usize) & (TLB_ENTRIES - 1) != idx {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(Tlb { instr, data })
+    }
 }
 
 /// Hardware-level counters exported into bench JSON next to

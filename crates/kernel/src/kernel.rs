@@ -73,6 +73,35 @@ impl KernelStats {
             ve_handled: self.ve_handled.saturating_sub(earlier.ve_handled),
         }
     }
+
+    /// Append the counters to a wire stream (migration).
+    pub fn export_to(&self, w: &mut erebor_wire::WireWriter) {
+        w.u64(self.syscalls);
+        w.u64(self.page_faults);
+        w.u64(self.timer_ticks);
+        w.u64(self.ctx_switches);
+        w.u64(self.forks);
+        w.u64(self.signals_delivered);
+        w.u64(self.ve_handled);
+    }
+
+    /// Decode counters from a wire stream.
+    ///
+    /// # Errors
+    /// [`erebor_wire::WireError`] on truncation.
+    pub fn import_from(
+        r: &mut erebor_wire::WireReader<'_>,
+    ) -> Result<KernelStats, erebor_wire::WireError> {
+        Ok(KernelStats {
+            syscalls: r.u64()?,
+            page_faults: r.u64()?,
+            timer_ticks: r.u64()?,
+            ctx_switches: r.u64()?,
+            forks: r.u64()?,
+            signals_delivered: r.u64()?,
+            ve_handled: r.u64()?,
+        })
+    }
 }
 
 /// `ioctl` requests of the `/dev/erebor` driver (LibOS → kernel → EMC).
@@ -922,6 +951,131 @@ impl Kernel {
         }
         Ok(())
     }
+
+    // =================================================================
+    // Live migration
+    // =================================================================
+
+    /// Serialise the whole kernel: every task, the filesystem, captured
+    /// stdout, swapped-out page contents, and the scheduler state.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = erebor_wire::WireWriter::new();
+        w.seq(self.tasks.len());
+        for task in self.tasks.values() {
+            w.bytes(&task.export_state());
+        }
+        self.stats.export_to(&mut w);
+        w.bytes(&self.vfs.export_state());
+        w.seq(self.stdout.len());
+        for (pid, out) in &self.stdout {
+            w.u32(*pid);
+            w.bytes(out);
+        }
+        w.seq(self.swap.len());
+        for (&(root, va), contents) in &self.swap {
+            w.u64(root);
+            w.u64(va);
+            w.bytes(contents);
+        }
+        w.seq(self.current.len());
+        for (&cpu, &pid) in &self.current {
+            w.usize(cpu);
+            w.u32(pid.0);
+        }
+        w.seq(self.runqueue.len());
+        for pid in &self.runqueue {
+            w.u32(pid.0);
+        }
+        w.u32(self.next_pid);
+        w.u32(self.next_asid);
+        w.bool(self.initialized);
+        w.finish()
+    }
+
+    /// Rebuild a kernel from [`Kernel::export_state`] bytes. Everything
+    /// is validated before assembly — a torn stream yields an error, not
+    /// a half-imported scheduler.
+    ///
+    /// # Errors
+    /// [`erebor_wire::WireError`] on truncation, duplicate pids, a
+    /// runqueue or CPU assignment naming an unknown pid, or trailing
+    /// bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<Kernel, erebor_wire::WireError> {
+        use erebor_wire::WireError;
+        let mut r = erebor_wire::WireReader::new(bytes);
+        let n = r.seq(4)?;
+        let mut tasks = BTreeMap::new();
+        for _ in 0..n {
+            let task = Task::import_state(r.bytes()?)?;
+            if tasks.insert(task.pid.0, task).is_some() {
+                return Err(WireError::BadValue {
+                    what: "duplicate pid",
+                });
+            }
+        }
+        let stats = KernelStats::import_from(&mut r)?;
+        let vfs = Vfs::import_state(r.bytes()?)?;
+        let n = r.seq(8)?;
+        let mut stdout = BTreeMap::new();
+        for _ in 0..n {
+            let pid = r.u32()?;
+            let out = r.bytes()?.to_vec();
+            stdout.insert(pid, out);
+        }
+        let n = r.seq(20)?;
+        let mut swap = BTreeMap::new();
+        for _ in 0..n {
+            let root = r.u64()?;
+            let va = r.u64()?;
+            let contents = r.bytes()?.to_vec();
+            swap.insert((root, va), contents);
+        }
+        let n = r.seq(12)?;
+        let mut current = BTreeMap::new();
+        for _ in 0..n {
+            let cpu = r.usize()?;
+            let pid = Pid(r.u32()?);
+            if !tasks.contains_key(&pid.0) {
+                return Err(WireError::BadValue {
+                    what: "current pid unknown",
+                });
+            }
+            current.insert(cpu, pid);
+        }
+        let n = r.seq(4)?;
+        let mut runqueue = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let pid = Pid(r.u32()?);
+            if !tasks.contains_key(&pid.0) {
+                return Err(WireError::BadValue {
+                    what: "runqueue pid unknown",
+                });
+            }
+            runqueue.push_back(pid);
+        }
+        let next_pid = r.u32()?;
+        let next_asid = r.u32()?;
+        let initialized = r.bool()?;
+        r.finish()?;
+        if tasks.keys().any(|&pid| pid >= next_pid) {
+            return Err(WireError::BadValue {
+                what: "next pid not past live pids",
+            });
+        }
+        Ok(Kernel {
+            tasks,
+            stats,
+            vfs,
+            stdout,
+            swap,
+            current,
+            runqueue,
+            next_pid,
+            next_asid,
+            initialized,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -932,7 +1086,9 @@ mod tests {
     use erebor_hw::image::Image;
     use erebor_hw::layout::KERNEL_BASE;
 
-    fn booted(mode: Mode) -> (Cvm, Kernel) {
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn booted(mode: Mode) -> Result<(Cvm, Kernel), Box<dyn std::error::Error>> {
         let cfg = BootConfig {
             cores: 2,
             dram_bytes: 48 * 1024 * 1024,
@@ -944,11 +1100,11 @@ mod tests {
             .benign_text(".text", KERNEL_BASE, 64 * 1024, 5)
             .entry(KERNEL_BASE)
             .build();
-        let mut cvm = boot_stage1(cfg).unwrap();
-        cvm.load_kernel(&kernel_img).unwrap();
-        cvm.enter_kernel().unwrap();
+        let mut cvm = boot_stage1(cfg)?;
+        cvm.load_kernel(&kernel_img)?;
+        cvm.enter_kernel()?;
         let kernel = Kernel::new();
-        (cvm, kernel)
+        Ok((cvm, kernel))
     }
 
     fn hw(cvm: &mut Cvm) -> Hw<'_> {
@@ -961,9 +1117,9 @@ mod tests {
     }
 
     #[test]
-    fn init_registers_entries_via_emc() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
+    fn init_registers_entries_via_emc() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
         assert_eq!(cvm.monitor.kernel_syscall_entry(), Some(entry::SYSCALL));
         assert_eq!(
             cvm.monitor.kernel_vector_handler(vector::PF),
@@ -975,53 +1131,53 @@ mod tests {
             cvm.monitor.syscall_interposer.0
         );
         assert!(cvm.monitor.stats.emc_calls >= 9);
+        Ok(())
     }
 
     #[test]
-    fn init_native_writes_hardware_directly() {
-        let (mut cvm, mut kernel) = booted(Mode::Native);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
+    fn init_native_writes_hardware_directly() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Native)?;
+        kernel.init(&mut hw(&mut cvm))?;
         assert_eq!(cvm.machine.cpus[0].msr(Msr::Lstar), entry::SYSCALL.0);
         assert_eq!(cvm.monitor.stats.emc_calls, 0);
+        Ok(())
     }
 
     #[test]
-    fn spawn_and_schedule_tasks() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let a = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        let b = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
+    fn spawn_and_schedule_tasks() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let a = kernel.spawn_native(&mut hw(&mut cvm))?;
+        let b = kernel.spawn_native(&mut hw(&mut cvm))?;
         assert_ne!(a, b);
-        kernel.schedule(&mut hw(&mut cvm), a).unwrap();
+        kernel.schedule(&mut hw(&mut cvm), a)?;
         assert_eq!(kernel.current(), Some(a));
-        let next = kernel.on_timer(&mut hw(&mut cvm)).unwrap();
+        let next = kernel.on_timer(&mut hw(&mut cvm)).ok_or(Errno::Esrch)?;
         assert!(next == a || next == b);
         assert!(kernel.stats.ctx_switches >= 1);
+        Ok(())
     }
 
     #[test]
-    fn mmap_pagefault_write_read_roundtrip() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        kernel.schedule(&mut hw(&mut cvm), pid).unwrap();
+    fn mmap_pagefault_write_read_roundtrip() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
         let addr = kernel.handle_syscall(&mut hw(&mut cvm), pid, nr::MMAP, [0, 8192, 3, 0, 0, 0]);
         assert!((addr as i64) > 0);
         // Demand-fault the pages via a user copy.
         let pf_before = kernel.stats.page_faults;
-        kernel
-            .write_user(
-                &mut cvm_hw(&mut cvm),
-                pid,
-                VirtAddr(addr),
-                b"hello across pages",
-            )
-            .unwrap();
+        kernel.write_user(
+            &mut cvm_hw(&mut cvm),
+            pid,
+            VirtAddr(addr),
+            b"hello across pages",
+        )?;
         assert!(kernel.stats.page_faults > pf_before);
-        let back = kernel
-            .read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), 18)
-            .unwrap();
+        let back = kernel.read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), 18)?;
         assert_eq!(&back, b"hello across pages");
+        Ok(())
     }
 
     fn cvm_hw(cvm: &mut Cvm) -> Hw<'_> {
@@ -1034,34 +1190,26 @@ mod tests {
     }
 
     #[test]
-    fn segfault_outside_vma() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        let err = kernel
-            .handle_page_fault(&mut cvm_hw(&mut cvm), pid, VirtAddr(0x7f00_dead_0000), true)
-            .unwrap_err();
-        assert_eq!(err, Errno::Efault);
+    fn segfault_outside_vma() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        let r = kernel.handle_page_fault(&mut cvm_hw(&mut cvm), pid, VirtAddr(0x7f00_dead_0000), true);
+        assert_eq!(r, Err(Errno::Efault));
+        Ok(())
     }
 
     #[test]
-    fn vfs_syscalls_through_user_copies() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        kernel.schedule(&mut hw(&mut cvm), pid).unwrap();
+    fn vfs_syscalls_through_user_copies() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
         kernel.vfs.put("/data/input.txt", b"file contents".to_vec());
         // Stage the path string in user memory.
         let buf =
             kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::MMAP, [0, 4096, 3, 0, 0, 0]);
-        kernel
-            .write_user(
-                &mut cvm_hw(&mut cvm),
-                pid,
-                VirtAddr(buf),
-                b"/data/input.txt",
-            )
-            .unwrap();
+        kernel.write_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(buf), b"/data/input.txt")?;
         let fd = kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::OPEN, [buf, 15, 0, 0, 0, 0]);
         assert!((fd as i64) >= 3, "open returned {fd}");
         let data_buf = buf + 1024;
@@ -1072,52 +1220,39 @@ mod tests {
             [fd, data_buf, 13, 0, 0, 0],
         );
         assert_eq!(n, 13);
-        let back = kernel
-            .read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(data_buf), 13)
-            .unwrap();
+        let back = kernel.read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(data_buf), 13)?;
         assert_eq!(&back, b"file contents");
+        Ok(())
     }
 
     #[test]
-    fn fork_copies_address_space() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        kernel.schedule(&mut hw(&mut cvm), pid).unwrap();
+    fn fork_copies_address_space() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
         let addr =
             kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::MMAP, [0, 4096, 3, 0, 0, 0]);
-        kernel
-            .write_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), b"parent data")
-            .unwrap();
+        kernel.write_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), b"parent data")?;
         let child = kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::FORK, [0; 6]);
         assert!((child as i64) > 0);
         let child_pid = Pid(child as u32);
-        let back = kernel
-            .read_user(&mut cvm_hw(&mut cvm), child_pid, VirtAddr(addr), 11)
-            .unwrap();
+        let back = kernel.read_user(&mut cvm_hw(&mut cvm), child_pid, VirtAddr(addr), 11)?;
         assert_eq!(&back, b"parent data");
         // Writes in the child do not affect the parent (separate spaces).
-        kernel
-            .write_user(
-                &mut cvm_hw(&mut cvm),
-                child_pid,
-                VirtAddr(addr),
-                b"child  data",
-            )
-            .unwrap();
-        let parent = kernel
-            .read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), 11)
-            .unwrap();
+        kernel.write_user(&mut cvm_hw(&mut cvm), child_pid, VirtAddr(addr), b"child  data")?;
+        let parent = kernel.read_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), 11)?;
         assert_eq!(&parent, b"parent data");
         assert_eq!(kernel.stats.forks, 1);
+        Ok(())
     }
 
     #[test]
-    fn signals_registered_and_delivered() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
-        kernel.schedule(&mut hw(&mut cvm), pid).unwrap();
+    fn signals_registered_and_delivered() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
         kernel.handle_syscall(
             &mut cvm_hw(&mut cvm),
             pid,
@@ -1131,35 +1266,77 @@ mod tests {
             [u64::from(pid.0), 10, 0, 0, 0, 0],
         );
         assert_eq!(kernel.stats.signals_delivered, 1);
+        Ok(())
     }
 
     #[test]
-    fn unknown_syscall_is_enosys() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
+    fn unknown_syscall_is_enosys() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
         let r = kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, 9999, [0; 6]);
         assert_eq!(r as i64, -38);
+        Ok(())
     }
 
     #[test]
-    fn futex_wait_wake() {
-        let (mut cvm, mut kernel) = booted(Mode::Full);
-        kernel.init(&mut hw(&mut cvm)).unwrap();
-        let pid = kernel.spawn_native(&mut hw(&mut cvm)).unwrap();
+    fn futex_wait_wake() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
         kernel.handle_syscall(
             &mut cvm_hw(&mut cvm),
             pid,
             nr::FUTEX,
             [0x1000, 0, 0, 0, 0, 0],
         );
-        assert_eq!(kernel.task(pid).unwrap().state, TaskState::Blocked);
+        assert_eq!(kernel.task(pid).map(|t| t.state), Some(TaskState::Blocked));
         kernel.handle_syscall(
             &mut cvm_hw(&mut cvm),
             pid,
             nr::FUTEX,
             [0x1000, 1, 1, 0, 0, 0],
         );
-        assert_eq!(kernel.task(pid).unwrap().state, TaskState::Ready);
+        assert_eq!(kernel.task(pid).map(|t| t.state), Some(TaskState::Ready));
+        Ok(())
+    }
+
+    #[test]
+    fn kernel_state_roundtrips_byte_exact() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
+        let addr =
+            kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::MMAP, [0, 8192, 3, 0, 0, 0]);
+        kernel.write_user(&mut cvm_hw(&mut cvm), pid, VirtAddr(addr), b"resident data")?;
+        kernel.vfs.put("/data/f", b"contents".to_vec());
+        kernel.handle_syscall(&mut cvm_hw(&mut cvm), pid, nr::WRITE, [1, addr, 8, 0, 0, 0]);
+        let bytes = kernel.export_state();
+        let back = Kernel::import_state(&bytes)?;
+        assert_eq!(back.export_state(), bytes, "fixed point");
+        assert_eq!(back.current(), Some(pid));
+        assert_eq!(back.stats.syscalls, kernel.stats.syscalls);
+        // Truncation sweep: no prefix imports (step keeps it fast).
+        for cut in (0..bytes.len()).step_by(5).chain([bytes.len() - 1]) {
+            assert!(Kernel::import_state(&bytes[..cut]).is_err());
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn kernel_import_rejects_dangling_scheduler_refs() -> TestResult {
+        let (mut cvm, mut kernel) = booted(Mode::Full)?;
+        kernel.init(&mut hw(&mut cvm))?;
+        let pid = kernel.spawn_native(&mut hw(&mut cvm))?;
+        kernel.schedule(&mut hw(&mut cvm), pid)?;
+        // Forge a stream whose runqueue names a pid with no task.
+        kernel.runqueue.push_back(Pid(999));
+        let bytes = kernel.export_state();
+        assert!(matches!(
+            Kernel::import_state(&bytes),
+            Err(erebor_wire::WireError::BadValue { .. })
+        ));
+        Ok(())
     }
 }

@@ -5,6 +5,7 @@
 //! artifact evaluation (§A.4).
 
 use crate::syscall::Errno;
+use erebor_wire::{WireError, WireReader, WireWriter};
 use std::collections::BTreeMap;
 
 /// Path of the Erebor pseudo-device.
@@ -34,6 +35,48 @@ pub enum FileDesc {
     DebugIn,
     /// DebugFS emulated output channel.
     DebugOut,
+}
+
+impl FileDesc {
+    /// Append the descriptor to a wire stream (migration).
+    pub fn export_to(&self, w: &mut WireWriter) {
+        match self {
+            FileDesc::Stdin => w.u8(0),
+            FileDesc::Stdout => w.u8(1),
+            FileDesc::File { path, offset } => {
+                w.u8(2);
+                w.str(path);
+                w.u64(*offset);
+            }
+            FileDesc::EreborDev => w.u8(3),
+            FileDesc::DebugIn => w.u8(4),
+            FileDesc::DebugOut => w.u8(5),
+        }
+    }
+
+    /// Decode one descriptor from a wire stream.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation or unknown tags.
+    pub fn import_from(r: &mut WireReader<'_>) -> Result<FileDesc, WireError> {
+        Ok(match r.u8()? {
+            0 => FileDesc::Stdin,
+            1 => FileDesc::Stdout,
+            2 => FileDesc::File {
+                path: r.str()?.to_string(),
+                offset: r.u64()?,
+            },
+            3 => FileDesc::EreborDev,
+            4 => FileDesc::DebugIn,
+            5 => FileDesc::DebugOut,
+            t => {
+                return Err(WireError::BadTag {
+                    what: "FileDesc",
+                    tag: u64::from(t),
+                })
+            }
+        })
+    }
 }
 
 /// The filesystem: path → contents, plus the debug channel buffers.
@@ -150,6 +193,48 @@ impl Vfs {
             FileDesc::EreborDev => Err(Errno::Einval),
         }
     }
+
+    /// Serialise the filesystem for migration: every regular file plus
+    /// both debug channel buffers.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.seq(self.files.len());
+        for (path, contents) in &self.files {
+            w.str(path);
+            w.bytes(contents);
+        }
+        w.bytes(&self.debug_in);
+        w.bytes(&self.debug_out);
+        w.finish()
+    }
+
+    /// Rebuild a filesystem from [`Vfs::export_state`] bytes.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, duplicate paths, or trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<Vfs, WireError> {
+        let mut r = WireReader::new(bytes);
+        let n = r.seq(16)?;
+        let mut files = BTreeMap::new();
+        for _ in 0..n {
+            let path = r.str()?.to_string();
+            let contents = r.bytes()?.to_vec();
+            if files.insert(path, contents).is_some() {
+                return Err(WireError::BadValue {
+                    what: "duplicate vfs path",
+                });
+            }
+        }
+        let debug_in = r.bytes()?.to_vec();
+        let debug_out = r.bytes()?.to_vec();
+        r.finish()?;
+        Ok(Vfs {
+            files,
+            debug_in,
+            debug_out,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -157,16 +242,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn open_read_write_roundtrip() {
+    fn open_read_write_roundtrip() -> Result<(), Errno> {
         let mut vfs = Vfs::new();
-        let mut fd = vfs.open("/tmp/x", true).unwrap();
-        vfs.write(&mut fd, b"hello world").unwrap();
-        let mut rd = vfs.open("/tmp/x", false).unwrap();
+        let mut fd = vfs.open("/tmp/x", true)?;
+        vfs.write(&mut fd, b"hello world")?;
+        let mut rd = vfs.open("/tmp/x", false)?;
         let mut buf = [0u8; 5];
-        assert_eq!(vfs.read(&mut rd, &mut buf).unwrap(), 5);
+        assert_eq!(vfs.read(&mut rd, &mut buf)?, 5);
         assert_eq!(&buf, b"hello");
-        assert_eq!(vfs.read(&mut rd, &mut buf).unwrap(), 5);
+        assert_eq!(vfs.read(&mut rd, &mut buf)?, 5);
         assert_eq!(&buf, b" worl");
+        Ok(())
     }
 
     #[test]
@@ -176,34 +262,56 @@ mod tests {
     }
 
     #[test]
-    fn device_paths_classified() {
+    fn device_paths_classified() -> Result<(), Errno> {
         let mut vfs = Vfs::new();
-        assert_eq!(vfs.open(EREBOR_DEV, false).unwrap(), FileDesc::EreborDev);
-        assert_eq!(vfs.open(DEBUG_IN, false).unwrap(), FileDesc::DebugIn);
-        assert_eq!(vfs.open(DEBUG_OUT, false).unwrap(), FileDesc::DebugOut);
+        assert_eq!(vfs.open(EREBOR_DEV, false)?, FileDesc::EreborDev);
+        assert_eq!(vfs.open(DEBUG_IN, false)?, FileDesc::DebugIn);
+        assert_eq!(vfs.open(DEBUG_OUT, false)?, FileDesc::DebugOut);
+        Ok(())
     }
 
     #[test]
-    fn debug_channels_fifo() {
+    fn debug_channels_fifo() -> Result<(), Errno> {
         let mut vfs = Vfs::new();
-        let mut din = vfs.open(DEBUG_IN, false).unwrap();
-        vfs.write(&mut din, b"prompt").unwrap();
+        let mut din = vfs.open(DEBUG_IN, false)?;
+        vfs.write(&mut din, b"prompt")?;
         let mut buf = [0u8; 3];
-        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 3);
+        assert_eq!(vfs.read(&mut din, &mut buf)?, 3);
         assert_eq!(&buf, b"pro");
-        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 3);
+        assert_eq!(vfs.read(&mut din, &mut buf)?, 3);
         assert_eq!(&buf, b"mpt");
-        assert_eq!(vfs.read(&mut din, &mut buf).unwrap(), 0);
+        assert_eq!(vfs.read(&mut din, &mut buf)?, 0);
+        Ok(())
     }
 
     #[test]
-    fn sparse_write_extends() {
+    fn sparse_write_extends() -> Result<(), Errno> {
         let mut vfs = Vfs::new();
-        let mut fd = vfs.open("/f", true).unwrap();
+        let mut fd = vfs.open("/f", true)?;
         if let FileDesc::File { offset, .. } = &mut fd {
             *offset = 10;
         }
-        vfs.write(&mut fd, b"xy").unwrap();
-        assert_eq!(vfs.get("/f").unwrap().len(), 12);
+        vfs.write(&mut fd, b"xy")?;
+        assert_eq!(vfs.get("/f").ok_or(Errno::Enoent)?.len(), 12);
+        Ok(())
+    }
+
+    #[test]
+    fn state_roundtrips_byte_exact() -> Result<(), Box<dyn std::error::Error>> {
+        let mut vfs = Vfs::new();
+        vfs.put("/data/model.bin", vec![7; 300]);
+        vfs.put("/tmp/out", b"partial".to_vec());
+        vfs.debug_in.extend_from_slice(b"queued input");
+        vfs.debug_out.extend_from_slice(b"emitted");
+        let bytes = vfs.export_state();
+        let back = Vfs::import_state(&bytes)?;
+        assert_eq!(back.export_state(), bytes);
+        assert_eq!(back.get("/data/model.bin").map(Vec::len), Some(300));
+        assert_eq!(back.debug_in, b"queued input");
+        // Truncation never yields a partial filesystem.
+        for cut in 0..bytes.len() {
+            assert!(Vfs::import_state(&bytes[..cut]).is_err());
+        }
+        Ok(())
     }
 }

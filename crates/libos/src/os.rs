@@ -514,6 +514,43 @@ impl LibOs {
     }
 }
 
+/// Serialise a [`CommonRegistry`] for migration. The registry is the
+/// service provider's name → region-id map; the destination must keep it
+/// so post-migration sandboxes attach the *existing* regions instead of
+/// re-creating them.
+#[must_use]
+pub fn export_registry(registry: &CommonRegistry) -> Vec<u8> {
+    let mut w = erebor_wire::WireWriter::new();
+    w.seq(registry.len());
+    for (name, region) in registry {
+        w.str(name);
+        w.u32(*region);
+    }
+    w.finish()
+}
+
+/// Rebuild a [`CommonRegistry`] from [`export_registry`] bytes.
+///
+/// # Errors
+/// [`erebor_wire::WireError`] on truncation, duplicate names, or trailing
+/// bytes.
+pub fn import_registry(bytes: &[u8]) -> Result<CommonRegistry, erebor_wire::WireError> {
+    let mut r = erebor_wire::WireReader::new(bytes);
+    let n = r.seq(5)?;
+    let mut registry = CommonRegistry::new();
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        let region = r.u32()?;
+        if registry.insert(name, region).is_some() {
+            return Err(erebor_wire::WireError::BadValue {
+                what: "duplicate registry name",
+            });
+        }
+    }
+    r.finish()?;
+    Ok(registry)
+}
+
 fn sys_ioctl(sys: &mut dyn Sys, req: u64, extra: [u64; 4]) -> Result<u64, LibOsError> {
     sys.syscall(
         nr::IOCTL,
@@ -532,5 +569,20 @@ mod tests {
         let r0 = COMMON_BASE;
         let r1 = COMMON_BASE + (1u64 << 30);
         assert!(r1 - r0 >= (1 << 30));
+    }
+
+    #[test]
+    fn registry_roundtrips_byte_exact() -> Result<(), erebor_wire::WireError> {
+        let mut reg = CommonRegistry::new();
+        reg.insert("model".to_string(), 1);
+        reg.insert("embeddings".to_string(), 2);
+        let bytes = export_registry(&reg);
+        let back = import_registry(&bytes)?;
+        assert_eq!(back, reg);
+        assert_eq!(export_registry(&back), bytes);
+        for cut in 0..bytes.len() {
+            assert!(import_registry(&bytes[..cut]).is_err());
+        }
+        Ok(())
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::sept::Sept;
 use erebor_hw::{Frame, PhysMemory, PAGE_SIZE};
+use erebor_wire::{WireError, WireReader, WireWriter};
 
 /// Host-side access failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +127,40 @@ impl HostVmm {
         frame: Frame,
     ) -> Result<Vec<u8>, HostAccessError> {
         self.read_guest(mem, sept, frame)
+    }
+
+    /// Serialise the host's observation log and hypercall counter. The
+    /// cpuid table is deterministic from [`HostVmm::new`] and is not
+    /// exported. Migrating the *attacker's* log keeps leak audits valid
+    /// across the move: anything the source leaked stays on the record.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.u64(self.vmcalls);
+        w.seq(self.observed.len());
+        for o in &self.observed {
+            w.bytes(o);
+        }
+        w.finish()
+    }
+
+    /// Rebuild a host from [`HostVmm::export_state`] bytes.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation, oversized entries, or trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<HostVmm, WireError> {
+        let mut r = WireReader::new(bytes);
+        let vmcalls = r.u64()?;
+        let n = r.seq(8)?;
+        let mut observed = Vec::with_capacity(n);
+        for _ in 0..n {
+            observed.push(r.bytes()?.to_vec());
+        }
+        r.finish()?;
+        let mut host = HostVmm::new();
+        host.vmcalls = vmcalls;
+        host.observed = observed;
+        Ok(host)
     }
 
     /// Whether any observed byte string contains `needle` — the leak-test

@@ -17,6 +17,9 @@
 //! * [`host`] — the *untrusted* hypervisor: it observes every shared frame,
 //!   emulates `cpuid`/MSR exits, runs devices (DMA restricted to shared
 //!   memory), and injects interrupts. Attack tests drive this interface.
+//! * [`migrate`] — TD live migration: the attested handshake and the
+//!   sealed, sequence-numbered record stream that moves pages and TD
+//!   state between machines without ever trusting the transport.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,10 +27,12 @@
 
 pub mod attest;
 pub mod host;
+pub mod migrate;
 pub mod sept;
 pub mod tdcall;
 
 pub use attest::{Quote, TdReport};
 pub use host::HostVmm;
+pub use migrate::{MigrationDest, MigrationError, MigrationKey, MigrationSource};
 pub use sept::{GpaState, Sept};
 pub use tdcall::{tdcall, TdcallLeaf, TdcallResult, TdxModule};

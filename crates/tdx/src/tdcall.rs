@@ -14,6 +14,7 @@ use erebor_hw::idt::vector;
 use erebor_hw::regs::GprContext;
 use erebor_hw::{Frame, VirtAddr};
 use erebor_trace::{Bucket, TraceEvent};
+use erebor_wire::{WireError, WireReader, WireWriter};
 
 /// Operations the guest may request from the host through GHCI `vmcall`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -183,6 +184,41 @@ pub struct TdxStats {
 }
 
 impl TdxStats {
+    /// Serialise the counters for migration. These are *architectural*
+    /// for a TD: the real module's TD-scope metadata fields travel with
+    /// the TD, and the audit trail must not reset across a move.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        for v in [
+            self.tdcalls,
+            self.mapgpa,
+            self.vmcalls,
+            self.ve_injected,
+            self.tdreports,
+        ] {
+            w.u64(v);
+        }
+        w.finish()
+    }
+
+    /// Rebuild counters from [`TdxStats::export_state`] bytes.
+    ///
+    /// # Errors
+    /// [`WireError`] on truncation or trailing bytes.
+    pub fn import_state(bytes: &[u8]) -> Result<TdxStats, WireError> {
+        let mut r = WireReader::new(bytes);
+        let s = TdxStats {
+            tdcalls: r.u64()?,
+            mapgpa: r.u64()?,
+            vmcalls: r.u64()?,
+            ve_injected: r.u64()?,
+            tdreports: r.u64()?,
+        };
+        r.finish()?;
+        Ok(s)
+    }
+
     /// Fieldwise saturating difference `self - earlier`, for interval
     /// measurements between two snapshots.
     #[must_use]
@@ -220,6 +256,38 @@ impl TdxModule {
             host: HostVmm::new(),
             stats: TdxStats::default(),
         }
+    }
+
+    /// Serialise the whole module — sEPT, measurements, host log,
+    /// counters — for migration.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bytes(&self.sept.export_state());
+        w.bytes(&self.attest.export_state());
+        w.bytes(&self.host.export_state());
+        w.bytes(&self.stats.export_state());
+        w.finish()
+    }
+
+    /// Rebuild a module from [`TdxModule::export_state`] bytes and the
+    /// destination machine's hardware root seed.
+    ///
+    /// # Errors
+    /// [`WireError`] if any nested section is malformed.
+    pub fn import_state(root_seed: [u8; 32], bytes: &[u8]) -> Result<TdxModule, WireError> {
+        let mut r = WireReader::new(bytes);
+        let sept = Sept::import_state(r.bytes()?)?;
+        let attest = Attestation::import_state(root_seed, r.bytes()?)?;
+        let host = HostVmm::import_state(r.bytes()?)?;
+        let stats = TdxStats::import_state(r.bytes()?)?;
+        r.finish()?;
+        Ok(TdxModule {
+            sept,
+            attest,
+            host,
+            stats,
+        })
     }
 
     /// Inject a `#VE` into the guest for a synchronous exit cause: the TDX

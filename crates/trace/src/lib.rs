@@ -463,6 +463,41 @@ impl TraceBuffer {
         all.split_off(skip)
     }
 
+    /// Decompose the buffer for migration: `(capacity, seq, dropped,
+    /// per-core rings oldest-first)`. Together with
+    /// [`TraceBuffer::from_parts`] this round-trips the buffer exactly —
+    /// including the global sequence counter and eviction count, so a
+    /// migrated machine's subsequent trace export is byte-identical to
+    /// an unmigrated one's.
+    #[must_use]
+    pub fn to_parts(&self) -> (usize, u64, u64, Vec<Vec<TraceRecord>>) {
+        (
+            self.capacity,
+            self.seq,
+            self.dropped,
+            self.rings
+                .iter()
+                .map(|r| r.iter().copied().collect())
+                .collect(),
+        )
+    }
+
+    /// Rebuild a buffer from [`TraceBuffer::to_parts`] output.
+    #[must_use]
+    pub fn from_parts(
+        capacity: usize,
+        seq: u64,
+        dropped: u64,
+        rings: Vec<Vec<TraceRecord>>,
+    ) -> TraceBuffer {
+        TraceBuffer {
+            rings: rings.into_iter().map(VecDeque::from).collect(),
+            capacity: capacity.max(1),
+            seq,
+            dropped,
+        }
+    }
+
     /// Deterministic JSON document: capacity, totals, and each core's
     /// retained records oldest-first.
     #[must_use]
@@ -489,9 +524,62 @@ impl TraceBuffer {
     }
 }
 
+/// Intern a string, returning a `&'static str` with the same contents.
+///
+/// Trace events carry `&'static str` payloads by design (no escaping, no
+/// allocation on the record path). A migration stream, however, decodes
+/// event payloads from bytes; interning gives those decoded strings the
+/// required `'static` lifetime. The table is global and append-only:
+/// every distinct string is leaked exactly once, and re-interning an
+/// already-known string (including every compile-time literal previously
+/// interned) returns the same pointer. The set of distinct payload
+/// strings in the workspace is a small closed vocabulary, so the leak is
+/// bounded in practice.
+#[must_use]
+pub fn intern(s: &str) -> &'static str {
+    use std::collections::BTreeMap;
+    use std::sync::{Mutex, OnceLock};
+    static TABLE: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut guard = match table.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if let Some(&known) = guard.get(s) {
+        return known;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    guard.insert(s.to_owned(), leaked);
+    leaked
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn intern_is_stable_and_deduplicated() {
+        let a = intern("migration-test-payload");
+        let b = intern("migration-test-payload");
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a, b), "same interned pointer");
+        let c = intern(&format!("migration-{}", "test-payload"));
+        assert!(std::ptr::eq(a, c), "runtime-built string folds in");
+    }
+
+    #[test]
+    fn parts_roundtrip_exactly() {
+        let mut t = TraceBuffer::with_capacity(2, 2);
+        t.record(0, 10, TraceEvent::GateEnter);
+        t.record(1, 20, TraceEvent::Emc { op: "create", arg: 1 });
+        t.record(0, 30, TraceEvent::GateExit);
+        t.record(0, 40, TraceEvent::TlbFlush); // evicts GateEnter
+        let (cap, seq, dropped, rings) = t.to_parts();
+        let rebuilt = TraceBuffer::from_parts(cap, seq, dropped, rings);
+        assert_eq!(rebuilt.json(), t.json(), "byte-identical export");
+        assert_eq!(rebuilt.recorded(), t.recorded());
+        assert_eq!(rebuilt.dropped(), t.dropped());
+    }
 
     #[test]
     fn attribution_saturates_and_sums() {

@@ -53,6 +53,18 @@
 #                          domains; TME-MK gate cost within the JSON's
 #                          self-described ceiling of the PKS gate cost
 #                          at the same shape).
+#   scripts/ci.sh --migrate  additionally run the live-migration gate:
+#                          the migration equivalence suite (same-seed
+#                          migrated vs unmigrated byte-identical, fresh
+#                          non-architectural counters, domain-pool
+#                          round-trip on both backends, clean fleet
+#                          audit) with a >=200-case sealed-channel
+#                          chaos campaign, and the migrate bench,
+#                          persisting BENCH_migrate.json and
+#                          re-asserting its floors (pages/sec >= the
+#                          JSON's self-described floor, stop-and-copy
+#                          pause under its ceiling, byte-identical
+#                          import of the timed stream).
 #
 # Machine-readable output convention: every JSON-emitting binary prints
 # its document on a single stdout line prefixed `EREBOR_JSON:`. CI greps
@@ -71,6 +83,7 @@ ANALYZE=0
 FASTPATH=0
 FLEET=0
 KEYED=0
+MIGRATE=0
 for arg in "$@"; do
     case "$arg" in
         --smoke) SMOKE=1 ;;
@@ -80,8 +93,9 @@ for arg in "$@"; do
         --fastpath) FASTPATH=1 ;;
         --fleet) FLEET=1 ;;
         --keyed) KEYED=1 ;;
+        --migrate) MIGRATE=1 ;;
         *)
-            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath] [--fleet] [--keyed]" >&2
+            echo "usage: scripts/ci.sh [--smoke] [--chaos] [--trace] [--analyze] [--fastpath] [--fleet] [--keyed] [--migrate]" >&2
             exit 2
             ;;
     esac
@@ -455,6 +469,69 @@ PY
             exit 1
         fi
         echo "    keyed: $live live domains, gate overhead ~${overhead_int}x"
+    fi
+fi
+
+if [[ "$MIGRATE" == 1 ]]; then
+    # Live-migration gate (see DESIGN.md §13). Two halves:
+    #   1. the migration suite — same-seed migrated vs unmigrated runs
+    #      byte-identical, fresh non-architectural counters on import,
+    #      domain-pool round-trip on both backends, a migrated
+    #      64-sandbox fleet auditing clean, and a >=200-case chaos
+    #      campaign over the sealed record stream (drop / duplicate /
+    #      reorder / corrupt / truncate, every fault a typed abort);
+    #   2. the migrate bench — persists BENCH_migrate.json; floors
+    #      re-asserted here from the persisted document (the bench
+    #      itself panics below its own floors too).
+    echo "==> migrate: cargo test --release --test migration (>=200-case chaos)"
+    EREBOR_CHAOS_CASES="${EREBOR_CHAOS_CASES:-240}" \
+        cargo test --release -q --test migration
+
+    echo "==> migrate: cargo bench migrate (persisting BENCH_migrate.json)"
+    migrate_raw="$(EREBOR_BENCH_SMOKE=1 EREBOR_BENCH_JSON="$PWD/BENCH_migrate.json" \
+        cargo bench -p erebor-bench --bench migrate 2>/dev/null)"
+    migrate_out="$(extract_json "$migrate_raw" "migrate")"
+    check_json "$migrate_out" "migrate"
+    if [[ ! -s BENCH_migrate.json ]]; then
+        echo "error: bench did not persist BENCH_migrate.json" >&2
+        exit 1
+    fi
+    if command -v python3 >/dev/null 2>&1; then
+        python3 - <<'PY'
+import json
+meta = json.load(open("BENCH_migrate.json"))["meta"]
+pps = meta["migrate_pages_per_sec"]
+floor = meta["migrate_pages_per_sec_floor"]
+pause = meta["migrate_stopcopy_pause_ns"]
+ceiling = meta["migrate_stopcopy_pause_ceiling_ns"]
+assert meta["migrate_import_ok"] == 1.0, \
+    "timed migration stream did not import byte-identically"
+assert pps >= floor, \
+    f"migration throughput below floor: {pps:,.0f} < {floor:,.0f} pages/sec"
+assert pause <= ceiling, \
+    f"stop-and-copy pause above ceiling: {pause:,.0f} > {ceiling:,.0f} ns"
+assert meta["migrate_sections"] == 9, "state sections missing from the stream"
+assert meta["migrate_records_sealed"] == (
+    meta["migrate_precopy_pages"] + meta["migrate_stopcopy_pages"]
+    + meta["migrate_sections"] + 2
+), "record-count identity violated"
+print(f"    migrate: {pps:,.0f} pages/sec (floor {floor:,.0f}), "
+      f"pause {pause/1e6:.2f} ms (ceiling {ceiling/1e6:.0f} ms), "
+      f"{meta['migrate_records_sealed']:.0f} records sealed")
+PY
+    else
+        # Fallback without python3: integer-part checks with sed.
+        pps="$(echo "$migrate_out" | sed -n 's/.*"migrate_pages_per_sec":\([0-9]*\).*/\1/p')"
+        if [[ -z "$pps" || "$pps" -lt 1000 ]]; then
+            echo "error: migration throughput below floor (pps=$pps)" >&2
+            exit 1
+        fi
+        ok="$(echo "$migrate_out" | sed -n 's/.*"migrate_import_ok":\([0-9]*\).*/\1/p')"
+        if [[ -z "$ok" || "$ok" != 1 ]]; then
+            echo "error: timed stream did not import byte-identically" >&2
+            exit 1
+        fi
+        echo "    migrate: $pps pages/sec, import ok"
     fi
 fi
 

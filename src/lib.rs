@@ -26,7 +26,11 @@ pub mod runner;
 pub use erebor_core::config::{ExecConfig, Mode};
 pub use erebor_core::{BootConfig, Cvm};
 pub use erebor_trace::{Attribution, Bucket, TraceBuffer, TraceEvent, TraceRecord};
-pub use platform::{Platform, PlatformError, ProcHandle, ServiceInstance, Snapshot};
+pub use erebor_tdx::migrate::{MigrationError, MigrationKey};
+pub use platform::{
+    MigrationOffer, MigrationReport, OutboundMigration, Platform, PlatformError, ProcHandle,
+    ServiceInstance, Snapshot,
+};
 pub use runner::{run_workload, run_workload_on, RunReport};
 
 pub use erebor_analyze as eanalyze;

@@ -19,9 +19,14 @@ use erebor_kernel::image::benign_kernel;
 use erebor_kernel::kernel::KernelStats;
 use erebor_kernel::{Hw, Kernel, Pid};
 use erebor_libos::api::{Sys, SysError};
-use erebor_libos::os::{CommonRegistry, LibOs, ServiceProgram};
-use erebor_tdx::attest::expected_mrtd;
+use erebor_libos::os::{export_registry, import_registry, CommonRegistry, LibOs, ServiceProgram};
+use erebor_tdx::attest::{expected_mrtd, Expected, Quote};
+use erebor_tdx::migrate::{
+    check_pages_private, migration_binding, section, MigrationDest, MigrationError, MigrationKey,
+    MigrationSource,
+};
 use erebor_tdx::tdcall::{tdcall, TdcallLeaf, TdcallResult, TdxStats, VmcallOp};
+use erebor_wire::{WireError, WireReader, WireWriter};
 use erebor_trace::{Attribution, Bucket};
 
 /// The synthetic rip of user code (any user-half address works; only its
@@ -45,6 +50,9 @@ pub enum PlatformError {
     LibOs(String),
     /// The post-boot state audit found violated security claims.
     Audit(erebor_analyze::AuditReport),
+    /// A live-migration step failed. The stream is aborted; the source
+    /// platform keeps running and stays auditable.
+    Migration(MigrationError),
 }
 
 impl core::fmt::Display for PlatformError {
@@ -60,6 +68,7 @@ impl core::fmt::Display for PlatformError {
                 Some(first) => write!(f, "audit: {} finding(s), first: {first}", r.findings.len()),
                 None => write!(f, "audit: clean"),
             },
+            PlatformError::Migration(e) => write!(f, "migration: {e}"),
         }
     }
 }
@@ -75,6 +84,18 @@ impl From<SysError> for PlatformError {
 impl From<erebor_libos::os::LibOsError> for PlatformError {
     fn from(e: erebor_libos::os::LibOsError) -> PlatformError {
         PlatformError::LibOs(e.to_string())
+    }
+}
+
+impl From<MigrationError> for PlatformError {
+    fn from(e: MigrationError) -> PlatformError {
+        PlatformError::Migration(e)
+    }
+}
+
+impl From<WireError> for PlatformError {
+    fn from(e: WireError) -> PlatformError {
+        PlatformError::Migration(MigrationError::Decode(e))
     }
 }
 
@@ -160,6 +181,9 @@ pub struct Platform {
     /// Pages reclaimed per pass.
     pub reclaim_pages_per_pass: u64,
     ticks_since_reclaim: u64,
+    /// The hardware root seed this platform's attestation identity grows
+    /// from; migration hands it over sealed (`section::ROOT_SEED`).
+    root_seed: [u8; 32],
 }
 
 impl core::fmt::Debug for Platform {
@@ -216,6 +240,7 @@ impl Platform {
             reclaim_period_ticks: 2,
             reclaim_pages_per_pass: 4,
             ticks_since_reclaim: 0,
+            root_seed: erebor_core::boot::hw_root_seed(cfg.seed),
         };
         let (mut hw, kernel) = platform.parts();
         kernel.init(&mut hw).map_err(PlatformError::Errno)?;
@@ -489,6 +514,24 @@ impl Platform {
         Ok(out)
     }
 
+    /// The measurement chain this platform's boot should attest to —
+    /// what clients (and a migration source vetting this platform as a
+    /// destination) compare quotes against.
+    fn expected_chain(&self) -> Expected {
+        let erebor_chain = expected_mrtd(&[
+            &self.cvm.firmware_image.measurement_bytes(),
+            &self.cvm.monitor_image.measurement_bytes(),
+        ]);
+        if self.paravisor {
+            Expected::ParavisorRtmr {
+                mrtd: expected_mrtd(&[erebor_core::boot::PARAVISOR_MEASUREMENT_INPUT]),
+                rtmr0: erebor_chain,
+            }
+        } else {
+            Expected::Mrtd(erebor_chain)
+        }
+    }
+
     /// Run the remote-attestation handshake for a client of `svc`,
     /// relaying both flights through the untrusted proxy.
     ///
@@ -500,18 +543,7 @@ impl Platform {
         key_seed: [u8; 32],
     ) -> Result<Client, PlatformError> {
         let root = self.cvm.tdx.attest.root_public();
-        let erebor_chain = expected_mrtd(&[
-            &self.cvm.firmware_image.measurement_bytes(),
-            &self.cvm.monitor_image.measurement_bytes(),
-        ]);
-        let expected = if self.paravisor {
-            erebor_tdx::attest::Expected::ParavisorRtmr {
-                mrtd: expected_mrtd(&[erebor_core::boot::PARAVISOR_MEASUREMENT_INPUT]),
-                rtmr0: erebor_chain,
-            }
-        } else {
-            erebor_tdx::attest::Expected::Mrtd(erebor_chain)
-        };
+        let expected = self.expected_chain();
         let (mut client, hello) = Client::with_expected(key_seed, root, expected);
         // First flight crosses the untrusted network/proxy.
         let _ = Proxy::relay(&mut self.cvm.tdx, &hello.client_pub);
@@ -844,6 +876,368 @@ impl Platform {
             }
         }
         Err(SysError::Fault)
+    }
+}
+
+// ====================================================================
+// TD live migration (§2.1's migration TD, platform-level scenario)
+// ====================================================================
+
+/// The destination's half of the migration handshake: its ephemeral
+/// public key plus a CPU-signed quote whose report data binds *both*
+/// ephemeral keys ([`migration_binding`]).
+#[derive(Debug, Clone)]
+pub struct MigrationOffer {
+    /// The destination's ephemeral X25519 public key.
+    pub dest_pub: [u8; 32],
+    /// Quote over the key-exchange binding, signed by the hardware root.
+    pub quote: Quote,
+}
+
+/// Accounting for one completed (or in-flight) outbound migration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Page records sealed during pre-copy (full sweep + dirty rounds).
+    pub precopy_pages: u64,
+    /// Dirty-page rounds run between the full sweep and stop-and-copy.
+    pub precopy_rounds: u64,
+    /// Page records sealed inside the stop-and-copy window.
+    pub stopcopy_pages: u64,
+    /// State sections sealed (machine, monitor, kernel, ...).
+    pub sections: u64,
+    /// Total records sealed, `Begin` and `Finish` included.
+    pub records_sealed: u64,
+    /// Pending per-page shootdowns drained by the quiesce.
+    pub drained_page_shootdowns: u64,
+    /// Pending per-ASID shootdowns drained by the quiesce.
+    pub drained_asid_shootdowns: u64,
+}
+
+/// An open outbound migration stream: the attested sealing channel plus
+/// running accounting. Produced by [`Platform::migrate_begin`]; the
+/// guest keeps running between [`Platform::migrate_precopy_round`]
+/// calls, and [`Platform::migrate_finish`] closes the stream.
+#[derive(Debug)]
+pub struct OutboundMigration {
+    source: MigrationSource,
+    /// Accounting so far.
+    pub report: MigrationReport,
+}
+
+impl Platform {
+    /// Destination side, step 1: produce the attested half of the
+    /// migration handshake. The quote binds the destination's ephemeral
+    /// key and the source's (`source_pub`) into the TDREPORT's report
+    /// data, so the source knows the attested TD terminates *this*
+    /// channel and no other.
+    #[must_use]
+    pub fn migration_offer(&self, key: &MigrationKey, source_pub: &[u8; 32]) -> MigrationOffer {
+        let binding = migration_binding(source_pub, &key.public());
+        let report = self.cvm.tdx.attest.tdreport(binding);
+        MigrationOffer {
+            dest_pub: key.public(),
+            quote: self.cvm.tdx.attest.quote(report),
+        }
+    }
+
+    /// Source side, step 2: verify the destination's attestation, open
+    /// the sealed stream, switch on dirty-page tracking and seal the
+    /// `Begin` record plus the full resident-page sweep (pre-copy round
+    /// zero). The guest keeps running afterwards; writes land in the
+    /// dirty ledger for later rounds.
+    ///
+    /// # Errors
+    /// [`PlatformError::Migration`] — quote rejection, binding mismatch,
+    /// or a sealing failure. No platform state is disturbed on error
+    /// (dirty tracking only engages after the handshake verifies).
+    pub fn migrate_begin(
+        &mut self,
+        key: &MigrationKey,
+        offer: &MigrationOffer,
+    ) -> Result<(OutboundMigration, Vec<Vec<u8>>), PlatformError> {
+        let root = self.cvm.tdx.attest.root_public();
+        let expected = self.expected_chain();
+        let mut source =
+            MigrationSource::open(key, offer.dest_pub, &offer.quote, &root, &expected)?;
+        self.cvm.machine.mem.set_dirty_tracking(true);
+        let mut records = vec![source.begin()?];
+        let resident: Vec<(u64, [u8; erebor_hw::PAGE_SIZE])> = self
+            .cvm
+            .machine
+            .mem
+            .resident_pages()
+            .map(|(f, p)| (f, *p))
+            .collect();
+        let mut report = MigrationReport::default();
+        for (frame, page) in &resident {
+            records.push(source.page(*frame, page)?);
+            report.precopy_pages += 1;
+        }
+        report.records_sealed = source.records_sealed();
+        Ok((OutboundMigration { source, report }, records))
+    }
+
+    /// Source side, step 3 (repeatable): drain the dirty ledger and
+    /// reseal exactly those pages. Frames dirtied but no longer resident
+    /// travel as zero pages — on both ends a non-resident frame reads as
+    /// zeroes, so the destination converges to the same contents.
+    ///
+    /// # Errors
+    /// [`PlatformError::Migration`] on a sealing failure.
+    pub fn migrate_precopy_round(
+        &mut self,
+        mig: &mut OutboundMigration,
+    ) -> Result<Vec<Vec<u8>>, PlatformError> {
+        let dirty = self.cvm.machine.mem.take_dirty();
+        let mut records = Vec::with_capacity(dirty.len());
+        let zero = [0u8; erebor_hw::PAGE_SIZE];
+        for frame in dirty {
+            let page = self
+                .cvm
+                .machine
+                .mem
+                .page_if_resident(frame)
+                .copied()
+                .unwrap_or(zero);
+            records.push(mig.source.page(frame, &page)?);
+            mig.report.precopy_pages += 1;
+        }
+        mig.report.precopy_rounds += 1;
+        mig.report.records_sealed = mig.source.records_sealed();
+        Ok(records)
+    }
+
+    /// Source side, final step: the bounded stop-and-copy window. The
+    /// guest is quiesced — pending per-page and per-ASID shootdowns are
+    /// drained so the staleness ledgers are empty — then the remaining
+    /// dirty pages, every state section and the `Finish` record are
+    /// sealed. The source stays fully live (and auditable) afterwards;
+    /// only the dirty ledger is retired.
+    ///
+    /// # Errors
+    /// [`PlatformError::Migration`] on any sealing failure.
+    pub fn migrate_finish(
+        &mut self,
+        mut mig: OutboundMigration,
+    ) -> Result<(Vec<Vec<u8>>, MigrationReport), PlatformError> {
+        let (dp, da) = self.cvm.machine.quiesce_for_migration();
+        mig.report.drained_page_shootdowns = dp as u64;
+        mig.report.drained_asid_shootdowns = da as u64;
+        mig.source.enter_stop_copy()?;
+
+        let mut records = Vec::new();
+        let zero = [0u8; erebor_hw::PAGE_SIZE];
+        for frame in self.cvm.machine.mem.take_dirty() {
+            let page = self
+                .cvm
+                .machine
+                .mem
+                .page_if_resident(frame)
+                .copied()
+                .unwrap_or(zero);
+            records.push(mig.source.page(frame, &page)?);
+            mig.report.stopcopy_pages += 1;
+        }
+        self.cvm.machine.mem.set_dirty_tracking(false);
+
+        let sections: [(u8, Vec<u8>); 9] = [
+            (section::MACHINE, self.cvm.machine.export_state()),
+            (section::PHYS_META, self.cvm.machine.mem.export_meta()),
+            (section::TDX, self.cvm.tdx.export_state()),
+            (section::BACKEND, self.cvm.monitor.backend.export_state()),
+            (section::MONITOR, self.cvm.monitor.export_state()),
+            (section::KERNEL, self.kernel.export_state()),
+            (section::LIBOS, export_registry(&self.registry)),
+            (section::ROOT_SEED, self.root_seed.to_vec()),
+            (section::PLATFORM, self.export_driver_state()),
+        ];
+        for (id, payload) in &sections {
+            records.push(mig.source.section(*id, payload)?);
+            mig.report.sections += 1;
+        }
+        records.push(mig.source.finish()?);
+        mig.report.records_sealed = mig.source.records_sealed();
+        Ok((records, mig.report))
+    }
+
+    /// One-shot outbound migration: [`Platform::migrate_begin`] straight
+    /// into [`Platform::migrate_finish`] with no intervening pre-copy
+    /// rounds (nothing runs in between, so the dirty ledger is empty).
+    ///
+    /// # Errors
+    /// [`PlatformError::Migration`].
+    pub fn migrate_to(
+        &mut self,
+        key: &MigrationKey,
+        offer: &MigrationOffer,
+    ) -> Result<(Vec<Vec<u8>>, MigrationReport), PlatformError> {
+        let (mig, mut records) = self.migrate_begin(key, offer)?;
+        let (tail, report) = self.migrate_finish(mig)?;
+        records.extend(tail);
+        Ok((records, report))
+    }
+
+    /// Destination side, final step: verify and stage the whole record
+    /// stream, then import it **atomically**. Every section is parsed
+    /// and cross-validated *before* any platform state is touched, so a
+    /// damaged stream — dropped, duplicated, replayed, corrupted or
+    /// truncated records — yields a typed error and leaves this platform
+    /// exactly as it booted: there is no half-imported destination.
+    ///
+    /// Non-architectural counters (frame-allocator scan stats, monitor
+    /// lookup stats, permission-decision caches, batch fast-path
+    /// counters) start fresh on the imported machine; architectural
+    /// state — registers, MSRs, TLBs, sEPT, the EMC ledger, sandbox
+    /// table, sessions, tasks — is byte-identical to the source.
+    ///
+    /// # Errors
+    /// [`PlatformError::Migration`] naming the first fault.
+    pub fn migrate_from(
+        &mut self,
+        key: &MigrationKey,
+        source_pub: [u8; 32],
+        records: &[Vec<u8>],
+    ) -> Result<(), PlatformError> {
+        let mut dest = MigrationDest::open(key, source_pub);
+        for record in records {
+            dest.feed(record)?;
+        }
+        let snap = dest.into_snapshot()?;
+
+        // Stage 1: parse and cross-validate everything. No `self` writes.
+        let root_seed: [u8; 32] = {
+            let mut r = WireReader::new(snap.section(section::ROOT_SEED, "missing root seed")?);
+            let seed = r.array()?;
+            r.finish()?;
+            seed
+        };
+        let machine = erebor_hw::cpu::Machine::import_state(
+            snap.section(section::MACHINE, "missing machine section")?,
+            &snap.pages,
+        )?;
+        if snap.section(section::PHYS_META, "missing phys meta")? != machine.mem.export_meta() {
+            return Err(MigrationError::Protocol("phys metadata mismatch").into());
+        }
+        let tdx = erebor_tdx::TdxModule::import_state(
+            root_seed,
+            snap.section(section::TDX, "missing tdx section")?,
+        )?;
+        check_pages_private(&tdx.sept, &snap.pages)?;
+        let monitor = erebor_core::monitor::Monitor::import_state(
+            snap.section(section::MONITOR, "missing monitor section")?,
+        )?;
+        if snap.section(section::BACKEND, "missing backend section")?
+            != monitor.backend.export_state()
+        {
+            return Err(MigrationError::Protocol("backend section mismatch").into());
+        }
+        let kernel = Kernel::import_state(snap.section(section::KERNEL, "missing kernel section")?)?;
+        let registry =
+            import_registry(snap.section(section::LIBOS, "missing libos section")?)?;
+        let driver = DriverState::import(
+            snap.section(section::PLATFORM, "missing platform section")?,
+            machine.cpus.len(),
+        )?;
+
+        // Stage 2: commit. Infallible from here on.
+        self.cvm.machine = machine;
+        self.cvm.tdx = tdx;
+        self.cvm.monitor = monitor;
+        self.kernel = kernel;
+        self.registry = registry;
+        self.root_seed = root_seed;
+        self.paravisor = driver.paravisor;
+        self.cpu = driver.cpu;
+        self.last_timer = driver.last_timer;
+        self.device_period_ticks = driver.device_period_ticks;
+        self.ticks_since_device = driver.ticks_since_device;
+        self.reclaim_period_ticks = driver.reclaim_period_ticks;
+        self.reclaim_pages_per_pass = driver.reclaim_pages_per_pass;
+        self.ticks_since_reclaim = driver.ticks_since_reclaim;
+        Ok(())
+    }
+
+    /// Serialise the platform-driver state (`section::PLATFORM`): timer
+    /// phase, device/reclaim cadence, the active core. None of it is
+    /// architectural, but same-seed trace equivalence requires the
+    /// execution driver to resume mid-quantum exactly where the source
+    /// stopped.
+    fn export_driver_state(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        w.bool(self.paravisor);
+        w.usize(self.cpu);
+        w.seq(self.last_timer.len());
+        for t in &self.last_timer {
+            w.u64(*t);
+        }
+        w.u64(self.device_period_ticks);
+        w.seq(self.ticks_since_device.len());
+        for t in &self.ticks_since_device {
+            w.u64(*t);
+        }
+        w.u64(self.reclaim_period_ticks);
+        w.u64(self.reclaim_pages_per_pass);
+        w.u64(self.ticks_since_reclaim);
+        w.finish()
+    }
+}
+
+/// Parsed `section::PLATFORM` payload, validated against the imported
+/// machine's core count before anything is committed.
+struct DriverState {
+    paravisor: bool,
+    cpu: usize,
+    last_timer: Vec<u64>,
+    device_period_ticks: u64,
+    ticks_since_device: Vec<u64>,
+    reclaim_period_ticks: u64,
+    reclaim_pages_per_pass: u64,
+    ticks_since_reclaim: u64,
+}
+
+impl DriverState {
+    fn import(bytes: &[u8], cores: usize) -> Result<DriverState, WireError> {
+        let mut r = WireReader::new(bytes);
+        let paravisor = r.bool()?;
+        let cpu = r.usize()?;
+        if cpu >= cores {
+            return Err(WireError::BadValue { what: "active cpu" });
+        }
+        let n = r.seq(8)?;
+        if n != cores {
+            return Err(WireError::BadValue {
+                what: "timer vector length",
+            });
+        }
+        let mut last_timer = Vec::with_capacity(n);
+        for _ in 0..n {
+            last_timer.push(r.u64()?);
+        }
+        let device_period_ticks = r.u64()?;
+        let n = r.seq(8)?;
+        if n != cores {
+            return Err(WireError::BadValue {
+                what: "device tick vector length",
+            });
+        }
+        let mut ticks_since_device = Vec::with_capacity(n);
+        for _ in 0..n {
+            ticks_since_device.push(r.u64()?);
+        }
+        let reclaim_period_ticks = r.u64()?;
+        let reclaim_pages_per_pass = r.u64()?;
+        let ticks_since_reclaim = r.u64()?;
+        r.finish()?;
+        Ok(DriverState {
+            paravisor,
+            cpu,
+            last_timer,
+            device_period_ticks,
+            ticks_since_device,
+            reclaim_period_ticks,
+            reclaim_pages_per_pass,
+            ticks_since_reclaim,
+        })
     }
 }
 
