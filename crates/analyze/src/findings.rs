@@ -2,10 +2,11 @@
 
 use std::fmt::Write as _;
 
-/// Escape a detail string for embedding in a JSON string literal. Details
-/// are generated internally (ASCII), so only the two structural
-/// characters and control bytes need care.
-fn escape_json(s: &str, out: &mut String) {
+/// Escape a string for embedding in a JSON string literal: the two
+/// structural characters plus control bytes. Shared by every structured
+/// finding type — file paths and source excerpts flow through here, so a
+/// path or line containing `"` or `\` cannot emit malformed JSON.
+pub fn escape_json(s: &str, out: &mut String) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),

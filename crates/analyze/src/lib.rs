@@ -21,6 +21,15 @@
 //!   saturating arithmetic on stats counters, no `Ordering::Relaxed`,
 //!   the `EREBOR_JSON:` marker in every JSON-emitting bin), run by
 //!   `cargo run -p erebor-analyze --bin lint`.
+//! * [`privilege`] — the **privilege-separation auditor**: a
+//!   workspace-wide module-level reference graph of every mention of a
+//!   privileged symbol (raw frame mutation, MSR/CR/PKRS state, PTE and
+//!   sEPT construction, domain pools, TLB/IPI primitives, `unsafe`),
+//!   checked against the declared privilege manifest — the allowlisted
+//!   trusted core (`erebor-hw`, the monitor, the TDX substrate, the
+//!   state auditor, the platform embedder). Zero findings is the CI
+//!   baseline; waivers are refused by default. Run by
+//!   `cargo run -p erebor-analyze --bin privilege` (DESIGN.md §14).
 //!
 //! Everything reports through the structured types in [`findings`] with
 //! hand-rolled, byte-stable JSON like the rest of the workspace.
@@ -32,8 +41,11 @@
 pub mod audit;
 pub mod findings;
 pub mod lint;
+pub mod privilege;
 pub mod race;
+pub mod source;
 
 pub use audit::MachineView;
 pub use findings::{AuditReport, Finding};
+pub use privilege::{PrivilegeFinding, PrivilegeReport};
 pub use race::{detect_races, RaceFinding};

@@ -24,10 +24,14 @@
 //! * `json-marker` — every bin that serializes JSON (calls `.json()`)
 //!   must emit the `EREBOR_JSON:` marker CI greps for.
 //!
-//! The `#[cfg(test)]` handling relies on the workspace convention that
-//! test modules close out the file; everything from the first
-//! `#[cfg(test)]` line onward is skipped.
+//! `#[cfg(test)]` regions are tracked brace-accurately by
+//! [`crate::source::TestRegionTracker`]: only the guarded item's span is
+//! exempt, so library code following an *inline* test module is linted
+//! like any other code. Comments, string literals, and char literals are
+//! stripped by [`crate::source::CodeStripper`] before token matching.
 
+use crate::findings::escape_json;
+use crate::source::{CodeStripper, TestRegionTracker};
 use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -46,15 +50,16 @@ pub struct LintFinding {
 }
 
 impl LintFinding {
-    /// Deterministic JSON object.
+    /// Deterministic JSON object. `file` and `excerpt` are escaped so a
+    /// path or source line containing `"` or `\` cannot break the
+    /// document CI extracts from the `EREBOR_JSON:` marker.
     #[must_use]
     pub fn json(&self) -> String {
-        let mut s = String::new();
-        let _ = write!(
-            s,
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\"}}",
-            self.file, self.line, self.rule
-        );
+        let mut s = String::from("{\"file\":\"");
+        escape_json(&self.file, &mut s);
+        let _ = write!(s, "\",\"line\":{},\"rule\":\"{}\",\"excerpt\":\"", self.line, self.rule);
+        escape_json(&self.excerpt, &mut s);
+        s.push_str("\"}");
         s
     }
 }
@@ -126,15 +131,16 @@ pub fn lint_source(rel: &str, content: &str) -> Vec<LintFinding> {
         STRICT_NO_PANIC_FILES.iter().any(|f| unixy == *f)
     };
     let mut findings = Vec::new();
-    let mut in_test_region = false;
+    let mut stripper = CodeStripper::new();
+    let mut tracker = TestRegionTracker::new();
     for (idx, raw) in content.lines().enumerate() {
         let line = idx + 1;
-        if raw.contains("#[cfg(test)]") {
-            in_test_region = true;
-        }
-        // Comments carry waivers and prose; strip them for token scans
-        // but keep the raw line for waiver detection.
-        let code = raw.split("//").next().unwrap_or("");
+        // Comments and literals carry waivers, prose, and fixtures; strip
+        // them for token scans but keep the raw line for waiver detection.
+        let stripped = stripper.strip(raw);
+        let in_test_region = tracker.line_starts_in_test() || stripped.contains("#[cfg(test)]");
+        tracker.observe(&stripped);
+        let code: &str = &stripped;
         let excerpt = || raw.trim().chars().take(120).collect::<String>();
 
         let panic_rule_applies =
@@ -199,12 +205,12 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lint every `.rs` file under the workspace root's `src/` and
-/// `crates/*/src/` trees (the shipped source; integration tests and
-/// examples are classified, not skipped, so the counter/atomic rules
-/// still see them). Results are sorted by path for determinism.
+/// Every `.rs` file the workspace passes scan: the root `src/`,
+/// `tests/`, and `examples/` trees plus each crate's `src/` and
+/// `benches/`. Path-sorted for determinism. Shared by the source lint
+/// and the privilege auditor so both passes see the same tree.
 #[must_use]
-pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
+pub fn workspace_rs_files(root: &Path) -> Vec<PathBuf> {
     let mut files = Vec::new();
     collect_rs_files(&root.join("src"), &mut files);
     collect_rs_files(&root.join("tests"), &mut files);
@@ -219,6 +225,16 @@ pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
         }
     }
     files.sort();
+    files
+}
+
+/// Lint every `.rs` file under the workspace root's `src/` and
+/// `crates/*/src/` trees (the shipped source; integration tests and
+/// examples are classified, not skipped, so the counter/atomic rules
+/// still see them). Results are sorted by path for determinism.
+#[must_use]
+pub fn lint_workspace(root: &Path) -> Vec<LintFinding> {
+    let files = workspace_rs_files(root);
     let mut findings = Vec::new();
     for f in files {
         let rel = f
@@ -274,6 +290,54 @@ mod tests {
         let src = "fn f() { a.expect(\"x\") } // lint:allow(panic)\n\
                    #[cfg(test)]\nmod tests { fn g() { b.unwrap(); } }\n";
         assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_an_inline_test_module_is_linted_again() {
+        // The old heuristic skipped everything after the first
+        // `#[cfg(test)]` line; the brace tracker must resume linting
+        // once the test module closes.
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n    fn g() { b.unwrap(); }\n}\n\
+                   fn after() { c.unwrap(); }\n";
+        let f = lint_source("crates/core/src/a.rs", src);
+        assert_eq!(f.len(), 1, "exactly the post-module panic: {f:?}");
+        assert_eq!(f[0].line, 5);
+        assert_eq!(f[0].rule, "no-panic");
+    }
+
+    #[test]
+    fn tokens_inside_string_literals_do_not_fire() {
+        let src = "fn f() { log(\"call .unwrap() later\"); }\n";
+        assert!(lint_source("crates/core/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn finding_json_escapes_file_and_excerpt() {
+        let f = LintFinding {
+            file: "crates/we\"ird\\path.rs".to_owned(),
+            line: 3,
+            rule: "no-panic",
+            excerpt: "let s = \"x\\y\";".to_owned(),
+        };
+        let j = f.json();
+        assert!(j.contains("we\\\"ird\\\\path.rs"));
+        assert!(j.contains("\\\"x\\\\y\\\";"));
+        // The document as a whole must stay parseable: an even number of
+        // *structural* (unescaped) quotes.
+        let mut structural = 0usize;
+        let mut esc = false;
+        for c in j.chars() {
+            if esc {
+                esc = false;
+            } else if c == '\\' {
+                esc = true;
+            } else if c == '"' {
+                structural += 1;
+            }
+        }
+        assert_eq!(structural % 2, 0, "unbalanced structural quotes: {j}");
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Shared source-scanning machinery for the token-level passes.
+//!
+//! Both the [`crate::lint`] rules and the [`crate::privilege`] auditor
+//! work line-by-line over raw source text. Two concerns are factored out
+//! here so the passes agree on what "code" means:
+//!
+//! * [`CodeStripper`] — removes the non-code spans a token scan must not
+//!   see: line comments, block comments (including multi-line), string
+//!   literals (including multi-line and raw strings), and character
+//!   literals. Stripped spans are replaced with spaces so column
+//!   positions and brace counts survive. Without this, a rule token
+//!   appearing in a doc comment, a trace-event name string, or a test
+//!   fixture literal would raise a false finding.
+//! * [`TestRegionTracker`] — brace-depth-accurate tracking of
+//!   `#[cfg(test)]` item spans. The old heuristic ("everything from the
+//!   first `#[cfg(test)]` line onward is test code") silently exempted
+//!   any library code that happened to follow an *inline* test module;
+//!   the tracker instead arms on the attribute, enters the region at the
+//!   item's opening brace, and leaves it when the brace depth returns to
+//!   the entry level — so code after a test module is linted again.
+//!
+//! The stripper is deliberately not a Rust lexer: it handles exactly the
+//! constructs that occur in this workspace (checked by the unit tests
+//! below) and errs on the side of treating ambiguous text as code, which
+//! can only ever produce a *louder* lint, never a silent exemption.
+
+/// Cross-line lexical state for [`CodeStripper::strip`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StripState {
+    /// Ordinary code.
+    Code,
+    /// Inside a `/* ... */` block comment (`depth` tracks nesting).
+    BlockComment { depth: u32 },
+    /// Inside a `"..."` string literal.
+    Str,
+    /// Inside a raw string literal with `hashes` `#` marks.
+    RawStr { hashes: u8 },
+}
+
+/// Streaming comment/string/char-literal stripper. Feed it one line at a
+/// time; state (open block comments, open multi-line strings) carries
+/// across lines.
+#[derive(Debug, Clone)]
+pub struct CodeStripper {
+    state: StripState,
+}
+
+impl Default for CodeStripper {
+    fn default() -> Self {
+        CodeStripper::new()
+    }
+}
+
+impl CodeStripper {
+    /// A stripper at the start of a file.
+    #[must_use]
+    pub fn new() -> CodeStripper {
+        CodeStripper {
+            state: StripState::Code,
+        }
+    }
+
+    /// Return `line` with every non-code span replaced by spaces.
+    pub fn strip(&mut self, line: &str) -> String {
+        let bytes: Vec<char> = line.chars().collect();
+        let mut out = String::with_capacity(line.len());
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match self.state {
+                StripState::BlockComment { depth } => {
+                    if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        out.push_str("  ");
+                        i += 2;
+                        if depth == 1 {
+                            self.state = StripState::Code;
+                        } else {
+                            self.state = StripState::BlockComment { depth: depth - 1 };
+                        }
+                    } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        out.push_str("  ");
+                        i += 2;
+                        self.state = StripState::BlockComment { depth: depth + 1 };
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                StripState::Str => {
+                    if bytes[i] == '\\' {
+                        out.push_str("  ");
+                        i += 2; // skip the escaped char (may run off-line: fine)
+                    } else if bytes[i] == '"' {
+                        out.push('"');
+                        i += 1;
+                        self.state = StripState::Code;
+                    } else {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                StripState::RawStr { hashes } => {
+                    if bytes[i] == '"' {
+                        // Close only on `"` followed by the right number
+                        // of `#` marks.
+                        let n = hashes as usize;
+                        let closes = (0..n).all(|k| bytes.get(i + 1 + k) == Some(&'#'));
+                        if closes {
+                            out.push('"');
+                            for _ in 0..n {
+                                out.push(' ');
+                            }
+                            i += 1 + n;
+                            self.state = StripState::Code;
+                            continue;
+                        }
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+                StripState::Code => {
+                    let c = bytes[i];
+                    if c == '/' && bytes.get(i + 1) == Some(&'/') {
+                        // Line comment: drop the rest of the line.
+                        break;
+                    }
+                    if c == '/' && bytes.get(i + 1) == Some(&'*') {
+                        out.push_str("  ");
+                        i += 2;
+                        self.state = StripState::BlockComment { depth: 1 };
+                        continue;
+                    }
+                    if c == '"' {
+                        out.push('"');
+                        i += 1;
+                        self.state = StripState::Str;
+                        continue;
+                    }
+                    // Raw strings: r"..."  r#"..."#  br"..."  (byte-string
+                    // prefix handled by the same arm since `b` is emitted
+                    // as code and the `r` starts the literal).
+                    if c == 'r' && !prev_is_ident(&bytes, i) {
+                        let mut j = i + 1;
+                        let mut hashes = 0u8;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                out.push(' ');
+                            }
+                            i = j + 1;
+                            self.state = StripState::RawStr { hashes };
+                            continue;
+                        }
+                    }
+                    if c == '\'' {
+                        // Char literal vs lifetime. A char literal closes
+                        // within a few chars (`'x'`, `'\n'`, `'\u{1F4}'`);
+                        // a lifetime never has a closing quote nearby.
+                        if let Some(len) = char_literal_len(&bytes, i) {
+                            out.push(' ');
+                            for _ in 1..len {
+                                out.push(' ');
+                            }
+                            i += len;
+                            continue;
+                        }
+                        out.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        // A string that was still open at end-of-line: ordinary string
+        // literals do continue across lines in Rust.
+        out
+    }
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+/// Length (in chars, including both quotes) of a char literal starting at
+/// `i`, or `None` if `bytes[i]` starts a lifetime instead.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    debug_assert_eq!(bytes.get(i), Some(&'\''));
+    if bytes.get(i + 1) == Some(&'\\') {
+        // Escaped: scan to the closing quote (bounded: `'\u{10FFFF}'`).
+        let end = (i + 12).min(bytes.len());
+        return bytes
+            .get(i + 3..end)
+            .and_then(|w| w.iter().position(|&c| c == '\''))
+            .map(|off| off + 4);
+    }
+    if bytes.get(i + 2) == Some(&'\'') && bytes.get(i + 1) != Some(&'\'') {
+        return Some(3);
+    }
+    None
+}
+
+/// Brace-depth-accurate `#[cfg(test)]` region tracking.
+///
+/// Feed each line twice: [`TestRegionTracker::line_starts_in_test`]
+/// *before* scanning the line (whether the line begins inside a test
+/// region), then [`TestRegionTracker::observe`] with the *stripped* line
+/// to advance the state. A line is "in a test region" for lint purposes
+/// if it starts inside one or carries the arming attribute itself.
+#[derive(Debug, Clone, Default)]
+pub struct TestRegionTracker {
+    depth: i64,
+    /// `#[cfg(test)]` seen; waiting for the guarded item's `{`.
+    armed: bool,
+    /// Depth *outside* the region's opening brace while inside one.
+    region_entry: Option<i64>,
+}
+
+impl TestRegionTracker {
+    /// A tracker at the start of a file.
+    #[must_use]
+    pub fn new() -> TestRegionTracker {
+        TestRegionTracker::default()
+    }
+
+    /// Whether the next line begins inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn line_starts_in_test(&self) -> bool {
+        self.region_entry.is_some() || self.armed
+    }
+
+    /// Advance the tracker over one *stripped* line.
+    pub fn observe(&mut self, stripped: &str) {
+        if stripped.contains("#[cfg(test)]") {
+            self.armed = true;
+        }
+        for c in stripped.chars() {
+            match c {
+                '{' => {
+                    if self.armed && self.region_entry.is_none() {
+                        self.region_entry = Some(self.depth);
+                        self.armed = false;
+                    }
+                    self.depth += 1;
+                }
+                '}' => {
+                    self.depth -= 1;
+                    if let Some(entry) = self.region_entry {
+                        if self.depth <= entry {
+                            self.region_entry = None;
+                        }
+                    }
+                }
+                // A brace-less guarded item (`#[cfg(test)] mod t;`,
+                // `#[cfg(test)] use ...;`) ends at the semicolon
+                // without opening a region.
+                ';' if self.armed && self.region_entry.is_none() => {
+                    self.armed = false;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strip_all(src: &str) -> Vec<String> {
+        let mut s = CodeStripper::new();
+        src.lines().map(|l| s.strip(l)).collect()
+    }
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let out = strip_all("let a = 1; // unwrap() here\nlet b = /* panic!( */ 2;\n");
+        assert!(!out[0].contains("unwrap"));
+        assert!(out[0].contains("let a = 1;"));
+        assert!(!out[1].contains("panic"));
+        assert!(out[1].contains("2;"));
+    }
+
+    #[test]
+    fn strips_multiline_block_comments_and_nesting() {
+        let out = strip_all("a /* x\n /* y */ still comment\n */ b\n");
+        assert!(out[0].starts_with('a'));
+        assert!(!out[1].contains("still"));
+        assert!(out[2].contains('b'));
+    }
+
+    #[test]
+    fn strips_string_literals_keeping_quotes() {
+        let out = strip_all("let s = \"map_raw inside\"; call();\n");
+        assert!(!out[0].contains("map_raw"));
+        assert!(out[0].contains("call();"));
+    }
+
+    #[test]
+    fn strips_escaped_quotes_in_strings() {
+        let out = strip_all("let s = \"a \\\" b unwrap() c\"; f();\n");
+        assert!(!out[0].contains("unwrap"));
+        assert!(out[0].contains("f();"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let out = strip_all("let s = r\"tlb_shootdown\"; g();\nlet t = r#\"x \" y map_raw\"#; h();\n");
+        assert!(!out[0].contains("tlb_shootdown"));
+        assert!(out[0].contains("g();"));
+        assert!(!out[1].contains("map_raw"));
+        assert!(out[1].contains("h();"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let out = strip_all("let c = '\"'; let s: &'a str = x; let q = '{';\n");
+        // The quote char literal must not open a string...
+        assert!(out[0].contains("let s: &'a str = x;"));
+        // ...and the brace char literal must not count as a brace.
+        assert!(!out[0].contains('{'));
+    }
+
+    #[test]
+    fn multiline_strings_carry_state() {
+        let out = strip_all("let s = \"first\nsecond unwrap()\nthird\"; tail();\n");
+        assert!(!out[1].contains("unwrap"));
+        assert!(out[2].contains("tail();"));
+    }
+
+    #[test]
+    fn tracker_exempts_only_the_test_module_span() {
+        let src = "fn a() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { x.unwrap(); }\n\
+                   }\n\
+                   fn after() { y.unwrap(); }\n";
+        let mut strip = CodeStripper::new();
+        let mut tr = TestRegionTracker::new();
+        let mut in_test = Vec::new();
+        for line in src.lines() {
+            let stripped = strip.strip(line);
+            let starts = tr.line_starts_in_test() || stripped.contains("#[cfg(test)]");
+            tr.observe(&stripped);
+            in_test.push(starts);
+        }
+        assert_eq!(in_test, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn tracker_handles_braceless_cfg_test_items() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn real() {}\n";
+        let mut strip = CodeStripper::new();
+        let mut tr = TestRegionTracker::new();
+        let mut in_test = Vec::new();
+        for line in src.lines() {
+            let stripped = strip.strip(line);
+            let starts = tr.line_starts_in_test() || stripped.contains("#[cfg(test)]");
+            tr.observe(&stripped);
+            in_test.push(starts);
+        }
+        // The attribute and its one-item span are exempt; code after the
+        // semicolon is not.
+        assert_eq!(in_test, vec![true, true, false]);
+    }
+
+    #[test]
+    fn tracker_ignores_braces_in_strings_and_comments() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       const S: &str = \"}\"; // } in string and comment }\n\
+                   }\n\
+                   fn after() {}\n";
+        let mut strip = CodeStripper::new();
+        let mut tr = TestRegionTracker::new();
+        let mut in_test = Vec::new();
+        for line in src.lines() {
+            let stripped = strip.strip(line);
+            let starts = tr.line_starts_in_test() || stripped.contains("#[cfg(test)]");
+            tr.observe(&stripped);
+            in_test.push(starts);
+        }
+        assert_eq!(in_test, vec![true, true, true, true, false]);
+    }
+}

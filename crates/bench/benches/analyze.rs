@@ -8,9 +8,17 @@
 //! under a fixed budget with zero findings.
 
 use erebor::eanalyze::detect_races;
+use erebor::eanalyze::privilege::{scan_workspace, WaiverPolicy};
 use erebor::{Mode, Platform, TraceEvent, TraceRecord};
 use erebor_testkit::bench::Criterion;
 use erebor_testkit::{criterion_group, criterion_main};
+use std::path::PathBuf;
+
+/// Ceiling on the privilege scan's work metric (lines of workspace
+/// source scanned). The workspace sits well under half of this; growth
+/// past the ceiling means the scan (which CI runs on every `--analyze`)
+/// stopped being cheap and the budget needs a deliberate revisit.
+const PRIVILEGE_WORK_BUDGET: u64 = 200_000;
 
 fn bench_audit(c: &mut Criterion) {
     let p = Platform::boot(Mode::Full).expect("boot");
@@ -62,5 +70,33 @@ fn bench_race_detector(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_audit, bench_race_detector);
+fn bench_privilege(c: &mut Criterion) {
+    // crates/bench -> workspace root is two levels up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("workspace root");
+    let report = scan_workspace(&root, WaiverPolicy::Refuse);
+    assert!(
+        report.is_clean(),
+        "privilege boundary violated in-bench: {:?}",
+        report.findings
+    );
+    assert!(
+        report.work() <= PRIVILEGE_WORK_BUDGET,
+        "privilege scan over budget: {} > {PRIVILEGE_WORK_BUDGET} lines",
+        report.work()
+    );
+    c.meta("privilege_findings", report.findings.len() as f64);
+    c.meta("privilege_waivers", report.waivers_seen as f64);
+    c.meta("privilege_files_scanned", report.files_scanned as f64);
+    c.meta("privilege_modules", report.privileged_modules as f64);
+    c.meta("privilege_work", report.work() as f64);
+    c.bench_function("privilege_scan_workspace", |b| {
+        b.iter(|| scan_workspace(&root, WaiverPolicy::Refuse));
+    });
+}
+
+criterion_group!(benches, bench_audit, bench_race_detector, bench_privilege);
 criterion_main!(benches);

@@ -658,14 +658,17 @@ impl Machine {
     /// exposed for raw-CR3 boot/ablation paths that bypass
     /// [`Machine::write_cr3`]).
     pub fn flush_tlb(&mut self, cpu: usize) {
+        // Machine-global effects first (epoch, stats, ledgers, trace) —
+        // the core-local mutation itself goes through the core's handle,
+        // the same seam parallel execution will take.
         self.bump_mmu_epoch();
-        self.tlbs[cpu].flush_all();
         self.stats.tlb_flushes = self.stats.tlb_flushes.saturating_add(1);
         self.pending_shootdowns.retain(|&(c, _)| c != cpu);
         self.pending_asid_shootdowns.retain(|&(c, _)| c != cpu);
         if self.mmu_trace {
             self.trace_event(cpu, TraceEvent::TlbFlush);
         }
+        self.core_split(cpu).tlb.flush_all();
     }
 
     /// `invlpg`-equivalent: drop `cpu`'s cached translation for `va`'s
@@ -680,7 +683,7 @@ impl Machine {
         }
         self.bump_mmu_epoch();
         self.cycles.charge(self.costs.invlpg);
-        self.tlbs[cpu].invalidate_page(va);
+        self.core_split(cpu).tlb.invalidate_page(va);
         self.stats.tlb_page_invalidations = self.stats.tlb_page_invalidations.saturating_add(1);
         self.pending_shootdowns.remove(&(cpu, va.0 >> 12));
         if self.mmu_trace {
@@ -866,7 +869,59 @@ impl Machine {
         Ok(())
     }
 
+    // ----- per-core handles ---------------------------------------------
+
+    /// Split out one core's core-local slots ([`CoreHandle`] fields).
+    /// Lives here (not in `core_handle`) because the decision-cache and
+    /// interrupt-depth vectors are module-private.
+    pub(crate) fn core_split(&mut self, cpu: usize) -> crate::core_handle::CoreHandle<'_> {
+        crate::core_handle::CoreHandle {
+            index: cpu,
+            cpu: &mut self.cpus[cpu],
+            tlb: &mut self.tlbs[cpu],
+            sstk: &mut self.sstk[cpu],
+            decisions: &mut self.decisions[cpu],
+            interrupt_depth: &mut self.interrupt_depth[cpu],
+        }
+    }
+
+    /// Element-wise split of every per-core vector into simultaneous
+    /// disjoint handles (see [`Machine::cores`]).
+    pub(crate) fn cores_split(&mut self) -> Vec<crate::core_handle::CoreHandle<'_>> {
+        let cpus = self.cpus.iter_mut();
+        let tlbs = self.tlbs.iter_mut();
+        let sstk = self.sstk.iter_mut();
+        let decisions = self.decisions.iter_mut();
+        let depths = self.interrupt_depth.iter_mut();
+        cpus.zip(tlbs)
+            .zip(sstk)
+            .zip(decisions)
+            .zip(depths)
+            .enumerate()
+            .map(
+                |(index, ((((cpu, tlb), sstk), decisions), interrupt_depth))| {
+                    crate::core_handle::CoreHandle {
+                        index,
+                        cpu,
+                        tlb,
+                        sstk,
+                        decisions,
+                        interrupt_depth,
+                    }
+                },
+            )
+            .collect()
+    }
+
     // ----- privileged register writes (sensitive, Table 2) --------------
+
+    /// Current CR3 of `cpu` (`mov %cr3, %r` — a read, not sensitive).
+    /// Unprivileged callers use this instead of reaching into the
+    /// register file.
+    #[must_use]
+    pub fn cr3(&self, cpu: usize) -> Frame {
+        self.cpus[cpu].cr3
+    }
 
     /// `mov %r, %cr0`.
     ///

@@ -136,7 +136,7 @@ impl DecisionCache {
     }
 
     /// Drop every decision and re-key the cache to `(ctx, epoch)`.
-    pub fn rekey(&mut self, ctx: CachedCtx, epoch: u64) {
+    pub(crate) fn rekey(&mut self, ctx: CachedCtx, epoch: u64) {
         self.ctx = Some(ctx);
         self.epoch = epoch;
         self.read = [None; TLB_ENTRIES];
@@ -178,7 +178,7 @@ impl DecisionCache {
     /// clear the decision slots that slot backs, so no decision outlives
     /// the TLB entry it was derived from. Reads and writes share the TLB
     /// data class, so a data fill clears both verdict arrays.
-    pub fn on_tlb_fill(&mut self, va: VirtAddr, kind: AccessKind) {
+    pub(crate) fn on_tlb_fill(&mut self, va: VirtAddr, kind: AccessKind) {
         let idx = index(va);
         if kind == AccessKind::Execute {
             self.exec[idx] = None;

@@ -21,6 +21,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cet;
+pub mod core_handle;
 pub mod cpu;
 pub mod cycles;
 pub mod decision;
@@ -33,11 +34,13 @@ pub mod isolation;
 pub mod layout;
 pub mod migrate;
 pub mod mmu;
+pub mod native;
 pub mod paging;
 pub mod phys;
 pub mod regs;
 pub mod tlb;
 
+pub use core_handle::CoreHandle;
 pub use cpu::{BatchOp, BatchOutcome, Cpu, CpuMode};
 pub use cycles::{Costs, CycleCounter};
 pub use decision::{CachedCtx, Decision, DecisionCache, FastpathStats};
@@ -45,7 +48,11 @@ pub use fault::{AccessKind, Fault, PfReason};
 pub use inject::{CoreView, InjectionPoint, Injector, InjectorHandle};
 pub use isolation::{Backend, BackendKind, DomainId, FrameTag, IsolationBackend, IsolationError};
 pub use paging::{Pte, PteFlags};
-pub use phys::{Frame, PhysAddr, PhysMemory, PAGE_SHIFT, PAGE_SIZE};
+// `PhysMemory` is deliberately NOT re-exported: raw DRAM access is
+// privileged, and requiring the full `erebor_hw::phys::PhysMemory` path
+// keeps every reach greppable and attributable (the privilege auditor's
+// pub-leak rule enforces this, DESIGN.md §14).
+pub use phys::{Frame, PhysAddr, PAGE_SHIFT, PAGE_SIZE};
 pub use regs::{Cr0, Cr4, Msr, PkrsPerms, Rflags};
 pub use tlb::{HwStats, Tlb};
 

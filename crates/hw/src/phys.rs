@@ -494,7 +494,7 @@ impl PhysMemory {
     }
 
     /// Mark a specific frame allocated (used when reserving fixed regions).
-    pub fn claim_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
+    pub(crate) fn claim_frame(&mut self, frame: Frame) -> Result<(), PhysError> {
         if frame.0 >= self.total_frames {
             return Err(PhysError::OutOfRange(frame.base()));
         }

@@ -108,7 +108,7 @@ impl Tlb {
 
     /// Drop every entry (CR3 write; the PTE model has no global bit, so
     /// "non-global entries" is the whole TLB).
-    pub fn flush_all(&mut self) {
+    pub(crate) fn flush_all(&mut self) {
         self.instr = [None; TLB_ENTRIES];
         self.data = [None; TLB_ENTRIES];
     }

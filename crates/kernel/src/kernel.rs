@@ -433,15 +433,9 @@ impl Kernel {
             for page in &victims {
                 let page = *page;
                 // Swap out: preserve contents before dropping the frame.
-                if let Ok(Some(leaf)) = erebor_hw::paging::lookup_raw(&hw.machine.mem, root, page) {
-                    let mut contents = vec![0u8; PAGE_SIZE];
-                    if hw
-                        .machine
-                        .mem
-                        .read(leaf.frame().base(), &mut contents)
-                        .is_ok()
-                        && contents.iter().any(|&b| b != 0)
-                    {
+                if let Some(contents) = erebor_hw::native::read_mapped_page(hw.machine, root, page)
+                {
+                    if contents.iter().any(|&b| b != 0) {
                         self.swap.insert((root.0, page.0), contents);
                     }
                 }
@@ -452,7 +446,7 @@ impl Kernel {
                 // One mm-targeted IPI round per reclaim sweep (native
                 // path; delegated unmaps were shot down page-by-page by
                 // the monitor).
-                hw.machine.tlb_shootdown_mm(hw.cpu, root, &victims).ok();
+                erebor_hw::native::flush_mm_range(hw.machine, hw.cpu, root, &victims);
             }
         }
         reclaimed
@@ -616,7 +610,7 @@ impl Kernel {
                     // Native path: one mm-targeted IPI round for the
                     // whole range (under delegation the monitor's
                     // per-page EMC unmap already shot each page down).
-                    hw.machine.tlb_shootdown_mm(hw.cpu, root, &mapped).ok();
+                    erebor_hw::native::flush_mm_range(hw.machine, hw.cpu, root, &mapped);
                 }
                 let t = self.tasks.get_mut(&pid.0).ok_or(Errno::Esrch)?;
                 t.vmas.remove(idx);
@@ -938,10 +932,7 @@ impl Kernel {
         let mut page = va.page_base();
         let end = va.add(len as u64 - 1).page_base();
         loop {
-            let mapped = erebor_hw::paging::lookup_raw(&hw.machine.mem, root, page)
-                .ok()
-                .flatten();
-            if mapped.is_none() {
+            if !erebor_hw::native::is_mapped(hw.machine, root, page) {
                 self.handle_page_fault(hw, pid, page, write)?;
             }
             if page == end {

@@ -9,8 +9,8 @@ use crate::kernel::Hw;
 use crate::syscall::Errno;
 use erebor_core::emc::{EmcRequest, EmcResponse};
 use erebor_core::policy::FrameKind;
-use erebor_hw::paging::{self, Pte, PteFlags};
-use erebor_hw::{Frame, VirtAddr};
+use erebor_hw::paging::PteFlags;
+use erebor_hw::{native, Frame, VirtAddr};
 
 /// Create a user address space: monitor-validated under Erebor, direct
 /// construction in native mode.
@@ -29,20 +29,9 @@ pub fn create_address_space(hw: &mut Hw<'_>, asid: u32) -> Result<Frame, Errno> 
             _ => Err(Errno::Enomem),
         }
     } else {
-        let root = hw.machine.mem.alloc_frame().map_err(|_| Errno::Enomem)?;
         let kroot = hw.monitor.kernel_root;
-        for idx in 256..512usize {
-            let src = erebor_hw::PhysAddr(kroot.base().0 + (idx * 8) as u64);
-            let dst = erebor_hw::PhysAddr(root.base().0 + (idx * 8) as u64);
-            let v = hw.machine.mem.read_u64(src).map_err(|_| Errno::Enomem)?;
-            if v != 0 {
-                hw.machine
-                    .mem
-                    .write_u64(dst, v)
-                    .map_err(|_| Errno::Enomem)?;
-            }
-        }
-        hw.machine.cycles.charge(256 * hw.machine.costs.mem_op);
+        let root =
+            native::create_address_space(hw.machine, kroot).map_err(|_| Errno::Enomem)?;
         // Bookkeep in the shared frame table so teardown works uniformly.
         hw.monitor.frames.set_kind(root, FrameKind::Ptp).ok();
         Ok(root)
@@ -78,7 +67,6 @@ pub fn map_user_page(
             _ => Err(Errno::Eperm),
         }
     } else {
-        let f = hw.machine.mem.alloc_frame().map_err(|_| Errno::Enomem)?;
         let flags = if executable {
             PteFlags::user_rx()
         } else if writable {
@@ -86,17 +74,7 @@ pub fn map_user_page(
         } else {
             PteFlags::user_ro()
         };
-        let new_ptps = paging::map_raw(
-            &mut hw.machine.mem,
-            root,
-            va,
-            Pte::encode(f, flags),
-            paging::intermediate_for(flags),
-        )
-        .map_err(|_| Errno::Enomem)?;
-        hw.machine
-            .cycles
-            .charge(hw.machine.costs.pte_store * (1 + new_ptps.len() as u64));
+        let f = native::map_user_page(hw.machine, root, va, flags).map_err(|_| Errno::Enomem)?;
         hw.monitor
             .frames
             .set_kind(f, FrameKind::UserAnon { asid: 0 })
@@ -163,30 +141,16 @@ pub fn unmap_user_page(hw: &mut Hw<'_>, root: Frame, va: VirtAddr) -> Result<(),
             .map(|_| ())
             .map_err(|_| Errno::Efault)
     } else {
-        let leaf = paging::lookup_raw(&hw.machine.mem, root, va)
-            .ok()
-            .flatten()
-            .ok_or(Errno::Efault)?;
-        let slot = paging::leaf_slot(&hw.machine.mem, root, va)
-            .ok()
-            .flatten()
-            .ok_or(Errno::Efault)?;
-        hw.machine
-            .mem
-            .write_u64(slot, 0)
-            .map_err(|_| Errno::Efault)?;
-        hw.machine.cycles.charge(hw.machine.costs.pte_store);
         // Local invalidation only: native callers unmapping a whole range
         // (munmap, reclaim) owe the cross-core IPI round themselves and
-        // batch it — one `tlb_shootdown_mm` per range, as
-        // `flush_tlb_mm_range` amortizes it.
-        hw.machine
-            .invalidate_page(hw.cpu, va)
-            .map_err(|_| Errno::Efault)?;
-        hw.monitor.frames.dec_map(leaf.frame());
-        if hw.monitor.frames.mapcount(leaf.frame()) == 0 {
-            hw.machine.mem.free_frame(leaf.frame()).ok();
-            hw.monitor.frames.release(leaf.frame()).ok();
+        // batch it via `native::flush_mm_range`, as `flush_tlb_mm_range`
+        // amortizes it.
+        let frame =
+            native::unmap_user_page(hw.machine, hw.cpu, root, va).map_err(|_| Errno::Efault)?;
+        hw.monitor.frames.dec_map(frame);
+        if hw.monitor.frames.mapcount(frame) == 0 {
+            native::free_user_frame(hw.machine, frame);
+            hw.monitor.frames.release(frame).ok();
         }
         Ok(())
     }
@@ -197,7 +161,7 @@ pub fn unmap_user_page(hw: &mut Hw<'_>, root: Frame, va: VirtAddr) -> Result<(),
 /// # Errors
 /// [`Errno::Eperm`] if the monitor refuses.
 pub fn switch_address_space(hw: &mut Hw<'_>, root: Frame) -> Result<(), Errno> {
-    if hw.machine.cpus[hw.cpu].cr3 == root {
+    if hw.machine.cr3(hw.cpu) == root {
         return Ok(());
     }
     if hw.monitor.cfg.mmu_protection() {
@@ -216,9 +180,7 @@ pub fn switch_address_space(hw: &mut Hw<'_>, root: Frame) -> Result<(), Errno> {
         // Ablation configuration with the monitor present but MMU
         // delegation disabled: model the register write at native cost,
         // including its architectural TLB flush.
-        hw.machine.cycles.charge(hw.machine.costs.mov_cr);
-        hw.machine.cpus[hw.cpu].cr3 = root;
-        hw.machine.flush_tlb(hw.cpu);
+        native::switch_address_space_ablated(hw.machine, hw.cpu, root);
         Ok(())
     }
 }
@@ -245,56 +207,12 @@ pub fn copy_to_user(hw: &mut Hw<'_>, root: Frame, va: VirtAddr, bytes: &[u8]) ->
             .map(|_| ())
             .map_err(|_| Errno::Efault)
     } else {
-        raw_user_copy(hw, root, va, bytes.len(), Some(bytes)).map(|_| ())
+        // Native `copy_to_user` at native cost (the raw walk-and-copy
+        // lives on the hardware side of the privilege boundary).
+        native::user_copy(hw.machine, root, va, bytes.len(), Some(bytes))
+            .map(|_| ())
+            .map_err(|_| Errno::Efault)
     }
-}
-
-/// Native user copy (`stac`-window semantics at native cost): walks the
-/// target address space and copies through physical memory. Used by the
-/// privileged-kernel baseline and by ablation configs that disable the
-/// monitor's MMU interposition.
-fn raw_user_copy(
-    hw: &mut Hw<'_>,
-    root: Frame,
-    va: VirtAddr,
-    len: usize,
-    write: Option<&[u8]>,
-) -> Result<Vec<u8>, Errno> {
-    let costs_stac = hw.machine.costs.stac;
-    hw.machine.cycles.charge(2 * costs_stac); // stac + clac
-    let mut out = vec![0u8; if write.is_some() { 0 } else { len }];
-    let mut done = 0usize;
-    while done < len {
-        let cur = va.add(done as u64);
-        let chunk = ((erebor_hw::PAGE_SIZE as u64 - cur.page_offset()) as usize).min(len - done);
-        let leaf = erebor_hw::paging::lookup_raw(&hw.machine.mem, root, cur)
-            .ok()
-            .flatten()
-            .ok_or(Errno::Efault)?;
-        let pa = erebor_hw::PhysAddr(leaf.frame().base().0 + cur.page_offset());
-        match write {
-            Some(bytes) => {
-                if !leaf.writable() {
-                    return Err(Errno::Efault);
-                }
-                hw.machine
-                    .mem
-                    .write(pa, &bytes[done..done + chunk])
-                    .map_err(|_| Errno::Efault)?;
-            }
-            None => {
-                hw.machine
-                    .mem
-                    .read(pa, &mut out[done..done + chunk])
-                    .map_err(|_| Errno::Efault)?;
-            }
-        }
-        hw.machine.cycles.charge(
-            4 * hw.machine.costs.walk_level + hw.machine.costs.mem_op * (1 + chunk as u64 / 64),
-        );
-        done += chunk;
-    }
-    Ok(out)
 }
 
 /// Copy bytes out of user memory (`copy_from_user`).
@@ -323,6 +241,6 @@ pub fn copy_from_user(
             _ => Err(Errno::Efault),
         }
     } else {
-        raw_user_copy(hw, root, va, len, None)
+        native::user_copy(hw.machine, root, va, len, None).map_err(|_| Errno::Efault)
     }
 }

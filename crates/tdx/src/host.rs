@@ -7,7 +7,8 @@
 //! frames are cryptographically opaque (reads fail in the model).
 
 use crate::sept::Sept;
-use erebor_hw::{Frame, PhysMemory, PAGE_SIZE};
+use erebor_hw::phys::PhysMemory;
+use erebor_hw::{Frame, PAGE_SIZE};
 use erebor_wire::{WireError, WireReader, WireWriter};
 
 /// Host-side access failure.

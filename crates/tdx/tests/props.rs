@@ -1,6 +1,7 @@
 //! Property-based tests for the TDX-module simulator.
 
-use erebor_hw::{Frame, PhysMemory};
+use erebor_hw::phys::PhysMemory;
+use erebor_hw::Frame;
 use erebor_tdx::attest::{expected_mrtd, verify_quote, Attestation};
 use erebor_tdx::sept::{GpaState, Sept};
 use erebor_tdx::HostVmm;

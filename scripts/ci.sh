@@ -21,9 +21,14 @@
 #   scripts/ci.sh --analyze  additionally run the static-analysis
 #                          passes: the state auditor over the boot
 #                          snapshot (zero findings, bounded work), the
-#                          red-team auditor/race-detector suite, and a
-#                          100-case chaos campaign with the auditor and
-#                          the happens-before race detector as per-case
+#                          privilege-separation auditor over the whole
+#                          workspace source (zero findings against the
+#                          DESIGN.md §14 manifest, zero waivers — a
+#                          priv:allow comment that suppresses anything
+#                          fails the stage), the red-team
+#                          auditor/race-detector suite, and a 100-case
+#                          chaos campaign with the auditor and the
+#                          happens-before race detector as per-case
 #                          invariants. The source lint always runs in
 #                          the default gate.
 #   scripts/ci.sh --fastpath  additionally run the batched-execution
@@ -255,15 +260,58 @@ PY
 fi
 
 if [[ "$ANALYZE" == 1 ]]; then
-    # Static-analysis stage (see DESIGN.md §9). Three passes:
-    #   1. state auditor over a freshly booted Full snapshot — zero
+    # Static-analysis stage (see DESIGN.md §9 and §14). Four passes:
+    #   1. the privilege-separation auditor over the whole workspace
+    #      source — zero findings against the declared manifest and zero
+    #      effective waivers (the bin exits non-zero on either);
+    #   2. state auditor over a freshly booted Full snapshot — zero
     #      findings, and the walked state must stay under a fixed
     #      simulated-work budget so the per-chaos-case audit stays cheap;
-    #   2. the red-team suite (tests/analyze.rs): one corrupted snapshot
+    #   3. the red-team suite (tests/analyze.rs): one corrupted snapshot
     #      per auditor check asserting exactly that finding, plus the
     #      synthetic and end-to-end stale-TLB races;
-    #   3. a fixed-seed chaos campaign with the auditor and the
+    #   4. a fixed-seed chaos campaign with the auditor and the
     #      happens-before race detector wired in as per-case invariants.
+    echo "==> analyze: privilege-separation auditor (zero findings, zero waivers)"
+    if ! priv_raw="$(cargo run --release -q -p erebor-analyze --bin privilege)"; then
+        # Re-print the findings the capture swallowed before failing.
+        printf '%s\n' "$priv_raw" >&2
+        echo "error: privilege boundary violated (see findings above)" >&2
+        exit 1
+    fi
+    priv_out="$(extract_json "$priv_raw" "privilege")"
+    check_json "$priv_out" "privilege"
+    if command -v python3 >/dev/null 2>&1; then
+        EREBOR_PRIV_JSON="$priv_out" python3 - <<'PY'
+import json, os
+doc = json.loads(os.environ["EREBOR_PRIV_JSON"])
+assert doc["count"] == 0, f"privilege findings: {doc['findings']}"
+assert doc["waivers"] == 0, f"{doc['waivers']} waiver(s) in the tree"
+assert doc["privileged_modules"] >= 4, (
+    f"manifest shrank: only {doc['privileged_modules']} privileged module(s) matched")
+assert doc["files_scanned"] > 100, f"scan too small: {doc['files_scanned']} files"
+priv = {m: n for m, n in doc["graph"].items()
+        if m.startswith(("erebor-hw", "erebor-core", "erebor-tdx"))}
+print(f"    privilege: clean boundary over {doc['files_scanned']} files "
+      f"({doc['lines_scanned']} lines), {doc['privileged_modules']} privileged "
+      f"module(s), {sum(priv.values())} privileged-core references")
+PY
+    else
+        # Fallback without python3: extract the counters with sed.
+        priv_count="$(echo "$priv_out" | sed -n 's/.*"count":\([0-9]*\).*/\1/p')"
+        priv_waivers="$(echo "$priv_out" | sed -n 's/.*"waivers":\([0-9]*\).*/\1/p')"
+        priv_files="$(echo "$priv_out" | sed -n 's/.*"files_scanned":\([0-9]*\).*/\1/p')"
+        if [[ -z "$priv_count" || "$priv_count" != 0 ]]; then
+            echo "error: privilege boundary violated (count=$priv_count)" >&2
+            exit 1
+        fi
+        if [[ -z "$priv_waivers" || "$priv_waivers" != 0 ]]; then
+            echo "error: privilege waivers present (waivers=$priv_waivers)" >&2
+            exit 1
+        fi
+        echo "    privilege: clean boundary over $priv_files files"
+    fi
+
     echo "==> analyze: cargo bench analyze (auditor budget)"
     analyze_raw="$(EREBOR_BENCH_SMOKE=1 cargo bench -p erebor-bench --bench analyze 2>/dev/null)"
     analyze_out="$(extract_json "$analyze_raw" "analyze")"
@@ -278,6 +326,10 @@ assert findings == 0, f"boot snapshot audit not clean: {findings} finding(s)"
 assert work <= 120_000, f"audit walked too much state: work={work} > 120000"
 assert meta["audit_roots_walked"] >= 1, "auditor walked no page-table roots"
 assert meta["race_trace_records"] > 0, "race-detector bench trace is empty"
+assert meta["privilege_findings"] == 0, "bench privilege scan found violations"
+assert meta["privilege_waivers"] == 0, "bench privilege scan saw waivers"
+assert meta["privilege_work"] <= 200_000, (
+    f"privilege scan over budget: {meta['privilege_work']:.0f} > 200000")
 print(f"    analyze: audit clean, work {work:.0f}/120000 "
       f"({meta['audit_pte_reads']:.0f} PTE reads, "
       f"{meta['audit_leaf_mappings']:.0f} leaf mappings, "
